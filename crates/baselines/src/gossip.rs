@@ -1,0 +1,107 @@
+//! GossipMap-like distributed baseline.
+//!
+//! Bae & Howe's GossipMap moves vertices on *local* information and
+//! disseminates only boundary community IDs between partitions — the
+//! "naive information swapping" the paper's §3.4 dissects: a processor that
+//! learns vertex 3's community ID still cannot see that vertices 0 and 3
+//! are co-clustered remotely, so its δL estimates are systematically off.
+//!
+//! We realize that protocol on the same substrate the paper's algorithm
+//! uses, by configuring the distributed engine with:
+//!
+//! * plain 1D partitioning (no delegates — GossipMap does not replicate
+//!   hubs), and
+//! * `full_module_swap = false`: boundary vertex IDs travel, full
+//!   `Module_Info` records do not, and ranks never receive authoritative
+//!   module statistics back.
+//!
+//! Running both algorithms on the same simulator with the same cost model
+//! is what makes Table 3's speedups a like-for-like comparison.
+
+use infomap_graph::Graph;
+use infomap_distributed::{DistributedConfig, DistributedInfomap, DistributedOutput};
+use infomap_partition::DelegateThreshold;
+
+/// Tunables for the gossip baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct GossipConfig {
+    pub nranks: usize,
+    pub max_outer_iterations: usize,
+    pub max_inner_iterations: usize,
+    pub seed: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig { nranks: 4, max_outer_iterations: 30, max_inner_iterations: 40, seed: 0 }
+    }
+}
+
+/// Run the GossipMap-like baseline. Returns the same output type as the
+/// paper's algorithm so harnesses can compare MDL, per-rank workload and
+/// modeled runtimes directly.
+pub fn gossip_map(graph: &Graph, cfg: GossipConfig) -> DistributedOutput {
+    let dcfg = DistributedConfig {
+        nranks: cfg.nranks,
+        // A threshold above the maximum degree disables delegation: the
+        // partition degenerates to 1D, like GossipMap's vertex cuts don't —
+        // which is exactly the hub-imbalance the paper fixes.
+        threshold: DelegateThreshold::Fixed(usize::MAX),
+        rebalance: false,
+        max_outer_iterations: cfg.max_outer_iterations,
+        max_inner_iterations: cfg.max_inner_iterations,
+        seed: cfg.seed,
+        min_label_tiebreak: true,
+        full_module_swap: false,
+        ..Default::default()
+    };
+    DistributedInfomap::new(dcfg).run(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infomap_distributed::{DistributedConfig, DistributedInfomap};
+    use infomap_graph::generators;
+
+    #[test]
+    fn gossip_converges_but_underperforms_full_swap() {
+        let (g, _) = generators::lfr_like(
+            generators::LfrParams { n: 500, mu: 0.3, ..Default::default() },
+            8,
+        );
+        let gossip = gossip_map(&g, GossipConfig { nranks: 4, ..Default::default() });
+        let full = DistributedInfomap::new(DistributedConfig {
+            nranks: 4,
+            ..Default::default()
+        })
+        .run(&g);
+        // Both beat the trivial one-level partition...
+        assert!(gossip.codelength < gossip.one_level_codelength);
+        assert!(full.codelength < full.one_level_codelength);
+        // ...but the naive swap must not beat the full Module_Info swap.
+        assert!(
+            full.codelength <= gossip.codelength + 1e-9,
+            "full swap {} vs gossip {}",
+            full.codelength,
+            gossip.codelength
+        );
+    }
+
+    #[test]
+    fn gossip_single_rank_equals_full_single_rank() {
+        // With one rank there is no remote information to miss, so both
+        // protocols coincide.
+        let (g, _) = generators::planted_partition(4, 12, 0.5, 0.02, 3);
+        let gossip = gossip_map(&g, GossipConfig { nranks: 1, ..Default::default() });
+        assert!(gossip.codelength < gossip.one_level_codelength);
+    }
+
+    #[test]
+    fn gossip_is_deterministic() {
+        let (g, _) = generators::lfr_like(generators::LfrParams::default(), 5);
+        let a = gossip_map(&g, GossipConfig { nranks: 3, seed: 7, ..Default::default() });
+        let b = gossip_map(&g, GossipConfig { nranks: 3, seed: 7, ..Default::default() });
+        assert_eq!(a.modules, b.modules);
+    }
+}

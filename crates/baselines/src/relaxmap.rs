@@ -1,0 +1,448 @@
+//! RelaxMap-like shared-memory parallel Infomap (Bae et al. 2013).
+//!
+//! Worker threads sweep disjoint vertex stripes concurrently. Module
+//! assignments live in a shared atomic array; module statistics live in a
+//! shared table of per-module locks. A mover locks only the source and
+//! target module entries (in id order, so lock acquisition cannot cycle),
+//! while *reads* of neighbor statistics are optimistic — they may observe
+//! a module mid-update. That relaxed consistency is the defining trait of
+//! RelaxMap: decisions can be slightly stale, the codelength still
+//! converges, and no global synchronization happens inside a sweep.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use infomap_core::plogp;
+use infomap_graph::{Graph, GraphBuilder, VertexId};
+use parking_lot::Mutex;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Tunables for [`RelaxMap`].
+#[derive(Clone, Copy, Debug)]
+pub struct RelaxMapConfig {
+    /// Worker threads per sweep.
+    pub threads: usize,
+    /// Outer (aggregation) iterations cap.
+    pub max_outer_iterations: usize,
+    /// Concurrent sweeps per outer iteration cap.
+    pub max_sweeps: usize,
+    /// Outer-loop improvement threshold.
+    pub theta: f64,
+    /// Minimum δL per move.
+    pub min_gain: f64,
+    /// Seed for stripe shuffling.
+    pub seed: u64,
+}
+
+impl Default for RelaxMapConfig {
+    fn default() -> Self {
+        RelaxMapConfig {
+            threads: 4,
+            max_outer_iterations: 30,
+            max_sweeps: 50,
+            theta: 1e-10,
+            min_gain: 1e-10,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a RelaxMap run.
+#[derive(Clone, Debug)]
+pub struct RelaxMapResult {
+    /// Final module per original vertex (dense).
+    pub modules: Vec<u32>,
+    /// Final two-level codelength (recomputed exactly).
+    pub codelength: f64,
+    /// Codelength after each outer iteration.
+    pub trace: Vec<f64>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ModuleStat {
+    flow: f64,
+    exit: f64,
+    members: u32,
+}
+
+/// One aggregation level: vertices with flows and weighted adjacency.
+struct Level {
+    /// Adjacency (CSR) with self-loops excluded from the arc lists.
+    off: Vec<usize>,
+    tgt: Vec<u32>,
+    w: Vec<f64>,
+    node_flow: Vec<f64>,
+    out_flow: Vec<f64>,
+}
+
+impl Level {
+    fn from_graph(graph: &Graph, flows: Option<&[f64]>, inv_two_w: f64) -> Level {
+        let n = graph.num_vertices();
+        let mut off = Vec::with_capacity(n + 1);
+        off.push(0usize);
+        let mut tgt = Vec::new();
+        let mut w = Vec::new();
+        let mut out_flow = vec![0.0; n];
+        for u in 0..n as VertexId {
+            for (v, weight) in graph.arcs(u) {
+                if v == u {
+                    continue;
+                }
+                tgt.push(v);
+                w.push(weight);
+                out_flow[u as usize] += weight * inv_two_w;
+            }
+            off.push(tgt.len());
+        }
+        let node_flow = match flows {
+            Some(f) => f.to_vec(),
+            None => (0..n as VertexId).map(|u| graph.strength(u) * inv_two_w).collect(),
+        };
+        Level { off, tgt, w, node_flow, out_flow }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    fn arcs(&self, u: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = self.off[u]..self.off[u + 1];
+        self.tgt[r.clone()].iter().copied().zip(self.w[r].iter().copied())
+    }
+}
+
+/// Atomic f64 via bit-cast CAS.
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn new(x: f64) -> Self {
+        AtomicF64(AtomicU64::new(x.to_bits()))
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn fetch_add(&self, d: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// The RelaxMap driver.
+pub struct RelaxMap {
+    cfg: RelaxMapConfig,
+}
+
+impl RelaxMap {
+    pub fn new(cfg: RelaxMapConfig) -> Self {
+        assert!(cfg.threads >= 1);
+        RelaxMap { cfg }
+    }
+
+    /// Run on an undirected graph.
+    pub fn run(&self, graph: &Graph) -> RelaxMapResult {
+        let cfg = self.cfg;
+        let inv_two_w = 1.0 / (2.0 * graph.total_weight());
+        let node_term: f64 = (0..graph.num_vertices() as VertexId)
+            .map(|u| plogp(graph.strength(u) * inv_two_w))
+            .sum();
+
+        let mut level_graph = graph.clone();
+        let mut level_flows: Option<Vec<f64>> = None;
+        let mut final_modules: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+        let mut trace = Vec::new();
+        let mut prev_l = f64::INFINITY;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        for _outer in 0..cfg.max_outer_iterations {
+            let level = Level::from_graph(&level_graph, level_flows.as_deref(), inv_two_w);
+            let n = level.num_vertices();
+            let assignments: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+            let stats: Vec<Mutex<ModuleStat>> = (0..n)
+                .map(|u| {
+                    Mutex::new(ModuleStat {
+                        flow: level.node_flow[u],
+                        exit: level.out_flow[u],
+                        members: 1,
+                    })
+                })
+                .collect();
+            let sum_exit = AtomicF64::new(level.out_flow.iter().sum());
+
+            // Concurrent sweeps.
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            for _sweep in 0..cfg.max_sweeps {
+                order.shuffle(&mut rng);
+                let moves = AtomicUsize::new(0);
+                let stripe = n.div_ceil(cfg.threads).max(1);
+                std::thread::scope(|scope| {
+                    for chunk in order.chunks(stripe) {
+                        let level = &level;
+                        let assignments = &assignments;
+                        let stats = &stats;
+                        let sum_exit = &sum_exit;
+                        let moves = &moves;
+                        scope.spawn(move || {
+                            sweep_stripe(
+                                chunk,
+                                level,
+                                assignments,
+                                stats,
+                                sum_exit,
+                                moves,
+                                cfg.min_gain,
+                            );
+                        });
+                    }
+                });
+                if moves.load(Ordering::Relaxed) == 0 {
+                    break;
+                }
+            }
+
+            // Harvest assignments and contract.
+            let assigned: Vec<u32> =
+                assignments.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+            let (contracted, contracted_flows, dense) =
+                contract(&level_graph, &level.node_flow, &assigned);
+            for m in final_modules.iter_mut() {
+                *m = dense[assigned[*m as usize] as usize];
+            }
+            let l = codelength_of(&level, &assigned, node_term);
+            trace.push(l);
+            let shrunk = contracted.num_vertices() < n;
+            let improved = prev_l - l;
+            prev_l = l;
+            level_graph = contracted;
+            level_flows = Some(contracted_flows);
+            if !shrunk || improved < cfg.theta {
+                break;
+            }
+        }
+
+        RelaxMapResult { modules: final_modules, codelength: prev_l, trace }
+    }
+}
+
+/// Sweep one stripe of vertices with relaxed reads and per-module locking.
+fn sweep_stripe(
+    stripe: &[u32],
+    level: &Level,
+    assignments: &[AtomicU32],
+    stats: &[Mutex<ModuleStat>],
+    sum_exit: &AtomicF64,
+    moves: &AtomicUsize,
+    min_gain: f64,
+) {
+    let inv_two_w_applied = 1.0; // weights are converted below per-arc
+    let _ = inv_two_w_applied;
+    let mut candidates: Vec<(u32, f64)> = Vec::new();
+    for &u in stripe {
+        let u = u as usize;
+        let current = assignments[u].load(Ordering::Relaxed);
+        candidates.clear();
+        let mut flow_to_current = 0.0;
+        let mut total_out = 0.0;
+        for (v, w) in level.arcs(u) {
+            let f = w;
+            total_out += f;
+            let m = assignments[v as usize].load(Ordering::Relaxed);
+            if m == current {
+                flow_to_current += f;
+            } else {
+                match candidates.iter_mut().find(|(mm, _)| *mm == m) {
+                    Some((_, acc)) => *acc += f,
+                    None => candidates.push((m, f)),
+                }
+            }
+        }
+        if candidates.is_empty() {
+            continue;
+        }
+        // Normalize: arcs were raw weights; out_flow is already normalized.
+        let scale = level.out_flow[u] / total_out.max(f64::MIN_POSITIVE);
+        let flow_to_current = flow_to_current * scale;
+        let p_u = level.node_flow[u];
+        let out_u = level.out_flow[u];
+        let q = sum_exit.load();
+
+        // Optimistic reads of module stats.
+        let from = *stats[current as usize].lock();
+        let mut best: Option<(u32, f64, f64)> = None;
+        for &(m, raw_flow) in candidates.iter() {
+            let to = *stats[m as usize].lock();
+            let flow_to_target = raw_flow * scale;
+            let d = delta(q, &from, &to, p_u, out_u, flow_to_current, flow_to_target);
+            if d < -min_gain {
+                let better = match best {
+                    None => true,
+                    Some((bm, bd, _)) => d < bd - 1e-12 || ((d - bd).abs() <= 1e-12 && m < bm),
+                };
+                if better {
+                    best = Some((m, d, flow_to_target));
+                }
+            }
+        }
+        let Some((target, _, flow_to_target)) = best else { continue };
+
+        // Apply under ordered two-module locking.
+        let (a, b) = (current.min(target) as usize, current.max(target) as usize);
+        let (first, second) = (stats[a].lock(), stats[b].lock());
+        let (mut from_guard, mut to_guard) =
+            if current < target { (first, second) } else { (second, first) };
+        // Re-check the assignment (another thread may have moved us).
+        if assignments[u].load(Ordering::Relaxed) != current {
+            continue;
+        }
+        let dq_i = -(out_u) + 2.0 * flow_to_current;
+        let dq_j = out_u - 2.0 * flow_to_target;
+        from_guard.exit = (from_guard.exit + dq_i).max(0.0);
+        from_guard.flow = (from_guard.flow - p_u).max(0.0);
+        from_guard.members = from_guard.members.saturating_sub(1);
+        to_guard.exit = (to_guard.exit + dq_j).max(0.0);
+        to_guard.flow += p_u;
+        to_guard.members += 1;
+        sum_exit.fetch_add(dq_i + dq_j);
+        assignments[u].store(target, Ordering::Relaxed);
+        moves.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn delta(
+    sum_exit: f64,
+    from: &ModuleStat,
+    to: &ModuleStat,
+    p_u: f64,
+    out_u: f64,
+    flow_to_current: f64,
+    flow_to_target: f64,
+) -> f64 {
+    let q_i = from.exit;
+    let p_i = from.flow;
+    let q_j = to.exit;
+    let p_j = to.flow;
+    let q_i_new = (q_i - out_u + 2.0 * flow_to_current).max(0.0);
+    let q_j_new = (q_j + out_u - 2.0 * flow_to_target).max(0.0);
+    let q_new = (sum_exit + (q_i_new - q_i) + (q_j_new - q_j)).max(0.0);
+    plogp(q_new) - plogp(sum_exit)
+        - 2.0 * (plogp(q_i_new) - plogp(q_i) + plogp(q_j_new) - plogp(q_j))
+        + plogp(q_i_new + (p_i - p_u).max(0.0))
+        - plogp(q_i + p_i)
+        + plogp(q_j_new + p_j + p_u)
+        - plogp(q_j + p_j)
+}
+
+/// Contract a level by its assignments; returns the new graph, carried
+/// flows, and the dense relabeling old-module → new-vertex.
+fn contract(graph: &Graph, flows: &[f64], assigned: &[u32]) -> (Graph, Vec<f64>, Vec<u32>) {
+    let n = graph.num_vertices();
+    let mut dense = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for u in 0..n {
+        let m = assigned[u] as usize;
+        if dense[m] == u32::MAX {
+            dense[m] = next;
+            next += 1;
+        }
+    }
+    let mut new_flows = vec![0.0; next as usize];
+    for u in 0..n {
+        new_flows[dense[assigned[u] as usize] as usize] += flows[u];
+    }
+    let mut b = GraphBuilder::new(next as usize);
+    for (u, v, w) in graph.edges() {
+        let a = dense[assigned[u as usize] as usize];
+        let c = dense[assigned[v as usize] as usize];
+        b.add_edge(a, c, w);
+    }
+    (b.build(), new_flows, dense)
+}
+
+/// Exact two-level codelength of `assigned` over `level`.
+fn codelength_of(level: &Level, assigned: &[u32], node_term: f64) -> f64 {
+    let n = level.num_vertices();
+    let k = assigned.iter().map(|&m| m as usize + 1).max().unwrap_or(0);
+    let mut flow = vec![0.0; k];
+    let mut exit = vec![0.0; k];
+    for u in 0..n {
+        flow[assigned[u] as usize] += level.node_flow[u];
+        let total_raw: f64 = level.arcs(u).map(|(_, w)| w).sum();
+        if total_raw <= 0.0 {
+            continue;
+        }
+        let scale = level.out_flow[u] / total_raw;
+        for (v, w) in level.arcs(u) {
+            if assigned[v as usize] != assigned[u] {
+                exit[assigned[u] as usize] += w * scale;
+            }
+        }
+    }
+    let q: f64 = exit.iter().sum();
+    let s1: f64 = exit.iter().copied().map(plogp).sum();
+    let s2: f64 = exit.iter().zip(&flow).map(|(&e, &f)| plogp(e + f)).sum();
+    plogp(q) - 2.0 * s1 - node_term + s2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infomap_core::sequential::{Infomap, InfomapConfig};
+    use infomap_graph::generators;
+
+    #[test]
+    fn recovers_ring_of_cliques() {
+        let (g, truth) = generators::ring_of_cliques(5, 6, 0);
+        let out = RelaxMap::new(RelaxMapConfig::default()).run(&g);
+        let max = out.modules.iter().copied().max().unwrap() + 1;
+        assert_eq!(max as usize, 5);
+        for c in 0..5u32 {
+            let members: Vec<u32> = (0..30)
+                .filter(|&v| truth[v] == c)
+                .map(|v| out.modules[v])
+                .collect();
+            assert!(members.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn codelength_comparable_to_sequential() {
+        let (g, _) = generators::lfr_like(
+            generators::LfrParams { n: 500, mu: 0.3, ..Default::default() },
+            4,
+        );
+        let seq = Infomap::new(InfomapConfig::default()).run(&g);
+        let par = RelaxMap::new(RelaxMapConfig { threads: 4, ..Default::default() }).run(&g);
+        let rel = (par.codelength - seq.codelength).abs() / seq.codelength;
+        assert!(
+            rel < 0.10,
+            "RelaxMap MDL {} deviates {rel:.3} from sequential {}",
+            par.codelength,
+            seq.codelength
+        );
+    }
+
+    #[test]
+    fn single_thread_still_works() {
+        let (g, _) = generators::planted_partition(4, 15, 0.5, 0.02, 2);
+        let out = RelaxMap::new(RelaxMapConfig { threads: 1, ..Default::default() }).run(&g);
+        let max = out.modules.iter().copied().max().unwrap() + 1;
+        assert!((3..=6).contains(&(max as usize)));
+        assert!(!out.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_converges_downward() {
+        let (g, _) = generators::lfr_like(generators::LfrParams::default(), 6);
+        let out = RelaxMap::new(RelaxMapConfig::default()).run(&g);
+        let first = out.trace[0];
+        let last = *out.trace.last().unwrap();
+        assert!(last <= first + 1e-9, "trace: {:?}", out.trace);
+    }
+}

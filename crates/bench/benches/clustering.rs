@@ -1,0 +1,38 @@
+//! End-to-end clustering benches: sequential Infomap, RelaxMap, the
+//! distributed algorithm, and the gossip baseline on one LFR graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infomap_baselines::{gossip_map, GossipConfig, RelaxMap, RelaxMapConfig};
+use infomap_core::sequential::{Infomap, InfomapConfig};
+use infomap_distributed::{DistributedConfig, DistributedInfomap};
+use infomap_graph::generators::{lfr_like, LfrParams};
+use infomap_graph::Graph;
+
+fn graph() -> Graph {
+    lfr_like(LfrParams { n: 2000, mu: 0.3, ..Default::default() }, 5).0
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("end_to_end_2k_vertices");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| Infomap::new(InfomapConfig::default()).run(&g))
+    });
+    group.bench_function("relaxmap_4_threads", |b| {
+        b.iter(|| RelaxMap::new(RelaxMapConfig { threads: 4, ..Default::default() }).run(&g))
+    });
+    group.bench_function("distributed_4_ranks", |b| {
+        b.iter(|| {
+            DistributedInfomap::new(DistributedConfig { nranks: 4, ..Default::default() })
+                .run(&g)
+        })
+    });
+    group.bench_function("gossip_4_ranks", |b| {
+        b.iter(|| gossip_map(&g, GossipConfig { nranks: 4, ..Default::default() }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenches of the map-equation kernels: codelength evaluation, the
+//! O(1) δL of a candidate move, a full greedy sweep, and aggregation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infomap_core::map_equation::codelength_from_scratch;
+use infomap_core::sequential::{aggregate, greedy_sweeps};
+use infomap_core::{plogp, FlowNetwork, Partitioning};
+use infomap_graph::generators::{lfr_like, LfrParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn network(n: usize) -> FlowNetwork {
+    let (g, _) = lfr_like(LfrParams { n, ..Default::default() }, 42);
+    FlowNetwork::from_graph(g)
+}
+
+fn bench_plogp(c: &mut Criterion) {
+    c.bench_function("plogp", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..1000 {
+                acc += plogp(black_box(i as f64 / 1000.0));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_codelength(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codelength_from_scratch");
+    for n in [1000usize, 4000] {
+        let net = network(n);
+        let part = Partitioning::singletons(&net);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                codelength_from_scratch(
+                    black_box(&net),
+                    black_box(part.assignments()),
+                    part.node_term(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_best_move(c: &mut Criterion) {
+    let net = network(2000);
+    let part = Partitioning::singletons(&net);
+    let mut scratch = Vec::new();
+    c.bench_function("best_move_per_vertex", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for u in 0..200u32 {
+                if part.best_move(&net, u, 1e-10, 1e-12, &mut scratch).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+}
+
+fn bench_greedy_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_sweeps_to_convergence");
+    group.sample_size(10);
+    for n in [1000usize, 4000] {
+        let net = network(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut part = Partitioning::singletons(&net);
+                let mut rng = StdRng::seed_from_u64(1);
+                greedy_sweeps(&net, &mut part, 50, 1e-10, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let net = network(2000);
+    let mut part = Partitioning::singletons(&net);
+    let mut rng = StdRng::seed_from_u64(1);
+    greedy_sweeps(&net, &mut part, 50, 1e-10, &mut rng);
+    c.bench_function("aggregate_after_sweep", |b| {
+        b.iter(|| aggregate(black_box(&net), black_box(&part)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_plogp,
+    bench_codelength,
+    bench_best_move,
+    bench_greedy_sweep,
+    bench_aggregate
+);
+criterion_main!(benches);

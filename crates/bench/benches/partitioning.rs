@@ -1,0 +1,58 @@
+//! Partitioning throughput: 1D (round-robin and block) vs delegate
+//! partitioning with and without the rebalance pass, plus the balance
+//! statistics extraction used by Figures 6–7.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infomap_graph::generators::{chung_lu, power_law_degrees};
+use infomap_graph::Graph;
+use infomap_partition::{BalanceStats, DelegateThreshold, Partition};
+
+fn scale_free(n: usize) -> Graph {
+    let degs = power_law_degrees(n, 2.1, 2, n / 10, 7);
+    chung_lu(&degs, 8)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let g = scale_free(20_000);
+    let p = 64;
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(20);
+    group.bench_function("one_d_round_robin", |b| {
+        b.iter(|| Partition::one_d(black_box(&g), p))
+    });
+    group.bench_function("one_d_block", |b| {
+        b.iter(|| Partition::one_d_block(black_box(&g), p))
+    });
+    group.bench_function("delegate_no_rebalance", |b| {
+        b.iter(|| Partition::delegate(black_box(&g), p, DelegateThreshold::RankCount, false))
+    });
+    group.bench_function("delegate_with_rebalance", |b| {
+        b.iter(|| Partition::delegate(black_box(&g), p, DelegateThreshold::RankCount, true))
+    });
+    group.finish();
+}
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let g = scale_free(20_000);
+    let mut group = c.benchmark_group("delegate_partition_by_ranks");
+    group.sample_size(20);
+    for p in [16usize, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| Partition::delegate(black_box(&g), p, DelegateThreshold::RankCount, true))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let g = scale_free(20_000);
+    let part = Partition::delegate(&g, 64, DelegateThreshold::RankCount, true);
+    c.bench_function("ghost_counts", |b| b.iter(|| part.ghost_counts()));
+    let loads = part.edge_counts();
+    c.bench_function("balance_stats", |b| {
+        b.iter(|| BalanceStats::from_loads(black_box(&loads)))
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_rank_scaling, bench_stats);
+criterion_main!(benches);

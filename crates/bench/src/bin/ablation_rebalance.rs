@@ -1,0 +1,53 @@
+//! Ablation: the partition-imbalance correction pass (§3.3 step 4).
+//!
+//! Delegate partitioning already assigns delegate arcs by target owner;
+//! the rebalance pass additionally moves delegate arcs from overloaded to
+//! underloaded ranks. This prints the per-rank edge balance and the
+//! modeled clustering makespan with and without the pass.
+
+use infomap_bench::{env_scale, env_seed, fmt_secs, scaled_model, stage_split, Table};
+use infomap_distributed::{DistributedConfig, DistributedInfomap};
+use infomap_graph::datasets::DatasetId;
+use infomap_partition::{BalanceStats, DelegateThreshold, Partition};
+
+fn main() {
+    let scale = env_scale();
+    let seed = env_seed();
+    let p = 64;
+    println!("Ablation: delegate-arc rebalancing (p={p}, scale {scale})\n");
+    let mut t = Table::new(&[
+        "Dataset",
+        "rebalance",
+        "min edges",
+        "max edges",
+        "max/mean",
+        "modeled time",
+    ]);
+    for id in [DatasetId::Uk2005, DatasetId::Uk2007] {
+        let profile = id.profile();
+        let (g, _) = profile.generate_scaled(scale, seed);
+        for rebalance in [false, true] {
+            let part =
+                Partition::delegate(&g, p, DelegateThreshold::Auto(4.0), rebalance);
+            let s = BalanceStats::from_loads(&part.edge_counts());
+            let out = DistributedInfomap::new(DistributedConfig {
+                nranks: p,
+                seed,
+                rebalance,
+                ..Default::default()
+            })
+            .run(&g);
+            let model = scaled_model(&profile, &g);
+            let (s1, s2, m) = stage_split(&out, &model);
+            t.row(vec![
+                profile.name.to_string(),
+                if rebalance { "on" } else { "off" }.to_string(),
+                s.min.to_string(),
+                s.max.to_string(),
+                format!("{:.2}", s.imbalance),
+                fmt_secs(s1 + s2 + m),
+            ]);
+        }
+    }
+    t.print();
+}

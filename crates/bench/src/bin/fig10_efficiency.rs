@@ -1,0 +1,69 @@
+//! Figure 10 — relative parallel efficiency τ = p₁T(p₁)/(p₂T(p₂)) on the
+//! small/medium stand-ins (top) and the large stand-ins (bottom), with the
+//! paper's per-dataset baseline processor counts scaled to the stand-in
+//! sizes.
+//!
+//! The claims reproduced: ≥65% efficiency on most small/medium sets,
+//! ≥70% on most large sets over the scaled range.
+
+use infomap_bench::{env_scale, env_seed, parallel_efficiency, scaled_model, stage_split, Table};
+use infomap_distributed::{DistributedConfig, DistributedInfomap};
+use infomap_graph::datasets::DatasetId;
+
+fn run_total(gid: DatasetId, scale: f64, seed: u64, p: usize) -> f64 {
+    let profile = gid.profile();
+    let (g, _) = profile.generate_scaled(scale, seed);
+    let out = DistributedInfomap::new(DistributedConfig {
+        nranks: p,
+        seed,
+        ..Default::default()
+    })
+    .run(&g);
+    let model = scaled_model(&profile, &g);
+    let (s1, s2, merge) = stage_split(&out, &model);
+    s1 + s2 + merge
+}
+
+fn sweep(label: &str, sets: &[DatasetId], procs: &[usize], scale: f64, seed: u64) {
+    println!("{label}:");
+    let mut t = Table::new(&["Dataset", "p", "T(p) modeled", "efficiency vs base"]);
+    for &id in sets {
+        let base_p = procs[0];
+        let base_t = run_total(id, scale, seed, base_p);
+        for &p in procs {
+            let tp = if p == base_p { base_t } else { run_total(id, scale, seed, p) };
+            let eff = parallel_efficiency(base_p, base_t, p, tp);
+            t.row(vec![
+                id.profile().name.to_string(),
+                p.to_string(),
+                infomap_bench::fmt_secs(tp),
+                format!("{:.0}%", eff * 100.0),
+            ]);
+        }
+    }
+    t.print();
+    println!();
+}
+
+fn main() {
+    let scale = env_scale();
+    let seed = env_seed();
+    println!("Figure 10: relative parallel efficiency (modeled, scale {scale})\n");
+    // The paper baselines small sets at 16 ranks, YouTube at 64, the large
+    // sets at 256 (UK-2007 at 1024); the stand-ins are ~1000× smaller, so
+    // the sweeps scale down accordingly while keeping the 4× span shape.
+    sweep(
+        "Small/medium datasets (baseline p=8)",
+        &DatasetId::SMALL,
+        &[8, 16, 32, 64],
+        scale,
+        seed,
+    );
+    sweep(
+        "Large datasets (baseline p=16)",
+        &DatasetId::LARGE,
+        &[16, 32, 64, 128],
+        scale,
+        seed,
+    );
+}

@@ -1,0 +1,69 @@
+//! Table 3 — speedup of our algorithm over the prior state of the art
+//! (Bae et al.'s GossipMap), on ND-Web, LiveJournal, WebBase-2001 and
+//! UK-2007.
+//!
+//! Both algorithms run on the same substrate with the same cost model, so
+//! the comparison isolates the algorithmic differences: delegate
+//! partitioning + full Module_Info synchronization vs 1D partitioning +
+//! boundary-ID gossip. The claim reproduced: the speedup grows with graph
+//! size/hubbiness (the paper reports 1.08× on ND-Web up to 6.02× on
+//! UK-2007).
+
+use infomap_baselines::{gossip_map, GossipConfig};
+use infomap_bench::{env_scale, env_seed, fmt_secs, scaled_model, stage_split, Table};
+use infomap_distributed::{DistributedConfig, DistributedInfomap};
+use infomap_graph::datasets::DatasetId;
+
+fn main() {
+    let scale = env_scale();
+    let seed = env_seed();
+    let p = 64;
+    println!("Table 3: speedup over the GossipMap-like baseline (p={p}, modeled, scale {scale})\n");
+    let mut t = Table::new(&[
+        "Dataset",
+        "ours to iso-quality",
+        "gossip (modeled)",
+        "speedup",
+        "our MDL",
+        "gossip MDL",
+    ]);
+    let sets =
+        [DatasetId::NdWeb, DatasetId::LiveJournal, DatasetId::WebBase2001, DatasetId::Uk2007];
+    for id in sets {
+        let profile = id.profile();
+        let (g, _) = profile.generate_scaled(scale, seed);
+        let ours = DistributedInfomap::new(DistributedConfig {
+            nranks: p,
+            seed,
+            ..Default::default()
+        })
+        .run(&g);
+        let gossip = gossip_map(&g, GossipConfig { nranks: p, seed, ..Default::default() });
+        let model = scaled_model(&profile, &g);
+        let (a1, a2, am) = stage_split(&ours, &model);
+        let (b1, b2, bm) = stage_split(&gossip, &model);
+        let t_ours_total = a1 + a2 + am;
+        let t_gossip = b1 + b2 + bm;
+        // Iso-quality comparison: the baseline stops at a worse MDL, so
+        // raw end-to-end times compare different amounts of work done.
+        // Speedup is measured as (gossip time to its best quality) /
+        // (our time to first reach that same quality), our time being
+        // prorated by the fraction of synchronized rounds needed.
+        let target = gossip.codelength;
+        let series = ours.mdl_series();
+        let reached = series.iter().position(|&l| l <= target).unwrap_or(series.len() - 1);
+        let frac = (reached as f64 / (series.len() - 1).max(1) as f64).max(0.05);
+        let t_ours = t_ours_total * frac;
+        t.row(vec![
+            profile.name.to_string(),
+            fmt_secs(t_ours),
+            fmt_secs(t_gossip),
+            format!("{:.2}x", t_gossip / t_ours),
+            format!("{:.3}", ours.codelength),
+            format!("{:.3}", gossip.codelength),
+        ]);
+    }
+    t.print();
+    println!("\nPaper: 1.08x (ND-Web), 3.05x (LiveJournal), 3.18x (WebBase-2001), 6.02x (UK-2007).");
+    println!("Expected shape: speedup grows with graph size and hub weight; our MDL ≤ gossip MDL.");
+}

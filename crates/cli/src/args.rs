@@ -1,0 +1,245 @@
+//! Hand-rolled argument parsing (no external dependencies): a small,
+//! explicit state machine over `--flag value` pairs.
+
+/// Printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+dinfomap — community detection with (distributed) Infomap
+
+USAGE:
+  dinfomap cluster <edges.txt> [options]   detect communities
+  dinfomap partition <edges.txt> [options] analyze a partitioning
+  dinfomap generate <what> [options]       write a synthetic graph
+  dinfomap info <edges.txt>                print graph statistics
+
+CLUSTER OPTIONS:
+  --algorithm seq|relax|dist|gossip   algorithm (default: dist)
+  --ranks N                           simulated ranks for dist/gossip (default 8)
+  --threads N                         threads for relax (default 4)
+  --seed S                            RNG seed (default 0)
+  --output FILE                       write `vertex community` lines
+  --quiet                             suppress the run report
+
+PARTITION OPTIONS:
+  --ranks N                           world size (default 8)
+  --strategy 1d|block|delegate        strategy (default delegate)
+
+GENERATE <what>:
+  lfr                                 LFR benchmark (use --n, --mu)
+  amazon|dblp|ndweb|youtube|livejournal|uk2005|webbase|friendster|uk2007
+                                      Table 1 stand-ins (use --scale)
+  --n N --mu F --scale F --seed S --output FILE --truth FILE";
+
+/// A parsed invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    Cluster {
+        path: String,
+        algorithm: Algorithm,
+        ranks: usize,
+        threads: usize,
+        seed: u64,
+        output: Option<String>,
+        quiet: bool,
+    },
+    Partition {
+        path: String,
+        ranks: usize,
+        strategy: Strategy,
+    },
+    Generate {
+        what: String,
+        n: usize,
+        mu: f64,
+        scale: f64,
+        seed: u64,
+        output: Option<String>,
+        truth: Option<String>,
+    },
+    Info {
+        path: String,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    Sequential,
+    RelaxMap,
+    Distributed,
+    Gossip,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    OneD,
+    Block,
+    Delegate,
+}
+
+/// Parse argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    if sub == "--help" || sub == "-h" || sub == "help" {
+        return Err(String::new());
+    }
+    match sub.as_str() {
+        "cluster" => {
+            let path = it.next().ok_or("cluster: missing <edges.txt>")?.clone();
+            let mut algorithm = Algorithm::Distributed;
+            let mut ranks = 8usize;
+            let mut threads = 4usize;
+            let mut seed = 0u64;
+            let mut output = None;
+            let mut quiet = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--algorithm" => {
+                        algorithm = match next(&mut it, flag)?.as_str() {
+                            "seq" | "sequential" => Algorithm::Sequential,
+                            "relax" | "relaxmap" => Algorithm::RelaxMap,
+                            "dist" | "distributed" => Algorithm::Distributed,
+                            "gossip" => Algorithm::Gossip,
+                            other => return Err(format!("unknown algorithm {other:?}")),
+                        }
+                    }
+                    "--ranks" => ranks = num(&mut it, flag)?,
+                    "--threads" => threads = num(&mut it, flag)?,
+                    "--seed" => seed = num(&mut it, flag)?,
+                    "--output" => output = Some(next(&mut it, flag)?),
+                    "--quiet" => quiet = true,
+                    other => return Err(format!("cluster: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Cluster { path, algorithm, ranks, threads, seed, output, quiet })
+        }
+        "partition" => {
+            let path = it.next().ok_or("partition: missing <edges.txt>")?.clone();
+            let mut ranks = 8usize;
+            let mut strategy = Strategy::Delegate;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--ranks" => ranks = num(&mut it, flag)?,
+                    "--strategy" => {
+                        strategy = match next(&mut it, flag)?.as_str() {
+                            "1d" | "rr" => Strategy::OneD,
+                            "block" => Strategy::Block,
+                            "delegate" => Strategy::Delegate,
+                            other => return Err(format!("unknown strategy {other:?}")),
+                        }
+                    }
+                    other => return Err(format!("partition: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Partition { path, ranks, strategy })
+        }
+        "generate" => {
+            let what = it.next().ok_or("generate: missing <what>")?.clone();
+            let mut n = 1000usize;
+            let mut mu = 0.3f64;
+            let mut scale = 0.1f64;
+            let mut seed = 0u64;
+            let mut output = None;
+            let mut truth = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--n" => n = num(&mut it, flag)?,
+                    "--mu" => mu = num(&mut it, flag)?,
+                    "--scale" => scale = num(&mut it, flag)?,
+                    "--seed" => seed = num(&mut it, flag)?,
+                    "--output" => output = Some(next(&mut it, flag)?),
+                    "--truth" => truth = Some(next(&mut it, flag)?),
+                    other => return Err(format!("generate: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Generate { what, n, mu, scale, seed, output, truth })
+        }
+        "info" => {
+            let path = it.next().ok_or("info: missing <edges.txt>")?.clone();
+            Ok(Command::Info { path })
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn num<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = next(it, flag)?;
+    raw.parse().map_err(|_| format!("{flag}: cannot parse {raw:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_cluster_defaults() {
+        let cmd = parse(&argv("cluster g.txt")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Cluster {
+                path: "g.txt".into(),
+                algorithm: Algorithm::Distributed,
+                ranks: 8,
+                threads: 4,
+                seed: 0,
+                output: None,
+                quiet: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_cluster_flags() {
+        let cmd = parse(&argv(
+            "cluster g.txt --algorithm seq --ranks 16 --seed 7 --output out.txt --quiet",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Cluster { algorithm, ranks, seed, output, quiet, .. } => {
+                assert_eq!(algorithm, Algorithm::Sequential);
+                assert_eq!(ranks, 16);
+                assert_eq!(seed, 7);
+                assert_eq!(output.as_deref(), Some("out.txt"));
+                assert!(quiet);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_algorithms() {
+        assert!(parse(&argv("cluster g.txt --bogus 1")).is_err());
+        assert!(parse(&argv("cluster g.txt --algorithm magic")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_partition_and_generate() {
+        let cmd = parse(&argv("partition g.txt --ranks 32 --strategy block")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Partition { path: "g.txt".into(), ranks: 32, strategy: Strategy::Block }
+        );
+        let cmd = parse(&argv("generate lfr --n 500 --mu 0.4 --output g.txt")).unwrap();
+        match cmd {
+            Command::Generate { what, n, mu, output, .. } => {
+                assert_eq!(what, "lfr");
+                assert_eq!(n, 500);
+                assert!((mu - 0.4).abs() < 1e-12);
+                assert_eq!(output.as_deref(), Some("g.txt"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+}

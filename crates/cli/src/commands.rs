@@ -1,0 +1,316 @@
+//! Command implementations.
+
+use std::io::Write;
+
+use infomap_baselines::{gossip_map, GossipConfig, RelaxMap, RelaxMapConfig};
+use infomap_core::sequential::{Infomap, InfomapConfig};
+use infomap_distributed::{DistributedConfig, DistributedInfomap};
+use infomap_graph::datasets::DatasetId;
+use infomap_graph::generators::{lfr_like, LfrParams};
+use infomap_graph::{io, Graph};
+use infomap_metrics::modularity;
+use infomap_mpisim::CostModel;
+use infomap_partition::{BalanceStats, DelegateThreshold, Partition};
+
+use crate::args::{Algorithm, Command, Strategy};
+
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Cluster { path, algorithm, ranks, threads, seed, output, quiet } => {
+            cluster(&path, algorithm, ranks, threads, seed, output.as_deref(), quiet)
+        }
+        Command::Partition { path, ranks, strategy } => partition(&path, ranks, strategy),
+        Command::Generate { what, n, mu, scale, seed, output, truth } => {
+            generate(&what, n, mu, scale, seed, output.as_deref(), truth.as_deref())
+        }
+        Command::Info { path } => info(&path),
+    }
+}
+
+fn load(path: &str) -> Result<io::LoadedGraph, String> {
+    io::read_edge_list_file(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cluster(
+    path: &str,
+    algorithm: Algorithm,
+    ranks: usize,
+    threads: usize,
+    seed: u64,
+    output: Option<&str>,
+    quiet: bool,
+) -> Result<(), String> {
+    let loaded = load(path)?;
+    let g = &loaded.graph;
+    let started = std::time::Instant::now();
+    let (name, modules, codelength): (&str, Vec<u32>, f64) = match algorithm {
+        Algorithm::Sequential => {
+            let r = Infomap::new(InfomapConfig { seed, ..Default::default() }).run(g);
+            ("sequential Infomap", r.modules, r.codelength)
+        }
+        Algorithm::RelaxMap => {
+            let r = RelaxMap::new(RelaxMapConfig { threads, seed, ..Default::default() })
+                .run(g);
+            ("RelaxMap", r.modules, r.codelength)
+        }
+        Algorithm::Distributed => {
+            let r = DistributedInfomap::new(DistributedConfig {
+                nranks: ranks,
+                seed,
+                ..Default::default()
+            })
+            .run(g);
+            ("distributed Infomap", r.modules, r.codelength)
+        }
+        Algorithm::Gossip => {
+            let r = gossip_map(g, GossipConfig { nranks: ranks, seed, ..Default::default() });
+            ("GossipMap-like baseline", r.modules, r.codelength)
+        }
+    };
+    let elapsed = started.elapsed();
+
+    if !quiet {
+        let k = modules.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+        println!("{name}: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+        println!("  modules:    {k}");
+        println!("  codelength: {codelength:.6} bits");
+        println!("  modularity: {:.4}", modularity(g, &modules));
+        println!("  wall time:  {elapsed:?}");
+    }
+
+    if let Some(out_path) = output {
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?,
+        );
+        writeln!(w, "# vertex community").map_err(|e| e.to_string())?;
+        for (dense, &m) in modules.iter().enumerate() {
+            writeln!(w, "{} {}", loaded.original_ids[dense], m).map_err(|e| e.to_string())?;
+        }
+        if !quiet {
+            println!("  wrote {out_path}");
+        }
+    }
+    Ok(())
+}
+
+fn partition(path: &str, ranks: usize, strategy: Strategy) -> Result<(), String> {
+    let loaded = load(path)?;
+    let g = &loaded.graph;
+    let (name, part) = match strategy {
+        Strategy::OneD => ("round-robin 1D", Partition::one_d(g, ranks)),
+        Strategy::Block => ("block 1D", Partition::one_d_block(g, ranks)),
+        Strategy::Delegate => (
+            "delegate (auto threshold)",
+            Partition::delegate(g, ranks, DelegateThreshold::Auto(4.0), true),
+        ),
+    };
+    let edges = BalanceStats::from_loads(&part.edge_counts());
+    let ghosts = BalanceStats::from_loads(&part.ghost_counts());
+    println!("{name} over {ranks} ranks:");
+    println!(
+        "  edges/rank:  min {} median {} max {} (max/mean {:.2})",
+        edges.min, edges.median, edges.max, edges.imbalance
+    );
+    println!(
+        "  ghosts/rank: min {} median {} max {} (max/mean {:.2})",
+        ghosts.min, ghosts.median, ghosts.max, ghosts.imbalance
+    );
+    println!("  delegates:   {}", part.delegates.len());
+    // What would the workload phase cost under the default model?
+    let model = CostModel::default();
+    let worst = *part.edge_counts().iter().max().unwrap_or(&0);
+    println!(
+        "  modeled sweep bound: {:.3} ms/iteration",
+        worst as f64 * model.t_work * 1e3
+    );
+    Ok(())
+}
+
+fn generate(
+    what: &str,
+    n: usize,
+    mu: f64,
+    scale: f64,
+    seed: u64,
+    output: Option<&str>,
+    truth_path: Option<&str>,
+) -> Result<(), String> {
+    let (g, truth): (Graph, Vec<u32>) = match what {
+        "lfr" => lfr_like(LfrParams { n, mu, ..Default::default() }, seed),
+        name => {
+            let id = match name {
+                "amazon" => DatasetId::Amazon,
+                "dblp" => DatasetId::Dblp,
+                "ndweb" => DatasetId::NdWeb,
+                "youtube" => DatasetId::YouTube,
+                "livejournal" => DatasetId::LiveJournal,
+                "uk2005" => DatasetId::Uk2005,
+                "webbase" => DatasetId::WebBase2001,
+                "friendster" => DatasetId::Friendster,
+                "uk2007" => DatasetId::Uk2007,
+                other => return Err(format!("unknown generator {other:?}")),
+            };
+            id.profile().generate_scaled(scale, seed)
+        }
+    };
+    println!(
+        "generated {what}: {} vertices, {} edges, max degree {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
+    if let Some(path) = output {
+        io::write_edge_list_file(&g, path).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = truth_path {
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| e.to_string())?,
+        );
+        for (v, c) in truth.iter().enumerate() {
+            writeln!(w, "{v} {c}").map_err(|e| e.to_string())?;
+        }
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn info(path: &str) -> Result<(), String> {
+    let loaded = load(path)?;
+    let g = &loaded.graph;
+    let (_, components) = g.components();
+    let degrees: Vec<usize> = (0..g.num_vertices() as u32).map(|u| g.degree(u)).collect();
+    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len().max(1) as f64;
+    println!("{path}:");
+    println!("  vertices:   {}", g.num_vertices());
+    println!("  edges:      {}", g.num_edges());
+    println!("  weight:     {}", g.total_weight());
+    println!("  components: {components}");
+    println!("  degree:     mean {mean:.2}, max {}", g.max_degree());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{Algorithm, Command, Strategy};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dinfomap-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_test_graph(dir: &std::path::Path) -> String {
+        let (g, _) = lfr_like(LfrParams { n: 120, mu: 0.2, ..Default::default() }, 5);
+        let path = dir.join("g.txt");
+        io::write_edge_list_file(&g, &path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn info_runs_on_a_generated_graph() {
+        let dir = tmpdir("info");
+        let path = write_test_graph(&dir);
+        run(Command::Info { path }).unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn cluster_writes_original_vertex_ids() {
+        let dir = tmpdir("cluster");
+        let path = write_test_graph(&dir);
+        let out = dir.join("c.txt").to_string_lossy().into_owned();
+        run(Command::Cluster {
+            path,
+            algorithm: Algorithm::Sequential,
+            ranks: 2,
+            threads: 1,
+            seed: 1,
+            output: Some(out.clone()),
+            quiet: true,
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert!(lines.len() >= 100, "too few assignment lines: {}", lines.len());
+        for line in &lines {
+            let mut parts = line.split_whitespace();
+            parts.next().unwrap().parse::<u64>().unwrap();
+            parts.next().unwrap().parse::<u32>().unwrap();
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn all_algorithms_run_through_the_cli_path() {
+        let dir = tmpdir("algos");
+        let path = write_test_graph(&dir);
+        for algorithm in
+            [Algorithm::Sequential, Algorithm::RelaxMap, Algorithm::Distributed, Algorithm::Gossip]
+        {
+            run(Command::Cluster {
+                path: path.clone(),
+                algorithm,
+                ranks: 2,
+                threads: 2,
+                seed: 0,
+                output: None,
+                quiet: true,
+            })
+            .unwrap();
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn partition_reports_all_strategies() {
+        let dir = tmpdir("part");
+        let path = write_test_graph(&dir);
+        for strategy in [Strategy::OneD, Strategy::Block, Strategy::Delegate] {
+            run(Command::Partition { path: path.clone(), ranks: 4, strategy }).unwrap();
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn generate_writes_graph_and_truth() {
+        let dir = tmpdir("gen");
+        let g_path = dir.join("g.txt").to_string_lossy().into_owned();
+        let t_path = dir.join("t.txt").to_string_lossy().into_owned();
+        run(Command::Generate {
+            what: "amazon".into(),
+            n: 0,
+            mu: 0.0,
+            scale: 0.05,
+            seed: 2,
+            output: Some(g_path.clone()),
+            truth: Some(t_path.clone()),
+        })
+        .unwrap();
+        assert!(std::fs::metadata(&g_path).unwrap().len() > 100);
+        assert!(std::fs::metadata(&t_path).unwrap().len() > 100);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unknown_generator_is_an_error() {
+        let err = run(Command::Generate {
+            what: "nonsense".into(),
+            n: 10,
+            mu: 0.1,
+            scale: 1.0,
+            seed: 0,
+            output: None,
+            truth: None,
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_readable_error() {
+        let err = run(Command::Info { path: "/nonexistent/graph.txt".into() });
+        let msg = err.unwrap_err();
+        assert!(msg.contains("cannot read"), "message: {msg}");
+    }
+}

@@ -1,0 +1,36 @@
+//! `dinfomap` — command-line community detection.
+//!
+//! ```text
+//! dinfomap cluster <edges.txt> [--algorithm seq|relax|dist|gossip]
+//!                              [--ranks N] [--threads N] [--seed S]
+//!                              [--output communities.txt] [--quiet]
+//! dinfomap partition <edges.txt> --ranks N [--strategy 1d|block|delegate]
+//! dinfomap generate <dataset|lfr> [--scale F] [--seed S] [--output g.txt]
+//! dinfomap info <edges.txt>
+//! ```
+//!
+//! Input: whitespace edge lists (`u v [w]`, `#`/`%` comments). Output:
+//! one `vertex community` pair per line, in original vertex ids.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

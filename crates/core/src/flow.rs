@@ -1,0 +1,133 @@
+//! Random-walk flows on undirected graphs.
+//!
+//! For an undirected graph the stationary visit rate of vertex `α` is
+//! `p_α = strength(α) / 2W` (paper §2.2), and the flow carried by an arc of
+//! weight `w` is `w / 2W`. At aggregated levels vertex flows are **carried**
+//! from the modules they represent rather than recomputed from degrees, and
+//! all arcs stay normalized by the *original* `2W`, so codelengths are
+//! comparable across levels (aggregation preserves the codelength exactly —
+//! a tested invariant).
+
+use infomap_graph::{Graph, VertexId};
+
+/// A graph together with random-walk flows.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    graph: Graph,
+    /// Visit rate per vertex. Sums to 1 over the level-0 vertices and is
+    /// preserved by aggregation.
+    node_flow: Vec<f64>,
+    /// `1 / 2W` with `W` the total weight of the **original** graph.
+    inv_two_w: f64,
+}
+
+impl FlowNetwork {
+    /// Flows of the stationary undirected walk on `graph`.
+    ///
+    /// Panics if the graph has no edges (the walk is undefined).
+    pub fn from_graph(graph: Graph) -> Self {
+        let two_w = 2.0 * graph.total_weight();
+        assert!(two_w > 0.0, "cannot build flows on an edgeless graph");
+        let inv_two_w = 1.0 / two_w;
+        let node_flow = (0..graph.num_vertices() as VertexId)
+            .map(|u| graph.strength(u) * inv_two_w)
+            .collect();
+        FlowNetwork { graph, node_flow, inv_two_w }
+    }
+
+    /// An aggregated-level network: `node_flow[v]` is the flow of the module
+    /// vertex `v` represents; `inv_two_w` is inherited from level 0.
+    pub fn with_flows(graph: Graph, node_flow: Vec<f64>, inv_two_w: f64) -> Self {
+        assert_eq!(graph.num_vertices(), node_flow.len());
+        assert!(inv_two_w > 0.0);
+        FlowNetwork { graph, node_flow, inv_two_w }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Visit rate of `u`.
+    pub fn node_flow(&self, u: VertexId) -> f64 {
+        self.node_flow[u as usize]
+    }
+
+    /// All visit rates.
+    pub fn node_flows(&self) -> &[f64] {
+        &self.node_flow
+    }
+
+    /// `1 / 2W` of the original graph.
+    pub fn inv_two_w(&self) -> f64 {
+        self.inv_two_w
+    }
+
+    /// Flow-normalized arcs of `u`, **excluding** the self-loop (self-loops
+    /// never carry exit flow).
+    pub fn out_arcs(&self, u: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let inv = self.inv_two_w;
+        self.graph.arcs(u).filter(move |&(v, _)| v != u).map(move |(v, w)| (v, w * inv))
+    }
+
+    /// Total non-self arc flow leaving `u` — the exit flow of `u` as a
+    /// singleton module.
+    pub fn out_flow(&self, u: VertexId) -> f64 {
+        self.out_arcs(u).map(|(_, f)| f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infomap_graph::Graph;
+
+    #[test]
+    fn node_flows_sum_to_one() {
+        let g = infomap_graph::generators::erdos_renyi(100, 250, 1);
+        let f = FlowNetwork::from_graph(g);
+        let sum: f64 = f.node_flows().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_flows_are_uniform() {
+        let g = Graph::from_unweighted(3, &[(0, 1), (1, 2), (0, 2)]);
+        let f = FlowNetwork::from_graph(g);
+        for u in 0..3 {
+            assert!((f.node_flow(u) - 1.0 / 3.0).abs() < 1e-12);
+            assert!((f.out_flow(u) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn self_loop_contributes_flow_but_no_exit() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0), (0, 0, 1.0)]);
+        // W = 2, 2W = 4. strength(0) = 1 + 2 = 3 -> p_0 = 0.75.
+        let f = FlowNetwork::from_graph(g);
+        assert!((f.node_flow(0) - 0.75).abs() < 1e-12);
+        // Exit flow of vertex 0 counts only the 0-1 edge: 1/4.
+        assert!((f.out_flow(0) - 0.25).abs() < 1e-12);
+        assert_eq!(f.out_arcs(0).count(), 1);
+    }
+
+    #[test]
+    fn carried_flows_override_degrees() {
+        let g = Graph::from_unweighted(2, &[(0, 1)]);
+        let f = FlowNetwork::with_flows(g, vec![0.9, 0.1], 0.5);
+        assert_eq!(f.node_flow(0), 0.9);
+        assert_eq!(f.inv_two_w(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "edgeless")]
+    fn edgeless_graph_panics() {
+        let g = Graph::from_unweighted(2, &[]);
+        let _ = FlowNetwork::from_graph(g);
+    }
+}

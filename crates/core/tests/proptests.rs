@@ -1,0 +1,166 @@
+//! Property tests for the map equation: the incremental bookkeeping must
+//! agree with from-scratch recomputation under arbitrary move sequences,
+//! and aggregation must preserve the codelength exactly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use infomap_core::map_equation::codelength_from_scratch;
+use infomap_core::sequential::{aggregate, greedy_sweeps, Infomap, InfomapConfig};
+use infomap_core::{FlowNetwork, Partitioning};
+use infomap_graph::generators;
+use infomap_graph::{Graph, VertexId};
+
+fn connected_graph(n: usize, extra: &[(u8, u8)]) -> Graph {
+    // A ring guarantees every vertex has degree >= 2; extra edges add
+    // arbitrary structure.
+    let mut edges: Vec<(VertexId, VertexId)> =
+        (0..n as VertexId).map(|v| (v, (v + 1) % n as VertexId)).collect();
+    for &(a, b) in extra {
+        let (a, b) = ((a as usize % n) as VertexId, (b as usize % n) as VertexId);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    Graph::from_unweighted(n, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_codelength_matches_scratch_after_random_moves(
+        n in 6usize..24,
+        extra in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..20),
+        moves in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let net = FlowNetwork::from_graph(connected_graph(n, &extra));
+        let mut part = Partitioning::singletons(&net);
+        let mut scratch_buf = Vec::new();
+        for &pick in &moves {
+            let u = (pick as usize % n) as VertexId;
+            if let Some(c) = part.best_move(&net, u, 1e-12, 1e-12, &mut scratch_buf) {
+                let before = part.codelength();
+                part.apply_candidate(&net, &c);
+                let after = part.codelength();
+                // δL prediction matches the actual change.
+                prop_assert!(((after - before) - c.delta).abs() < 1e-9);
+            }
+        }
+        let scratch =
+            codelength_from_scratch(&net, part.assignments(), part.node_term());
+        prop_assert!(
+            (part.codelength() - scratch).abs() < 1e-8,
+            "incremental {} vs scratch {}",
+            part.codelength(),
+            scratch
+        );
+    }
+
+    #[test]
+    fn greedy_never_increases_codelength(
+        n in 8usize..30,
+        extra in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..30),
+        seed in 0u64..500,
+    ) {
+        let net = FlowNetwork::from_graph(connected_graph(n, &extra));
+        let mut part = Partitioning::singletons(&net);
+        let before = part.codelength();
+        let mut rng = StdRng::seed_from_u64(seed);
+        greedy_sweeps(&net, &mut part, 30, 1e-10, &mut rng);
+        prop_assert!(part.codelength() <= before + 1e-9);
+    }
+
+    #[test]
+    fn aggregation_preserves_codelength_of_any_greedy_partition(
+        n in 8usize..30,
+        extra in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..30),
+        seed in 0u64..500,
+    ) {
+        let net = FlowNetwork::from_graph(connected_graph(n, &extra));
+        let node_term = Partitioning::singletons(&net).node_term();
+        let mut part = Partitioning::singletons_with_node_term(&net, node_term);
+        let mut rng = StdRng::seed_from_u64(seed);
+        greedy_sweeps(&net, &mut part, 20, 1e-10, &mut rng);
+        let l = part.codelength();
+        let (agg, _) = aggregate(&net, &part);
+        let l_agg = Partitioning::singletons_with_node_term(&agg, node_term).codelength();
+        prop_assert!((l - l_agg).abs() < 1e-9, "{l} vs aggregated {l_agg}");
+        // Aggregated flows still sum to 1.
+        let total: f64 = agg.node_flows().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_run_result_is_consistent(
+        n in 20usize..80,
+        seed in 0u64..200,
+    ) {
+        let (g, _) = generators::lfr_like(
+            generators::LfrParams {
+                n,
+                c_min: 5,
+                c_max: 20,
+                k_min: 3,
+                k_max: 12,
+                ..Default::default()
+            },
+            seed,
+        );
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let result = Infomap::new(InfomapConfig { seed, ..Default::default() }).run(&g);
+        // Assignments are dense 0..k.
+        let k = result.num_modules();
+        prop_assert!(k >= 1);
+        for &m in &result.modules {
+            prop_assert!((m as usize) < k);
+        }
+        for c in 0..k as u32 {
+            prop_assert!(result.modules.contains(&c), "module {c} empty");
+        }
+        // Two-level never beats... never loses to one-level.
+        prop_assert!(result.codelength <= result.one_level_codelength + 1e-9);
+        // Reported codelength matches the assignments.
+        let net = FlowNetwork::from_graph(g);
+        let node_term = Partitioning::singletons(&net).node_term();
+        let scratch = codelength_from_scratch(&net, &result.modules, node_term);
+        prop_assert!((scratch - result.codelength).abs() < 1e-7);
+    }
+
+    #[test]
+    fn directed_infomap_is_valid_on_arbitrary_digraphs(
+        n in 4usize..30,
+        raw in proptest::collection::vec((any::<u8>(), any::<u8>()), 4..80),
+        seed in 0u64..200,
+    ) {
+        use infomap_core::directed::{
+            directed_codelength, directed_infomap, DirectedNetwork, PageRankConfig,
+        };
+        // A directed ring guarantees strong connectivity-ish flow; the raw
+        // pairs add arbitrary extra arcs.
+        let mut edges: Vec<(u32, u32, f64)> =
+            (0..n as u32).map(|v| (v, (v + 1) % n as u32, 1.0)).collect();
+        for &(a, b) in &raw {
+            let (a, b) = ((a as usize % n) as u32, (b as usize % n) as u32);
+            if a != b {
+                edges.push((a, b, 1.0));
+            }
+        }
+        let net = DirectedNetwork::from_edges(n, &edges, PageRankConfig::default());
+        // PageRank mass is conserved.
+        let total: f64 = (0..n as u32).map(|u| net.node_flow(u)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let result = directed_infomap(&net, seed);
+        prop_assert_eq!(result.modules.len(), n);
+        prop_assert!(result.codelength <= result.one_level_codelength + 1e-9);
+        // Reported codelength matches an independent recomputation.
+        let scratch = directed_codelength(&net, &result.modules);
+        prop_assert!((scratch - result.codelength).abs() < 1e-7);
+        // Determinism.
+        let again = directed_infomap(&net, seed);
+        prop_assert_eq!(result.modules, again.modules);
+    }
+}

@@ -1,0 +1,108 @@
+//! Wire formats exchanged between ranks.
+//!
+//! All messages are plain-old-data structs moved in `Vec`s, so the
+//! substrate meters their size as `len × size_of::<T>()` — the bytes an
+//! MPI derived datatype would occupy.
+
+/// The paper's List 1 message interface: the full information of one
+/// module, plus the duplicate-suppression flag of Algorithm 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModuleInfoMsg {
+    /// Module ID (`modID`).
+    pub mod_id: u64,
+    /// Sum of visit probability of the module (`sumPr`).
+    pub flow: f64,
+    /// Sum of exit probability of the module (`exitPr`).
+    pub exit: f64,
+    /// Vertex number in this module (`numMembers`).
+    pub members: u32,
+    /// Whether this local module has been sent before (`isSent`): the
+    /// receiver skips records marked sent, so a module whose info travels
+    /// alongside several boundary vertices is only incorporated once.
+    pub is_sent: bool,
+}
+
+/// Boundary community-ID update: vertex → current module.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VertexUpdate {
+    pub vertex: u32,
+    pub module: u64,
+}
+
+/// A rank's best-local-δL proposal for one delegate (paper Algorithm 2
+/// line 4). Carries the target module's info (List 1) so ranks that have
+/// never seen the target module can build it (Algorithm 3 lines 23–24).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelegateProposal {
+    pub delegate: u32,
+    pub to_module: u64,
+    pub delta: f64,
+    pub proposer: u32,
+    pub target_info: ModuleInfoMsg,
+}
+
+/// A rank's local contribution to (or subscription of) a module's
+/// statistics, reduced at the module's owner rank. A record with zero
+/// contributions and `retract == false` is a pure subscription; a record
+/// with `retract == true` withdraws the sender's contribution and
+/// subscription (the rank no longer touches the module).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModuleContribution {
+    pub mod_id: u64,
+    pub flow: f64,
+    pub exit: f64,
+    pub members: u32,
+    pub retract: bool,
+}
+
+/// One aggregated inter-module arc of the merged graph, routed to the
+/// new owner of `src` (paper §3.5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergedArc {
+    pub src: u32,
+    pub dst: u32,
+    pub weight: f64,
+}
+
+/// Flow (visit rate) of one merged vertex, routed to its new owner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergedFlow {
+    pub vertex: u32,
+    pub flow: f64,
+}
+
+/// Lookup request/response used when composing original-vertex assignments
+/// across merge levels.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AssignmentQuery {
+    pub key: u32,
+}
+
+/// Response to an [`AssignmentQuery`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AssignmentReply {
+    pub key: u32,
+    pub module: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_info_is_compact() {
+        // List 1 declares u64 + 2×double + int + bool; allow padding to 32.
+        assert!(std::mem::size_of::<ModuleInfoMsg>() <= 32);
+    }
+
+    #[test]
+    fn messages_are_copy_pod() {
+        fn assert_pod<T: Copy + Send + 'static>() {}
+        assert_pod::<ModuleInfoMsg>();
+        assert_pod::<VertexUpdate>();
+        assert_pod::<DelegateProposal>();
+        assert_pod::<ModuleContribution>();
+        assert_pod::<MergedArc>();
+        assert_pod::<MergedFlow>();
+    }
+}

@@ -1,0 +1,519 @@
+//! Per-rank local state: the subgraph a rank owns after partitioning,
+//! vertex roles (owned / delegate copy / ghost), flows, module assignments
+//! and the rank's local view of module statistics.
+
+use std::collections::{HashMap, HashSet};
+
+use infomap_graph::{Graph, VertexId};
+use infomap_partition::{owner, Arc, Partition};
+
+/// Role of a vertex within one rank's subgraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VertexKind {
+    /// A low-degree vertex this rank owns; its full adjacency is local.
+    Owned,
+    /// A local copy of a replicated hub; adjacency (and flow) is the local
+    /// share only.
+    DelegateCopy,
+    /// A remote vertex observed as an arc target; only its module id is
+    /// tracked (updated by boundary swaps).
+    Ghost,
+}
+
+/// A rank's view of one module's statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ModuleEntry {
+    pub flow: f64,
+    pub exit: f64,
+    pub members: u32,
+}
+
+/// The complete local state of one rank for one clustering stage.
+#[derive(Clone, Debug)]
+pub struct LocalState {
+    pub rank: usize,
+    pub nranks: usize,
+    /// Global ids of local vertices (owned + delegate copies + ghosts).
+    pub verts: Vec<u32>,
+    /// Global id → local index.
+    pub index: HashMap<u32, u32>,
+    pub kind: Vec<VertexKind>,
+    /// CSR over local vertices; targets are local indices.
+    pub adj_off: Vec<usize>,
+    pub adj_tgt: Vec<u32>,
+    pub adj_w: Vec<f64>,
+    /// Visit-rate share of each local vertex (owned: full `p_v`; delegate
+    /// copy: local share; ghost: 0 — never moved locally).
+    pub node_flow: Vec<f64>,
+    /// Flow-normalized non-self arc flow out of each local vertex, over
+    /// the arcs stored here.
+    pub out_flow: Vec<f64>,
+    /// Current module of each local vertex (global module ids).
+    pub module_of: Vec<u64>,
+    /// Local view of module statistics.
+    pub modules: HashMap<u64, ModuleEntry>,
+    /// Authoritative totals of the modules this rank owns (`modID mod p ==
+    /// rank`), refreshed by every owner reduction; consumed by merging.
+    pub owned_modules: HashMap<u64, ModuleEntry>,
+    /// Local estimate of the total exit flow q (refreshed every sync).
+    pub sum_exit: f64,
+    /// Owned vertices that are ghosts on other ranks, with the ranks that
+    /// track them.
+    pub subscribers: Vec<(u32, Vec<usize>)>,
+    /// Ranks that will send boundary updates to this rank each round.
+    pub providers: Vec<usize>,
+    /// Distinct ranks in `subscribers` (send targets each round).
+    pub send_targets: Vec<usize>,
+    /// `1 / 2W` of the original level-0 graph.
+    pub inv_two_w: f64,
+    /// Indices of vertices this rank moves (owned + delegate copies).
+    pub movable: Vec<u32>,
+    /// Module last announced to subscribers per boundary vertex; only
+    /// vertices whose assignment changed are re-sent (ghost views stay
+    /// exact because an update is emitted precisely when the owner's
+    /// assignment moves).
+    pub last_announced: HashMap<u32, u64>,
+    /// Contribution last shipped to each module's owner (delta-based
+    /// reduction: only changed contributions travel).
+    pub last_contrib: HashMap<u64, (f64, f64, u32)>,
+    /// Owner side of the reduction: per (module, source rank) last
+    /// absolute contribution.
+    pub owner_sources: HashMap<(u64, u32), (f64, f64, u32)>,
+    /// Owner side: current subscriber ranks per owned module.
+    pub owner_subs: HashMap<u64, Vec<usize>>,
+}
+
+impl LocalState {
+    /// Number of local arcs — the paper's per-rank workload measure.
+    pub fn num_arcs(&self) -> usize {
+        self.adj_tgt.len()
+    }
+
+    /// Local index of global vertex `v`.
+    pub fn local_of(&self, v: u32) -> u32 {
+        self.index[&v]
+    }
+
+    /// Arcs of local vertex `li` as `(local target, weight)`.
+    pub fn arcs_of(&self, li: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = self.adj_off[li as usize]..self.adj_off[li as usize + 1];
+        self.adj_tgt[r.clone()].iter().copied().zip(self.adj_w[r].iter().copied())
+    }
+
+    /// Is local vertex `li` a delegate copy?
+    pub fn is_delegate(&self, li: u32) -> bool {
+        self.kind[li as usize] == VertexKind::DelegateCopy
+    }
+}
+
+/// Assemble a [`LocalState`] from the arcs a rank was assigned.
+///
+/// * `owned_filter(v)` — true for vertices this rank owns outright;
+/// * `delegate_set` — vertices replicated everywhere (empty in stage 2);
+/// * `full_flow(v)` — the full visit rate of an owned vertex;
+/// * `subscribers` / `providers` — boundary topology (precomputed
+///   globally for stage 1; derivable locally for 1D stage 2).
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    rank: usize,
+    nranks: usize,
+    arcs: &[Arc],
+    delegate_set: &HashSet<u32>,
+    owned: &[u32],
+    full_flow: &dyn Fn(u32) -> f64,
+    inv_two_w: f64,
+    subscribers: Vec<(u32, Vec<usize>)>,
+    providers: Vec<usize>,
+) -> LocalState {
+    // Collect local vertex set: owned, then delegates with local arcs,
+    // then ghosts, in deterministic order.
+    let mut verts: Vec<u32> = Vec::new();
+    let mut index: HashMap<u32, u32> = HashMap::new();
+    let push = |v: u32, verts: &mut Vec<u32>, index: &mut HashMap<u32, u32>| {
+        index.entry(v).or_insert_with(|| {
+            verts.push(v);
+            (verts.len() - 1) as u32
+        });
+    };
+    for &v in owned {
+        push(v, &mut verts, &mut index);
+    }
+    let mut seen_delegates: Vec<u32> = arcs
+        .iter()
+        .flat_map(|a| [a.src, a.dst])
+        .filter(|v| delegate_set.contains(v))
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    seen_delegates.sort_unstable();
+    for v in seen_delegates {
+        push(v, &mut verts, &mut index);
+    }
+    let mut ghosts: Vec<u32> = arcs
+        .iter()
+        .flat_map(|a| [a.src, a.dst])
+        .filter(|v| !index.contains_key(v))
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    ghosts.sort_unstable();
+    for v in ghosts {
+        push(v, &mut verts, &mut index);
+    }
+
+    let n = verts.len();
+    let kind: Vec<VertexKind> = verts
+        .iter()
+        .map(|v| {
+            if delegate_set.contains(v) {
+                VertexKind::DelegateCopy
+            } else if owned.binary_search(v).is_ok() {
+                VertexKind::Owned
+            } else {
+                VertexKind::Ghost
+            }
+        })
+        .collect();
+
+    // CSR over local sources.
+    let mut deg = vec![0usize; n];
+    for a in arcs {
+        deg[index[&a.src] as usize] += 1;
+    }
+    let mut adj_off = Vec::with_capacity(n + 1);
+    adj_off.push(0usize);
+    for d in &deg {
+        adj_off.push(adj_off.last().unwrap() + d);
+    }
+    let mut cursor = adj_off[..n].to_vec();
+    let mut adj_tgt = vec![0u32; arcs.len()];
+    let mut adj_w = vec![0.0; arcs.len()];
+    for a in arcs {
+        let s = index[&a.src] as usize;
+        adj_tgt[cursor[s]] = index[&a.dst];
+        adj_w[cursor[s]] = a.weight;
+        cursor[s] += 1;
+    }
+
+    // Flows. Delegate copies carry their local share: Σ w/2W over local
+    // non-self arcs + 2·w/2W for local self-arcs, so shares sum to the full
+    // p_v across ranks.
+    let mut node_flow = vec![0.0; n];
+    let mut out_flow = vec![0.0; n];
+    for (li, &v) in verts.iter().enumerate() {
+        match kind[li] {
+            VertexKind::Owned => {
+                node_flow[li] = full_flow(v);
+            }
+            VertexKind::DelegateCopy | VertexKind::Ghost => {}
+        }
+    }
+    for a in arcs {
+        let s = index[&a.src] as usize;
+        let f = a.weight * inv_two_w;
+        if a.src == a.dst {
+            if kind[s] == VertexKind::DelegateCopy {
+                node_flow[s] += 2.0 * f;
+            }
+        } else {
+            out_flow[s] += f;
+            if kind[s] == VertexKind::DelegateCopy {
+                node_flow[s] += f;
+            }
+        }
+    }
+
+    let movable: Vec<u32> = (0..n as u32)
+        .filter(|&li| kind[li as usize] != VertexKind::Ghost)
+        .collect();
+
+    let mut send_targets: Vec<usize> = subscribers
+        .iter()
+        .flat_map(|(_, rs)| rs.iter().copied())
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    send_targets.sort_unstable();
+
+    // Singleton initialization: every vertex its own module. Stats here
+    // are local approximations; the first owner reduction replaces them
+    // with exact values before any move decision is made.
+    let module_of: Vec<u64> = verts.iter().map(|&v| v as u64).collect();
+    let mut modules = HashMap::with_capacity(n);
+    for li in 0..n {
+        modules.insert(
+            verts[li] as u64,
+            ModuleEntry { flow: node_flow[li], exit: out_flow[li], members: 1 },
+        );
+    }
+    let sum_exit = 0.0; // refreshed by the first sync round
+
+    LocalState {
+        rank,
+        nranks,
+        verts,
+        index,
+        kind,
+        adj_off,
+        adj_tgt,
+        adj_w,
+        node_flow,
+        out_flow,
+        module_of,
+        modules,
+        owned_modules: HashMap::new(),
+        sum_exit,
+        subscribers,
+        providers,
+        send_targets,
+        inv_two_w,
+        movable,
+        last_announced: HashMap::new(),
+        last_contrib: HashMap::new(),
+        owner_sources: HashMap::new(),
+        owner_subs: HashMap::new(),
+    }
+}
+
+/// Build the per-rank states for stage 1 from a delegate partition of the
+/// original graph. The boundary topology (who tracks whose ghosts) is
+/// derived from the partition, mirroring the ghost discovery a real MPI
+/// preprocessing step performs with an all-to-all of vertex ids.
+pub fn build_stage1_states(graph: &Graph, partition: &Partition) -> Vec<LocalState> {
+    let p = partition.nranks;
+    let inv_two_w = 1.0 / (2.0 * graph.total_weight());
+    let delegate_set: HashSet<u32> = partition.delegates.iter().copied().collect();
+
+    // presence[v] = ranks that observe v as a non-delegate vertex.
+    let mut presence: HashMap<u32, HashSet<usize>> = HashMap::new();
+    for (r, arcs) in partition.arcs.iter().enumerate() {
+        for a in arcs {
+            for v in [a.src, a.dst] {
+                if !delegate_set.contains(&v) {
+                    presence.entry(v).or_default().insert(r);
+                }
+            }
+        }
+    }
+
+    (0..p)
+        .map(|rank| {
+            let owned = partition.owned_low_degree(rank);
+            let mut subscribers: Vec<(u32, Vec<usize>)> = owned
+                .iter()
+                .filter_map(|&v| {
+                    let subs: Vec<usize> = presence
+                        .get(&v)
+                        .map(|s| {
+                            let mut subs: Vec<usize> =
+                                s.iter().copied().filter(|&r| r != rank).collect();
+                            subs.sort_unstable();
+                            subs
+                        })
+                        .unwrap_or_default();
+                    if subs.is_empty() {
+                        None
+                    } else {
+                        Some((v, subs))
+                    }
+                })
+                .collect();
+            subscribers.sort_by_key(|(v, _)| *v);
+
+            // Providers: owners of this rank's ghosts.
+            let mut providers: HashSet<usize> = HashSet::new();
+            for a in &partition.arcs[rank] {
+                for v in [a.src, a.dst] {
+                    if !delegate_set.contains(&v) && owner(v as VertexId, p) != rank {
+                        providers.insert(owner(v as VertexId, p));
+                    }
+                }
+            }
+            let mut providers: Vec<usize> = providers.into_iter().collect();
+            providers.sort_unstable();
+
+            assemble(
+                rank,
+                p,
+                &partition.arcs[rank],
+                &delegate_set,
+                &owned,
+                &|v| graph.strength(v as VertexId) * inv_two_w,
+                inv_two_w,
+                subscribers,
+                providers,
+            )
+        })
+        .collect()
+}
+
+/// Build one rank's state for a 1D-partitioned (delegate-free) level: the
+/// rank holds all arcs sourced at its owned vertices, and the boundary
+/// topology is derived locally from arc targets (1D adjacency is
+/// symmetric: if I see your vertex, you see mine).
+pub fn build_1d_state(
+    rank: usize,
+    nranks: usize,
+    arcs: Vec<Arc>,
+    flows: &HashMap<u32, f64>,
+    inv_two_w: f64,
+) -> LocalState {
+    let mut owned: Vec<u32> = arcs
+        .iter()
+        .map(|a| a.src)
+        .filter(|&v| owner(v, nranks) == rank)
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    // Owned vertices with flow but no arcs (isolated modules) still exist.
+    for (&v, _) in flows.iter() {
+        if owner(v, nranks) == rank && !owned.contains(&v) {
+            owned.push(v);
+        }
+    }
+    owned.sort_unstable();
+
+    // Subscribers: for owned vertex v, every rank owning one of v's
+    // neighbors holds v as a ghost.
+    let mut neighbor_ranks: HashMap<u32, HashSet<usize>> = HashMap::new();
+    let mut providers: HashSet<usize> = HashSet::new();
+    for a in &arcs {
+        let dst_owner = owner(a.dst, nranks);
+        if dst_owner != rank {
+            neighbor_ranks.entry(a.src).or_default().insert(dst_owner);
+            providers.insert(dst_owner);
+        }
+    }
+    let mut subscribers: Vec<(u32, Vec<usize>)> = neighbor_ranks
+        .into_iter()
+        .map(|(v, s)| {
+            let mut s: Vec<usize> = s.into_iter().collect();
+            s.sort_unstable();
+            (v, s)
+        })
+        .collect();
+    subscribers.sort_by_key(|(v, _)| *v);
+    let mut providers: Vec<usize> = providers.into_iter().collect();
+    providers.sort_unstable();
+
+    let empty = HashSet::new();
+    assemble(
+        rank,
+        nranks,
+        &arcs,
+        &empty,
+        &owned,
+        &|v| flows.get(&v).copied().unwrap_or(0.0),
+        inv_two_w,
+        subscribers,
+        providers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infomap_graph::generators;
+    use infomap_partition::DelegateThreshold;
+
+    fn states_for(p: usize) -> (Graph, Vec<LocalState>) {
+        let degs = generators::power_law_degrees(200, 2.1, 2, 60, 3);
+        let g = generators::chung_lu(&degs, 4);
+        let part = Partition::delegate(&g, p, DelegateThreshold::Fixed(20), true);
+        let states = build_stage1_states(&g, &part);
+        (g, states)
+    }
+
+    #[test]
+    fn delegate_flow_shares_sum_to_full_visit_rate() {
+        let (g, states) = states_for(4);
+        let inv_two_w = 1.0 / (2.0 * g.total_weight());
+        // For every delegate, the sum of copy shares equals p_v.
+        let mut shares: HashMap<u32, f64> = HashMap::new();
+        for st in &states {
+            for (li, &v) in st.verts.iter().enumerate() {
+                if st.kind[li] == VertexKind::DelegateCopy {
+                    *shares.entry(v).or_insert(0.0) += st.node_flow[li];
+                }
+            }
+        }
+        assert!(!shares.is_empty(), "test graph grew no delegates");
+        for (v, share) in shares {
+            let full = g.strength(v) * inv_two_w;
+            assert!(
+                (share - full).abs() < 1e-12,
+                "vertex {v}: shares {share} vs p_v {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn owned_vertices_partition_across_ranks() {
+        let (g, states) = states_for(4);
+        let mut owned_count = 0usize;
+        let mut delegate_ids: HashSet<u32> = HashSet::new();
+        for st in &states {
+            for (li, &v) in st.verts.iter().enumerate() {
+                match st.kind[li] {
+                    VertexKind::Owned => owned_count += 1,
+                    VertexKind::DelegateCopy => {
+                        delegate_ids.insert(v);
+                    }
+                    VertexKind::Ghost => {}
+                }
+            }
+        }
+        assert_eq!(owned_count + delegate_ids.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn subscriber_and_provider_topologies_agree() {
+        let (_, states) = states_for(4);
+        // If rank a lists rank b as a subscriber of some vertex, rank b
+        // must list rank a as a provider.
+        for st in &states {
+            for (_, subs) in &st.subscribers {
+                for &s in subs {
+                    assert!(
+                        states[s].providers.contains(&st.rank),
+                        "rank {s} missing provider {}",
+                        st.rank
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arcs_are_conserved() {
+        let (g, states) = states_for(3);
+        let total: usize = states.iter().map(|s| s.num_arcs()).sum();
+        let expect: usize = (0..g.num_vertices() as u32).map(|u| g.degree(u)).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn one_d_state_derives_topology_locally() {
+        let g = generators::erdos_renyi(40, 100, 5);
+        let p = 3;
+        let part = Partition::one_d(&g, p);
+        let inv = 1.0 / (2.0 * g.total_weight());
+        let flows: HashMap<u32, f64> =
+            (0..40u32).map(|v| (v, g.strength(v) * inv)).collect();
+        let states: Vec<LocalState> = (0..p)
+            .map(|r| build_1d_state(r, p, part.arcs[r].clone(), &flows, inv))
+            .collect();
+        for st in &states {
+            for (_, subs) in &st.subscribers {
+                for &s in subs {
+                    assert!(states[s].providers.contains(&st.rank));
+                }
+            }
+        }
+        let owned_total: usize = states
+            .iter()
+            .map(|s| s.kind.iter().filter(|&&k| k == VertexKind::Owned).count())
+            .sum();
+        assert_eq!(owned_total, 40);
+    }
+}

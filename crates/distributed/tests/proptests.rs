@@ -1,0 +1,101 @@
+//! Property tests for the distributed algorithm: on arbitrary community
+//! graphs and world sizes, the run must terminate, produce a dense valid
+//! assignment, beat the one-level codelength, stay deterministic, and
+//! report a codelength consistent with an independent recomputation.
+
+use proptest::prelude::*;
+
+use infomap_core::map_equation::codelength_from_scratch;
+use infomap_core::{FlowNetwork, Partitioning};
+use infomap_distributed::{DistributedConfig, DistributedInfomap};
+use infomap_graph::generators;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn distributed_run_is_valid_on_arbitrary_inputs(
+        n in 40usize..160,
+        p in 1usize..7,
+        mu in 0.1f64..0.45,
+        seed in 0u64..100,
+    ) {
+        let (g, _) = generators::lfr_like(
+            generators::LfrParams {
+                n,
+                mu,
+                c_min: 6,
+                c_max: 30,
+                k_min: 3,
+                k_max: 20,
+                ..Default::default()
+            },
+            seed,
+        );
+        prop_assume!(g.num_edges() > 0);
+        let cfg = DistributedConfig { nranks: p, seed, ..Default::default() };
+        let out = DistributedInfomap::new(cfg).run(&g);
+
+        // Dense assignment covering every module id.
+        prop_assert_eq!(out.modules.len(), g.num_vertices());
+        let k = out.num_modules();
+        prop_assert!(k >= 1);
+        for c in 0..k as u32 {
+            prop_assert!(out.modules.contains(&c), "module {c} empty");
+        }
+
+        // Beats (or ties) the trivial one-module partition.
+        prop_assert!(out.codelength <= out.one_level_codelength + 1e-9);
+
+        // Reported codelength matches an independent evaluation of the
+        // returned assignment.
+        let net = FlowNetwork::from_graph(g.clone());
+        let node_term = Partitioning::singletons(&net).node_term();
+        let scratch = codelength_from_scratch(&net, &out.modules, node_term);
+        prop_assert!(
+            (scratch - out.codelength).abs() < 1e-6,
+            "reported {} vs recomputed {scratch}",
+            out.codelength
+        );
+
+        // Determinism.
+        let out2 = DistributedInfomap::new(cfg).run(&g);
+        prop_assert_eq!(out.modules, out2.modules);
+    }
+
+    #[test]
+    fn rank_count_does_not_change_validity(
+        p in 1usize..9,
+        seed in 0u64..50,
+    ) {
+        let (g, _) = generators::ring_of_cliques(5, 4, seed);
+        let out = DistributedInfomap::new(DistributedConfig {
+            nranks: p,
+            seed,
+            ..Default::default()
+        })
+        .run(&g);
+        // Cliques are unambiguous: every rank count finds 5 modules.
+        prop_assert_eq!(out.num_modules(), 5);
+    }
+
+    #[test]
+    fn all_phase_counters_are_populated(p in 2usize..6, seed in 0u64..30) {
+        let (g, _) = generators::lfr_like(
+            generators::LfrParams { n: 120, ..Default::default() },
+            seed,
+        );
+        let out = DistributedInfomap::new(DistributedConfig {
+            nranks: p,
+            seed,
+            ..Default::default()
+        })
+        .run(&g);
+        prop_assert_eq!(out.rank_stats.len(), p);
+        for s in &out.rank_stats {
+            prop_assert!(s.phases.contains_key("s1/FindBestModule"));
+            prop_assert!(s.phases.contains_key("s1/Other"));
+            prop_assert!(s.phases.contains_key("Merge"));
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Compressed sparse row storage for undirected weighted graphs.
+//!
+//! Conventions (chosen to match the map equation of the paper's §2.2):
+//!
+//! * Every undirected edge `{u, v}` with `u != v` is stored as two arcs,
+//!   `u→v` and `v→u`, each carrying the full edge weight.
+//! * A self-loop `{u, u}` is stored as a single arc `u→u`; it counts
+//!   **twice** toward [`Graph::strength`] (the usual convention that keeps
+//!   `Σ_u strength(u) = 2W`), and never contributes to exit flow.
+//! * Parallel edges are merged at build time by summing weights.
+
+use std::collections::HashMap;
+
+/// Vertex identifier. 32 bits comfortably covers the scaled experiments
+/// while halving adjacency memory versus `u64`.
+pub type VertexId = u32;
+
+/// An immutable undirected weighted graph in CSR form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<f64>,
+    /// Number of undirected edges (self-loops count once).
+    num_edges: usize,
+    /// Σ weight over undirected edges, self-loops counted once.
+    total_weight: f64,
+    /// Per-vertex strength: Σ incident edge weights, self-loops twice.
+    strengths: Vec<f64>,
+}
+
+impl Graph {
+    /// Build from a list of undirected edges. Parallel edges are merged
+    /// (weights summed); both `(u,v)` and `(v,u)` occurrences merge into the
+    /// same edge. Panics if an endpoint is `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId, f64)]) -> Self {
+        let mut b = GraphBuilder::new(num_vertices);
+        for &(u, v, w) in edges {
+            b.add_edge(u, v, w);
+        }
+        b.build()
+    }
+
+    /// Build from unweighted undirected edges (weight 1 each).
+    pub fn from_unweighted(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut b = GraphBuilder::new(num_vertices);
+        for &(u, v) in edges {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (self-loops count once).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Total undirected edge weight `W` (self-loops once).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Number of stored arcs at `u` (self-loop contributes one arc).
+    pub fn degree(&self, u: VertexId) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Weighted degree of `u` (self-loops counted twice), so that
+    /// `Σ_u strength(u) == 2 * total_weight()`.
+    pub fn strength(&self, u: VertexId) -> f64 {
+        self.strengths[u as usize]
+    }
+
+    /// Neighbor ids of `u` (self included if `u` has a self-loop).
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        let u = u as usize;
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// `(neighbor, weight)` pairs at `u`.
+    pub fn arcs(&self, u: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let u = u as usize;
+        let range = self.offsets[u]..self.offsets[u + 1];
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+
+    /// Weight of the self-loop at `u` (0 if none).
+    pub fn self_loop(&self, u: VertexId) -> f64 {
+        self.arcs(u).filter(|&(v, _)| v == u).map(|(_, w)| w).sum()
+    }
+
+    /// All undirected edges `(u, v, w)` with `u <= v`, in vertex order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, f64)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.arcs(u).filter(move |&(v, _)| u <= v).map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Vertex ids sorted by decreasing degree (hubs first).
+    pub fn by_degree_desc(&self) -> Vec<VertexId> {
+        let mut ids: Vec<VertexId> = (0..self.num_vertices() as VertexId).collect();
+        ids.sort_by_key(|&u| std::cmp::Reverse(self.degree(u)));
+        ids
+    }
+
+    /// Maximum vertex degree (arc count).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Connected components; returns (component id per vertex, count).
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.num_vertices();
+        let mut comp = vec![u32::MAX; n];
+        let mut count = 0;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != u32::MAX {
+                continue;
+            }
+            comp[start] = count;
+            stack.push(start as VertexId);
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if comp[v as usize] == u32::MAX {
+                        comp[v as usize] = count;
+                        stack.push(v);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count as usize)
+    }
+
+    /// Induced subgraph on `keep` (ids relabeled to 0..keep.len() in the
+    /// order given). Returns the subgraph and the old→new id map.
+    pub fn subgraph(&self, keep: &[VertexId]) -> (Graph, HashMap<VertexId, VertexId>) {
+        let remap: HashMap<VertexId, VertexId> =
+            keep.iter().enumerate().map(|(new, &old)| (old, new as VertexId)).collect();
+        let mut b = GraphBuilder::new(keep.len());
+        for &old_u in keep {
+            let new_u = remap[&old_u];
+            for (old_v, w) in self.arcs(old_u) {
+                if let Some(&new_v) = remap.get(&old_v) {
+                    if new_u <= new_v {
+                        b.add_edge(new_u, new_v, w);
+                    }
+                }
+            }
+        }
+        (b.build(), remap)
+    }
+}
+
+/// Incremental builder that merges parallel edges.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: HashMap<(VertexId, VertexId), f64>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder { num_vertices, edges: HashMap::new() }
+    }
+
+    /// Add (or merge into) the undirected edge `{u, v}` with weight `w`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: f64) {
+        assert!(
+            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+            "edge ({u},{v}) out of range for {} vertices",
+            self.num_vertices
+        );
+        assert!(w >= 0.0 && w.is_finite(), "edge weight must be finite and non-negative");
+        let key = if u <= v { (u, v) } else { (v, u) };
+        *self.edges.entry(key).or_insert(0.0) += w;
+    }
+
+    /// Number of distinct undirected edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize into CSR form.
+    pub fn build(self) -> Graph {
+        let n = self.num_vertices;
+        let mut deg = vec![0usize; n];
+        for &(u, v) in self.edges.keys() {
+            deg[u as usize] += 1;
+            if u != v {
+                deg[v as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &deg {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let num_arcs = *offsets.last().unwrap();
+        let mut targets = vec![0 as VertexId; num_arcs];
+        let mut weights = vec![0.0; num_arcs];
+        let mut cursor = offsets[..n].to_vec();
+        let mut total_weight = 0.0;
+        let mut strengths = vec![0.0; n];
+
+        // Deterministic arc order: sort edges before placement.
+        let mut edges: Vec<((VertexId, VertexId), f64)> = self.edges.into_iter().collect();
+        edges.sort_by_key(|&((u, v), _)| (u, v));
+
+        for ((u, v), w) in edges {
+            total_weight += w;
+            targets[cursor[u as usize]] = v;
+            weights[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            if u != v {
+                targets[cursor[v as usize]] = u;
+                weights[cursor[v as usize]] = w;
+                cursor[v as usize] += 1;
+                strengths[u as usize] += w;
+                strengths[v as usize] += w;
+            } else {
+                strengths[u as usize] += 2.0 * w;
+            }
+        }
+        let num_edges = offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .sum::<usize>();
+        // num_arcs counts self-loops once and other edges twice.
+        let self_loops = {
+            let mut c = 0usize;
+            for u in 0..n {
+                for i in offsets[u]..offsets[u + 1] {
+                    if targets[i] as usize == u {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        let undirected = (num_edges - self_loops) / 2 + self_loops;
+
+        Graph { offsets, targets, weights, num_edges: undirected, total_weight, strengths }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_unweighted(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.total_weight(), 3.0);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 2);
+            assert_eq!(g.strength(u), 2.0);
+        }
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0), (1, 0, 2.5)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_weight(), 3.5);
+        assert_eq!(g.strength(0), 3.5);
+    }
+
+    #[test]
+    fn self_loop_conventions() {
+        let g = Graph::from_edges(2, &[(0, 0, 2.0), (0, 1, 1.0)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.total_weight(), 3.0);
+        // Self-loop counts twice in strength: 2*2 + 1 = 5.
+        assert_eq!(g.strength(0), 5.0);
+        assert_eq!(g.strength(1), 1.0);
+        assert_eq!(g.self_loop(0), 2.0);
+        assert_eq!(g.self_loop(1), 0.0);
+        // Σ strengths == 2W.
+        assert_eq!(g.strength(0) + g.strength(1), 2.0 * g.total_weight());
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_unweighted(5, &[(0, 1), (2, 3)]);
+        let (comp, count) = g.components();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert_ne!(comp[4], comp[2]);
+    }
+
+    #[test]
+    fn subgraph_relabels_and_keeps_internal_edges() {
+        let g = Graph::from_unweighted(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (sub, remap) = g.subgraph(&[1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 2); // 1-2, 2-3 survive
+        assert_eq!(remap[&1], 0);
+        assert_eq!(remap[&3], 2);
+    }
+
+    #[test]
+    fn by_degree_desc_puts_hub_first() {
+        let g = Graph::from_unweighted(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        assert_eq!(g.by_degree_desc()[0], 0);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_unweighted(2, &[(0, 2)]);
+    }
+}

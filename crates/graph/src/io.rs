@@ -1,0 +1,162 @@
+//! Edge-list IO.
+//!
+//! Format: one edge per line, `u v [w]`, whitespace separated; `#` or `%`
+//! lines are comments (both SNAP and KONECT conventions). Vertex ids are
+//! arbitrary `u64`s on disk and are densely relabeled on read; the mapping
+//! is returned so results can be reported in original ids.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::csr::{Graph, GraphBuilder, VertexId};
+
+/// Errors the readers can produce.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "parse error on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Result of reading an edge list: the graph plus the original ids, indexed
+/// by the dense ids used in the graph.
+pub struct LoadedGraph {
+    pub graph: Graph,
+    /// `original_ids[dense] = id as written in the file`.
+    pub original_ids: Vec<u64>,
+}
+
+/// Read a whitespace edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut remap: HashMap<u64, VertexId> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    let mut line_buf = String::new();
+    let mut line_no = 0usize;
+    let mut reader = reader;
+    loop {
+        line_buf.clear();
+        line_no += 1;
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse_err = || IoError::Parse { line: line_no, content: line.to_string() };
+        let u: u64 = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let v: u64 = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let w: f64 = match parts.next() {
+            Some(tok) => tok.parse().map_err(|_| parse_err())?,
+            None => 1.0,
+        };
+        let mut dense = |orig: u64| -> VertexId {
+            *remap.entry(orig).or_insert_with(|| {
+                original_ids.push(orig);
+                (original_ids.len() - 1) as VertexId
+            })
+        };
+        let du = dense(u);
+        let dv = dense(v);
+        edges.push((du, dv, w));
+    }
+    let mut b = GraphBuilder::new(original_ids.len());
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    Ok(LoadedGraph { graph: b.build(), original_ids })
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, IoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write a graph as a whitespace edge list (each undirected edge once).
+/// Weights are written only when not 1.0.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {} edges {}", graph.num_vertices(), graph.num_edges())?;
+    for (u, v, weight) in graph.edges() {
+        if weight == 1.0 {
+            writeln!(w, "{u} {v}")?;
+        } else {
+            writeln!(w, "{u} {v} {weight}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), IoError> {
+    write_edge_list(graph, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_basic_edge_list_with_comments() {
+        let text = "# a comment\n% another\n10 20\n20 30 2.5\n\n10 30\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.original_ids, vec![10, 20, 30]);
+        assert_eq!(loaded.graph.total_weight(), 1.0 + 2.5 + 1.0);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let text = "1 2\nnot numbers\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = crate::generators::erdos_renyi(40, 80, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        // Edge lists cannot represent isolated vertices, so the vertex count
+        // may shrink but never grow.
+        assert!(loaded.graph.num_vertices() <= g.num_vertices());
+        assert_eq!(loaded.graph.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn weighted_roundtrip() {
+        let g = Graph::from_edges(3, &[(0, 1, 2.0), (1, 2, 0.5)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(loaded.graph.total_weight(), 2.5);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the graph substrate: CSR invariants, generator
+//! contracts, and IO round trips.
+
+use proptest::prelude::*;
+
+use infomap_graph::generators::{self, LfrParams};
+use infomap_graph::{io, Graph, VertexId};
+
+fn arbitrary_edges(n: usize) -> impl Strategy<Value = Vec<(VertexId, VertexId, f64)>> {
+    proptest::collection::vec(
+        (0..n as VertexId, 0..n as VertexId, 0.1f64..10.0),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strengths_sum_to_twice_total_weight(edges in arbitrary_edges(20)) {
+        let g = Graph::from_edges(20, &edges);
+        let sum: f64 = (0..20).map(|u| g.strength(u)).sum();
+        prop_assert!((sum - 2.0 * g.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edges_iterator_matches_edge_count(edges in arbitrary_edges(15)) {
+        let g = Graph::from_edges(15, &edges);
+        prop_assert_eq!(g.edges().count(), g.num_edges());
+        // Every listed edge has u <= v and positive weight (weights merge).
+        for (u, v, w) in g.edges() {
+            prop_assert!(u <= v);
+            prop_assert!(w > 0.0);
+        }
+    }
+
+    #[test]
+    fn arcs_are_symmetric(edges in arbitrary_edges(15)) {
+        let g = Graph::from_edges(15, &edges);
+        for u in 0..15 as VertexId {
+            for (v, w) in g.arcs(u) {
+                if v != u {
+                    let back: f64 = g
+                        .arcs(v)
+                        .filter(|&(t, _)| t == u)
+                        .map(|(_, w)| w)
+                        .sum();
+                    prop_assert!((back - w).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_vertices(edges in arbitrary_edges(25)) {
+        let g = Graph::from_edges(25, &edges);
+        let (comp, count) = g.components();
+        prop_assert_eq!(comp.len(), 25);
+        let max = comp.iter().copied().max().unwrap_or(0) as usize;
+        prop_assert_eq!(max + 1, count);
+        // Neighbors share a component.
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(comp[u as usize], comp[v as usize]);
+        }
+    }
+
+    #[test]
+    fn io_roundtrip_preserves_edges_and_weight(edges in arbitrary_edges(12)) {
+        let g = Graph::from_edges(12, &edges);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let loaded = io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        prop_assert!((loaded.graph.total_weight() - g.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_degrees_in_bounds(
+        n in 10usize..400,
+        gamma in 1.5f64..3.5,
+        k_min in 1usize..4,
+    ) {
+        let k_max = k_min + 50;
+        let degs = generators::power_law_degrees(n, gamma, k_min, k_max, 7);
+        prop_assert_eq!(degs.len(), n);
+        prop_assert!(degs.iter().all(|&d| d >= k_min && d <= k_max));
+    }
+
+    #[test]
+    fn lfr_truth_covers_all_vertices(n in 100usize..400, mu in 0.05f64..0.5) {
+        let (g, truth) = generators::lfr_like(
+            LfrParams { n, mu, ..Default::default() },
+            3,
+        );
+        prop_assert_eq!(truth.len(), g.num_vertices());
+        // Community ids are dense from 0.
+        let max = truth.iter().copied().max().unwrap() as usize;
+        for c in 0..=max {
+            prop_assert!(truth.iter().any(|&t| t as usize == c), "community {} empty", c);
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic(seed in 0u64..1000) {
+        let a = generators::erdos_renyi(60, 120, seed);
+        let b = generators::erdos_renyi(60, 120, seed);
+        prop_assert_eq!(a, b);
+    }
+}

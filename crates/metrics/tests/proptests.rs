@@ -1,0 +1,71 @@
+//! Property tests for the clustering metrics: ranges, symmetry,
+//! relabeling invariance, and agreement between the pairwise indices.
+
+use proptest::prelude::*;
+
+use infomap_metrics::{f_measure, jaccard_index, modularity, nmi, quality};
+
+fn labeling(n: usize, k: u32) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..k, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_are_in_unit_interval(a in labeling(30, 5), b in labeling(30, 5)) {
+        for v in [nmi(&a, &b), f_measure(&a, &b), jaccard_index(&a, &b)] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn nmi_and_jaccard_are_symmetric(a in labeling(25, 4), b in labeling(25, 4)) {
+        prop_assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+        prop_assert!((jaccard_index(&a, &b) - jaccard_index(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_scores_one(a in labeling(20, 6)) {
+        prop_assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((f_measure(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((jaccard_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_is_invariant(a in labeling(25, 5), b in labeling(25, 5), shift in 1u32..100) {
+        let b_shifted: Vec<u32> = b.iter().map(|&x| x * 7 + shift).collect();
+        prop_assert!((nmi(&a, &b) - nmi(&a, &b_shifted)).abs() < 1e-9);
+        prop_assert!((f_measure(&a, &b) - f_measure(&a, &b_shifted)).abs() < 1e-12);
+        prop_assert!((jaccard_index(&a, &b) - jaccard_index(&a, &b_shifted)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_is_never_above_f_measure(a in labeling(25, 5), b in labeling(25, 5)) {
+        // J = x/(x+y+z) <= 2x/(2x+y+z) = F for the same pair counts.
+        prop_assert!(jaccard_index(&a, &b) <= f_measure(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn quality_bundle_matches_parts(a in labeling(20, 4), b in labeling(20, 4)) {
+        let q = quality(&a, &b);
+        // NMI sums over an unordered contingency table, so two evaluations
+        // may differ by float-summation order; compare approximately.
+        prop_assert!((q.nmi - nmi(&a, &b)).abs() < 1e-12);
+        prop_assert_eq!(q.f_measure, f_measure(&a, &b));
+        prop_assert_eq!(q.jaccard, jaccard_index(&a, &b));
+    }
+
+    #[test]
+    fn modularity_is_bounded(
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 1..60),
+        labels in labeling(20, 4),
+    ) {
+        let g = infomap_graph::Graph::from_unweighted(20, &edges);
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let q = modularity(&g, &labels);
+        prop_assert!((-1.0..=1.0).contains(&q), "modularity out of range: {q}");
+    }
+}

@@ -1,0 +1,280 @@
+//! The per-rank communicator: point-to-point messaging, collectives,
+//! and phase-scoped metering.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::mem::size_of;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::rendezvous::Rendezvous;
+use crate::stats::RankStats;
+
+/// Reduction operators for the numeric allreduce helpers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: u64,
+    pub payload: Box<dyn Any + Send>,
+    pub bytes: u64,
+}
+
+/// Shared, immutable world plumbing every rank holds a handle to.
+pub(crate) struct Fabric {
+    pub nranks: usize,
+    pub mailboxes: Vec<Sender<Envelope>>,
+    pub rendezvous: Rendezvous,
+}
+
+/// A rank's communicator. One instance per rank; not shareable across ranks.
+///
+/// All operations are *metered*: bytes, message counts, collective calls and
+/// caller-declared work units accumulate into the currently active phase
+/// (see [`Comm::phase`]) and into the rank total. The final counters are
+/// returned to the caller of [`crate::World::run`] in the
+/// [`crate::WorldReport`].
+pub struct Comm {
+    rank: usize,
+    fabric: Arc<Fabric>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet matched by a selective `recv`.
+    stash: VecDeque<Envelope>,
+    pub(crate) stats: RankStats,
+    /// Stack of active phase names; metering charges the innermost.
+    phase_stack: Vec<(String, Instant)>,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, fabric: Arc<Fabric>, inbox: Receiver<Envelope>) -> Self {
+        Comm {
+            rank,
+            fabric,
+            inbox,
+            stash: VecDeque::new(),
+            stats: RankStats::new(rank),
+            phase_stack: Vec::new(),
+        }
+    }
+
+    /// This rank's id, `0 <= rank < size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.fabric.nranks
+    }
+
+    // ------------------------------------------------------------------
+    // Metering
+    // ------------------------------------------------------------------
+
+    fn charge(&mut self, f: impl Fn(&mut crate::PhaseStats)) {
+        f(&mut self.stats.total);
+        if let Some((name, _)) = self.phase_stack.last() {
+            let entry = self.stats.phases.entry(name.clone()).or_default();
+            f(entry);
+        }
+    }
+
+    /// Record `units` of abstract compute work (e.g. one unit per edge
+    /// examined while searching for the best module).
+    pub fn add_work(&mut self, units: u64) {
+        self.charge(|s| s.work_units += units);
+    }
+
+    /// Run `body` inside a named phase. Phases nest; metering charges the
+    /// innermost phase plus the rank total. Wall time of the phase is also
+    /// recorded (informational on a single-core host).
+    pub fn phase<R>(&mut self, name: &str, body: impl FnOnce(&mut Comm) -> R) -> R {
+        self.phase_stack.push((name.to_string(), Instant::now()));
+        {
+            let entry = self.stats.phases.entry(name.to_string()).or_default();
+            entry.entries += 1;
+        }
+        let out = body(self);
+        let (name, started) = self.phase_stack.pop().expect("phase stack underflow");
+        let elapsed = started.elapsed();
+        let entry = self.stats.phases.entry(name).or_default();
+        entry.wall += elapsed;
+        out
+    }
+
+    /// Snapshot of the counters accumulated so far on this rank.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send `payload` to `dest` under `tag`. Non-blocking (buffered).
+    ///
+    /// Bytes are metered as `payload.len() * size_of::<T>()` — the wire size
+    /// an MPI derived type for `T` would occupy.
+    pub fn send<T: Send + 'static>(&mut self, dest: usize, tag: u64, payload: Vec<T>) {
+        assert!(dest < self.size(), "send to rank {dest} out of range");
+        let bytes = (payload.len() * size_of::<T>()) as u64;
+        self.charge(|s| {
+            s.p2p_bytes_sent += bytes;
+            s.p2p_msgs_sent += 1;
+        });
+        let env = Envelope { src: self.rank, tag, payload: Box::new(payload), bytes };
+        self.fabric.mailboxes[dest]
+            .send(env)
+            .expect("destination rank hung up while world still running");
+    }
+
+    /// Blocking selective receive: the next message from `src` with `tag`.
+    ///
+    /// Messages from other (src, tag) pairs that arrive in the meantime are
+    /// stashed and delivered to later matching receives, so receive order
+    /// between distinct peers does not matter — as with MPI tags.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Vec<T> {
+        // First look in the stash.
+        if let Some(pos) = self.stash.iter().position(|e| e.src == src && e.tag == tag) {
+            let env = self.stash.remove(pos).unwrap();
+            return self.open::<T>(env);
+        }
+        loop {
+            match self.inbox.recv_timeout(std::time::Duration::from_millis(100)) {
+                Ok(env) => {
+                    if env.src == src && env.tag == tag {
+                        return self.open::<T>(env);
+                    }
+                    self.stash.push_back(env);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    // A peer that died can never send; fail fast instead of
+                    // blocking the whole world.
+                    if self.fabric.rendezvous.is_poisoned() {
+                        panic!("world poisoned: another rank panicked");
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    panic!("all senders dropped while a receive was pending");
+                }
+            }
+        }
+    }
+
+    fn open<T: Send + 'static>(&mut self, env: Envelope) -> Vec<T> {
+        let bytes = env.bytes;
+        self.charge(|s| s.p2p_bytes_recv += bytes);
+        *env.payload
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("message type mismatch on recv (src {}, tag {})", env.src, env.tag))
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    fn collective<T, R, F>(&mut self, bytes: u64, contribution: T, combine: F) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>) -> R,
+    {
+        self.charge(|s| {
+            s.collective_calls += 1;
+            s.collective_bytes += bytes;
+        });
+        self.fabric.rendezvous.exchange(self.rank, contribution, combine)
+    }
+
+    /// Block until every rank has reached the barrier.
+    pub fn barrier(&mut self) {
+        self.collective(0, (), |_| ());
+    }
+
+    /// Allreduce over `f64` values.
+    pub fn allreduce_f64(&mut self, value: f64, op: ReduceOp) -> f64 {
+        *self.collective(size_of::<f64>() as u64, value, move |vs| match op {
+            ReduceOp::Sum => vs.iter().sum(),
+            ReduceOp::Min => vs.iter().copied().fold(f64::INFINITY, f64::min),
+            ReduceOp::Max => vs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+
+    /// Allreduce over `u64` values.
+    pub fn allreduce_u64(&mut self, value: u64, op: ReduceOp) -> u64 {
+        *self.collective(size_of::<u64>() as u64, value, move |vs| match op {
+            ReduceOp::Sum => vs.iter().sum(),
+            ReduceOp::Min => vs.iter().copied().min().unwrap_or(u64::MAX),
+            ReduceOp::Max => vs.iter().copied().max().unwrap_or(0),
+        })
+    }
+
+    /// Generic allreduce: `fold` combines the per-rank contributions
+    /// (provided in rank order) into the shared result.
+    pub fn allreduce_with<T, R, F>(&mut self, value: T, fold: F) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>) -> R,
+    {
+        self.collective(size_of::<T>() as u64, value, fold)
+    }
+
+    /// Gather each rank's vector and hand everyone the concatenation, in
+    /// rank order. Mirrors `MPI_Allgatherv`.
+    pub fn allgatherv<T: Clone + Send + Sync + 'static>(&mut self, local: Vec<T>) -> Arc<Vec<T>> {
+        let bytes = (local.len() * size_of::<T>()) as u64;
+        self.collective(bytes, local, |parts| {
+            let total = parts.iter().map(Vec::len).sum();
+            let mut out = Vec::with_capacity(total);
+            for part in parts {
+                out.extend(part);
+            }
+            out
+        })
+    }
+
+    /// Like [`Comm::allgatherv`] but keeps the per-rank structure: everyone
+    /// receives `Vec` indexed by source rank.
+    pub fn allgather_parts<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        local: Vec<T>,
+    ) -> Arc<Vec<Vec<T>>> {
+        let bytes = (local.len() * size_of::<T>()) as u64;
+        self.collective(bytes, local, |parts| parts)
+    }
+
+    /// Personalized all-to-all: `outgoing[d]` is delivered to rank `d`;
+    /// returns the vector of messages addressed to this rank, indexed by
+    /// source rank. Mirrors `MPI_Alltoallv`.
+    pub fn alltoallv<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        outgoing: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
+        assert_eq!(outgoing.len(), self.size(), "alltoallv needs one bucket per rank");
+        let bytes: u64 = outgoing.iter().map(|b| (b.len() * size_of::<T>()) as u64).sum();
+        let me = self.rank;
+        let matrix = self.collective(bytes, outgoing, |rows| rows);
+        matrix.iter().map(|row| row[me].clone()).collect()
+    }
+
+    /// Broadcast `value` from `root` to every rank.
+    pub fn broadcast<T: Clone + Send + Sync + 'static>(&mut self, root: usize, value: Option<T>) -> T {
+        assert!(root < self.size());
+        if self.rank == root {
+            assert!(value.is_some(), "broadcast root must supply a value");
+        }
+        let bytes = if self.rank == root { size_of::<T>() as u64 } else { 0 };
+        let shared = self.collective(bytes, value, move |mut vs| {
+            vs.swap_remove(root).expect("broadcast root supplied no value")
+        });
+        (*shared).clone()
+    }
+}

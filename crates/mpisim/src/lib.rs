@@ -1,0 +1,43 @@
+//! # infomap-mpisim — an in-process message-passing substrate
+//!
+//! This crate simulates the MPI environment the ICPP'18 distributed Infomap
+//! paper runs on. A *world* of `p` ranks executes the same SPMD closure, one
+//! OS thread per rank, and communicates exclusively through a [`Comm`] handle
+//! that offers the MPI primitives the paper's algorithm uses:
+//!
+//! * point-to-point [`Comm::send`] / [`Comm::recv`] of typed vectors
+//!   (tagged, selective receive),
+//! * [`Comm::barrier`],
+//! * allreduce ([`Comm::allreduce_f64`], [`Comm::allreduce_u64`],
+//!   [`Comm::allreduce_with`]),
+//! * [`Comm::allgatherv`], [`Comm::alltoallv`], [`Comm::broadcast`].
+//!
+//! Every operation is metered: bytes and message counts per rank, work units
+//! per named *phase* ([`Comm::phase`]). A [`CostModel`] converts the counters
+//! into modeled runtimes, which is how the benchmark harness reproduces the
+//! paper's time-breakdown, scalability and efficiency figures on a machine
+//! that is not a 4,096-core Titan partition: the algorithm's decisions,
+//! per-rank workload and communication volume are identical to a real MPI
+//! run; only the clock is modeled.
+//!
+//! ```
+//! use infomap_mpisim::{ReduceOp, World};
+//!
+//! let report = World::new(4).run(|comm| {
+//!     let rank_sum = comm.allreduce_u64(comm.rank() as u64, ReduceOp::Sum);
+//!     assert_eq!(rank_sum, 0 + 1 + 2 + 3);
+//!     comm.rank()
+//! });
+//! assert_eq!(report.results, vec![0, 1, 2, 3]);
+//! ```
+
+mod comm;
+mod cost;
+mod rendezvous;
+mod stats;
+mod world;
+
+pub use comm::{Comm, ReduceOp};
+pub use cost::{CostModel, PhaseBreakdown};
+pub use stats::{PhaseStats, RankStats};
+pub use world::{World, WorldReport};

@@ -1,0 +1,197 @@
+//! Generation-counted rendezvous cell: the single synchronization primitive
+//! all collectives are built on.
+//!
+//! Every rank deposits a contribution; the last rank to arrive runs the
+//! combine closure over all contributions (in rank order) and publishes the
+//! result; everyone leaves with a shared handle to it. The cell is reusable:
+//! a generation counter separates consecutive collectives, and the cell only
+//! resets once every rank of the previous generation has left, so back-to-back
+//! collectives cannot interleave.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+type AnyBox = Box<dyn Any + Send>;
+type AnyArc = Arc<dyn Any + Send + Sync>;
+
+struct CellState {
+    /// Number of ranks that have deposited a contribution this generation.
+    arrived: usize,
+    /// Number of ranks that still have to pick up the published result.
+    departing: usize,
+    generation: u64,
+    slots: Vec<Option<AnyBox>>,
+    result: Option<AnyArc>,
+}
+
+/// A reusable all-ranks rendezvous point.
+pub(crate) struct Rendezvous {
+    nranks: usize,
+    state: Mutex<CellState>,
+    condvar: Condvar,
+    /// Set when a rank died mid-run; all waiters panic instead of blocking
+    /// on a collective that can never complete.
+    poisoned: AtomicBool,
+}
+
+impl Rendezvous {
+    pub(crate) fn new(nranks: usize) -> Self {
+        Rendezvous {
+            nranks,
+            state: Mutex::new(CellState {
+                arrived: 0,
+                departing: 0,
+                generation: 0,
+                slots: (0..nranks).map(|_| None).collect(),
+                result: None,
+            }),
+            condvar: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Mark the world dead (a rank panicked) and wake every waiter; their
+    /// next wait check panics, so the whole world unwinds instead of
+    /// deadlocking on a collective that can never complete.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        let _guard = self.state.lock();
+        self.condvar.notify_all();
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn check_poison(&self) {
+        if self.is_poisoned() {
+            panic!("world poisoned: another rank panicked");
+        }
+    }
+
+    /// Deposit `contribution` for `rank`, wait for all ranks, and return the
+    /// combined result. `combine` receives the contributions in rank order;
+    /// it runs exactly once per generation, on the last-arriving rank.
+    pub(crate) fn exchange<T, R, F>(&self, rank: usize, contribution: T, combine: F) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>) -> R,
+    {
+        self.check_poison();
+        let mut st = self.state.lock();
+        // Wait until the previous generation has fully drained before
+        // starting a new one (a fast rank could otherwise lap a slow one).
+        while st.departing > 0 && st.arrived == 0 {
+            self.condvar.wait(&mut st);
+            self.check_poison();
+        }
+        let my_generation = st.generation;
+        debug_assert!(st.slots[rank].is_none(), "rank {rank} arrived twice at one collective");
+        st.slots[rank] = Some(Box::new(contribution));
+        st.arrived += 1;
+
+        if st.arrived == self.nranks {
+            // Last arriver: gather the typed contributions and combine.
+            let contributions: Vec<T> = st
+                .slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let any = slot.take().unwrap_or_else(|| panic!("missing contribution from rank {i}"));
+                    *any.downcast::<T>().unwrap_or_else(|_| {
+                        panic!("collective type mismatch: ranks disagree on the operation sequence")
+                    })
+                })
+                .collect();
+            let result: Arc<R> = Arc::new(combine(contributions));
+            st.result = Some(result.clone());
+            st.arrived = 0;
+            st.departing = self.nranks - 1;
+            st.generation = st.generation.wrapping_add(1);
+            if st.departing == 0 {
+                st.result = None;
+            }
+            self.condvar.notify_all();
+            return result;
+        }
+
+        // Wait for the result of my generation to be published.
+        while st.generation == my_generation {
+            self.condvar.wait(&mut st);
+            self.check_poison();
+        }
+        let shared = st
+            .result
+            .as_ref()
+            .expect("collective result vanished before all ranks departed")
+            .clone();
+        st.departing -= 1;
+        if st.departing == 0 {
+            st.result = None;
+            // Wake ranks already blocked on the next generation's entry gate.
+            self.condvar.notify_all();
+        }
+        shared
+            .downcast::<R>()
+            .unwrap_or_else(|_| panic!("collective result type mismatch"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_rank_exchange_returns_own_value() {
+        let r = Rendezvous::new(1);
+        let out = r.exchange(0, 41_u32, |v| v[0] + 1);
+        assert_eq!(*out, 42);
+    }
+
+    #[test]
+    fn contributions_arrive_in_rank_order() {
+        let r = Rendezvous::new(4);
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|rank| {
+                    let r = &r;
+                    s.spawn(move || (*r.exchange(rank, rank * 10, |v| v.clone())).clone())
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), vec![0, 10, 20, 30]);
+            }
+        });
+    }
+
+    #[test]
+    fn back_to_back_generations_do_not_interleave() {
+        let r = Rendezvous::new(3);
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|rank| {
+                    let r = &r;
+                    s.spawn(move || {
+                        let mut sums = Vec::new();
+                        for round in 0..100_u64 {
+                            let sum = *r.exchange(rank, round, |v| v.iter().sum::<u64>());
+                            sums.push(sum);
+                        }
+                        sums
+                    })
+                })
+                .collect();
+            for h in handles {
+                let sums = h.join().unwrap();
+                for (round, sum) in sums.into_iter().enumerate() {
+                    assert_eq!(sum, 3 * round as u64);
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-rank, per-phase counters.
+//!
+//! The distributed algorithm labels its execution with named phases
+//! (`FindBestModule`, `BroadcastDelegates`, `SwapBoundaryInfo`, `Other`, …).
+//! All metering — work units, point-to-point bytes/messages, collective
+//! participation and volume, wall time — is accumulated into the phase that
+//! is active when the event happens, and additionally into a per-rank total.
+//! These counters are the raw material of the paper's Figures 8–10.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Counters accumulated for one named phase on one rank.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Abstract compute units (the algorithms count one unit per edge
+    /// relaxation / module update — proportional to the paper's workload
+    /// model of "edges per processor").
+    pub work_units: u64,
+    /// Bytes pushed by this rank through point-to-point sends.
+    pub p2p_bytes_sent: u64,
+    /// Point-to-point messages sent.
+    pub p2p_msgs_sent: u64,
+    /// Bytes received through point-to-point receives.
+    pub p2p_bytes_recv: u64,
+    /// Number of collective operations this rank participated in.
+    pub collective_calls: u64,
+    /// Bytes this rank contributed to collectives.
+    pub collective_bytes: u64,
+    /// Wall time spent inside the phase (informational only on a
+    /// single-core host; modeled time comes from the counters).
+    pub wall: Duration,
+    /// Number of times the phase was entered.
+    pub entries: u64,
+}
+
+impl PhaseStats {
+    /// Merge another phase record into this one.
+    pub fn absorb(&mut self, other: &PhaseStats) {
+        self.work_units += other.work_units;
+        self.p2p_bytes_sent += other.p2p_bytes_sent;
+        self.p2p_msgs_sent += other.p2p_msgs_sent;
+        self.p2p_bytes_recv += other.p2p_bytes_recv;
+        self.collective_calls += other.collective_calls;
+        self.collective_bytes += other.collective_bytes;
+        self.wall += other.wall;
+        self.entries += other.entries;
+    }
+}
+
+/// All counters for one rank: a total plus one record per named phase.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// Rank id within the world.
+    pub rank: usize,
+    /// Aggregate over the whole run (including un-phased activity).
+    pub total: PhaseStats,
+    /// Per-phase records, keyed by phase name, in name order.
+    pub phases: BTreeMap<String, PhaseStats>,
+}
+
+impl RankStats {
+    pub(crate) fn new(rank: usize) -> Self {
+        RankStats { rank, ..Default::default() }
+    }
+
+    /// The record for `phase`, created on first use.
+    pub fn phase(&self, phase: &str) -> PhaseStats {
+        self.phases.get(phase).cloned().unwrap_or_default()
+    }
+}

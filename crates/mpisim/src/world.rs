@@ -1,0 +1,333 @@
+//! World construction and SPMD execution.
+
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Fabric};
+use crate::cost::{CostModel, PhaseBreakdown};
+use crate::rendezvous::Rendezvous;
+use crate::stats::RankStats;
+
+/// A simulated cluster of `p` ranks.
+///
+/// [`World::run`] executes the same closure on every rank (SPMD), each on
+/// its own OS thread, and returns the per-rank results and counters.
+pub struct World {
+    nranks: usize,
+    stack_size: usize,
+}
+
+/// Everything a run produced: per-rank return values (rank order) and the
+/// metering counters used by the cost model.
+#[derive(Debug)]
+pub struct WorldReport<R> {
+    pub results: Vec<R>,
+    pub stats: Vec<RankStats>,
+}
+
+impl<R> WorldReport<R> {
+    /// Modeled makespan under `model` (see [`CostModel::makespan`]).
+    pub fn makespan(&self, model: &CostModel) -> PhaseBreakdown {
+        model.makespan(&self.stats)
+    }
+
+    /// Total bytes moved point-to-point across all ranks.
+    pub fn total_p2p_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.total.p2p_bytes_sent).sum()
+    }
+
+    /// Total work units across all ranks.
+    pub fn total_work(&self) -> u64 {
+        self.stats.iter().map(|s| s.total.work_units).sum()
+    }
+
+    /// Maximum work units on any single rank (the makespan driver).
+    pub fn max_rank_work(&self) -> u64 {
+        self.stats.iter().map(|s| s.total.work_units).max().unwrap_or(0)
+    }
+}
+
+impl World {
+    /// A world with `nranks` ranks. Panics if `nranks == 0`.
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks > 0, "a world needs at least one rank");
+        // Modest stacks so that worlds of hundreds of ranks stay cheap.
+        World { nranks, stack_size: 2 << 20 }
+    }
+
+    /// Override the per-rank thread stack size (bytes).
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Run `f` on every rank and collect results and counters in rank order.
+    ///
+    /// Panics in any rank propagate (the whole run aborts), so test failures
+    /// inside SPMD code surface normally.
+    pub fn run<R, F>(&self, f: F) -> WorldReport<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..self.nranks).map(|_| unbounded()).unzip();
+        let fabric = Arc::new(Fabric {
+            nranks: self.nranks,
+            mailboxes: senders,
+            rendezvous: Rendezvous::new(self.nranks),
+        });
+
+        let mut slots: Vec<Option<(R, RankStats)>> = (0..self.nranks).map(|_| None).collect();
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.nranks);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let fabric = fabric.clone();
+                let f = &f;
+                let builder = thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(self.stack_size);
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let mut comm = Comm::new(rank, fabric.clone(), inbox);
+                        // A panicking rank poisons the world so peers blocked
+                        // on collectives or receives unwind instead of
+                        // deadlocking; the original panic is re-thrown after
+                        // every thread has exited.
+                        let outcome = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| f(&mut comm)),
+                        );
+                        match outcome {
+                            Ok(result) => Ok((result, comm.stats)),
+                            Err(payload) => {
+                                fabric.rendezvous.poison();
+                                Err(payload)
+                            }
+                        }
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(Ok(pair)) => slots[rank] = Some(pair),
+                    Ok(Err(payload)) => {
+                        // Prefer the original panic over the "world
+                        // poisoned" cascade panics from other ranks.
+                        let is_cascade = payload
+                            .downcast_ref::<String>()
+                            .map(|s| s.contains("world poisoned"))
+                            .or_else(|| {
+                                payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.contains("world poisoned"))
+                            })
+                            .unwrap_or(false);
+                        if first_panic.is_none() || !is_cascade {
+                            if first_panic.is_none() {
+                                first_panic = Some(payload);
+                            } else if !is_cascade {
+                                // keep the earlier non-cascade panic
+                            }
+                        }
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            if let Some(p) = first_panic {
+                std::panic::resume_unwind(p);
+            }
+        });
+
+        let mut results = Vec::with_capacity(self.nranks);
+        let mut stats = Vec::with_capacity(self.nranks);
+        for slot in slots {
+            let (r, s) = slot.expect("rank produced no result");
+            results.push(r);
+            stats.push(s);
+        }
+        WorldReport { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReduceOp;
+
+    #[test]
+    fn ranks_see_their_ids_and_world_size() {
+        let report = World::new(5).run(|c| (c.rank(), c.size()));
+        assert_eq!(report.results, (0..5).map(|r| (r, 5)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let p = 6;
+        let report = World::new(p).run(|c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, vec![c.rank() as u64]);
+            let got = c.recv::<u64>(prev, 7);
+            got[0]
+        });
+        for (rank, got) in report.results.iter().enumerate() {
+            assert_eq!(*got as usize, (rank + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn selective_recv_matches_by_source_and_tag() {
+        let report = World::new(3).run(|c| {
+            if c.rank() == 0 {
+                // Send tag 2 first, then tag 1, to the same destination.
+                c.send(2, 2, vec![222_u32]);
+                c.send(2, 1, vec![111_u32]);
+                0
+            } else if c.rank() == 1 {
+                c.send(2, 1, vec![11_u32]);
+                0
+            } else {
+                // Receive in an order different from arrival order.
+                let a = c.recv::<u32>(0, 1)[0];
+                let b = c.recv::<u32>(1, 1)[0];
+                let d = c.recv::<u32>(0, 2)[0];
+                (a as u64) * 1_000_000 + (b as u64) * 1000 + d as u64
+            }
+        });
+        assert_eq!(report.results[2], 111 * 1_000_000 + 11 * 1000 + 222);
+    }
+
+    #[test]
+    fn allreduce_variants() {
+        let report = World::new(4).run(|c| {
+            let s = c.allreduce_u64(c.rank() as u64 + 1, ReduceOp::Sum);
+            let mn = c.allreduce_u64(c.rank() as u64 + 1, ReduceOp::Min);
+            let mx = c.allreduce_f64(c.rank() as f64, ReduceOp::Max);
+            (s, mn, mx)
+        });
+        for (s, mn, mx) in report.results {
+            assert_eq!(s, 10);
+            assert_eq!(mn, 1);
+            assert_eq!(mx, 3.0);
+        }
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let report = World::new(4).run(|c| {
+            let local = vec![c.rank() as u32; c.rank()];
+            (*c.allgatherv(local)).clone()
+        });
+        let expect = vec![1, 2, 2, 3, 3, 3];
+        for got in report.results {
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn alltoallv_transposes() {
+        let p = 4;
+        let report = World::new(p).run(|c| {
+            let outgoing: Vec<Vec<u64>> =
+                (0..c.size()).map(|d| vec![(c.rank() * 10 + d) as u64]).collect();
+            c.alltoallv(outgoing)
+        });
+        for (me, incoming) in report.results.iter().enumerate() {
+            for (src, msg) in incoming.iter().enumerate() {
+                assert_eq!(msg, &vec![(src * 10 + me) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let report = World::new(5).run(|c| {
+            let v = if c.rank() == 3 { Some(vec![9_u8, 8, 7]) } else { None };
+            c.broadcast(3, v)
+        });
+        for got in report.results {
+            assert_eq!(got, vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn phases_meter_work_and_bytes() {
+        let report = World::new(2).run(|c| {
+            c.phase("compute", |c| c.add_work(100));
+            c.phase("talk", |c| {
+                let peer = 1 - c.rank();
+                c.send(peer, 0, vec![0_u64; 8]);
+                let _ = c.recv::<u64>(peer, 0);
+            });
+        });
+        for s in &report.stats {
+            assert_eq!(s.phase("compute").work_units, 100);
+            assert_eq!(s.phase("talk").p2p_bytes_sent, 64);
+            assert_eq!(s.phase("talk").p2p_bytes_recv, 64);
+            assert_eq!(s.total.work_units, 100);
+            assert_eq!(s.total.p2p_msgs_sent, 1);
+        }
+        let model = CostModel::default();
+        let bd = report.makespan(&model);
+        assert!(bd.phases.contains_key("compute"));
+        assert!(bd.total > 0.0);
+    }
+
+    #[test]
+    fn allgather_parts_keeps_rank_structure() {
+        let report = World::new(3).run(|c| {
+            let local = vec![c.rank() as u8; c.rank() + 1];
+            (*c.allgather_parts(local)).clone()
+        });
+        for parts in report.results {
+            assert_eq!(parts.len(), 3);
+            for (src, part) in parts.iter().enumerate() {
+                assert_eq!(part, &vec![src as u8; src + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_f64_min_handles_negatives() {
+        let report = World::new(3).run(|c| {
+            c.allreduce_f64(-(c.rank() as f64), ReduceOp::Min)
+        });
+        for got in report.results {
+            assert_eq!(got, -2.0);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let report = World::new(1).run(|c| {
+            c.barrier();
+            let x = c.allreduce_f64(2.5, ReduceOp::Sum);
+            let g = (*c.allgatherv(vec![1_u8, 2])).clone();
+            (x, g)
+        });
+        assert_eq!(report.results[0], (2.5, vec![1, 2]));
+    }
+
+    #[test]
+    fn many_ranks_many_rounds_stress() {
+        let p = 16;
+        let report = World::new(p).run(|c| {
+            let mut acc = 0u64;
+            for round in 0..50 {
+                acc = acc.wrapping_add(c.allreduce_u64(round + c.rank() as u64, ReduceOp::Sum));
+            }
+            acc
+        });
+        let first = report.results[0];
+        assert!(report.results.iter().all(|&x| x == first));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the message-passing substrate: collectives must
+//! behave like their MPI definitions for arbitrary inputs and world sizes.
+
+use proptest::prelude::*;
+
+use infomap_mpisim::{ReduceOp, World};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn allreduce_sum_matches_reference(
+        p in 1usize..6,
+        values in proptest::collection::vec(-1e6f64..1e6, 6),
+    ) {
+        let expect: f64 = values[..p].iter().sum();
+        let report = World::new(p).run(|c| {
+            c.allreduce_f64(values[c.rank()], ReduceOp::Sum)
+        });
+        for got in report.results {
+            prop_assert!((got - expect).abs() <= 1e-6 * expect.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max_match_reference(
+        p in 1usize..6,
+        values in proptest::collection::vec(0u64..1_000_000, 6),
+    ) {
+        let mn = *values[..p].iter().min().unwrap();
+        let mx = *values[..p].iter().max().unwrap();
+        let report = World::new(p).run(|c| {
+            (
+                c.allreduce_u64(values[c.rank()], ReduceOp::Min),
+                c.allreduce_u64(values[c.rank()], ReduceOp::Max),
+            )
+        });
+        for (gmn, gmx) in report.results {
+            prop_assert_eq!(gmn, mn);
+            prop_assert_eq!(gmx, mx);
+        }
+    }
+
+    #[test]
+    fn allgatherv_is_rank_ordered_concat(
+        p in 1usize..6,
+        lens in proptest::collection::vec(0usize..5, 6),
+    ) {
+        let mut expect: Vec<u32> = Vec::new();
+        for r in 0..p {
+            expect.extend(std::iter::repeat_n(r as u32, lens[r]));
+        }
+        let report = World::new(p).run(|c| {
+            let local = vec![c.rank() as u32; lens[c.rank()]];
+            (*c.allgatherv(local)).clone()
+        });
+        for got in report.results {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose(p in 1usize..6, salt in 0u64..1000) {
+        let report = World::new(p).run(|c| {
+            let outgoing: Vec<Vec<u64>> = (0..c.size())
+                .map(|d| vec![salt + (c.rank() * 100 + d) as u64])
+                .collect();
+            c.alltoallv(outgoing)
+        });
+        for (me, incoming) in report.results.iter().enumerate() {
+            for (src, msg) in incoming.iter().enumerate() {
+                prop_assert_eq!(msg[0], salt + (src * 100 + me) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone(p in 1usize..6, root_pick in 0usize..6, payload in 0u64..u64::MAX) {
+        let root = root_pick % p;
+        let report = World::new(p).run(|c| {
+            let v = if c.rank() == root { Some(payload) } else { None };
+            c.broadcast(root, v)
+        });
+        for got in report.results {
+            prop_assert_eq!(got, payload);
+        }
+    }
+
+    #[test]
+    fn interleaved_p2p_and_collectives_agree(p in 2usize..6, rounds in 1usize..8) {
+        let report = World::new(p).run(|c| {
+            let mut acc = 0u64;
+            for round in 0..rounds as u64 {
+                let next = (c.rank() + 1) % c.size();
+                let prev = (c.rank() + c.size() - 1) % c.size();
+                c.send(next, round, vec![c.rank() as u64 + round]);
+                let from_prev = c.recv::<u64>(prev, round)[0];
+                acc += c.allreduce_u64(from_prev, ReduceOp::Sum);
+            }
+            acc
+        });
+        let first = report.results[0];
+        for got in report.results {
+            prop_assert_eq!(got, first);
+        }
+    }
+
+    #[test]
+    fn metering_counts_collective_calls(p in 1usize..5, calls in 1usize..10) {
+        let report = World::new(p).run(|c| {
+            for _ in 0..calls {
+                c.barrier();
+            }
+        });
+        for s in &report.stats {
+            prop_assert_eq!(s.total.collective_calls, calls as u64);
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! # infomap-partition — 1D and vertex-delegate graph partitioning
+//!
+//! Implements the two partitioning strategies the paper compares:
+//!
+//! * **1D partitioning** ([`Partition::one_d`]): every arc goes to its
+//!   source's owner, `owner(v) = v mod p`. On scale-free graphs the rank
+//!   that owns a hub receives that hub's entire adjacency — the workload and
+//!   communication imbalance of the paper's Figure 1.
+//! * **Delegate partitioning** ([`Partition::delegate`], paper §3.3,
+//!   after Pearce et al.): vertices with degree above a threshold `d_high`
+//!   become *delegates*, replicated on every rank. Arcs whose source is a
+//!   delegate are assigned by their **target's** owner instead, and a final
+//!   greedy pass reassigns delegate arcs from overloaded to underloaded
+//!   ranks, driving every rank toward `|arcs|/p`.
+//!
+//! The unit of assignment is the *arc*: each undirected edge `{u,v}`, u≠v,
+//! yields the two arcs `u→v` and `v→u`; a self-loop yields one arc. Every
+//! arc lands on exactly one rank (a proptest-checked invariant), so summing
+//! per-arc quantities across ranks never double counts.
+//!
+//! [`BalanceStats`] summarizes per-rank loads (edges or ghosts) for the
+//! workload/communication balance experiments (Figures 6–7).
+
+use std::collections::HashSet;
+
+use infomap_graph::{Graph, VertexId};
+
+/// A directed arc with the weight of its undirected parent edge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Arc {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub weight: f64,
+}
+
+/// How the delegate threshold `d_high` is chosen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DelegateThreshold {
+    /// `d_high = p`, the paper's §4 setting ("we set the threshold d_high as
+    /// the processor number"). Appropriate at the paper's scale, where `p`
+    /// is 256–4096 and only genuine hubs exceed it.
+    RankCount,
+    /// `d_high = max(p, factor × mean degree)` — the scale-adjusted version
+    /// of the paper's rule: on scaled-down graphs with small worlds, plain
+    /// `d_high = p` would delegate a large fraction of all vertices, which
+    /// the paper's setup never does. `Auto(4.0)` is the library default.
+    Auto(f64),
+    /// A fixed degree threshold.
+    Fixed(usize),
+}
+
+impl DelegateThreshold {
+    /// Resolve to a concrete degree bound for a world of `p` ranks on a
+    /// graph with the given mean degree (arcs per vertex).
+    pub fn resolve(self, p: usize, mean_degree: f64) -> usize {
+        match self {
+            DelegateThreshold::RankCount => p,
+            DelegateThreshold::Auto(factor) => p.max((factor * mean_degree).ceil() as usize),
+            DelegateThreshold::Fixed(d) => d,
+        }
+    }
+}
+
+/// The result of partitioning a graph over `nranks` ranks.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    pub nranks: usize,
+    /// Arc lists per rank; every stored arc of the graph appears in exactly
+    /// one list.
+    pub arcs: Vec<Vec<Arc>>,
+    /// Sorted delegate vertex ids (empty for 1D partitioning).
+    pub delegates: Vec<VertexId>,
+    /// `is_delegate[v]` for all vertices.
+    pub is_delegate: Vec<bool>,
+    /// Vertex-ownership rule used (block vs round-robin), needed when
+    /// counting ghosts.
+    pub block_owned: bool,
+}
+
+/// Round-robin 1D owner of vertex `v` among `p` ranks.
+pub fn owner(v: VertexId, p: usize) -> usize {
+    (v as usize) % p
+}
+
+/// Block 1D owner: contiguous ranges of `ceil(n/p)` vertex ids per rank —
+/// the assignment the prior-work 1D baselines use. On graphs whose id
+/// order carries locality (web crawls: pages of one site are adjacent),
+/// blocks capture dense regions and hubs wholesale, which is what blows up
+/// the per-rank spread in the paper's Figures 6–7.
+pub fn block_owner(v: VertexId, n: usize, p: usize) -> usize {
+    let block = n.div_ceil(p).max(1);
+    ((v as usize) / block).min(p - 1)
+}
+
+impl Partition {
+    /// Plain 1D partitioning: arc `u→v` goes to `owner(u)` (round-robin).
+    pub fn one_d(graph: &Graph, nranks: usize) -> Partition {
+        Self::one_d_with(graph, nranks, |u, _n, p| owner(u, p))
+    }
+
+    /// Block 1D partitioning: arc `u→v` goes to `block_owner(u)` — the
+    /// contiguous-range assignment of the prior-work baselines the paper
+    /// compares against in Figures 6–7.
+    pub fn one_d_block(graph: &Graph, nranks: usize) -> Partition {
+        let mut part = Self::one_d_with(graph, nranks, block_owner);
+        part.block_owned = true;
+        part
+    }
+
+    fn one_d_with(
+        graph: &Graph,
+        nranks: usize,
+        assign: impl Fn(VertexId, usize, usize) -> usize,
+    ) -> Partition {
+        assert!(nranks > 0);
+        let n = graph.num_vertices();
+        let mut arcs: Vec<Vec<Arc>> = vec![Vec::new(); nranks];
+        for u in 0..n as VertexId {
+            let r = assign(u, n, nranks);
+            for (v, w) in graph.arcs(u) {
+                if v == u {
+                    arcs[r].push(Arc { src: u, dst: u, weight: w });
+                } else {
+                    arcs[r].push(Arc { src: u, dst: v, weight: w });
+                }
+            }
+        }
+        Partition {
+            nranks,
+            arcs,
+            delegates: Vec::new(),
+            is_delegate: vec![false; n],
+            block_owned: false,
+        }
+    }
+
+    /// Delegate partitioning (paper §3.3).
+    ///
+    /// 1. Vertices with `degree > d_high` become delegates (replicated on
+    ///    every rank).
+    /// 2. Arcs with a low-degree source go to the source's owner; arcs with
+    ///    a delegate source go to the **target's** owner (so delegate and
+    ///    target co-locate).
+    /// 3. If `rebalance`, delegate-source arcs are greedily reassigned from
+    ///    ranks above the ideal load `total_arcs / p` to ranks below it —
+    ///    legal because the delegate source lives everywhere.
+    pub fn delegate(
+        graph: &Graph,
+        nranks: usize,
+        threshold: DelegateThreshold,
+        rebalance: bool,
+    ) -> Partition {
+        assert!(nranks > 0);
+        let n = graph.num_vertices();
+        let total_arcs: usize = (0..n as VertexId).map(|u| graph.degree(u)).sum();
+        let mean_degree = total_arcs as f64 / n.max(1) as f64;
+        let d_high = threshold.resolve(nranks, mean_degree).max(1);
+        let mut is_delegate = vec![false; n];
+        let mut delegates = Vec::new();
+        for u in 0..n as VertexId {
+            if graph.degree(u) > d_high {
+                is_delegate[u as usize] = true;
+                delegates.push(u);
+            }
+        }
+
+        let mut arcs: Vec<Vec<Arc>> = vec![Vec::new(); nranks];
+        // Delegate-source arcs, tracked for the rebalancing pass:
+        // (rank, index within that rank's list).
+        let mut movable: Vec<(usize, usize)> = Vec::new();
+        for u in 0..n as VertexId {
+            for (v, w) in graph.arcs(u) {
+                let arc = Arc { src: u, dst: v, weight: w };
+                let r = if is_delegate[u as usize] {
+                    // Delegate source: co-locate with the target. A
+                    // delegate-delegate arc can live anywhere; target's
+                    // owner is as good a default as any.
+                    owner(v, nranks)
+                } else {
+                    owner(u, nranks)
+                };
+                arcs[r].push(arc);
+                if is_delegate[u as usize] {
+                    movable.push((r, arcs[r].len() - 1));
+                }
+            }
+        }
+
+        if rebalance {
+            rebalance_delegate_arcs(&mut arcs, movable, nranks);
+        }
+
+        Partition { nranks, arcs, delegates, is_delegate, block_owned: false }
+    }
+
+    /// Per-rank arc counts — the paper's workload proxy ("the total workload
+    /// is proportional to the total edge number on this processor").
+    pub fn edge_counts(&self) -> Vec<usize> {
+        self.arcs.iter().map(Vec::len).collect()
+    }
+
+    /// Per-rank ghost-vertex counts — the paper's communication proxy.
+    ///
+    /// A ghost on rank `r` is a non-delegate vertex that appears in `r`'s
+    /// arcs but is owned elsewhere. Delegates are replicated everywhere and
+    /// therefore never ghosts.
+    pub fn ghost_counts(&self) -> Vec<usize> {
+        self.arcs
+            .iter()
+            .enumerate()
+            .map(|(r, arcs)| {
+                let n = self.is_delegate.len();
+                let owner_of = |v: VertexId| {
+                    if self.block_owned {
+                        block_owner(v, n, self.nranks)
+                    } else {
+                        owner(v, self.nranks)
+                    }
+                };
+                let mut ghosts: HashSet<VertexId> = HashSet::new();
+                for a in arcs {
+                    for v in [a.src, a.dst] {
+                        if !self.is_delegate[v as usize] && owner_of(v) != r {
+                            ghosts.insert(v);
+                        }
+                    }
+                }
+                ghosts.len()
+            })
+            .collect()
+    }
+
+    /// The low-degree vertices owned by `rank`.
+    pub fn owned_low_degree(&self, rank: usize) -> Vec<VertexId> {
+        (0..self.is_delegate.len() as VertexId)
+            .filter(|&v| !self.is_delegate[v as usize] && owner(v, self.nranks) == rank)
+            .collect()
+    }
+
+    /// Total number of arcs across all ranks.
+    pub fn total_arcs(&self) -> usize {
+        self.arcs.iter().map(Vec::len).sum()
+    }
+}
+
+/// Rebalance: move delegate-source arcs from ranks above the ideal
+/// per-rank load to ranks below it (paper §3.3 step 4). Delegate sources
+/// are replicated everywhere, so their arcs may live on any rank; the
+/// pass removes each overloaded rank's surplus of delegate arcs and deals
+/// it to under-loaded ranks, moving the minimum number of arcs.
+fn rebalance_delegate_arcs(
+    arcs: &mut [Vec<Arc>],
+    movable: Vec<(usize, usize)>,
+    nranks: usize,
+) {
+    let total: usize = arcs.iter().map(Vec::len).sum();
+    let ideal = total / nranks;
+    let mut loads: Vec<usize> = arcs.iter().map(Vec::len).collect();
+
+    // Movable arc indices per rank, ascending: `pop` then yields the
+    // highest remaining index, so each `remove` leaves all still-recorded
+    // (lower) indices valid.
+    let mut movable_by_rank: Vec<Vec<usize>> = vec![Vec::new(); nranks];
+    for (r, idx) in movable {
+        movable_by_rank[r].push(idx);
+    }
+    for list in &mut movable_by_rank {
+        list.sort_unstable();
+    }
+
+    // Collect every surplus delegate arc into a pool.
+    let mut pool: Vec<Arc> = Vec::new();
+    for r in 0..nranks {
+        while loads[r] > ideal {
+            let Some(idx) = movable_by_rank[r].pop() else { break };
+            // Indices were recorded against the original list; removals go
+            // from the highest index down, so `idx` is still in range and
+            // still points at the same (delegate-source) arc.
+            pool.push(arcs[r].remove(idx));
+            loads[r] -= 1;
+        }
+    }
+
+    // Deal the pool to the most under-loaded ranks first.
+    let mut order: Vec<usize> = (0..nranks).collect();
+    order.sort_by_key(|&r| loads[r]);
+    let mut i = 0;
+    'deal: loop {
+        let mut placed = false;
+        for &r in &order {
+            if i >= pool.len() {
+                break 'deal;
+            }
+            if loads[r] < ideal + 1 {
+                arcs[r].push(pool[i]);
+                loads[r] += 1;
+                i += 1;
+                placed = true;
+            }
+        }
+        if !placed {
+            // Everyone at ideal: spill the remainder round-robin.
+            for (j, arc) in pool[i..].iter().enumerate() {
+                arcs[j % nranks].push(*arc);
+            }
+            break;
+        }
+    }
+}
+
+/// Summary statistics over a per-rank load vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BalanceStats {
+    pub min: usize,
+    pub p25: usize,
+    pub median: usize,
+    pub p75: usize,
+    pub max: usize,
+    pub mean: f64,
+    /// max / mean — 1.0 is perfect balance.
+    pub imbalance: f64,
+}
+
+impl BalanceStats {
+    /// Compute from a per-rank load vector. Panics on empty input.
+    pub fn from_loads(loads: &[usize]) -> BalanceStats {
+        assert!(!loads.is_empty());
+        let mut sorted = loads.to_vec();
+        sorted.sort_unstable();
+        let q = |f: f64| sorted[((sorted.len() - 1) as f64 * f).round() as usize];
+        let mean = sorted.iter().sum::<usize>() as f64 / sorted.len() as f64;
+        BalanceStats {
+            min: sorted[0],
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            max: *sorted.last().unwrap(),
+            mean,
+            imbalance: if mean > 0.0 { *sorted.last().unwrap() as f64 / mean } else { 1.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infomap_graph::generators;
+
+    fn hub_graph() -> Graph {
+        // Star with 40 leaves plus a sparse ring among the leaves.
+        let mut edges: Vec<(VertexId, VertexId)> = (1..41).map(|v| (0, v)).collect();
+        for v in 1..40 {
+            edges.push((v, v + 1));
+        }
+        Graph::from_unweighted(41, &edges)
+    }
+
+    #[test]
+    fn one_d_assigns_every_arc_once() {
+        let g = hub_graph();
+        let p = Partition::one_d(&g, 4);
+        let total_arcs: usize = (0..g.num_vertices() as VertexId).map(|u| g.degree(u)).sum();
+        assert_eq!(p.total_arcs(), total_arcs);
+        for (r, arcs) in p.arcs.iter().enumerate() {
+            for a in arcs {
+                assert_eq!(owner(a.src, 4), r);
+            }
+        }
+    }
+
+    #[test]
+    fn one_d_overloads_the_hub_owner() {
+        let g = hub_graph();
+        let p = Partition::one_d(&g, 4);
+        let counts = p.edge_counts();
+        // Rank 0 owns the hub (vertex 0): it must carry the most arcs.
+        assert!(counts[0] > 2 * counts[1], "counts: {counts:?}");
+    }
+
+    #[test]
+    fn delegate_detects_hub_and_balances() {
+        let g = hub_graph();
+        let p = Partition::delegate(&g, 4, DelegateThreshold::Fixed(10), true);
+        assert_eq!(p.delegates, vec![0]);
+        let stats = BalanceStats::from_loads(&p.edge_counts());
+        assert!(stats.imbalance < 1.3, "imbalance {}: {:?}", stats.imbalance, p.edge_counts());
+        // Arc conservation under rebalancing.
+        let total_arcs: usize = (0..g.num_vertices() as VertexId).map(|u| g.degree(u)).sum();
+        assert_eq!(p.total_arcs(), total_arcs);
+    }
+
+    #[test]
+    fn delegate_threshold_rankcount_matches_paper() {
+        assert_eq!(DelegateThreshold::RankCount.resolve(64, 10.0), 64);
+        assert_eq!(DelegateThreshold::Fixed(7).resolve(64, 10.0), 7);
+        // Auto takes the larger of p and factor × mean degree.
+        assert_eq!(DelegateThreshold::Auto(4.0).resolve(8, 10.0), 40);
+        assert_eq!(DelegateThreshold::Auto(4.0).resolve(256, 10.0), 256);
+    }
+
+    #[test]
+    fn delegate_reduces_ghosts_versus_one_d_on_scale_free() {
+        let degs = generators::power_law_degrees(3000, 2.1, 2, 400, 5);
+        let g = generators::chung_lu(&degs, 6);
+        let p = 16;
+        let one_d = Partition::one_d(&g, p);
+        let del = Partition::delegate(&g, p, DelegateThreshold::RankCount, true);
+        let g1 = BalanceStats::from_loads(&one_d.ghost_counts());
+        let g2 = BalanceStats::from_loads(&del.ghost_counts());
+        assert!(
+            g2.max < g1.max,
+            "delegate max ghosts {} should beat 1D {}",
+            g2.max,
+            g1.max
+        );
+        let e1 = BalanceStats::from_loads(&one_d.edge_counts());
+        let e2 = BalanceStats::from_loads(&del.edge_counts());
+        assert!(e2.imbalance < e1.imbalance, "edge imbalance {} vs {}", e2.imbalance, e1.imbalance);
+    }
+
+    #[test]
+    fn no_delegates_when_threshold_high() {
+        let g = hub_graph();
+        let p = Partition::delegate(&g, 4, DelegateThreshold::Fixed(1000), true);
+        assert!(p.delegates.is_empty());
+        // Degenerates to 1D assignment.
+        let one_d = Partition::one_d(&g, 4);
+        assert_eq!(p.edge_counts(), one_d.edge_counts());
+    }
+
+    #[test]
+    fn owned_low_degree_excludes_delegates_and_foreign() {
+        let g = hub_graph();
+        let p = Partition::delegate(&g, 4, DelegateThreshold::Fixed(10), false);
+        let owned0 = p.owned_low_degree(0);
+        assert!(!owned0.contains(&0)); // vertex 0 is a delegate
+        assert!(owned0.iter().all(|&v| v % 4 == 0));
+    }
+
+    #[test]
+    fn balance_stats_quartiles() {
+        let s = BalanceStats::from_loads(&[1, 2, 3, 4, 100]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.median, 3);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 22.0).abs() < 1e-9);
+        assert!(s.imbalance > 4.0);
+    }
+
+    #[test]
+    fn rebalance_moves_only_delegate_source_arcs() {
+        // Regression: a descending-pop bug once removed wrong indices and
+        // shipped low-degree-source arcs to foreign ranks, breaking the
+        // "every low-degree arc lives with its source owner" invariant the
+        // distributed ghost topology depends on.
+        let degs = generators::power_law_degrees(2000, 2.0, 2, 500, 9);
+        let g = generators::chung_lu(&degs, 10);
+        for p in [2usize, 3, 8, 17] {
+            let part = Partition::delegate(&g, p, DelegateThreshold::Fixed(30), true);
+            for (r, arcs) in part.arcs.iter().enumerate() {
+                for a in arcs {
+                    assert!(
+                        part.is_delegate[a.src as usize] || owner(a.src, p) == r,
+                        "p={p}: non-delegate arc ({},{}) on rank {r}, owner {}",
+                        a.src,
+                        a.dst,
+                        owner(a.src, p)
+                    );
+                }
+            }
+            // Arc conservation under rebalancing.
+            let expect: usize =
+                (0..g.num_vertices() as VertexId).map(|u| g.degree(u)).sum();
+            assert_eq!(part.total_arcs(), expect, "p={p}");
+        }
+    }
+
+    #[test]
+    fn self_loops_partition_once() {
+        let g = Graph::from_edges(4, &[(0, 0, 1.0), (0, 1, 1.0), (2, 3, 1.0)]);
+        let p = Partition::one_d(&g, 2);
+        let selfs: usize = p
+            .arcs
+            .iter()
+            .flatten()
+            .filter(|a| a.src == a.dst)
+            .count();
+        assert_eq!(selfs, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for partitioning: arc conservation, ownership
+//! invariants, delegate replication, and rebalance legality — for
+//! arbitrary scale-free graphs and world sizes.
+
+use proptest::prelude::*;
+
+use infomap_graph::generators;
+use infomap_graph::VertexId;
+use infomap_partition::{owner, BalanceStats, DelegateThreshold, Partition};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn one_d_conserves_arcs_and_respects_ownership(
+        n in 20usize..200,
+        m in 30usize..400,
+        p in 1usize..12,
+        seed in 0u64..100,
+    ) {
+        let g = generators::erdos_renyi(n, m, seed);
+        let part = Partition::one_d(&g, p);
+        let expect: usize = (0..n as VertexId).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(part.total_arcs(), expect);
+        for (r, arcs) in part.arcs.iter().enumerate() {
+            for a in arcs {
+                prop_assert_eq!(owner(a.src, p), r);
+            }
+        }
+    }
+
+    #[test]
+    fn delegate_partition_invariants(
+        n in 50usize..300,
+        p in 1usize..10,
+        d_high in 2usize..40,
+        rebalance in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        let degs = generators::power_law_degrees(n, 2.0, 2, n / 2, seed);
+        let g = generators::chung_lu(&degs, seed ^ 1);
+        let part = Partition::delegate(&g, p, DelegateThreshold::Fixed(d_high), rebalance);
+
+        // Arc conservation.
+        let expect: usize = (0..g.num_vertices() as VertexId).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(part.total_arcs(), expect);
+
+        // Delegates are exactly the vertices above the threshold.
+        for v in 0..g.num_vertices() as VertexId {
+            prop_assert_eq!(
+                part.is_delegate[v as usize],
+                g.degree(v) > d_high,
+                "vertex {} degree {}",
+                v,
+                g.degree(v)
+            );
+        }
+
+        // Non-delegate arcs stay with their source owner.
+        for (r, arcs) in part.arcs.iter().enumerate() {
+            for a in arcs {
+                if !part.is_delegate[a.src as usize] {
+                    prop_assert_eq!(owner(a.src, p), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_never_hurts_balance(
+        n in 100usize..300,
+        p in 2usize..10,
+        seed in 0u64..100,
+    ) {
+        let degs = generators::power_law_degrees(n, 2.0, 2, n / 2, seed);
+        let g = generators::chung_lu(&degs, seed ^ 2);
+        let plain =
+            Partition::delegate(&g, p, DelegateThreshold::Fixed(8), false);
+        let balanced =
+            Partition::delegate(&g, p, DelegateThreshold::Fixed(8), true);
+        let a = BalanceStats::from_loads(&plain.edge_counts());
+        let b = BalanceStats::from_loads(&balanced.edge_counts());
+        prop_assert!(
+            b.max <= a.max,
+            "rebalance raised the max load: {} -> {}",
+            a.max,
+            b.max
+        );
+    }
+
+    #[test]
+    fn block_owner_covers_all_ranks_contiguously(
+        n in 10usize..500,
+        p in 1usize..16,
+    ) {
+        use infomap_partition::block_owner;
+        let mut prev = 0usize;
+        for v in 0..n as VertexId {
+            let r = block_owner(v, n, p);
+            prop_assert!(r < p);
+            prop_assert!(r >= prev, "ownership must be monotone in vertex id");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn ghost_counts_bounded_by_vertices(
+        n in 50usize..200,
+        m in 100usize..400,
+        p in 2usize..8,
+        seed in 0u64..50,
+    ) {
+        let g = generators::erdos_renyi(n, m, seed);
+        for part in [
+            Partition::one_d(&g, p),
+            Partition::delegate(&g, p, DelegateThreshold::RankCount, true),
+        ] {
+            for &c in &part.ghost_counts() {
+                prop_assert!(c <= n);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Dataset tour: cluster every Table 1 stand-in with the distributed
+//! algorithm and report size, runtime model, and quality against the
+//! sequential reference.
+//!
+//! ```text
+//! cargo run --release --example dataset_tour            # small scale
+//! DINFOMAP_SCALE=0.3 cargo run --release --example dataset_tour
+//! ```
+
+use distributed_infomap::prelude::*;
+
+fn main() {
+    let scale: f64 = std::env::var("DINFOMAP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.08);
+    let nranks = 8;
+    let model = CostModel::default();
+    println!(
+        "{:<14} {:>8} {:>9} {:>8} {:>8} {:>8} {:>10} {:>6}",
+        "dataset", "|V|", "|E|", "seq mods", "dist mods", "NMI", "modeled t", "ranks"
+    );
+    for id in DatasetId::ALL {
+        let profile = id.profile();
+        let (graph, _) = profile.generate_scaled(scale, 1);
+        let seq = Infomap::new(InfomapConfig::default()).run(&graph);
+        let dist = DistributedInfomap::new(DistributedConfig {
+            nranks,
+            ..Default::default()
+        })
+        .run(&graph);
+        let q = quality(&seq.modules, &dist.modules);
+        let t = model.makespan(&dist.rank_stats).total;
+        println!(
+            "{:<14} {:>8} {:>9} {:>8} {:>8} {:>8.2} {:>9.1}ms {:>6}",
+            profile.name,
+            graph.num_vertices(),
+            graph.num_edges(),
+            seq.num_modules(),
+            dist.num_modules(),
+            q.nmi,
+            t * 1e3,
+            nranks
+        );
+    }
+}

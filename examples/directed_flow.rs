@@ -1,0 +1,69 @@
+//! Directed community detection: the paper's §2.2 notes Infomap applies
+//! to directed graphs as well; this example runs the directed map
+//! equation over PageRank flows on a citation-style network where
+//! direction matters.
+//!
+//! ```text
+//! cargo run --release --example directed_flow
+//! ```
+
+use infomap_core::directed::{
+    directed_infomap, DirectedNetwork, PageRankConfig,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() {
+    // Three "research fields": dense citation cycles inside each field,
+    // sparse one-way citations from newer fields to older ones.
+    let mut rng = StdRng::seed_from_u64(7);
+    let field_size = 40u32;
+    let fields = 3u32;
+    let n = (field_size * fields) as usize;
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    for f in 0..fields {
+        let base = f * field_size;
+        for i in 0..field_size {
+            // Everyone cites a handful of random papers in their field.
+            for _ in 0..4 {
+                let j = rng.gen_range(0..field_size);
+                if i != j {
+                    edges.push((base + i, base + j, 1.0));
+                }
+            }
+        }
+    }
+    // One-way inter-field citations (field k cites field k-1).
+    for f in 1..fields {
+        for _ in 0..6 {
+            let src = f * field_size + rng.gen_range(0..field_size);
+            let dst = (f - 1) * field_size + rng.gen_range(0..field_size);
+            edges.push((src, dst, 1.0));
+        }
+    }
+
+    let net = DirectedNetwork::from_edges(n, &edges, PageRankConfig::default());
+    let result = directed_infomap(&net, 0);
+    let k = result.modules.iter().copied().max().unwrap() + 1;
+    println!("directed citation network: {n} vertices, {} arcs", edges.len());
+    println!(
+        "detected {k} modules, codelength {:.4} bits (one-level {:.4})",
+        result.codelength, result.one_level_codelength
+    );
+
+    // How well do modules match the planted fields?
+    let truth: Vec<u32> = (0..n as u32).map(|v| v / field_size).collect();
+    let q = infomap_metrics::quality(&truth, &result.modules);
+    println!(
+        "agreement with the planted fields: NMI {:.2}, F {:.2}, Jaccard {:.2}",
+        q.nmi, q.f_measure, q.jaccard
+    );
+
+    // Flow concentrates downstream: oldest field holds the most PageRank.
+    for f in 0..fields {
+        let mass: f64 = (f * field_size..(f + 1) * field_size)
+            .map(|u| net.node_flow(u))
+            .sum();
+        println!("field {f}: {:.1}% of the visit flow", mass * 100.0);
+    }
+}

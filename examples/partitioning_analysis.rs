@@ -1,0 +1,55 @@
+//! Partitioning analysis: why hubs break 1D partitioning and how vertex
+//! delegates fix it (the paper's §2.3/§3.3 story on one graph).
+//!
+//! ```text
+//! cargo run --release --example partitioning_analysis
+//! ```
+
+use distributed_infomap::prelude::*;
+
+fn print_stats(label: &str, loads: &[usize]) {
+    let s = BalanceStats::from_loads(loads);
+    println!(
+        "  {label:<22} min {:>7}  median {:>7}  max {:>7}  max/mean {:>5.2}",
+        s.min, s.median, s.max, s.imbalance
+    );
+}
+
+fn main() {
+    let p = 64;
+    // A scale-free graph with a few monster hubs (Chung–Lu over a
+    // power-law degree sequence with exponent 2.0).
+    let degrees = generators::power_law_degrees(40_000, 2.0, 2, 8_000, 1);
+    let graph = generators::chung_lu(&degrees, 2);
+    println!(
+        "scale-free graph: {} vertices, {} edges, max degree {}\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    println!("edges per rank (workload proxy), p = {p}:");
+    let one_d = Partition::one_d_block(&graph, p);
+    print_stats("block 1D", &one_d.edge_counts());
+    let rr = Partition::one_d(&graph, p);
+    print_stats("round-robin 1D", &rr.edge_counts());
+    let plain = Partition::delegate(&graph, p, DelegateThreshold::RankCount, false);
+    print_stats("delegate, no rebalance", &plain.edge_counts());
+    let full = Partition::delegate(&graph, p, DelegateThreshold::RankCount, true);
+    print_stats("delegate + rebalance", &full.edge_counts());
+
+    println!("\nghost vertices per rank (communication proxy):");
+    print_stats("block 1D", &one_d.ghost_counts());
+    print_stats("round-robin 1D", &rr.ghost_counts());
+    print_stats("delegate + rebalance", &full.ghost_counts());
+
+    println!(
+        "\ndelegates: {} of {} vertices replicated (threshold d_high = p = {p})",
+        full.delegates.len(),
+        graph.num_vertices()
+    );
+    println!(
+        "heaviest delegate: degree {}",
+        full.delegates.iter().map(|&d| graph.degree(d)).max().unwrap_or(0)
+    );
+}
