@@ -345,8 +345,8 @@ fn contract(graph: &Graph, flows: &[f64], assigned: &[u32]) -> (Graph, Vec<f64>,
     let n = graph.num_vertices();
     let mut dense = vec![u32::MAX; n];
     let mut next = 0u32;
-    for u in 0..n {
-        let m = assigned[u] as usize;
+    for &a in assigned.iter().take(n) {
+        let m = a as usize;
         if dense[m] == u32::MAX {
             dense[m] = next;
             next += 1;

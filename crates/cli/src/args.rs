@@ -18,6 +18,10 @@ CLUSTER OPTIONS:
   --seed S                            RNG seed (default 0)
   --output FILE                       write `vertex community` lines
   --quiet                             suppress the run report
+  --fault-plan SPEC                   dist only: inject faults, e.g.
+                                      \"seed=1;crash=1@200;drop=0.01;straggler=0x2\"
+  --checkpoint-every N                dist only: checkpoint every N rounds (default 0 = off)
+  --max-retries N                     dist only: retries from the last checkpoint (default 3)
 
 PARTITION OPTIONS:
   --ranks N                           world size (default 8)
@@ -40,6 +44,12 @@ pub enum Command {
         seed: u64,
         output: Option<String>,
         quiet: bool,
+        /// Fault-injection spec for the simulated fabric (dist only).
+        fault_plan: Option<String>,
+        /// Checkpoint interval in inner rounds (dist only, 0 = off).
+        checkpoint_every: usize,
+        /// Retry budget when a fault plan is active (dist only).
+        max_retries: usize,
     },
     Partition {
         path: String,
@@ -91,6 +101,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut seed = 0u64;
             let mut output = None;
             let mut quiet = false;
+            let mut fault_plan = None;
+            let mut checkpoint_every = 0usize;
+            let mut max_retries = 3usize;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--algorithm" => {
@@ -107,10 +120,24 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--seed" => seed = num(&mut it, flag)?,
                     "--output" => output = Some(next(&mut it, flag)?),
                     "--quiet" => quiet = true,
+                    "--fault-plan" => fault_plan = Some(next(&mut it, flag)?),
+                    "--checkpoint-every" => checkpoint_every = num(&mut it, flag)?,
+                    "--max-retries" => max_retries = num(&mut it, flag)?,
                     other => return Err(format!("cluster: unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Cluster { path, algorithm, ranks, threads, seed, output, quiet })
+            Ok(Command::Cluster {
+                path,
+                algorithm,
+                ranks,
+                threads,
+                seed,
+                output,
+                quiet,
+                fault_plan,
+                checkpoint_every,
+                max_retries,
+            })
         }
         "partition" => {
             let path = it.next().ok_or("partition: missing <edges.txt>")?.clone();
@@ -194,6 +221,9 @@ mod tests {
                 seed: 0,
                 output: None,
                 quiet: false,
+                fault_plan: None,
+                checkpoint_every: 0,
+                max_retries: 3,
             }
         );
     }
@@ -211,6 +241,22 @@ mod tests {
                 assert_eq!(seed, 7);
                 assert_eq!(output.as_deref(), Some("out.txt"));
                 assert!(quiet);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fault_and_recovery_flags() {
+        let cmd = parse(&argv(
+            "cluster g.txt --fault-plan seed=1;crash=1@200 --checkpoint-every 2 --max-retries 5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Cluster { fault_plan, checkpoint_every, max_retries, .. } => {
+                assert_eq!(fault_plan.as_deref(), Some("seed=1;crash=1@200"));
+                assert_eq!(checkpoint_every, 2);
+                assert_eq!(max_retries, 5);
             }
             other => panic!("wrong parse: {other:?}"),
         }

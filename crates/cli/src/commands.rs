@@ -4,21 +4,41 @@ use std::io::Write;
 
 use infomap_baselines::{gossip_map, GossipConfig, RelaxMap, RelaxMapConfig};
 use infomap_core::sequential::{Infomap, InfomapConfig};
-use infomap_distributed::{DistributedConfig, DistributedInfomap};
+use infomap_distributed::{DistributedConfig, DistributedInfomap, RecoveryConfig};
 use infomap_graph::datasets::DatasetId;
 use infomap_graph::generators::{lfr_like, LfrParams};
 use infomap_graph::{io, Graph};
 use infomap_metrics::modularity;
-use infomap_mpisim::CostModel;
+use infomap_mpisim::{CostModel, FaultPlan};
 use infomap_partition::{BalanceStats, DelegateThreshold, Partition};
 
 use crate::args::{Algorithm, Command, Strategy};
 
 pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
-        Command::Cluster { path, algorithm, ranks, threads, seed, output, quiet } => {
-            cluster(&path, algorithm, ranks, threads, seed, output.as_deref(), quiet)
-        }
+        Command::Cluster {
+            path,
+            algorithm,
+            ranks,
+            threads,
+            seed,
+            output,
+            quiet,
+            fault_plan,
+            checkpoint_every,
+            max_retries,
+        } => cluster(
+            &path,
+            algorithm,
+            ranks,
+            threads,
+            seed,
+            output.as_deref(),
+            quiet,
+            fault_plan.as_deref(),
+            checkpoint_every,
+            max_retries,
+        ),
         Command::Partition { path, ranks, strategy } => partition(&path, ranks, strategy),
         Command::Generate { what, n, mu, scale, seed, output, truth } => {
             generate(&what, n, mu, scale, seed, output.as_deref(), truth.as_deref())
@@ -31,6 +51,7 @@ fn load(path: &str) -> Result<io::LoadedGraph, String> {
     io::read_edge_list_file(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cluster(
     path: &str,
     algorithm: Algorithm,
@@ -39,10 +60,19 @@ fn cluster(
     seed: u64,
     output: Option<&str>,
     quiet: bool,
+    fault_plan: Option<&str>,
+    checkpoint_every: usize,
+    max_retries: usize,
 ) -> Result<(), String> {
+    if algorithm != Algorithm::Distributed && (fault_plan.is_some() || checkpoint_every > 0) {
+        return Err(
+            "--fault-plan/--checkpoint-every are only supported by --algorithm dist".into(),
+        );
+    }
     let loaded = load(path)?;
     let g = &loaded.graph;
     let started = std::time::Instant::now();
+    let mut recovery_line = None;
     let (name, modules, codelength): (&str, Vec<u32>, f64) = match algorithm {
         Algorithm::Sequential => {
             let r = Infomap::new(InfomapConfig { seed, ..Default::default() }).run(g);
@@ -54,12 +84,26 @@ fn cluster(
             ("RelaxMap", r.modules, r.codelength)
         }
         Algorithm::Distributed => {
+            let plan = fault_plan.map(FaultPlan::parse).transpose()?;
             let r = DistributedInfomap::new(DistributedConfig {
                 nranks: ranks,
                 seed,
+                recovery: RecoveryConfig {
+                    checkpoint_every,
+                    max_retries,
+                    ..Default::default()
+                },
                 ..Default::default()
             })
-            .run(g);
+            .run_with_plan(g, plan)?;
+            if fault_plan.is_some() {
+                recovery_line = Some(format!(
+                    "{} attempt(s), {} restore(s), {} checkpoint(s) committed",
+                    r.recovery.attempts,
+                    r.recovery.restores,
+                    r.recovery.checkpoints_committed
+                ));
+            }
             ("distributed Infomap", r.modules, r.codelength)
         }
         Algorithm::Gossip => {
@@ -76,6 +120,9 @@ fn cluster(
         println!("  codelength: {codelength:.6} bits");
         println!("  modularity: {:.4}", modularity(g, &modules));
         println!("  wall time:  {elapsed:?}");
+        if let Some(line) = &recovery_line {
+            println!("  recovery:   {line}");
+        }
     }
 
     if let Some(out_path) = output {
@@ -229,6 +276,9 @@ mod tests {
             seed: 1,
             output: Some(out.clone()),
             quiet: true,
+            fault_plan: None,
+            checkpoint_every: 0,
+            max_retries: 3,
         })
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
@@ -257,9 +307,49 @@ mod tests {
                 seed: 0,
                 output: None,
                 quiet: true,
+                fault_plan: None,
+                checkpoint_every: 0,
+                max_retries: 3,
             })
             .unwrap();
         }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn fault_plan_is_distributed_only() {
+        let err = run(Command::Cluster {
+            path: "g.txt".into(),
+            algorithm: Algorithm::Sequential,
+            ranks: 2,
+            threads: 1,
+            seed: 0,
+            output: None,
+            quiet: true,
+            fault_plan: Some("seed=1;crash=0@5".into()),
+            checkpoint_every: 0,
+            max_retries: 3,
+        });
+        assert!(err.unwrap_err().contains("only supported by --algorithm dist"));
+    }
+
+    #[test]
+    fn cluster_recovers_through_an_injected_crash() {
+        let dir = tmpdir("chaos");
+        let path = write_test_graph(&dir);
+        run(Command::Cluster {
+            path,
+            algorithm: Algorithm::Distributed,
+            ranks: 2,
+            threads: 1,
+            seed: 0,
+            output: None,
+            quiet: true,
+            fault_plan: Some("seed=3;crash=1@50".into()),
+            checkpoint_every: 2,
+            max_retries: 3,
+        })
+        .unwrap();
         std::fs::remove_dir_all(dir).ok();
     }
 

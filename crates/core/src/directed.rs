@@ -372,6 +372,7 @@ impl DirectedPartitioning {
             - plogp(q_j + p_j)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn apply(
         &mut self,
         net: &DirectedNetwork,

@@ -1,0 +1,159 @@
+//! Round-boundary checkpointing of the distributed clustering state.
+//!
+//! A checkpoint is everything a rank needs to resume the algorithm from a
+//! committed round boundary: its [`LocalState`] (module assignments and
+//! statistics, delta-sync bookkeeping), the stage cursor (round number,
+//! MDL trajectory, mid-stream RNG), the delegate assignment, and the
+//! driver-level carry (original-vertex assignments, stage trace, previous
+//! MDL). Restoring a snapshot and replaying the remaining rounds is
+//! bit-identical to the uninterrupted run, because the RNG resumes exactly
+//! where it was captured.
+//!
+//! Consistency is by construction, not by protocol: commits only happen
+//! immediately after a consensus collective with no communication event in
+//! between (see `cluster_stage_recoverable`), and injected crashes only
+//! fire at communication-event boundaries — so either every rank committed
+//! a boundary or none did, and [`CheckpointStore::latest_pos`] can insist
+//! on global agreement.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::driver::StageTrace;
+use crate::rounds::StageCursor;
+use crate::state::LocalState;
+
+/// Global position of a snapshot: which stage, merge level and round the
+/// checkpointed boundary belongs to. Identical on every rank of a
+/// committed checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SnapshotPos {
+    /// 1 = stage-1 clustering (with delegates), 2 = stage-2.
+    pub stage: u8,
+    /// Merge level (0 for stage 1).
+    pub level: u32,
+    /// The next round the resumed stage will execute.
+    pub round: u32,
+}
+
+impl SnapshotPos {
+    /// Pack into one word for cheap consensus collectives.
+    pub fn as_word(&self) -> u64 {
+        ((self.stage as u64) << 48) | ((self.level as u64) << 16) | self.round as u64
+    }
+}
+
+/// One rank's checkpoint.
+#[derive(Clone, Debug)]
+pub struct RankSnapshot {
+    pub pos: SnapshotPos,
+    /// The clustering state of the current level.
+    pub st: LocalState,
+    /// Mid-stage cursor to resume `cluster_stage_recoverable` from.
+    pub cursor: StageCursor,
+    /// Delegate (stage 1) assignment map at the boundary.
+    pub delegate_assign: HashMap<u32, u64>,
+    /// Original-vertex assignments carried by the driver (empty during
+    /// stage 1, where they are derived at the first merge).
+    pub assign: Vec<(u32, u32)>,
+    /// Stage trace accumulated so far.
+    pub trace: Vec<StageTrace>,
+    /// MDL of the last completed stage (driver carry).
+    pub prev_mdl: f64,
+    /// Vertex count of the current level graph (driver carry).
+    pub level_vertices: usize,
+}
+
+impl RankSnapshot {
+    /// Approximate bytes a serialized checkpoint would occupy — the
+    /// evolving clustering data, not the level topology (which is
+    /// reconstructible from the partitioned input). Used to meter
+    /// checkpoint writes/reads for the cost model.
+    pub fn approx_wire_bytes(&self) -> u64 {
+        let st = &self.st;
+        let assignments = st.module_of.len() as u64 * 8;
+        // Module tables: id (8) + flow/exit (16) + members (4).
+        let tables = (st.modules.len() + st.owned_modules.len()) as u64 * 28;
+        let delta_bookkeeping =
+            (st.last_contrib.len() + st.owner_sources.len()) as u64 * 28;
+        let delegate = self.delegate_assign.len() as u64 * 12;
+        let carry = self.assign.len() as u64 * 8 + self.cursor.mdl_series.len() as u64 * 8;
+        assignments + tables + delta_bookkeeping + delegate + carry + 64
+    }
+}
+
+/// In-memory stand-in for the checkpoint storage of a real deployment
+/// (burst buffer / parallel FS): one slot per rank, written behind the
+/// stage's consensus collective and read back at the start of a retry.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    slots: Vec<Mutex<Option<RankSnapshot>>>,
+    commits: AtomicU64,
+}
+
+impl CheckpointStore {
+    pub fn new(nranks: usize) -> Self {
+        CheckpointStore {
+            slots: (0..nranks).map(|_| Mutex::new(None)).collect(),
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    /// Commit `rank`'s snapshot, replacing any older one.
+    pub fn commit(&self, rank: usize, snap: RankSnapshot) {
+        *self.slots[rank].lock().unwrap() = Some(snap);
+        self.commits.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The globally agreed checkpoint position, if any checkpoint was
+    /// committed. Panics if ranks disagree — the commit protocol makes
+    /// that impossible, so disagreement is a bug, not a recoverable state.
+    pub fn latest_pos(&self) -> Option<SnapshotPos> {
+        let mut pos: Option<SnapshotPos> = None;
+        for (rank, slot) in self.slots.iter().enumerate() {
+            let guard = slot.lock().unwrap();
+            match (&*guard, pos) {
+                (None, None) => {}
+                (Some(s), None) if rank == 0 => pos = Some(s.pos),
+                (Some(s), Some(p)) => {
+                    assert_eq!(s.pos, p, "rank {rank} checkpointed a different boundary");
+                }
+                _ => panic!("checkpoint store is inconsistent: rank {rank} differs"),
+            }
+        }
+        pos
+    }
+
+    /// A clone of `rank`'s latest snapshot.
+    pub fn restore(&self, rank: usize) -> Option<RankSnapshot> {
+        self.slots[rank].lock().unwrap().clone()
+    }
+
+    /// Total rank-snapshot commits over the store's lifetime.
+    pub fn checkpoints_committed(&self) -> u64 {
+        self.commits.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_word_orders_like_the_tuple() {
+        let a = SnapshotPos { stage: 1, level: 0, round: 4 };
+        let b = SnapshotPos { stage: 1, level: 0, round: 6 };
+        let c = SnapshotPos { stage: 2, level: 1, round: 0 };
+        assert!(a < b && b < c);
+        assert!(a.as_word() < b.as_word() && b.as_word() < c.as_word());
+    }
+
+    #[test]
+    fn empty_store_has_no_position() {
+        let store = CheckpointStore::new(3);
+        assert!(store.latest_pos().is_none());
+        assert!(store.restore(1).is_none());
+        assert_eq!(store.checkpoints_committed(), 0);
+    }
+}

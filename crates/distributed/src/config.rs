@@ -46,6 +46,30 @@ pub struct DistributedConfig {
     /// modules, so syncing every round caps scalability; the paper's own
     /// "Other" phase shrinks with p because it is purely local.
     pub sync_interval: usize,
+    /// Checkpoint/retry policy for fault-tolerant runs.
+    pub recovery: RecoveryConfig,
+}
+
+/// Checkpoint and retry policy of the fault-tolerant driver
+/// ([`crate::DistributedInfomap::run_with_plan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Checkpoint the clustering state every this-many inner rounds;
+    /// `0` (the default) disables checkpointing entirely, leaving the
+    /// fault-free execution bit-identical to a build without it.
+    pub checkpoint_every: usize,
+    /// How many times a failed attempt may be retried from the last
+    /// checkpoint (or from scratch when none was committed yet).
+    pub max_retries: usize,
+    /// When retries are exhausted, return the best checkpointed clustering
+    /// (degraded result) instead of an error.
+    pub degrade_gracefully: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig { checkpoint_every: 0, max_retries: 3, degrade_gracefully: false }
+    }
 }
 
 impl Default for DistributedConfig {
@@ -63,6 +87,7 @@ impl Default for DistributedConfig {
             full_module_swap: true,
             move_fraction_denom: 2,
             sync_interval: 1,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -78,5 +103,13 @@ mod tests {
         assert!(c.rebalance);
         assert!(c.min_label_tiebreak);
         assert!(c.full_module_swap);
+    }
+
+    #[test]
+    fn recovery_is_disabled_by_default() {
+        let r = DistributedConfig::default().recovery;
+        assert_eq!(r.checkpoint_every, 0, "fault-free runs must not checkpoint");
+        assert_eq!(r.max_retries, 3);
+        assert!(!r.degrade_gracefully);
     }
 }

@@ -7,34 +7,17 @@ use std::collections::HashMap;
 
 use infomap_core::plogp;
 use infomap_graph::{Graph, VertexId};
-use infomap_mpisim::{Comm, RankStats, World};
+use infomap_mpisim::{Comm, FaultPlan, RankStats, ReduceOp, World};
 use infomap_partition::{Arc, Partition};
-use parking_lot_compat::TakeSlots;
 
+use crate::checkpoint::{CheckpointStore, RankSnapshot, SnapshotPos};
 use crate::config::DistributedConfig;
 use crate::messages::{AssignmentReply, MergedArc, MergedFlow};
-use crate::rounds::{cluster_stage, StageOutcome};
+use crate::rounds::{cluster_stage_recoverable, StageCursor, StageOutcome};
 use crate::state::{build_1d_state, build_stage1_states, LocalState, VertexKind};
 
-/// Minimal slot container letting each rank take its prebuilt state.
-mod parking_lot_compat {
-    use std::sync::Mutex;
-
-    pub struct TakeSlots<T>(Vec<Mutex<Option<T>>>);
-
-    impl<T> TakeSlots<T> {
-        pub fn new(items: Vec<T>) -> Self {
-            TakeSlots(items.into_iter().map(|x| Mutex::new(Some(x))).collect())
-        }
-
-        pub fn take(&self, i: usize) -> T {
-            self.0[i].lock().unwrap().take().expect("state already taken")
-        }
-    }
-}
-
 /// Trace entry for one clustering stage at one merge level.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StageTrace {
     /// 1 = clustering with delegates, 2 = without.
     pub stage: u8,
@@ -66,10 +49,30 @@ pub struct DistributedOutput {
     pub one_level_codelength: f64,
     /// Per-stage trace (stage 1 first, then one entry per stage-2 level).
     pub trace: Vec<StageTrace>,
-    /// Per-rank metering counters (for the cost model).
+    /// Per-rank metering counters (for the cost model). With retries,
+    /// every attempt's traffic and work is accumulated here — failed work
+    /// costs real time too.
     pub rank_stats: Vec<RankStats>,
     /// World size the run used.
     pub nranks: usize,
+    /// What fault recovery did (all zeros/false on a fault-free run).
+    pub recovery: RecoveryReport,
+}
+
+/// Summary of the retry loop of a fault-tolerant run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// World executions, including the successful one (1 = no failure).
+    pub attempts: usize,
+    /// Attempts that started from a restored checkpoint.
+    pub restores: usize,
+    /// Rank-snapshot commits across all attempts.
+    pub checkpoints_committed: u64,
+    /// True when retries were exhausted and the output is the best
+    /// checkpointed clustering instead of a completed run.
+    pub degraded: bool,
+    /// Per-attempt root-cause panic messages of failed ranks.
+    pub failures: Vec<String>,
 }
 
 impl DistributedOutput {
@@ -105,11 +108,29 @@ impl DistributedInfomap {
 
     /// Run the full algorithm on `graph` over the simulated cluster.
     pub fn run(&self, graph: &Graph) -> DistributedOutput {
+        self.run_with_plan(graph, None)
+            .expect("a fault-free distributed run cannot fail")
+    }
+
+    /// Run the full algorithm under an optional [`FaultPlan`].
+    ///
+    /// With a plan, the driver becomes a retry loop: each world execution
+    /// that ends with failed ranks is re-run (up to
+    /// `cfg.recovery.max_retries` times), restoring the last committed
+    /// checkpoint when one exists — and, because the fault state lives on
+    /// the [`World`], one-shot crashes stay fired across attempts. When
+    /// retries are exhausted, the result is either the best checkpointed
+    /// clustering (`cfg.recovery.degrade_gracefully`) or an error listing
+    /// every root-cause failure.
+    pub fn run_with_plan(
+        &self,
+        graph: &Graph,
+        plan: Option<FaultPlan>,
+    ) -> Result<DistributedOutput, String> {
         let cfg = self.cfg;
         let p = cfg.nranks;
         let partition = Partition::delegate(graph, p, cfg.threshold, cfg.rebalance);
         let states = build_stage1_states(graph, &partition);
-        let slots = TakeSlots::new(states);
 
         let inv_two_w = 1.0 / (2.0 * graph.total_weight());
         let node_term: f64 = (0..graph.num_vertices() as VertexId)
@@ -118,45 +139,172 @@ impl DistributedInfomap {
         let one_level = -node_term;
         let delegates = partition.delegates.clone();
         let original_n = graph.num_vertices();
+        let store = CheckpointStore::new(p);
+        let checkpoint_every = cfg.recovery.checkpoint_every;
 
-        let report = World::new(p).run(|comm| {
+        let with_faults = plan.as_ref().is_some_and(|pl| !pl.is_empty());
+        let mut world = World::new(p);
+        if let Some(plan) = plan {
+            world = world.fault_plan(plan);
+        }
+        let max_attempts = if with_faults { 1 + cfg.recovery.max_retries } else { 1 };
+
+        let attempt = |comm: &mut Comm| {
             let rank = comm.rank();
-            let mut st = slots.take(rank);
-            let mut trace: Vec<StageTrace> = Vec::new();
-            let mut delegate_assign: HashMap<u32, u64> =
-                delegates.iter().map(|&d| (d, d as u64)).collect();
+            let mut st: LocalState;
+            let mut trace: Vec<StageTrace>;
+            let mut assign: Vec<(u32, u32)>;
+            let mut delegate_assign: HashMap<u32, u64>;
+            let mut prev_mdl: f64;
+            let mut level_vertices: usize;
+            let mut resume: Option<(SnapshotPos, StageCursor)> = None;
 
-            // ---- Stage 1: clustering with delegates ----
-            let s1 = cluster_stage(comm, &mut st, &cfg, node_term, &mut delegate_assign, "s1/");
-
-            // ---- First merge: original vertices → level-1 vertices ----
-            let merge = comm.phase("Merge", |c| distributed_merge(c, &st, &cfg));
-
-            // Original-vertex assignments this rank is responsible for.
-            let mut assign: Vec<(u32, u32)> = Vec::new();
-            for (li, &v) in st.verts.iter().enumerate() {
-                if st.kind[li] == VertexKind::Owned {
-                    assign.push((v, merge.dense[&st.module_of[li]]));
+            match store.restore(rank) {
+                Some(snap) => {
+                    // Every rank must resume the same boundary; the commit
+                    // protocol guarantees it, the collective verifies it
+                    // (and doubles as the attempt's entry barrier). The
+                    // restore read is metered as checkpoint traffic.
+                    comm.phase("Recovery", |c| {
+                        let word = snap.pos.as_word();
+                        let lo = c.allreduce_u64(word, ReduceOp::Min);
+                        let hi = c.allreduce_u64(word, ReduceOp::Max);
+                        assert_eq!(lo, hi, "ranks restored different checkpoints");
+                        c.add_checkpoint_bytes(snap.approx_wire_bytes());
+                    });
+                    st = snap.st;
+                    trace = snap.trace;
+                    assign = snap.assign;
+                    delegate_assign = snap.delegate_assign;
+                    prev_mdl = snap.prev_mdl;
+                    level_vertices = snap.level_vertices;
+                    resume = Some((snap.pos, snap.cursor));
+                }
+                None => {
+                    st = states[rank].clone();
+                    trace = Vec::new();
+                    assign = Vec::new();
+                    delegate_assign = delegates.iter().map(|&d| (d, d as u64)).collect();
+                    prev_mdl = 0.0;
+                    level_vertices = 0;
                 }
             }
-            for &d in &delegates {
-                if (d as usize) % p == rank {
-                    assign.push((d, merge.dense[&delegate_assign[&d]]));
-                }
-            }
 
-            push_trace(&mut trace, 1, 0, &s1, original_n, merge.dense.len());
-            let mut st = merge.state;
-            let mut prev_mdl = s1.mdl;
-            let mut level_vertices = merge.dense.len();
+            let resumed_stage2 =
+                resume.as_ref().is_some_and(|(pos, _)| pos.stage == 2);
+            let mut start_level = 1usize;
+
+            if !resumed_stage2 {
+                // ---- Stage 1: clustering with delegates (fresh, or
+                //      resumed mid-stage from a checkpoint) ----
+                let s1_resume = resume.take().map(|(_, cursor)| cursor);
+                let s1 = {
+                    let assign_ref = &assign;
+                    let trace_ref = &trace;
+                    cluster_stage_recoverable(
+                        comm,
+                        &mut st,
+                        &cfg,
+                        node_term,
+                        &mut delegate_assign,
+                        "s1/",
+                        s1_resume,
+                        checkpoint_every,
+                        &mut |c, stc, da, cursor| {
+                            let snap = RankSnapshot {
+                                pos: SnapshotPos {
+                                    stage: 1,
+                                    level: 0,
+                                    round: cursor.next_round as u32,
+                                },
+                                st: stc.clone(),
+                                cursor: cursor.clone(),
+                                delegate_assign: da.clone(),
+                                assign: assign_ref.clone(),
+                                trace: trace_ref.clone(),
+                                prev_mdl,
+                                level_vertices,
+                            };
+                            c.add_checkpoint_bytes(snap.approx_wire_bytes());
+                            store.commit(rank, snap);
+                        },
+                    )
+                };
+
+                // ---- First merge: original vertices → level-1 vertices ----
+                let merge = comm.phase("Merge", |c| distributed_merge(c, &st, &cfg));
+
+                // Original-vertex assignments this rank is responsible for.
+                assign.clear();
+                for (li, &v) in st.verts.iter().enumerate() {
+                    if st.kind[li] == VertexKind::Owned {
+                        assign.push((v, merge.dense[&st.module_of[li]]));
+                    }
+                }
+                for &d in &delegates {
+                    if (d as usize) % p == rank {
+                        assign.push((d, merge.dense[&delegate_assign[&d]]));
+                    }
+                }
+
+                push_trace(&mut trace, 1, 0, &s1, original_n, merge.dense.len());
+                st = merge.state;
+                prev_mdl = s1.mdl;
+                level_vertices = merge.dense.len();
+            } else {
+                start_level = resume.as_ref().map(|(pos, _)| pos.level as usize).unwrap();
+            }
 
             // ---- Stage 2 loop: clustering without delegates ----
-            let mut no_delegates: HashMap<u32, u64> = HashMap::new();
-            for level in 1..=cfg.max_outer_iterations {
+            let mut no_delegates: HashMap<u32, u64> = if resumed_stage2 {
+                std::mem::take(&mut delegate_assign)
+            } else {
+                HashMap::new()
+            };
+            for level in start_level..=cfg.max_outer_iterations {
                 if level_vertices <= 1 {
                     break;
                 }
-                let s2 = cluster_stage(comm, &mut st, &cfg, node_term, &mut no_delegates, "s2/");
+                let s2_resume = if resume
+                    .as_ref()
+                    .is_some_and(|(pos, _)| pos.stage == 2 && pos.level as usize == level)
+                {
+                    resume.take().map(|(_, cursor)| cursor)
+                } else {
+                    None
+                };
+                let s2 = {
+                    let assign_ref = &assign;
+                    let trace_ref = &trace;
+                    cluster_stage_recoverable(
+                        comm,
+                        &mut st,
+                        &cfg,
+                        node_term,
+                        &mut no_delegates,
+                        "s2/",
+                        s2_resume,
+                        checkpoint_every,
+                        &mut |c, stc, da, cursor| {
+                            let snap = RankSnapshot {
+                                pos: SnapshotPos {
+                                    stage: 2,
+                                    level: level as u32,
+                                    round: cursor.next_round as u32,
+                                },
+                                st: stc.clone(),
+                                cursor: cursor.clone(),
+                                delegate_assign: da.clone(),
+                                assign: assign_ref.clone(),
+                                trace: trace_ref.clone(),
+                                prev_mdl,
+                                level_vertices,
+                            };
+                            c.add_checkpoint_bytes(snap.approx_wire_bytes());
+                            store.commit(rank, snap);
+                        },
+                    )
+                };
                 let merge = comm.phase("Merge", |c| distributed_merge(c, &st, &cfg));
                 let new_vertices = merge.dense.len();
                 push_trace(&mut trace, 2, level, &s2, level_vertices, new_vertices);
@@ -185,25 +333,131 @@ impl DistributedInfomap {
             } else {
                 None
             }
-        });
+        };
 
-        let mut results = report.results;
-        let (mut modules, trace, mut codelength) =
-            results.remove(0).expect("rank 0 must report results");
-        // Model selection, as in the sequential algorithm: fall back to
-        // the one-module partition when the clustered code is longer.
-        if codelength > one_level {
-            modules = vec![0; original_n];
-            codelength = one_level;
+        let mut stats: Vec<RankStats> =
+            (0..p).map(|rank| RankStats { rank, ..Default::default() }).collect();
+        let mut recovery = RecoveryReport::default();
+        loop {
+            recovery.attempts += 1;
+            if recovery.attempts > 1 && store.latest_pos().is_some() {
+                recovery.restores += 1;
+            }
+            let outcome = world.run_with_outcomes(attempt);
+            for (rank, s) in outcome.stats.iter().enumerate() {
+                stats[rank].absorb(s);
+            }
+            if outcome.all_completed() {
+                recovery.checkpoints_committed = store.checkpoints_committed();
+                let mut results = outcome.into_results().expect("all ranks completed");
+                let (mut modules, trace, mut codelength) =
+                    results.remove(0).expect("rank 0 must report results");
+                // Model selection, as in the sequential algorithm: fall
+                // back to the one-module partition when the clustered code
+                // is longer.
+                if codelength > one_level {
+                    modules = vec![0; original_n];
+                    codelength = one_level;
+                }
+                return Ok(DistributedOutput {
+                    modules,
+                    codelength,
+                    one_level_codelength: one_level,
+                    trace,
+                    rank_stats: stats,
+                    nranks: p,
+                    recovery,
+                });
+            }
+            for (rank, msg) in outcome.failures() {
+                recovery
+                    .failures
+                    .push(format!("attempt {}: rank {rank}: {msg}", recovery.attempts));
+            }
+            if recovery.attempts >= max_attempts {
+                recovery.checkpoints_committed = store.checkpoints_committed();
+                if cfg.recovery.degrade_gracefully {
+                    recovery.degraded = true;
+                    return Ok(degraded_output(
+                        &store, p, one_level, original_n, stats, recovery,
+                    ));
+                }
+                return Err(format!(
+                    "distributed run failed after {} attempts: {}",
+                    recovery.attempts,
+                    recovery.failures.join("; ")
+                ));
+            }
         }
-        DistributedOutput {
-            modules,
-            codelength,
-            one_level_codelength: one_level,
-            trace,
-            rank_stats: report.stats,
-            nranks: p,
+    }
+}
+
+/// Assemble the best checkpointed clustering after retries were exhausted.
+///
+/// Stage-2 snapshots carry original-vertex assignments directly; stage-1
+/// snapshots are dense-relabeled from the raw module ids. With no
+/// checkpoint at all, the result degrades to the one-module partition.
+fn degraded_output(
+    store: &CheckpointStore,
+    p: usize,
+    one_level: f64,
+    original_n: usize,
+    rank_stats: Vec<RankStats>,
+    recovery: RecoveryReport,
+) -> DistributedOutput {
+    let (mut modules, mut codelength, trace) = match store.latest_pos() {
+        None => (vec![0u32; original_n], one_level, Vec::new()),
+        Some(pos) => {
+            let snaps: Vec<RankSnapshot> =
+                (0..p).map(|r| store.restore(r).expect("store is consistent")).collect();
+            let codelength = snaps[0].cursor.mdl;
+            let trace = snaps[0].trace.clone();
+            let mut modules = vec![0u32; original_n];
+            if pos.stage == 2 {
+                for snap in &snaps {
+                    for &(v, m) in &snap.assign {
+                        modules[v as usize] = m;
+                    }
+                }
+            } else {
+                let mut pairs: Vec<(u32, u64)> = Vec::new();
+                for snap in &snaps {
+                    let st = &snap.st;
+                    for (li, &v) in st.verts.iter().enumerate() {
+                        if st.kind[li] == VertexKind::Owned {
+                            pairs.push((v, st.module_of[li]));
+                        }
+                    }
+                    for (&d, &m) in &snap.delegate_assign {
+                        if (d as usize) % p == st.rank {
+                            pairs.push((d, m));
+                        }
+                    }
+                }
+                let mut ids: Vec<u64> = pairs.iter().map(|&(_, m)| m).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                let dense: HashMap<u64, u32> =
+                    ids.iter().enumerate().map(|(i, &m)| (m, i as u32)).collect();
+                for (v, m) in pairs {
+                    modules[v as usize] = dense[&m];
+                }
+            }
+            (modules, codelength, trace)
         }
+    };
+    if codelength > one_level {
+        modules = vec![0; original_n];
+        codelength = one_level;
+    }
+    DistributedOutput {
+        modules,
+        codelength,
+        one_level_codelength: one_level,
+        trace,
+        rank_stats,
+        nranks: p,
+        recovery,
     }
 }
 
@@ -368,7 +622,6 @@ mod tests {
         let p = cfg.nranks;
         let partition = Partition::delegate(&g, p, cfg.threshold, cfg.rebalance);
         let states = build_stage1_states(&g, &partition);
-        let slots = TakeSlots::new(states);
         let inv_two_w = 1.0 / (2.0 * g.total_weight());
         let node_term: f64 = (0..g.num_vertices() as VertexId)
             .map(|v| plogp(g.strength(v) * inv_two_w))
@@ -378,7 +631,7 @@ mod tests {
         let collected: StdMutex<Vec<(usize, Vec<(u32, u64)>, Vec<(u32, u32, u64)>)>> =
             StdMutex::new(Vec::new());
         infomap_mpisim::World::new(p).run(|comm| {
-            let mut st = slots.take(comm.rank());
+            let mut st = states[comm.rank()].clone();
             let mut delegate_assign: std::collections::HashMap<u32, u64> =
                 delegates.iter().map(|&d| (d, d as u64)).collect();
             let _s1 = cluster_stage(comm, &mut st, &cfg, node_term, &mut delegate_assign, "s1/");

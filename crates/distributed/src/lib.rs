@@ -45,11 +45,13 @@
 //! assert_eq!(out.num_modules(), 4);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod messages;
 pub mod rounds;
 pub mod state;
 
-pub use config::DistributedConfig;
-pub use driver::{DistributedInfomap, DistributedOutput, StageTrace};
+pub use checkpoint::{CheckpointStore, RankSnapshot, SnapshotPos};
+pub use config::{DistributedConfig, RecoveryConfig};
+pub use driver::{DistributedInfomap, DistributedOutput, RecoveryReport, StageTrace};

@@ -622,6 +622,27 @@ pub fn sync_modules(
     (mdl, nmod)
 }
 
+/// Resumable position inside a clustering stage: everything
+/// [`cluster_stage_recoverable`] needs (besides the [`LocalState`] itself)
+/// to continue from a round boundary exactly as if it had never stopped —
+/// including the rank's RNG, so the replayed sweep orders are
+/// bit-identical to the uninterrupted run.
+#[derive(Clone, Debug)]
+pub struct StageCursor {
+    /// The next round to execute.
+    pub next_round: usize,
+    /// MDL and module count as of the last sync.
+    pub mdl: f64,
+    pub nmod: u64,
+    pub mdl_series: Vec<f64>,
+    pub total_moves: u64,
+    pub inner: usize,
+    pub quiet_rounds: usize,
+    pub stalled_syncs: usize,
+    /// The rank's sweep-order RNG, captured mid-stream.
+    pub rng: StdRng,
+}
+
 /// Run one clustering stage to convergence (Algorithm 2 lines 2–7 with
 /// delegates, lines 10–14 without — the state's delegate set decides).
 pub fn cluster_stage(
@@ -632,27 +653,97 @@ pub fn cluster_stage(
     delegate_assign: &mut HashMap<u32, u64>,
     stage_prefix: &str,
 ) -> StageOutcome {
-    let ph = |name: &str| format!("{stage_prefix}{name}");
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (st.rank as u64).wrapping_mul(0x9e3779b97f4a7c15));
-    let mut order: Vec<u32> = Vec::new();
-    let mut mdl_series = Vec::new();
-    let mut total_moves = 0u64;
-    let mut inner = 0usize;
-    let mut quiet_rounds = 0usize;
+    cluster_stage_recoverable(
+        comm,
+        st,
+        cfg,
+        node_term,
+        delegate_assign,
+        stage_prefix,
+        None,
+        0,
+        &mut |_, _, _, _| {},
+    )
+}
 
-    // Round 0: establish exact module statistics and the initial MDL.
-    // This ships every singleton module's record once — the table setup a
-    // real implementation does during preprocessing — so it is metered as
-    // "Init", not amortized into the per-iteration "Other" phase that
-    // Figure 8 breaks down.
-    let (mut mdl, mut nmod) =
-        comm.phase(&ph("Init"), |c| sync_modules(c, st, node_term, cfg.full_module_swap));
-    mdl_series.push(mdl);
+/// A checkpoint hook: called at a committed round boundary with the
+/// communicator (inside the "Checkpoint" phase, after the consensus
+/// collective), the clustering state, the delegate assignment and the
+/// cursor to resume from.
+pub type CheckpointHook<'a> =
+    &'a mut dyn FnMut(&mut Comm, &LocalState, &HashMap<u32, u64>, &StageCursor);
+
+/// [`cluster_stage`] with round-boundary checkpointing and resume.
+///
+/// With `resume = Some(cursor)` the stage skips the Init sync (the restored
+/// state already carries exact module statistics) and continues at
+/// `cursor.next_round` with the captured RNG. With `checkpoint_every > 0`,
+/// after every `checkpoint_every`-th completed round that did not end the
+/// stage, all ranks pass a consensus collective and then invoke
+/// `on_checkpoint` with no communication event in between — so either every
+/// rank commits the boundary or (if a crash fires at or before the
+/// collective) none does, keeping the checkpoint store globally consistent.
+#[allow(clippy::too_many_arguments)]
+pub fn cluster_stage_recoverable(
+    comm: &mut Comm,
+    st: &mut LocalState,
+    cfg: &DistributedConfig,
+    node_term: f64,
+    delegate_assign: &mut HashMap<u32, u64>,
+    stage_prefix: &str,
+    resume: Option<StageCursor>,
+    checkpoint_every: usize,
+    on_checkpoint: CheckpointHook<'_>,
+) -> StageOutcome {
+    let ph = |name: &str| format!("{stage_prefix}{name}");
+    let mut rng;
+    let mut order: Vec<u32> = Vec::new();
+    let mut mdl_series;
+    let mut total_moves;
+    let mut inner;
+    let mut quiet_rounds;
+    let mut stalled_syncs;
+    let mut mdl;
+    let mut nmod;
+    let start_round;
+    match resume {
+        Some(cur) => {
+            rng = cur.rng;
+            mdl_series = cur.mdl_series;
+            total_moves = cur.total_moves;
+            inner = cur.inner;
+            quiet_rounds = cur.quiet_rounds;
+            stalled_syncs = cur.stalled_syncs;
+            mdl = cur.mdl;
+            nmod = cur.nmod;
+            start_round = cur.next_round;
+        }
+        None => {
+            rng = StdRng::seed_from_u64(
+                cfg.seed ^ (st.rank as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            );
+            mdl_series = Vec::new();
+            total_moves = 0;
+            inner = 0;
+            quiet_rounds = 0;
+            stalled_syncs = 0;
+            // Round 0: establish exact module statistics and the initial
+            // MDL. This ships every singleton module's record once — the
+            // table setup a real implementation does during preprocessing —
+            // so it is metered as "Init", not amortized into the
+            // per-iteration "Other" phase that Figure 8 breaks down.
+            let (mdl0, nmod0) =
+                comm.phase(&ph("Init"), |c| sync_modules(c, st, node_term, cfg.full_module_swap));
+            mdl = mdl0;
+            nmod = nmod0;
+            mdl_series.push(mdl);
+            start_round = 0;
+        }
+    }
     let sync_interval = cfg.sync_interval.max(1);
     let cycle = cfg.move_fraction_denom.max(1) as usize;
-    let mut stalled_syncs = 0usize;
 
-    for round in 0..cfg.max_inner_iterations {
+    for round in start_round..cfg.max_inner_iterations {
         inner += 1;
         let (owned_moves, proposals) = comm.phase(&ph("FindBestModule"), |c| {
             let (moves, arcs_scanned, proposals) =
@@ -706,6 +797,34 @@ pub fn cluster_stage(
             if quiesced || stalled_syncs >= 2 {
                 break;
             }
+        }
+
+        // Round-boundary checkpoint: only at boundaries the stage will
+        // continue past, so a restored run replays the identical remainder.
+        if checkpoint_every > 0
+            && (round + 1) % checkpoint_every == 0
+            && round + 1 < cfg.max_inner_iterations
+        {
+            let cursor = StageCursor {
+                next_round: round + 1,
+                mdl,
+                nmod,
+                mdl_series: mdl_series.clone(),
+                total_moves,
+                inner,
+                quiet_rounds,
+                stalled_syncs,
+                rng: rng.clone(),
+            };
+            comm.phase(&ph("Checkpoint"), |c| {
+                // Consensus collective: every rank reaches the boundary
+                // before anyone commits. A crash firing at or before this
+                // collective poisons the world with *no* rank committed;
+                // past it, every rank commits before its next communication
+                // event (its next crash opportunity). All-or-nothing.
+                c.allreduce_u64(round as u64, ReduceOp::Min);
+                on_checkpoint(c, st, delegate_assign, &cursor);
+            });
         }
     }
 

@@ -1,0 +1,175 @@
+//! Deterministic chaos tests: seeded rank crashes against the
+//! checkpoint/recovery driver. The headline property is the paper-quality
+//! guarantee under failure — a crashed rank is retried from the last
+//! round-boundary checkpoint and, because the stage cursor carries the
+//! mid-stream RNG, the recovered run is *bit-identical* to the fault-free
+//! one on the same seed.
+
+use infomap_distributed::{DistributedConfig, DistributedInfomap, RecoveryConfig};
+use infomap_graph::generators::{self, LfrParams};
+use infomap_mpisim::FaultPlan;
+
+fn lfr() -> infomap_graph::Graph {
+    generators::lfr_like(LfrParams { n: 400, ..Default::default() }, 11).0
+}
+
+fn chaos_cfg() -> DistributedConfig {
+    DistributedConfig {
+        nranks: 3,
+        recovery: RecoveryConfig {
+            checkpoint_every: 2,
+            max_retries: 3,
+            degrade_gracefully: false,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn fault_free_run_reports_no_recovery_activity() {
+    let g = lfr();
+    let out = DistributedInfomap::new(DistributedConfig {
+        nranks: 3,
+        ..Default::default()
+    })
+    .run(&g);
+    assert_eq!(out.recovery.attempts, 1);
+    assert_eq!(out.recovery.restores, 0);
+    assert_eq!(out.recovery.checkpoints_committed, 0);
+    assert!(!out.recovery.degraded);
+    assert!(out.recovery.failures.is_empty());
+    // With checkpoint_every = 0 (the default), the run must not even
+    // meter a checkpoint or recovery phase.
+    for rs in &out.rank_stats {
+        assert!(
+            rs.phases
+                .keys()
+                .all(|k| !k.contains("Checkpoint") && !k.contains("Recovery")),
+            "rank {} metered {:?}",
+            rs.rank,
+            rs.phases.keys().collect::<Vec<_>>()
+        );
+        assert!(!rs.faults.any());
+        assert_eq!(rs.total.checkpoint_bytes, 0);
+    }
+}
+
+#[test]
+fn checkpointing_without_faults_is_invisible_to_the_result() {
+    let g = lfr();
+    let plain = DistributedInfomap::new(DistributedConfig {
+        nranks: 3,
+        ..Default::default()
+    })
+    .run(&g);
+    let ckpt = DistributedInfomap::new(chaos_cfg()).run(&g);
+
+    // The checkpoint collective sits outside the algorithm's RNG and
+    // message streams, so the clustering is bit-identical.
+    assert_eq!(plain.modules, ckpt.modules);
+    assert_eq!(plain.codelength.to_bits(), ckpt.codelength.to_bits());
+    assert!(ckpt.recovery.checkpoints_committed > 0);
+    assert_eq!(ckpt.recovery.restores, 0);
+    // Checkpoint traffic is metered so the cost model can price it.
+    let ckpt_bytes: u64 = ckpt.rank_stats.iter().map(|r| r.total.checkpoint_bytes).sum();
+    assert!(ckpt_bytes > 0);
+}
+
+/// The acceptance scenario: kill one rank mid-stage-1, let the driver
+/// restore the last checkpoint, and demand the exact fault-free answer.
+#[test]
+fn crash_mid_stage_one_recovers_bit_identically() {
+    let g = lfr();
+    let clean = DistributedInfomap::new(chaos_cfg()).run(&g);
+    // Comm event 200 on rank 1 lands mid-stage-1 (≈ round 14 of ~40),
+    // well past the first round-2 checkpoint.
+    let plan = FaultPlan::new(7).crash(1, 200);
+    let out = DistributedInfomap::new(chaos_cfg())
+        .run_with_plan(&g, Some(plan))
+        .expect("the retry loop must absorb a single crash");
+
+    assert_eq!(out.recovery.attempts, 2);
+    assert_eq!(out.recovery.restores, 1);
+    assert!(!out.recovery.degraded);
+    assert_eq!(out.recovery.failures.len(), 1);
+    assert!(out.recovery.failures[0].contains("fault injected"));
+    assert_eq!(out.rank_stats[1].faults.crashes, 1);
+    // The restoring attempt meters a Recovery phase on every rank.
+    for rs in &out.rank_stats {
+        assert!(rs.phases.contains_key("Recovery"), "rank {} has no Recovery", rs.rank);
+    }
+
+    // Bit-identical replay — far stronger than the 1%-MDL acceptance bar.
+    assert_eq!(out.modules, clean.modules);
+    assert_eq!(out.codelength.to_bits(), clean.codelength.to_bits());
+    let rel = (out.codelength - clean.codelength).abs() / clean.codelength;
+    assert!(rel < 0.01);
+}
+
+/// A crash late in the run restores a stage-2 checkpoint and resumes the
+/// outer merge loop from the recorded level.
+#[test]
+fn crash_during_stage_two_resumes_the_outer_loop() {
+    let g = lfr();
+    let clean = DistributedInfomap::new(chaos_cfg()).run(&g);
+    // Comm event 850 on rank 1 lands in the stage-2 levels (the whole
+    // run spans ~870 events on this graph).
+    let plan = FaultPlan::new(7).crash(1, 850);
+    let out = DistributedInfomap::new(chaos_cfg())
+        .run_with_plan(&g, Some(plan))
+        .expect("stage-2 crashes are recoverable too");
+
+    assert_eq!(out.recovery.attempts, 2);
+    assert_eq!(out.recovery.restores, 1);
+    assert_eq!(out.modules, clean.modules);
+    assert_eq!(out.codelength.to_bits(), clean.codelength.to_bits());
+    assert_eq!(out.trace, clean.trace);
+}
+
+#[test]
+fn graceful_degradation_returns_the_best_checkpoint() {
+    let g = lfr();
+    let cfg = DistributedConfig {
+        recovery: RecoveryConfig {
+            checkpoint_every: 2,
+            max_retries: 1,
+            degrade_gracefully: true,
+        },
+        ..chaos_cfg()
+    };
+    // A repeating crash fires on every attempt: the run can never finish.
+    let plan = FaultPlan::new(7).crash_repeating(1, 200);
+    let out = DistributedInfomap::new(cfg)
+        .run_with_plan(&g, Some(plan))
+        .expect("degradation must turn exhaustion into a result");
+
+    assert!(out.recovery.degraded);
+    assert_eq!(out.recovery.attempts, 2);
+    assert_eq!(out.recovery.failures.len(), 2);
+    assert!(out.recovery.checkpoints_committed > 0);
+    // The degraded clustering is the checkpointed one: already better
+    // than the one-module partition by round 14, and fully populated.
+    assert_eq!(out.modules.len(), g.num_vertices());
+    assert!(out.codelength.is_finite());
+    assert!(out.codelength <= out.one_level_codelength);
+    assert!(out.num_modules() > 1);
+}
+
+#[test]
+fn retry_exhaustion_surfaces_every_failure() {
+    let g = lfr();
+    let cfg = DistributedConfig {
+        recovery: RecoveryConfig {
+            checkpoint_every: 2,
+            max_retries: 1,
+            degrade_gracefully: false,
+        },
+        ..chaos_cfg()
+    };
+    let plan = FaultPlan::new(7).crash_repeating(1, 200);
+    let err = DistributedInfomap::new(cfg)
+        .run_with_plan(&g, Some(plan))
+        .expect_err("without degradation, exhaustion is an error");
+    assert!(err.contains("failed after 2 attempts"), "got `{err}`");
+    assert!(err.contains("fault injected"), "got `{err}`");
+}

@@ -241,8 +241,8 @@ impl GraphBuilder {
         let self_loops = {
             let mut c = 0usize;
             for u in 0..n {
-                for i in offsets[u]..offsets[u + 1] {
-                    if targets[i] as usize == u {
+                for &t in &targets[offsets[u]..offsets[u + 1]] {
+                    if t as usize == u {
                         c += 1;
                     }
                 }

@@ -142,8 +142,8 @@ pub fn modularity(graph: &Graph, modules: &[u32]) -> f64 {
         }
     }
     let mut strength_per_module: HashMap<u32, f64> = HashMap::new();
-    for u in 0..graph.num_vertices() {
-        *strength_per_module.entry(modules[u]).or_insert(0.0) += graph.strength(u as u32);
+    for (u, &m) in modules.iter().enumerate().take(graph.num_vertices()) {
+        *strength_per_module.entry(m).or_insert(0.0) += graph.strength(u as u32);
     }
     let expected: f64 =
         strength_per_module.values().map(|&s| (s / two_w) * (s / two_w)).sum();

@@ -9,8 +9,10 @@ use std::time::Instant;
 
 use crossbeam::channel::{Receiver, Sender};
 
+use crate::fault::{FaultState, MessageFate};
 use crate::rendezvous::Rendezvous;
 use crate::stats::RankStats;
+use crate::wire::WireSized;
 
 /// Reduction operators for the numeric allreduce helpers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,6 +34,10 @@ pub(crate) struct Fabric {
     pub nranks: usize,
     pub mailboxes: Vec<Sender<Envelope>>,
     pub rendezvous: Rendezvous,
+    /// Fault-injection bookkeeping; `None` on a healthy world, in which
+    /// case every fault hook is a no-op and the metered counters are
+    /// bit-identical to a build without fault support.
+    pub fault: Option<Arc<FaultState>>,
 }
 
 /// A rank's communicator. One instance per rank; not shareable across ranks.
@@ -50,10 +56,18 @@ pub struct Comm {
     pub(crate) stats: RankStats,
     /// Stack of active phase names; metering charges the innermost.
     phase_stack: Vec<(String, Instant)>,
+    /// Compute-inflation factor injected by a straggler fault (1 = none).
+    work_scale: u64,
+    /// Fault-delayed outgoing messages: `(release_event, dest, envelope)`,
+    /// flushed whenever this rank's event counter passes `release_event`
+    /// (and unconditionally when the rank finishes).
+    delayed: Vec<(u64, usize, Envelope)>,
 }
 
 impl Comm {
     pub(crate) fn new(rank: usize, fabric: Arc<Fabric>, inbox: Receiver<Envelope>) -> Self {
+        let work_scale =
+            fabric.fault.as_ref().map(|f| f.straggler_factor(rank)).unwrap_or(1);
         Comm {
             rank,
             fabric,
@@ -61,6 +75,58 @@ impl Comm {
             stash: VecDeque::new(),
             stats: RankStats::new(rank),
             phase_stack: Vec::new(),
+            work_scale,
+            delayed: Vec::new(),
+        }
+    }
+
+    /// Take the accumulated counters out (used once, at rank teardown).
+    pub(crate) fn take_stats(&mut self) -> RankStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault hooks
+    // ------------------------------------------------------------------
+
+    /// Metered-operation boundary: every send / recv / collective passes
+    /// through here before doing anything else. With no fault plan this is
+    /// a single branch. With one, it advances this rank's deterministic
+    /// event counter, releases fault-delayed messages that have come due,
+    /// and fires any crash scheduled for this event.
+    fn comm_event(&mut self) {
+        let Some(fault) = self.fabric.fault.clone() else {
+            return;
+        };
+        let event = fault.next_event(self.rank);
+        if !self.delayed.is_empty() {
+            let mut keep = Vec::new();
+            for (release, dest, env) in std::mem::take(&mut self.delayed) {
+                if release <= event {
+                    self.deliver(dest, env);
+                } else {
+                    keep.push((release, dest, env));
+                }
+            }
+            self.delayed = keep;
+        }
+        if fault.crash_due(self.rank, event) {
+            self.stats.faults.crashes += 1;
+            panic!(
+                "fault injected: rank {} crashed at comm event {}",
+                self.rank, event
+            );
+        }
+    }
+
+    /// Push an envelope into `dest`'s mailbox. A send can only fail when
+    /// the destination's receiver is gone, i.e. the destination rank died;
+    /// in that case the world is (or is about to be) poisoned, so unwind
+    /// with the standard poisoned-world diagnostic instead of masking the
+    /// original failure with a send error.
+    fn deliver(&self, dest: usize, env: Envelope) {
+        if self.fabric.mailboxes[dest].send(env).is_err() {
+            panic!("world poisoned: another rank panicked");
         }
     }
 
@@ -87,9 +153,21 @@ impl Comm {
     }
 
     /// Record `units` of abstract compute work (e.g. one unit per edge
-    /// examined while searching for the best module).
+    /// examined while searching for the best module). Straggler faults
+    /// inflate the charge; the surplus is recorded separately so modeled
+    /// overhead stays attributable.
     pub fn add_work(&mut self, units: u64) {
-        self.charge(|s| s.work_units += units);
+        let scaled = units.saturating_mul(self.work_scale);
+        self.charge(|s| s.work_units += scaled);
+        if self.work_scale > 1 {
+            self.stats.faults.straggler_units += scaled - units;
+        }
+    }
+
+    /// Record `bytes` moved to or from checkpoint storage (priced by
+    /// [`crate::CostModel::t_ckpt_byte`], separate from network traffic).
+    pub fn add_checkpoint_bytes(&mut self, bytes: u64) {
+        self.charge(|s| s.checkpoint_bytes += bytes);
     }
 
     /// Run `body` inside a named phase. Phases nest; metering charges the
@@ -122,17 +200,56 @@ impl Comm {
     ///
     /// Bytes are metered as `payload.len() * size_of::<T>()` — the wire size
     /// an MPI derived type for `T` would occupy.
-    pub fn send<T: Send + 'static>(&mut self, dest: usize, tag: u64, payload: Vec<T>) {
+    pub fn send<T: Clone + Send + 'static>(&mut self, dest: usize, tag: u64, payload: Vec<T>) {
         assert!(dest < self.size(), "send to rank {dest} out of range");
+        self.comm_event();
         let bytes = (payload.len() * size_of::<T>()) as u64;
         self.charge(|s| {
             s.p2p_bytes_sent += bytes;
             s.p2p_msgs_sent += 1;
         });
-        let env = Envelope { src: self.rank, tag, payload: Box::new(payload), bytes };
-        self.fabric.mailboxes[dest]
-            .send(env)
-            .expect("destination rank hung up while world still running");
+        let fate = match &self.fabric.fault {
+            Some(f) => f.message_fate(self.rank, dest),
+            None => MessageFate::Deliver,
+        };
+        match fate {
+            MessageFate::Deliver => {
+                let env = Envelope { src: self.rank, tag, payload: Box::new(payload), bytes };
+                self.deliver(dest, env);
+            }
+            MessageFate::Drop => {
+                // Metered as sent (the sender cannot tell), never delivered.
+                self.stats.faults.msgs_dropped += 1;
+            }
+            MessageFate::Duplicate => {
+                // The duplicate is real traffic: meter it too.
+                self.stats.faults.msgs_duplicated += 1;
+                self.charge(|s| {
+                    s.p2p_bytes_sent += bytes;
+                    s.p2p_msgs_sent += 1;
+                });
+                let copy = Envelope {
+                    src: self.rank,
+                    tag,
+                    payload: Box::new(payload.clone()),
+                    bytes,
+                };
+                let env = Envelope { src: self.rank, tag, payload: Box::new(payload), bytes };
+                self.deliver(dest, env);
+                self.deliver(dest, copy);
+            }
+            MessageFate::Delay { events } => {
+                self.stats.faults.msgs_delayed += 1;
+                let release = self
+                    .fabric
+                    .fault
+                    .as_ref()
+                    .map(|f| f.current_event(self.rank) + events)
+                    .unwrap_or(0);
+                let env = Envelope { src: self.rank, tag, payload: Box::new(payload), bytes };
+                self.delayed.push((release, dest, env));
+            }
+        }
     }
 
     /// Blocking selective receive: the next message from `src` with `tag`.
@@ -141,11 +258,20 @@ impl Comm {
     /// stashed and delivered to later matching receives, so receive order
     /// between distinct peers does not matter — as with MPI tags.
     pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Vec<T> {
+        self.comm_event();
         // First look in the stash.
         if let Some(pos) = self.stash.iter().position(|e| e.src == src && e.tag == tag) {
             let env = self.stash.remove(pos).unwrap();
             return self.open::<T>(env);
         }
+        // With a fault plan, a dropped message must not hang the world:
+        // starve out and fail the rank so the driver can retry the round.
+        let starvation = self
+            .fabric
+            .fault
+            .as_ref()
+            .map(|f| std::time::Duration::from_millis(f.plan().hang_timeout_ms));
+        let started = Instant::now();
         loop {
             match self.inbox.recv_timeout(std::time::Duration::from_millis(100)) {
                 Ok(env) => {
@@ -159,6 +285,14 @@ impl Comm {
                     // blocking the whole world.
                     if self.fabric.rendezvous.is_poisoned() {
                         panic!("world poisoned: another rank panicked");
+                    }
+                    if let Some(limit) = starvation {
+                        if started.elapsed() >= limit {
+                            panic!(
+                                "fault injected: rank {} receive starved (src {src}, tag {tag:#x})",
+                                self.rank
+                            );
+                        }
                     }
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
@@ -186,6 +320,7 @@ impl Comm {
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>) -> R,
     {
+        self.comm_event();
         self.charge(|s| {
             s.collective_calls += 1;
             s.collective_bytes += bytes;
@@ -266,15 +401,38 @@ impl Comm {
     }
 
     /// Broadcast `value` from `root` to every rank.
-    pub fn broadcast<T: Clone + Send + Sync + 'static>(&mut self, root: usize, value: Option<T>) -> T {
+    ///
+    /// The root's contribution is metered at its actual wire size
+    /// ([`WireSized`]), so nested payloads (`Vec`, tuples of `Vec`s, …)
+    /// count their contents — mirroring how [`Comm::allgatherv`] meters
+    /// element counts rather than container headers.
+    pub fn broadcast<T: Clone + Send + Sync + WireSized + 'static>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+    ) -> T {
         assert!(root < self.size());
         if self.rank == root {
             assert!(value.is_some(), "broadcast root must supply a value");
         }
-        let bytes = if self.rank == root { size_of::<T>() as u64 } else { 0 };
+        let bytes = match (&value, self.rank == root) {
+            (Some(v), true) => v.wire_bytes(),
+            _ => 0,
+        };
         let shared = self.collective(bytes, value, move |mut vs| {
             vs.swap_remove(root).expect("broadcast root supplied no value")
         });
         (*shared).clone()
+    }
+}
+
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // Flush fault-delayed messages whose release never came: delivery
+        // was postponed, not cancelled. Peers may already be gone (rank
+        // teardown, panics) — then the message is simply lost.
+        for (_, dest, env) in self.delayed.drain(..) {
+            let _ = self.fabric.mailboxes[dest].send(env);
+        }
     }
 }

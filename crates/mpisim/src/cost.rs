@@ -40,11 +40,21 @@ pub struct CostModel {
     pub t_msg: f64,
     /// Seconds per collective call per tree level, default 5 µs.
     pub t_coll: f64,
+    /// Seconds per byte written to or restored from checkpoint storage,
+    /// default 0.5 ns/B (≈2 GB/s aggregate burst-buffer bandwidth). Zero on
+    /// fault-free runs since nothing is checkpointed unless enabled.
+    pub t_ckpt_byte: f64,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { t_work: 20e-9, t_byte: 1e-9, t_msg: 2e-6, t_coll: 5e-6 }
+        CostModel {
+            t_work: 20e-9,
+            t_byte: 1e-9,
+            t_msg: 2e-6,
+            t_coll: 5e-6,
+            t_ckpt_byte: 0.5e-9,
+        }
     }
 }
 
@@ -66,6 +76,7 @@ impl CostModel {
             + s.p2p_msgs_sent as f64 * self.t_msg
             + s.collective_calls as f64 * self.t_coll * tree_depth
             + s.collective_bytes as f64 * self.t_byte
+            + s.checkpoint_bytes as f64 * self.t_ckpt_byte
     }
 
     /// Modeled total seconds for one rank across the whole run.
@@ -127,7 +138,7 @@ mod tests {
 
     #[test]
     fn makespan_takes_max_over_ranks_per_phase() {
-        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0 };
+        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0, t_ckpt_byte: 0.0 };
         let mut r0 = RankStats::new(0);
         r0.phases.insert("a".into(), stats(10, 0));
         r0.total.absorb(&stats(10, 0));
@@ -141,7 +152,7 @@ mod tests {
 
     #[test]
     fn unphased_residue_counts_toward_total() {
-        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0 };
+        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0, t_ckpt_byte: 0.0 };
         let mut r0 = RankStats::new(0);
         r0.phases.insert("a".into(), stats(10, 0));
         r0.total.absorb(&stats(25, 0)); // 15 units outside any phase

@@ -1,0 +1,520 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] is a seeded, declarative description of the failures a
+//! run should experience: rank crashes pinned to the N-th communication
+//! event of a rank, probabilistic point-to-point message faults (drop,
+//! duplicate, delay), and stragglers (ranks whose compute is slowed by an
+//! integer factor). The plan is pure data; the runtime bookkeeping lives in
+//! [`FaultState`], which the [`crate::World`] shares across retry attempts
+//! so one-shot crashes do not re-fire when a driver re-runs the world after
+//! restoring a checkpoint.
+//!
+//! Everything is deterministic: crashes count metered communication events
+//! (send / recv / collective entry, in program order per rank), and message
+//! fates are decided by hashing `(plan seed, attempt, src, dst, per-source
+//! message index)` — the same plan replayed over the same program yields the
+//! same faults, while a retry (a new attempt) re-rolls the message coins so
+//! a run can make progress past probabilistic faults.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Crash a rank when its communication-event counter reaches `at_event`
+/// (1-based: the first send/recv/collective is event 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    pub rank: usize,
+    pub at_event: u64,
+    /// One-shot crashes (the default) fire in exactly one attempt and stay
+    /// quiet on retries — the "fail once, recover" scenario. Repeating
+    /// crashes fire in every attempt and model a persistently bad node.
+    pub repeat: bool,
+}
+
+/// What happens to an afflicted point-to-point message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageFaultKind {
+    /// The message is metered as sent but never delivered.
+    Drop,
+    /// The message is delivered twice (and the duplicate is metered).
+    Duplicate,
+    /// Delivery is postponed until the sender's event counter has advanced
+    /// by `events` more communication events.
+    Delay { events: u64 },
+}
+
+/// A probabilistic point-to-point fault. `src`/`dst` of `None` match any
+/// rank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MessageFaultSpec {
+    pub src: Option<usize>,
+    pub dst: Option<usize>,
+    /// Probability in `[0, 1]` that a matching message is afflicted.
+    pub probability: f64,
+    pub kind: MessageFaultKind,
+}
+
+/// Slow a rank's compute: every metered work unit counts `factor` times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StragglerSpec {
+    pub rank: usize,
+    pub factor: u64,
+}
+
+/// A declarative, seeded fault schedule for one [`crate::World`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the message-fate coin.
+    pub seed: u64,
+    pub crashes: Vec<CrashSpec>,
+    pub message_faults: Vec<MessageFaultSpec>,
+    pub stragglers: Vec<StragglerSpec>,
+    /// How long a `recv` may starve (no matching message, world healthy)
+    /// before the receiving rank fails. Dropped messages would otherwise
+    /// hang the world forever; with the timeout they become a recoverable
+    /// rank failure.
+    pub hang_timeout_ms: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            message_faults: Vec::new(),
+            stragglers: Vec::new(),
+            hang_timeout_ms: 2_000,
+        }
+    }
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// Crash `rank` at its `at_event`-th communication event, once.
+    pub fn crash(mut self, rank: usize, at_event: u64) -> Self {
+        self.crashes.push(CrashSpec { rank, at_event, repeat: false });
+        self
+    }
+
+    /// Crash `rank` at its `at_event`-th communication event, every attempt.
+    pub fn crash_repeating(mut self, rank: usize, at_event: u64) -> Self {
+        self.crashes.push(CrashSpec { rank, at_event, repeat: true });
+        self
+    }
+
+    /// Drop matching messages with `probability`.
+    pub fn drop_messages(
+        mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        probability: f64,
+    ) -> Self {
+        self.message_faults.push(MessageFaultSpec {
+            src,
+            dst,
+            probability,
+            kind: MessageFaultKind::Drop,
+        });
+        self
+    }
+
+    /// Duplicate matching messages with `probability`.
+    pub fn duplicate_messages(
+        mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        probability: f64,
+    ) -> Self {
+        self.message_faults.push(MessageFaultSpec {
+            src,
+            dst,
+            probability,
+            kind: MessageFaultKind::Duplicate,
+        });
+        self
+    }
+
+    /// Delay matching messages by `events` sender events with `probability`.
+    pub fn delay_messages(
+        mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        probability: f64,
+        events: u64,
+    ) -> Self {
+        self.message_faults.push(MessageFaultSpec {
+            src,
+            dst,
+            probability,
+            kind: MessageFaultKind::Delay { events },
+        });
+        self
+    }
+
+    /// Inflate `rank`'s metered compute by `factor`.
+    pub fn straggler(mut self, rank: usize, factor: u64) -> Self {
+        self.stragglers.push(StragglerSpec { rank, factor });
+        self
+    }
+
+    /// Receive-starvation timeout in milliseconds.
+    pub fn hang_timeout_ms(mut self, ms: u64) -> Self {
+        self.hang_timeout_ms = ms;
+        self
+    }
+
+    /// Parse a compact plan spec, as accepted by the CLI's `--fault-plan`.
+    ///
+    /// Semicolon-separated clauses:
+    ///
+    /// * `seed=S` — coin seed (default 0)
+    /// * `crash=R@N` — crash rank R at its N-th comm event, once;
+    ///   `crash=R@N!` repeats every attempt
+    /// * `drop=P` / `drop=P@S->D` — drop with probability P (any pair, or
+    ///   only src S → dst D; either side may be `*`)
+    /// * `dup=P` / `dup=P@S->D` — duplicate with probability P
+    /// * `delay=P:E` / `delay=P:E@S->D` — delay by E sender events
+    /// * `straggler=RxF` — rank R computes F× slower
+    /// * `hang=MS` — receive-starvation timeout in milliseconds
+    ///
+    /// Example: `seed=7;crash=1@40;drop=0.01@0->1;straggler=2x4;hang=500`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, val) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause `{clause}` is not key=value"))?;
+            match key {
+                "seed" => {
+                    plan.seed =
+                        val.parse().map_err(|_| format!("bad seed `{val}`"))?;
+                }
+                "crash" => {
+                    let (repeat, val) = match val.strip_suffix('!') {
+                        Some(v) => (true, v),
+                        None => (false, val),
+                    };
+                    let (r, n) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("crash spec `{val}` is not R@N"))?;
+                    plan.crashes.push(CrashSpec {
+                        rank: r.parse().map_err(|_| format!("bad crash rank `{r}`"))?,
+                        at_event: n
+                            .parse()
+                            .map_err(|_| format!("bad crash event `{n}`"))?,
+                        repeat,
+                    });
+                }
+                "drop" | "dup" => {
+                    let (p, src, dst) = parse_prob_pair(val)?;
+                    plan.message_faults.push(MessageFaultSpec {
+                        src,
+                        dst,
+                        probability: p,
+                        kind: if key == "drop" {
+                            MessageFaultKind::Drop
+                        } else {
+                            MessageFaultKind::Duplicate
+                        },
+                    });
+                }
+                "delay" => {
+                    let (head, src, dst) = split_pair(val)?;
+                    let (p, e) = head
+                        .split_once(':')
+                        .ok_or_else(|| format!("delay spec `{head}` is not P:E"))?;
+                    plan.message_faults.push(MessageFaultSpec {
+                        src,
+                        dst,
+                        probability: p
+                            .parse()
+                            .map_err(|_| format!("bad delay probability `{p}`"))?,
+                        kind: MessageFaultKind::Delay {
+                            events: e
+                                .parse()
+                                .map_err(|_| format!("bad delay events `{e}`"))?,
+                        },
+                    });
+                }
+                "straggler" => {
+                    let (r, f) = val
+                        .split_once('x')
+                        .ok_or_else(|| format!("straggler spec `{val}` is not RxF"))?;
+                    plan.stragglers.push(StragglerSpec {
+                        rank: r.parse().map_err(|_| format!("bad straggler rank `{r}`"))?,
+                        factor: f
+                            .parse()
+                            .map_err(|_| format!("bad straggler factor `{f}`"))?,
+                    });
+                }
+                "hang" => {
+                    plan.hang_timeout_ms =
+                        val.parse().map_err(|_| format!("bad hang timeout `{val}`"))?;
+                }
+                _ => return Err(format!("unknown fault clause `{key}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Does the plan contain any fault at all?
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.message_faults.is_empty() && self.stragglers.is_empty()
+    }
+}
+
+fn split_pair(val: &str) -> Result<(&str, Option<usize>, Option<usize>), String> {
+    match val.split_once('@') {
+        None => Ok((val, None, None)),
+        Some((head, pair)) => {
+            let (s, d) = pair
+                .split_once("->")
+                .ok_or_else(|| format!("rank pair `{pair}` is not S->D"))?;
+            let parse_side = |x: &str| -> Result<Option<usize>, String> {
+                if x == "*" {
+                    Ok(None)
+                } else {
+                    x.parse().map(Some).map_err(|_| format!("bad rank `{x}`"))
+                }
+            };
+            Ok((head, parse_side(s)?, parse_side(d)?))
+        }
+    }
+}
+
+fn parse_prob_pair(val: &str) -> Result<(f64, Option<usize>, Option<usize>), String> {
+    let (head, src, dst) = split_pair(val)?;
+    let p = head.parse().map_err(|_| format!("bad probability `{head}`"))?;
+    Ok((p, src, dst))
+}
+
+/// The fate the fault coin assigned to one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MessageFate {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay { events: u64 },
+}
+
+/// Shared runtime bookkeeping for a plan. Lives on the [`crate::World`]
+/// (so crash one-shot flags persist across retry attempts) and is cloned
+/// into every run's fabric.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    /// Attempt number, bumped by [`FaultState::begin_attempt`]; salts the
+    /// message coin so retries re-roll probabilistic fates.
+    attempt: AtomicU64,
+    /// One flag per crash spec; a one-shot crash that fired stays fired.
+    crash_fired: Vec<AtomicBool>,
+    /// Per-rank communication-event counters (reset each attempt).
+    events: Vec<AtomicU64>,
+    /// Per-rank outgoing-message counters (reset each attempt).
+    msg_seq: Vec<AtomicU64>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, nranks: usize) -> Self {
+        FaultState {
+            crash_fired: plan.crashes.iter().map(|_| AtomicBool::new(false)).collect(),
+            attempt: AtomicU64::new(0),
+            events: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+            msg_seq: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+            plan,
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Start a new attempt: reset the per-attempt counters, keep the
+    /// one-shot crash flags.
+    pub(crate) fn begin_attempt(&self) {
+        self.attempt.fetch_add(1, Ordering::SeqCst);
+        for e in &self.events {
+            e.store(0, Ordering::SeqCst);
+        }
+        for m in &self.msg_seq {
+            m.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Advance `rank`'s event counter and return the new (1-based) value.
+    pub(crate) fn next_event(&self, rank: usize) -> u64 {
+        self.events[rank].fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// `rank`'s current event counter, without advancing it.
+    pub(crate) fn current_event(&self, rank: usize) -> u64 {
+        self.events[rank].load(Ordering::SeqCst)
+    }
+
+    /// Should `rank` crash at event `event`? Consumes the one-shot flag.
+    pub(crate) fn crash_due(&self, rank: usize, event: u64) -> bool {
+        for (i, c) in self.plan.crashes.iter().enumerate() {
+            if c.rank != rank || c.at_event != event {
+                continue;
+            }
+            if c.repeat || !self.crash_fired[i].swap(true, Ordering::SeqCst) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Decide the fate of the next message `src -> dst`. Deterministic in
+    /// `(seed, attempt, src, dst, per-source message index)`.
+    pub(crate) fn message_fate(&self, src: usize, dst: usize) -> MessageFate {
+        if self.plan.message_faults.is_empty() {
+            return MessageFate::Deliver;
+        }
+        let seq = self.msg_seq[src].fetch_add(1, Ordering::SeqCst);
+        let attempt = self.attempt.load(Ordering::SeqCst);
+        for (i, f) in self.plan.message_faults.iter().enumerate() {
+            if f.src.is_some_and(|s| s != src) || f.dst.is_some_and(|d| d != dst) {
+                continue;
+            }
+            let h = splitmix64(
+                self.plan
+                    .seed
+                    .wrapping_add(attempt.wrapping_mul(0x9e3779b97f4a7c15))
+                    .wrapping_add((src as u64) << 40)
+                    .wrapping_add((dst as u64) << 24)
+                    .wrapping_add(seq.wrapping_mul(0x2545f4914f6cdd1d))
+                    .wrapping_add(i as u64),
+            );
+            let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if unit < f.probability {
+                return match f.kind {
+                    MessageFaultKind::Drop => MessageFate::Drop,
+                    MessageFaultKind::Duplicate => MessageFate::Duplicate,
+                    MessageFaultKind::Delay { events } => MessageFate::Delay { events },
+                };
+            }
+        }
+        MessageFate::Deliver
+    }
+
+    /// Compute-inflation factor for `rank` (1 = healthy).
+    pub(crate) fn straggler_factor(&self, rank: usize) -> u64 {
+        self.plan
+            .stragglers
+            .iter()
+            .find(|s| s.rank == rank)
+            .map(|s| s.factor.max(1))
+            .unwrap_or(1)
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_clause() {
+        let plan =
+            FaultPlan::parse("seed=7;crash=1@40;crash=2@9!;drop=0.01@0->1;dup=0.5;delay=0.25:3@*->2;straggler=2x4;hang=500")
+                .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(
+            plan.crashes,
+            vec![
+                CrashSpec { rank: 1, at_event: 40, repeat: false },
+                CrashSpec { rank: 2, at_event: 9, repeat: true },
+            ]
+        );
+        assert_eq!(plan.message_faults.len(), 3);
+        assert_eq!(
+            plan.message_faults[0],
+            MessageFaultSpec {
+                src: Some(0),
+                dst: Some(1),
+                probability: 0.01,
+                kind: MessageFaultKind::Drop
+            }
+        );
+        assert_eq!(plan.message_faults[1].kind, MessageFaultKind::Duplicate);
+        assert_eq!(plan.message_faults[1].src, None);
+        assert_eq!(
+            plan.message_faults[2],
+            MessageFaultSpec {
+                src: None,
+                dst: Some(2),
+                probability: 0.25,
+                kind: MessageFaultKind::Delay { events: 3 }
+            }
+        );
+        assert_eq!(plan.stragglers, vec![StragglerSpec { rank: 2, factor: 4 }]);
+        assert_eq!(plan.hang_timeout_ms, 500);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        assert!(FaultPlan::parse("crash=1").is_err());
+        assert!(FaultPlan::parse("nonsense=1").is_err());
+        assert!(FaultPlan::parse("drop=zero").is_err());
+        assert!(FaultPlan::parse("straggler=2").is_err());
+    }
+
+    #[test]
+    fn one_shot_crash_fires_exactly_once_across_attempts() {
+        let st = FaultState::new(FaultPlan::new(0).crash(1, 3), 4);
+        st.begin_attempt();
+        assert!(!st.crash_due(1, 2));
+        assert!(st.crash_due(1, 3));
+        st.begin_attempt();
+        assert!(!st.crash_due(1, 3), "one-shot crash must not re-fire on retry");
+    }
+
+    #[test]
+    fn repeating_crash_fires_every_attempt() {
+        let st = FaultState::new(FaultPlan::new(0).crash_repeating(0, 5), 2);
+        st.begin_attempt();
+        assert!(st.crash_due(0, 5));
+        st.begin_attempt();
+        assert!(st.crash_due(0, 5));
+    }
+
+    #[test]
+    fn message_fates_are_deterministic_per_attempt_and_rerolled_across() {
+        let plan = FaultPlan::new(11).drop_messages(None, None, 0.5);
+        let a = FaultState::new(plan.clone(), 2);
+        let b = FaultState::new(plan, 2);
+        a.begin_attempt();
+        b.begin_attempt();
+        let fates_a: Vec<_> = (0..64).map(|_| a.message_fate(0, 1)).collect();
+        let fates_b: Vec<_> = (0..64).map(|_| b.message_fate(0, 1)).collect();
+        assert_eq!(fates_a, fates_b, "same seed, same attempt => same fates");
+        assert!(fates_a.contains(&MessageFate::Drop));
+        assert!(fates_a.contains(&MessageFate::Deliver));
+
+        a.begin_attempt();
+        let fates_a2: Vec<_> = (0..64).map(|_| a.message_fate(0, 1)).collect();
+        assert_ne!(fates_a, fates_a2, "a retry must re-roll the coins");
+    }
+
+    #[test]
+    fn event_counters_reset_per_attempt() {
+        let st = FaultState::new(FaultPlan::default(), 2);
+        st.begin_attempt();
+        assert_eq!(st.next_event(0), 1);
+        assert_eq!(st.next_event(0), 2);
+        st.begin_attempt();
+        assert_eq!(st.next_event(0), 1);
+    }
+}

@@ -31,13 +31,26 @@
 //! assert_eq!(report.results, vec![0, 1, 2, 3]);
 //! ```
 
+//!
+//! For robustness experiments the substrate also injects faults: a seeded
+//! [`FaultPlan`] can crash a rank at its N-th communication event, drop,
+//! duplicate or delay point-to-point messages, and slow ranks down
+//! (straggler injection). [`World::run_with_outcomes`] turns rank crashes
+//! into per-rank [`RankOutcome`]s instead of propagating the panic, so a
+//! driver can retry from a checkpoint; fault events land in
+//! [`FaultStats`] so recovery traffic is priced by the [`CostModel`].
+
 mod comm;
 mod cost;
+mod fault;
 mod rendezvous;
 mod stats;
+mod wire;
 mod world;
 
 pub use comm::{Comm, ReduceOp};
 pub use cost::{CostModel, PhaseBreakdown};
-pub use stats::{PhaseStats, RankStats};
-pub use world::{World, WorldReport};
+pub use fault::{CrashSpec, FaultPlan, MessageFaultKind, MessageFaultSpec, StragglerSpec};
+pub use stats::{FaultStats, PhaseStats, RankStats};
+pub use wire::WireSized;
+pub use world::{RankOutcome, World, WorldOutcome, WorldReport};

@@ -27,6 +27,9 @@ pub struct PhaseStats {
     pub collective_calls: u64,
     /// Bytes this rank contributed to collectives.
     pub collective_bytes: u64,
+    /// Bytes written to (or read back from) checkpoint storage, priced
+    /// separately from network traffic by the cost model.
+    pub checkpoint_bytes: u64,
     /// Wall time spent inside the phase (informational only on a
     /// single-core host; modeled time comes from the counters).
     pub wall: Duration,
@@ -43,8 +46,42 @@ impl PhaseStats {
         self.p2p_bytes_recv += other.p2p_bytes_recv;
         self.collective_calls += other.collective_calls;
         self.collective_bytes += other.collective_bytes;
+        self.checkpoint_bytes += other.checkpoint_bytes;
         self.wall += other.wall;
         self.entries += other.entries;
+    }
+}
+
+/// Fault events observed on one rank (injected by a
+/// [`crate::FaultPlan`]; all zero on a healthy run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Injected crashes (0 or 1 per attempt).
+    pub crashes: u64,
+    /// Point-to-point messages metered as sent but never delivered.
+    pub msgs_dropped: u64,
+    /// Messages delivered twice.
+    pub msgs_duplicated: u64,
+    /// Messages whose delivery was postponed.
+    pub msgs_delayed: u64,
+    /// Extra work units charged by straggler inflation (already included
+    /// in `work_units`; recorded here so the overhead is attributable).
+    pub straggler_units: u64,
+}
+
+impl FaultStats {
+    /// Merge another fault record into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.crashes += other.crashes;
+        self.msgs_dropped += other.msgs_dropped;
+        self.msgs_duplicated += other.msgs_duplicated;
+        self.msgs_delayed += other.msgs_delayed;
+        self.straggler_units += other.straggler_units;
+    }
+
+    /// Any fault recorded at all?
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
     }
 }
 
@@ -57,6 +94,8 @@ pub struct RankStats {
     pub total: PhaseStats,
     /// Per-phase records, keyed by phase name, in name order.
     pub phases: BTreeMap<String, PhaseStats>,
+    /// Fault events injected on this rank.
+    pub faults: FaultStats,
 }
 
 impl RankStats {
@@ -67,5 +106,17 @@ impl RankStats {
     /// The record for `phase`, created on first use.
     pub fn phase(&self, phase: &str) -> PhaseStats {
         self.phases.get(phase).cloned().unwrap_or_default()
+    }
+
+    /// Merge the counters of another record of the *same* rank — used by
+    /// retry loops to account every attempt's traffic toward the rank's
+    /// total cost.
+    pub fn absorb(&mut self, other: &RankStats) {
+        debug_assert_eq!(self.rank, other.rank, "absorbing stats across ranks");
+        self.total.absorb(&other.total);
+        for (name, phase) in &other.phases {
+            self.phases.entry(name.clone()).or_default().absorb(phase);
+        }
+        self.faults.absorb(&other.faults);
     }
 }

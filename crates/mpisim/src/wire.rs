@@ -1,0 +1,114 @@
+//! Wire-size accounting for metered payloads.
+//!
+//! Point-to-point sends move `Vec<T>` of plain-old-data records, so their
+//! wire size is simply `len × size_of::<T>()`. Broadcasts (and other
+//! single-value operations) may carry nested containers — a `Vec<u8>`, a
+//! `Vec<Vec<u32>>` — whose *header* size says nothing about the payload.
+//! [`WireSized`] computes the size an MPI derived datatype for the value
+//! would occupy: the flattened content bytes, ignoring Rust-side pointers
+//! and capacities.
+
+/// Bytes a value would occupy on the wire.
+pub trait WireSized {
+    fn wire_bytes(&self) -> u64;
+}
+
+macro_rules! pod_wire {
+    ($($t:ty),* $(,)?) => {$(
+        impl WireSized for $t {
+            fn wire_bytes(&self) -> u64 {
+                std::mem::size_of::<$t>() as u64
+            }
+        }
+    )*};
+}
+
+pod_wire!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+
+impl<T: WireSized> WireSized for Vec<T> {
+    fn wire_bytes(&self) -> u64 {
+        self.iter().map(WireSized::wire_bytes).sum()
+    }
+}
+
+impl<T: WireSized> WireSized for [T] {
+    fn wire_bytes(&self) -> u64 {
+        self.iter().map(WireSized::wire_bytes).sum()
+    }
+}
+
+impl<T: WireSized, const N: usize> WireSized for [T; N] {
+    fn wire_bytes(&self) -> u64 {
+        self.iter().map(WireSized::wire_bytes).sum()
+    }
+}
+
+impl<T: WireSized> WireSized for Option<T> {
+    fn wire_bytes(&self) -> u64 {
+        // One presence byte plus the payload, like a length-0/1 sequence.
+        1 + self.as_ref().map(WireSized::wire_bytes).unwrap_or(0)
+    }
+}
+
+impl WireSized for String {
+    fn wire_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl WireSized for str {
+    fn wire_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl<T: WireSized + ?Sized> WireSized for &T {
+    fn wire_bytes(&self) -> u64 {
+        (**self).wire_bytes()
+    }
+}
+
+macro_rules! tuple_wire {
+    ($($name:ident),+) => {
+        impl<$($name: WireSized),+> WireSized for ($($name,)+) {
+            fn wire_bytes(&self) -> u64 {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                0 $(+ $name.wire_bytes())+
+            }
+        }
+    };
+}
+
+tuple_wire!(A);
+tuple_wire!(A, B);
+tuple_wire!(A, B, C);
+tuple_wire!(A, B, C, D);
+tuple_wire!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_match_size_of() {
+        assert_eq!(7_u32.wire_bytes(), 4);
+        assert_eq!(1.5_f64.wire_bytes(), 8);
+        assert_eq!(true.wire_bytes(), 1);
+    }
+
+    #[test]
+    fn vectors_count_contents_not_headers() {
+        assert_eq!(vec![1_u8, 2, 3].wire_bytes(), 3);
+        assert_eq!(vec![vec![1_u64], vec![2, 3]].wire_bytes(), 24);
+        assert_eq!(Vec::<u64>::new().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn tuples_and_options_flatten() {
+        assert_eq!((1_u32, 2_u64).wire_bytes(), 12);
+        assert_eq!(Some(5_u32).wire_bytes(), 5);
+        assert_eq!(None::<u32>.wire_bytes(), 1);
+        assert_eq!("abc".to_string().wire_bytes(), 3);
+    }
+}

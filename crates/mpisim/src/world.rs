@@ -7,6 +7,7 @@ use crossbeam::channel::unbounded;
 
 use crate::comm::{Comm, Fabric};
 use crate::cost::{CostModel, PhaseBreakdown};
+use crate::fault::{FaultPlan, FaultState};
 use crate::rendezvous::Rendezvous;
 use crate::stats::RankStats;
 
@@ -17,6 +18,86 @@ use crate::stats::RankStats;
 pub struct World {
     nranks: usize,
     stack_size: usize,
+    /// Shared fault bookkeeping; persists across runs of the same world so
+    /// one-shot crashes stay fired when a driver retries.
+    fault: Option<Arc<FaultState>>,
+}
+
+/// How one rank ended a [`World::run_with_outcomes`] execution.
+#[derive(Debug)]
+pub enum RankOutcome<R> {
+    /// The rank's closure returned normally.
+    Completed(R),
+    /// The rank's own code panicked (an injected fault or a genuine bug);
+    /// carries the panic message.
+    Failed(String),
+    /// The rank was healthy but unwound because the world was poisoned by
+    /// another rank's failure.
+    Aborted,
+}
+
+impl<R> RankOutcome<R> {
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RankOutcome::Completed(_))
+    }
+
+    /// The result, if the rank completed.
+    pub fn completed(self) -> Option<R> {
+        match self {
+            RankOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Borrow the result, if the rank completed.
+    pub fn as_completed(&self) -> Option<&R> {
+        match self {
+            RankOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a fault-tolerant run produced: one [`RankOutcome`] per rank,
+/// plus the metering counters of every rank — including failed and aborted
+/// ones, whose partial work and traffic still cost real time.
+#[derive(Debug)]
+pub struct WorldOutcome<R> {
+    pub outcomes: Vec<RankOutcome<R>>,
+    pub stats: Vec<RankStats>,
+}
+
+impl<R> WorldOutcome<R> {
+    /// Did every rank complete?
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(RankOutcome::is_completed)
+    }
+
+    /// `(rank, panic message)` of every rank that failed outright
+    /// (aborted ranks are collateral, not root causes).
+    pub fn failures(&self) -> Vec<(usize, &str)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, o)| match o {
+                RankOutcome::Failed(msg) => Some((rank, msg.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Per-rank results in rank order, if every rank completed.
+    pub fn into_results(self) -> Option<Vec<R>> {
+        if !self.all_completed() {
+            return None;
+        }
+        Some(self.outcomes.into_iter().filter_map(RankOutcome::completed).collect())
+    }
+
+    /// Modeled makespan under `model` (see [`CostModel::makespan`]).
+    pub fn makespan(&self, model: &CostModel) -> PhaseBreakdown {
+        model.makespan(&self.stats)
+    }
 }
 
 /// Everything a run produced: per-rank return values (rank order) and the
@@ -49,12 +130,36 @@ impl<R> WorldReport<R> {
     }
 }
 
+/// A panic payload and the per-rank counters salvaged from the rank that
+/// raised it.
+type RawOutcome<R> = (Result<R, Box<dyn std::any::Any + Send>>, RankStats);
+
+/// Does a panic payload carry the standard poisoned-world diagnostic?
+fn is_cascade_payload(payload: &Box<dyn std::any::Any + Send>) -> bool {
+    payload
+        .downcast_ref::<String>()
+        .map(|s| s.contains("world poisoned"))
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.contains("world poisoned")))
+        .unwrap_or(false)
+}
+
+/// Render a panic payload as a message string.
+fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 impl World {
     /// A world with `nranks` ranks. Panics if `nranks == 0`.
     pub fn new(nranks: usize) -> Self {
         assert!(nranks > 0, "a world needs at least one rank");
         // Modest stacks so that worlds of hundreds of ranks stay cheap.
-        World { nranks, stack_size: 2 << 20 }
+        World { nranks, stack_size: 2 << 20, fault: None }
     }
 
     /// Override the per-rank thread stack size (bytes).
@@ -63,29 +168,40 @@ impl World {
         self
     }
 
+    /// Install a [`FaultPlan`]. Fault state lives on the `World`, so a
+    /// one-shot crash fired in one [`World::run_with_outcomes`] call stays
+    /// fired when the same world re-runs (a driver retry does not re-crash).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault =
+            if plan.is_empty() { None } else { Some(Arc::new(FaultState::new(plan, self.nranks))) };
+        self
+    }
+
     /// Number of ranks.
     pub fn nranks(&self) -> usize {
         self.nranks
     }
 
-    /// Run `f` on every rank and collect results and counters in rank order.
-    ///
-    /// Panics in any rank propagate (the whole run aborts), so test failures
-    /// inside SPMD code surface normally.
-    pub fn run<R, F>(&self, f: F) -> WorldReport<R>
+    /// Execute `f` on every rank; collect each rank's raw result (return
+    /// value or panic payload) plus its salvaged counters, in rank order.
+    fn run_raw<R, F>(&self, f: F) -> Vec<RawOutcome<R>>
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
+        if let Some(fault) = &self.fault {
+            fault.begin_attempt();
+        }
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..self.nranks).map(|_| unbounded()).unzip();
         let fabric = Arc::new(Fabric {
             nranks: self.nranks,
             mailboxes: senders,
             rendezvous: Rendezvous::new(self.nranks),
+            fault: self.fault.clone(),
         });
 
-        let mut slots: Vec<Option<(R, RankStats)>> = (0..self.nranks).map(|_| None).collect();
+        let mut slots: Vec<Option<RawOutcome<R>>> = (0..self.nranks).map(|_| None).collect();
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.nranks);
             for (rank, inbox) in receivers.into_iter().enumerate() {
@@ -99,62 +215,94 @@ impl World {
                         let mut comm = Comm::new(rank, fabric.clone(), inbox);
                         // A panicking rank poisons the world so peers blocked
                         // on collectives or receives unwind instead of
-                        // deadlocking; the original panic is re-thrown after
-                        // every thread has exited.
+                        // deadlocking; counters survive the unwind so even a
+                        // crashed rank's partial traffic can be priced.
                         let outcome = std::panic::catch_unwind(
                             std::panic::AssertUnwindSafe(|| f(&mut comm)),
                         );
-                        match outcome {
-                            Ok(result) => Ok((result, comm.stats)),
-                            Err(payload) => {
-                                fabric.rendezvous.poison();
-                                Err(payload)
-                            }
+                        if outcome.is_err() {
+                            fabric.rendezvous.poison();
                         }
+                        let stats = comm.take_stats();
+                        (outcome, stats)
                     })
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
-            let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
             for (rank, handle) in handles.into_iter().enumerate() {
                 match handle.join() {
-                    Ok(Ok(pair)) => slots[rank] = Some(pair),
-                    Ok(Err(payload)) => {
-                        // Prefer the original panic over the "world
-                        // poisoned" cascade panics from other ranks.
-                        let is_cascade = payload
-                            .downcast_ref::<String>()
-                            .map(|s| s.contains("world poisoned"))
-                            .or_else(|| {
-                                payload
-                                    .downcast_ref::<&str>()
-                                    .map(|s| s.contains("world poisoned"))
-                            })
-                            .unwrap_or(false);
-                        if first_panic.is_none() || !is_cascade {
-                            if first_panic.is_none() {
-                                first_panic = Some(payload);
-                            } else if !is_cascade {
-                                // keep the earlier non-cascade panic
-                            }
-                        }
-                    }
+                    Ok(pair) => slots[rank] = Some(pair),
+                    // The closure is wrapped in catch_unwind, so a join error
+                    // means the runtime itself failed; give up loudly.
                     Err(panic) => std::panic::resume_unwind(panic),
                 }
             }
-            if let Some(p) = first_panic {
-                std::panic::resume_unwind(p);
-            }
         });
 
+        slots.into_iter().map(|s| s.expect("rank produced no outcome")).collect()
+    }
+
+    /// Run `f` on every rank and collect results and counters in rank order.
+    ///
+    /// Panics in any rank propagate (the whole run aborts), so test failures
+    /// inside SPMD code surface normally. When several ranks panicked, the
+    /// re-thrown payload is the first *original* panic in rank order; the
+    /// "world poisoned" cascade panics of ranks that merely unwound in
+    /// sympathy are only reported when no original panic was captured.
+    pub fn run<R, F>(&self, f: F) -> WorldReport<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        let raw = self.run_raw(f);
         let mut results = Vec::with_capacity(self.nranks);
         let mut stats = Vec::with_capacity(self.nranks);
-        for slot in slots {
-            let (r, s) = slot.expect("rank produced no result");
-            results.push(r);
+        let mut first_panic: Option<(Box<dyn std::any::Any + Send>, bool)> = None;
+        for (outcome, s) in raw {
             stats.push(s);
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    let cascade = is_cascade_payload(&payload);
+                    match &first_panic {
+                        None => first_panic = Some((payload, cascade)),
+                        // An original panic always beats a cascade captured
+                        // earlier in rank order.
+                        Some((_, true)) if !cascade => first_panic = Some((payload, cascade)),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if let Some((payload, _)) = first_panic {
+            std::panic::resume_unwind(payload);
         }
         WorldReport { results, stats }
+    }
+
+    /// Run `f` on every rank, converting per-rank panics into
+    /// [`RankOutcome`]s instead of propagating them. This is the entry point
+    /// for fault-tolerant drivers: a crashed rank yields
+    /// [`RankOutcome::Failed`] with its panic message, ranks that unwound on
+    /// the poisoned world yield [`RankOutcome::Aborted`], and every rank's
+    /// counters — partial or not — are returned for costing.
+    pub fn run_with_outcomes<R, F>(&self, f: F) -> WorldOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        let raw = self.run_raw(f);
+        let mut outcomes = Vec::with_capacity(self.nranks);
+        let mut stats = Vec::with_capacity(self.nranks);
+        for (outcome, s) in raw {
+            stats.push(s);
+            outcomes.push(match outcome {
+                Ok(r) => RankOutcome::Completed(r),
+                Err(payload) if is_cascade_payload(&payload) => RankOutcome::Aborted,
+                Err(payload) => RankOutcome::Failed(payload_message(&payload)),
+            });
+        }
+        WorldOutcome { outcomes, stats }
     }
 }
 
