@@ -1,0 +1,359 @@
+//! perf_kernels — wall-clock and modeled-runtime comparison of the
+//! hot-path best-move kernels (DESIGN.md §6.12): the epoch-stamped dense
+//! accumulator (`MoveKernel::Stamped`, the default) against the legacy
+//! scratch-vec scan (`MoveKernel::LegacyScan`, the pre-rewrite baseline).
+//!
+//! Runs the full distributed pipeline on generated scale-free graphs —
+//! one hub-heavy instance (delegate hubs are where the O(deg·k) scan is
+//! quadratic) and one flat instance — across p ∈ {4, 16, 64}, with both
+//! kernels on identical seeds. Because the kernels are bit-identical by
+//! construction, every pair of runs is also asserted to produce the same
+//! MDL series, move counts, and final assignment — the harness doubles as
+//! a determinism check on realistic inputs.
+//!
+//! Reported per run:
+//!
+//! - **kernel sweeps** (the headline numbers): the FindBestModule compute
+//!   — subset gate, best-move kernel, move application — replayed
+//!   serially over real stage-1 rank states for a fixed number of rounds,
+//!   per kernel. Serial replay removes thread-scheduler noise (the
+//!   simulated ranks oversubscribe cores), so this is the honest
+//!   kernel-vs-kernel wall-clock comparison. Measured under both
+//!   partitionings: 1D (hubs keep their whole adjacency — the O(deg·k)
+//!   regime the stamped kernel removes) and delegate (local degrees
+//!   capped near d_high — both kernels near-linear).
+//! - per-phase wall-clock of the full threaded pipeline (summed over
+//!   ranks), and the modeled makespan from the metered counters. The
+//!   modeled numbers are kernel-invariant by design — `add_work` meters
+//!   logical arc relaxations, not kernel instructions — so only
+//!   wall-clock shows the win.
+//!
+//! Writes `BENCH_kernels.json` at the repo root (override with
+//! `--out PATH`); `--tiny` shrinks the graphs for CI smoke runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use infomap_bench::{cost_model, env_seed, fmt_secs, Table};
+use infomap_distributed::state::build_stage1_states;
+use infomap_distributed::{
+    apply_local_move, best_local_move, best_local_move_scan, DistributedConfig,
+    DistributedInfomap, DistributedOutput, MoveKernel, NeighborhoodScratch,
+};
+use infomap_graph::generators::{chung_lu, power_law_degrees};
+use infomap_graph::Graph;
+use infomap_partition::{DelegateThreshold, Partition};
+
+struct GraphSpec {
+    name: &'static str,
+    graph: Graph,
+}
+
+/// Everything recorded about one (graph, p, kernel) run.
+struct RunMeasure {
+    wall_total_s: f64,
+    /// Per-phase wall seconds, summed over ranks.
+    phase_wall_s: BTreeMap<String, f64>,
+    /// Per-phase modeled seconds (makespan decomposition).
+    modeled_s: BTreeMap<String, f64>,
+    modeled_total_s: f64,
+    total_moves: u64,
+    mdl_final: f64,
+    /// Bit-comparison fingerprint: every per-round MDL across all stages.
+    mdl_bits: Vec<u64>,
+    modules: Vec<u32>,
+}
+
+fn measure(g: &Graph, p: usize, seed: u64, kernel: MoveKernel) -> RunMeasure {
+    let cfg = DistributedConfig { nranks: p, seed, kernel, ..Default::default() };
+    let t0 = Instant::now();
+    let out: DistributedOutput = DistributedInfomap::new(cfg).run(g);
+    let wall_total_s = t0.elapsed().as_secs_f64();
+
+    let mut phase_wall_s: BTreeMap<String, f64> = BTreeMap::new();
+    for rs in &out.rank_stats {
+        for (name, ps) in &rs.phases {
+            *phase_wall_s.entry(name.clone()).or_insert(0.0) += ps.wall.as_secs_f64();
+        }
+    }
+    let bd = cost_model().makespan(&out.rank_stats);
+    let total_moves: u64 = out.trace.iter().map(|t| t.moves).sum();
+    let mdl_bits: Vec<u64> =
+        out.trace.iter().flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits())).collect();
+    RunMeasure {
+        wall_total_s,
+        phase_wall_s,
+        modeled_s: bd.phases.clone(),
+        modeled_total_s: bd.total,
+        total_moves,
+        mdl_final: out.codelength,
+        mdl_bits,
+        modules: out.modules,
+    }
+}
+
+/// Wall seconds spent in the stage-1 FindBestModule phase (across ranks).
+fn find_best_wall(m: &RunMeasure) -> f64 {
+    m.phase_wall_s.get("s1/FindBestModule").copied().unwrap_or(0.0)
+}
+
+/// Serial replay of the FindBestModule compute, per kernel.
+struct SweepMeasure {
+    rounds: usize,
+    arcs_relaxed: u64,
+    moves: u64,
+    scan_wall_s: f64,
+    stamped_wall_s: f64,
+}
+
+impl SweepMeasure {
+    fn speedup(&self) -> f64 {
+        self.scan_wall_s / self.stamped_wall_s.max(1e-12)
+    }
+}
+
+/// Replay the stage-1 greedy sweep serially over the real rank states of
+/// `part`: the same subset gate, min-label alternation, kernel call, and
+/// move application as `find_best_modules`, minus communication and
+/// thread scheduling. Moves are applied so modules coalesce round over
+/// round exactly as in the driver's early stage-1 rounds, covering the
+/// singleton (k ≈ deg) regime where the scan kernel is quadratic on hubs
+/// as well as the coarsened regime where both kernels are near-linear.
+///
+/// The partition decides which regime the kernel sees. Under 1D
+/// partitioning (`cfg.threshold = Fixed(huge)`) hubs keep their whole
+/// adjacency on the owner rank, so the legacy scan pays O(deg·k) there —
+/// the blowup the stamped accumulator removes. Under delegate
+/// partitioning (the default) hub arcs are split across ranks and every
+/// local degree is capped near `d_high`, so both kernels are near-linear
+/// and only constant factors differ.
+///
+/// Both kernels replay the identical trajectory (they are bit-identical
+/// by construction — asserted here via the move count), so the wall-clock
+/// difference is purely the kernel.
+fn kernel_sweep(g: &Graph, part: &Partition) -> SweepMeasure {
+    const ROUNDS: usize = 6;
+    // DistributedConfig defaults: move_fraction_denom = 2, min_gain = 1e-10.
+    const SUBSET: u64 = 2;
+    const MIN_GAIN: f64 = 1e-10;
+    const REPS: usize = 2; // best-of-N to shed scheduler noise
+
+    let mut pristine = build_stage1_states(g, part);
+    for st in &mut pristine {
+        st.sum_exit = st.out_flow.iter().sum();
+    }
+
+    // The sweep order: `movable` is fixed for the stage, snapshotted here
+    // so the replay can mutate the states while iterating it.
+    let orders: Vec<Vec<u32>> = pristine.iter().map(|st| st.movable.clone()).collect();
+
+    let replay = |stamped: bool| -> (f64, u64, u64) {
+        let mut states = pristine.clone();
+        let mut neigh = NeighborhoodScratch::new();
+        let mut scan_buf: Vec<(u32, f64, bool)> = Vec::new();
+        let mut arcs = 0u64;
+        let mut moves = 0u64;
+        let t0 = Instant::now();
+        for round in 0..ROUNDS {
+            let restrict_boundary = round % 2 == 0;
+            for (st, order) in states.iter_mut().zip(&orders) {
+                for &li in order {
+                    // The driver's hashed 1/k eligibility gate, verbatim.
+                    let v = st.verts[li as usize] as u64;
+                    if !(v.wrapping_mul(0x9e3779b97f4a7c15) >> 32)
+                        .wrapping_add(round as u64)
+                        .is_multiple_of(SUBSET)
+                    {
+                        continue;
+                    }
+                    arcs += (st.adj_off[li as usize + 1] - st.adj_off[li as usize]) as u64;
+                    let cand = if stamped {
+                        best_local_move(st, li, MIN_GAIN, restrict_boundary, &mut neigh)
+                    } else {
+                        best_local_move_scan(st, li, MIN_GAIN, restrict_boundary, &mut scan_buf)
+                    };
+                    if let Some(c) = cand {
+                        apply_local_move(st, li, &c);
+                        moves += 1;
+                    }
+                }
+            }
+        }
+        (t0.elapsed().as_secs_f64(), arcs, moves)
+    };
+
+    let mut scan_wall_s = f64::INFINITY;
+    let mut stamped_wall_s = f64::INFINITY;
+    let (mut scan_moves, mut stamped_moves) = (0, 0);
+    let mut arcs_relaxed = 0;
+    for _ in 0..REPS {
+        let (w, a, m) = replay(false);
+        scan_wall_s = scan_wall_s.min(w);
+        arcs_relaxed = a;
+        scan_moves = m;
+        let (w, _, m) = replay(true);
+        stamped_wall_s = stamped_wall_s.min(w);
+        stamped_moves = m;
+    }
+    assert_eq!(scan_moves, stamped_moves, "sweep replay diverged between kernels");
+    SweepMeasure { rounds: ROUNDS, arcs_relaxed, moves: stamped_moves, scan_wall_s, stamped_wall_s }
+}
+
+fn json_sweep(out: &mut String, indent: &str, s: &SweepMeasure) {
+    let _ = write!(
+        out,
+        "{{\n{indent}  \"rounds\": {},\n{indent}  \"arcs_relaxed\": {},\n{indent}  \"moves\": {},\n{indent}  \"baseline_scan_wall_s\": {:e},\n{indent}  \"stamped_wall_s\": {:e},\n{indent}  \"speedup\": {:.4}\n{indent}}}",
+        s.rounds, s.arcs_relaxed, s.moves, s.scan_wall_s, s.stamped_wall_s, s.speedup()
+    );
+}
+
+fn json_map(out: &mut String, indent: &str, map: &BTreeMap<String, f64>) {
+    out.push('{');
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n{indent}  \"{k}\": {v:e}");
+    }
+    let _ = write!(out, "\n{indent}}}");
+}
+
+fn json_run(out: &mut String, indent: &str, m: &RunMeasure) {
+    let _ = write!(out, "{{\n{indent}  \"find_best_module_wall_s\": {:e},", find_best_wall(m));
+    let _ = write!(out, "\n{indent}  \"wall_total_s\": {:e},", m.wall_total_s);
+    let _ = write!(out, "\n{indent}  \"phase_wall_s\": ");
+    json_map(out, &format!("{indent}  "), &m.phase_wall_s);
+    let _ = write!(out, ",\n{indent}  \"modeled_s\": ");
+    json_map(out, &format!("{indent}  "), &m.modeled_s);
+    let _ = write!(out, ",\n{indent}  \"modeled_total_s\": {:e},", m.modeled_total_s);
+    let _ = write!(out, "\n{indent}  \"total_moves\": {},", m.total_moves);
+    let _ = write!(out, "\n{indent}  \"mdl_final\": {:e}\n{indent}}}", m.mdl_final);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR"))
+        });
+    let seed = env_seed();
+    let procs = [4usize, 16, 64];
+
+    // Hub-heavy: a heavy power-law tail, so the delegate hubs the scan
+    // kernel is quadratic on carry a large share of all arcs. Flat: a
+    // bounded-degree instance where both kernels are near-linear.
+    let (n_hub, kmax_hub, n_flat, kmax_flat) = if tiny {
+        (1_500, 750, 1_500, 16)
+    } else {
+        (20_000, 10_000, 12_000, 32)
+    };
+    let graphs = [
+        GraphSpec {
+            name: "hub_heavy",
+            graph: chung_lu(&power_law_degrees(n_hub, 2.0, 2, kmax_hub, seed), seed + 1),
+        },
+        GraphSpec {
+            name: "flat",
+            graph: chung_lu(&power_law_degrees(n_flat, 2.6, 2, kmax_flat, seed + 2), seed + 3),
+        },
+    ];
+
+    let mode = if tiny { "tiny" } else { "full" };
+    println!("perf_kernels: stamped vs legacy-scan best-move kernels ({mode}, seed {seed})\n");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"dinfomap-perf-kernels-v1\",\n");
+    let _ = write!(json, "  \"mode\": \"{mode}\",\n  \"seed\": {seed},\n");
+    json.push_str(
+        "  \"regenerate\": \"cargo run --release -p infomap-bench --bin perf_kernels\",\n",
+    );
+    json.push_str("  \"host_note\": \"absolute wall-clock is machine-dependent (reference numbers recorded on a single-core container); the speedup ratios are the comparable quantity\",\n");
+    json.push_str("  \"wall_clock_note\": \"kernel_sweep_* are serial replays of the FindBestModule compute over real stage-1 rank states (no thread-scheduler noise): _1d keeps hub adjacencies whole (the O(deg*k) regime the stamped kernel removes; find_best_module_speedup is its speedup), _delegate caps local degrees near d_high so only constant factors differ; phase_wall_s sums thread wall time over simulated ranks; modeled_s is the cost-model makespan from metered counters and is kernel-invariant by design\",\n");
+    json.push_str("  \"graphs\": [");
+
+    for (gi, spec) in graphs.iter().enumerate() {
+        let g = &spec.graph;
+        let max_deg =
+            (0..g.num_vertices() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        println!(
+            "{} (|V|={}, |E|={}, max deg {}):",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges(),
+            max_deg
+        );
+        let mut table = Table::new(&[
+            "p",
+            "1d scan",
+            "1d stamped",
+            "1d speedup",
+            "delegate speedup",
+            "modeled total",
+        ]);
+        if gi > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\n      \"name\": \"{}\",\n      \"vertices\": {},\n      \"edges\": {},\n      \"max_degree\": {},\n      \"runs\": [",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges(),
+            max_deg
+        );
+        for (pi, &p) in procs.iter().enumerate() {
+            let scan = measure(g, p, seed, MoveKernel::LegacyScan);
+            let stamped = measure(g, p, seed, MoveKernel::Stamped);
+            // The kernels must be interchangeable to the bit — this is the
+            // determinism contract the rewrite was built around.
+            assert_eq!(scan.mdl_bits, stamped.mdl_bits, "{} p={p}: MDL series diverged", spec.name);
+            assert_eq!(scan.total_moves, stamped.total_moves, "{} p={p}: moves", spec.name);
+            assert_eq!(scan.modules, stamped.modules, "{} p={p}: assignment", spec.name);
+            // 1D partitioning: hubs keep their whole adjacency — the
+            // O(deg·k) regime the rewrite targets (headline number).
+            let sweep_1d = kernel_sweep(g, &Partition::one_d(g, p));
+            // Delegate partitioning (driver default): local degrees are
+            // capped near d_high, so constant factors only.
+            let sweep_del =
+                kernel_sweep(g, &Partition::delegate(g, p, DelegateThreshold::Auto(4.0), true));
+            let speedup = sweep_1d.speedup();
+            table.row(vec![
+                p.to_string(),
+                fmt_secs(sweep_1d.scan_wall_s),
+                fmt_secs(sweep_1d.stamped_wall_s),
+                format!("{speedup:.2}x"),
+                format!("{:.2}x", sweep_del.speedup()),
+                fmt_secs(stamped.modeled_total_s),
+            ]);
+            if pi > 0 {
+                json.push(',');
+            }
+            let _ = write!(json, "\n        {{\n          \"p\": {p},\n          \"baseline_scan\": ");
+            json_run(&mut json, "          ", &scan);
+            json.push_str(",\n          \"stamped\": ");
+            json_run(&mut json, "          ", &stamped);
+            json.push_str(",\n          \"kernel_sweep_1d\": ");
+            json_sweep(&mut json, "          ", &sweep_1d);
+            json.push_str(",\n          \"kernel_sweep_delegate\": ");
+            json_sweep(&mut json, "          ", &sweep_del);
+            let _ = write!(
+                json,
+                ",\n          \"find_best_module_speedup\": {speedup:.4},\n          \"bit_identical\": true\n        }}"
+            );
+        }
+        json.push_str("\n      ]\n    }");
+        table.print();
+        println!();
+    }
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    println!("wrote {out_path}");
+}

@@ -4,6 +4,9 @@
 //! Rosvall et al. (the paper's Algorithm 1), which the distributed
 //! algorithm both builds on and is evaluated against:
 //!
+//! * [`accumulate`]: the epoch-stamped dense accumulator shared by the
+//!   sequential and distributed best-move kernels (O(deg) neighborhood
+//!   aggregation without clearing);
 //! * [`flow`]: per-vertex visit rates and normalized arc flows of the
 //!   undirected random walk (`p_α = strength(α) / 2W`);
 //! * [`map_equation`]: the codelength `L(M)` of Equation 3, maintained
@@ -25,11 +28,13 @@
 //! # let _ = truth;
 //! ```
 
+pub mod accumulate;
 pub mod directed;
 pub mod flow;
 pub mod map_equation;
 pub mod sequential;
 
+pub use accumulate::StampedSlotMap;
 pub use directed::{directed_infomap, DirectedNetwork, DirectedResult, PageRankConfig};
 pub use flow::FlowNetwork;
 pub use map_equation::{plogp, Partitioning};

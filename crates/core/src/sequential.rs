@@ -192,7 +192,9 @@ pub fn greedy_sweeps(
 ) -> (usize, usize) {
     let n = network.num_vertices();
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
-    let mut scratch: Vec<(u32, f64)> = Vec::new();
+    // Stamped dense accumulator: O(deg) per vertex, bit-identical to the
+    // legacy scratch-vec scan (see `Partitioning::best_move_stamped`).
+    let mut scratch = crate::accumulate::StampedSlotMap::new();
     let mut total_moves = 0usize;
     let mut sweeps = 0usize;
     for _ in 0..max_sweeps {
@@ -200,7 +202,9 @@ pub fn greedy_sweeps(
         order.shuffle(rng);
         let mut moves = 0usize;
         for &u in &order {
-            if let Some(c) = partitioning.best_move(network, u, min_gain, 1e-12, &mut scratch) {
+            if let Some(c) =
+                partitioning.best_move_stamped(network, u, min_gain, 1e-12, &mut scratch)
+            {
                 partitioning.apply_candidate(network, &c);
                 moves += 1;
             }

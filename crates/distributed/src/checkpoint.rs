@@ -73,10 +73,12 @@ impl RankSnapshot {
     pub fn approx_wire_bytes(&self) -> u64 {
         let st = &self.st;
         let assignments = st.module_of.len() as u64 * 8;
-        // Module tables: id (8) + flow/exit (16) + members (4).
-        let tables = (st.modules.len() + st.owned_modules.len()) as u64 * 28;
+        // Module tables: id (8) + flow/exit (16) + members (4). Only
+        // modules this rank has a live view of would be serialized — the
+        // interned slot tables are rebuilt on restore.
+        let tables = (st.num_known_modules() + st.owned_modules.len()) as u64 * 28;
         let delta_bookkeeping =
-            (st.last_contrib.len() + st.owner_sources.len()) as u64 * 28;
+            (st.num_active_contribs() + st.owner_sources.len()) as u64 * 28;
         let delegate = self.delegate_assign.len() as u64 * 12;
         let carry = self.assign.len() as u64 * 8 + self.cursor.mdl_series.len() as u64 * 8;
         assignments + tables + delta_bookkeeping + delegate + carry + 64

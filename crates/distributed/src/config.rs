@@ -2,6 +2,22 @@
 
 use infomap_partition::DelegateThreshold;
 
+/// Which best-move kernel the greedy sweep uses. Both kernels are
+/// bit-identical (same candidates, same δL bits, same tie-breaks); the
+/// choice only affects wall-clock, never results — which is what lets the
+/// `perf_kernels` harness measure one against the other on the same run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MoveKernel {
+    /// Epoch-stamped dense accumulator over interned module slots:
+    /// O(deg) per vertex (DESIGN.md §6.12). The default.
+    #[default]
+    Stamped,
+    /// The pre-interning linear scan of a scratch vec: O(deg·k) per vertex
+    /// where k is the number of distinct neighbor modules. Kept as the
+    /// measurable baseline.
+    LegacyScan,
+}
+
 /// Tunables of [`crate::DistributedInfomap`]. The defaults follow the
 /// paper's §4 setup (`d_high` = rank count, rebalancing on, minimum-label
 /// tie-break on, full `Module_Info` swapping on).
@@ -46,6 +62,9 @@ pub struct DistributedConfig {
     /// modules, so syncing every round caps scalability; the paper's own
     /// "Other" phase shrinks with p because it is purely local.
     pub sync_interval: usize,
+    /// Best-move kernel of the greedy sweep (bit-identical results either
+    /// way; see [`MoveKernel`]).
+    pub kernel: MoveKernel,
     /// Checkpoint/retry policy for fault-tolerant runs.
     pub recovery: RecoveryConfig,
 }
@@ -87,6 +106,7 @@ impl Default for DistributedConfig {
             full_module_swap: true,
             move_fraction_denom: 2,
             sync_interval: 1,
+            kernel: MoveKernel::default(),
             recovery: RecoveryConfig::default(),
         }
     }
@@ -103,6 +123,7 @@ mod tests {
         assert!(c.rebalance);
         assert!(c.min_label_tiebreak);
         assert!(c.full_module_swap);
+        assert_eq!(c.kernel, MoveKernel::Stamped);
     }
 
     #[test]

@@ -238,7 +238,7 @@ impl DistributedInfomap {
                 assign.clear();
                 for (li, &v) in st.verts.iter().enumerate() {
                     if st.kind[li] == VertexKind::Owned {
-                        assign.push((v, merge.dense[&st.module_of[li]]));
+                        assign.push((v, merge.dense[&st.module_id_of(li)]));
                     }
                 }
                 for &d in &delegates {
@@ -425,7 +425,7 @@ fn degraded_output(
                     let st = &snap.st;
                     for (li, &v) in st.verts.iter().enumerate() {
                         if st.kind[li] == VertexKind::Owned {
-                            pairs.push((v, st.module_of[li]));
+                            pairs.push((v, st.module_id_of(li)));
                         }
                     }
                     for (&d, &m) in &snap.delegate_assign {
@@ -509,9 +509,9 @@ fn distributed_merge(comm: &mut Comm, st: &LocalState, _cfg: &DistributedConfig)
         if st.kind[li as usize] == VertexKind::Ghost {
             continue;
         }
-        let a = dense_of(&dense, st.module_of[li as usize]);
+        let a = dense_of(&dense, st.module_id_of(li as usize));
         for (tgt, w) in st.arcs_of(li) {
-            let b = dense_of(&dense, st.module_of[tgt as usize]);
+            let b = dense_of(&dense, st.module_id_of(tgt as usize));
             *agg.entry((a, b)).or_insert(0.0) += w;
             comm.add_work(1);
         }
@@ -586,7 +586,7 @@ fn refresh_assignments(
     for (src, keys) in incoming.into_iter().enumerate() {
         for key in keys {
             let li = st.local_of(key);
-            let module = st.module_of[li as usize];
+            let module = st.module_id_of(li as usize);
             replies[src].push(AssignmentReply { key, module: dense_of(dense, module) });
             comm.add_work(1);
         }
@@ -640,11 +640,11 @@ mod tests {
             let mut ghosts: Vec<(u32, u32, u64)> = Vec::new();
             for (li, &v) in st.verts.iter().enumerate() {
                 match st.kind[li] {
-                    VertexKind::Owned => owned.push((v, st.module_of[li])),
+                    VertexKind::Owned => owned.push((v, st.module_id_of(li))),
                     VertexKind::Ghost => {
-                        ghosts.push((st.rank as u32, v, st.module_of[li]))
+                        ghosts.push((st.rank as u32, v, st.module_id_of(li)))
                     }
-                    VertexKind::DelegateCopy => owned.push((v, st.module_of[li])),
+                    VertexKind::DelegateCopy => owned.push((v, st.module_id_of(li))),
                 }
             }
             collected.lock().unwrap().push((st.rank, owned, ghosts));

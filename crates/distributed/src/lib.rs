@@ -32,6 +32,12 @@
 //! so the benchmark harness can regenerate the time-breakdown, scalability
 //! and efficiency figures from the counters.
 //!
+//! The per-rank hot paths run on interned module slots with epoch-stamped
+//! dense accumulators and persistent round buffers (DESIGN.md §6.12); the
+//! pre-interning scan kernel survives as [`MoveKernel::LegacyScan`] and
+//! both are bit-identical, which the `perf_kernels` harness exploits to
+//! benchmark one against the other on the same runs.
+//!
 //! ```
 //! use infomap_graph::generators::ring_of_cliques;
 //! use infomap_distributed::{DistributedConfig, DistributedInfomap};
@@ -53,5 +59,9 @@ pub mod rounds;
 pub mod state;
 
 pub use checkpoint::{CheckpointStore, RankSnapshot, SnapshotPos};
-pub use config::{DistributedConfig, RecoveryConfig};
+pub use config::{DistributedConfig, MoveKernel, RecoveryConfig};
 pub use driver::{DistributedInfomap, DistributedOutput, RecoveryReport, StageTrace};
+pub use rounds::{
+    apply_local_move, best_local_move, best_local_move_scan, LocalCandidate, NeighborhoodScratch,
+    RoundBuffers,
+};

@@ -48,10 +48,23 @@ pub struct LocalState {
     /// Flow-normalized non-self arc flow out of each local vertex, over
     /// the arcs stored here.
     pub out_flow: Vec<f64>,
-    /// Current module of each local vertex (global module ids).
-    pub module_of: Vec<u64>,
-    /// Local view of module statistics.
-    pub modules: HashMap<u64, ModuleEntry>,
+    /// Current module of each local vertex, as an interned **module slot**
+    /// (index into `module_ids` / `module_stats`). Global ids appear only
+    /// at communication boundaries; see [`LocalState::module_gid`].
+    pub module_of: Vec<u32>,
+    /// Interned module table: slot → global module id. Append-only within
+    /// a clustering stage, so slots stay stable across rounds.
+    pub module_ids: Vec<u64>,
+    /// Global module id → slot (consulted only when global ids arrive off
+    /// the wire or leave for it).
+    pub module_slot: HashMap<u64, u32>,
+    /// Local view of module statistics, slot-indexed. Only meaningful for
+    /// slots with `module_present`; absent slots hold `default()` so the
+    /// legacy `get().unwrap_or_default()` reads stay bit-identical.
+    pub module_stats: Vec<ModuleEntry>,
+    /// Whether this rank currently has a view of the slot's module
+    /// (mirrors key-existence in the pre-interning `HashMap`).
+    pub module_present: Vec<bool>,
     /// Authoritative totals of the modules this rank owns (`modID mod p ==
     /// rank`), refreshed by every owner reduction; consumed by merging.
     pub owned_modules: HashMap<u64, ModuleEntry>,
@@ -68,14 +81,17 @@ pub struct LocalState {
     pub inv_two_w: f64,
     /// Indices of vertices this rank moves (owned + delegate copies).
     pub movable: Vec<u32>,
-    /// Module last announced to subscribers per boundary vertex; only
-    /// vertices whose assignment changed are re-sent (ghost views stay
-    /// exact because an update is emitted precisely when the owner's
-    /// assignment moves).
-    pub last_announced: HashMap<u32, u64>,
-    /// Contribution last shipped to each module's owner (delta-based
-    /// reduction: only changed contributions travel).
-    pub last_contrib: HashMap<u64, (f64, f64, u32)>,
+    /// Module (global id) last announced to subscribers, per local vertex
+    /// (`u64::MAX` = never announced); only vertices whose assignment
+    /// changed are re-sent (ghost views stay exact because an update is
+    /// emitted precisely when the owner's assignment moves).
+    pub last_announced: Vec<u64>,
+    /// Contribution last shipped to each module's owner, slot-indexed
+    /// (delta-based reduction: only changed contributions travel). Entries
+    /// are live only where `last_contrib_active` is set.
+    pub last_contrib: Vec<(f64, f64, u32)>,
+    /// Which `last_contrib` slots hold a shipped contribution.
+    pub last_contrib_active: Vec<bool>,
     /// Owner side of the reduction: per (module, source rank) last
     /// absolute contribution.
     pub owner_sources: HashMap<(u64, u32), (f64, f64, u32)>,
@@ -103,6 +119,88 @@ impl LocalState {
     /// Is local vertex `li` a delegate copy?
     pub fn is_delegate(&self, li: u32) -> bool {
         self.kind[li as usize] == VertexKind::DelegateCopy
+    }
+
+    // ------------------------------------------------------------------
+    // Module-ID interning (slot ↔ global id)
+    // ------------------------------------------------------------------
+
+    /// Slot of global module id `gid`, interning it if unseen. The slot's
+    /// stats start absent (`default()`), mirroring a missing hash-map key.
+    #[inline]
+    pub fn intern_module(&mut self, gid: u64) -> u32 {
+        if let Some(&s) = self.module_slot.get(&gid) {
+            return s;
+        }
+        let s = self.module_ids.len() as u32;
+        self.module_ids.push(gid);
+        self.module_slot.insert(gid, s);
+        self.module_stats.push(ModuleEntry::default());
+        self.module_present.push(false);
+        self.last_contrib.push((0.0, 0.0, 0));
+        self.last_contrib_active.push(false);
+        s
+    }
+
+    /// Global id of module slot `s`.
+    #[inline]
+    pub fn module_gid(&self, s: u32) -> u64 {
+        self.module_ids[s as usize]
+    }
+
+    /// Global module id of local vertex `li`'s current module.
+    #[inline]
+    pub fn module_id_of(&self, li: usize) -> u64 {
+        self.module_ids[self.module_of[li] as usize]
+    }
+
+    /// Number of interned module slots (present or not).
+    #[inline]
+    pub fn num_module_slots(&self) -> usize {
+        self.module_ids.len()
+    }
+
+    /// Number of modules this rank currently has a view of (the size of
+    /// the pre-interning `modules` hash map).
+    pub fn num_known_modules(&self) -> usize {
+        self.module_present.iter().filter(|&&p| p).count()
+    }
+
+    /// Number of live delta-sync contributions (the size of the
+    /// pre-interning `last_contrib` hash map).
+    pub fn num_active_contribs(&self) -> usize {
+        self.last_contrib_active.iter().filter(|&&p| p).count()
+    }
+
+    /// `modules.entry(gid).or_insert(e)` of the pre-interning table:
+    /// intern, and set stats only if the module was absent. Returns the
+    /// slot.
+    #[inline]
+    pub fn insert_module_if_absent(&mut self, gid: u64, e: ModuleEntry) -> u32 {
+        let s = self.intern_module(gid);
+        if !self.module_present[s as usize] {
+            self.module_present[s as usize] = true;
+            self.module_stats[s as usize] = e;
+        }
+        s
+    }
+
+    /// `modules.insert(gid, e)`: intern and overwrite. Returns the slot.
+    #[inline]
+    pub fn set_module(&mut self, gid: u64, e: ModuleEntry) -> u32 {
+        let s = self.intern_module(gid);
+        self.module_present[s as usize] = true;
+        self.module_stats[s as usize] = e;
+        s
+    }
+
+    /// `modules.remove(&gid)`: mark absent and restore the default stats
+    /// (keeping the invariant that absent slots read as `default()`).
+    pub fn remove_module(&mut self, gid: u64) {
+        if let Some(&s) = self.module_slot.get(&gid) {
+            self.module_present[s as usize] = false;
+            self.module_stats[s as usize] = ModuleEntry::default();
+        }
     }
 }
 
@@ -235,17 +333,18 @@ fn assemble(
         .collect();
     send_targets.sort_unstable();
 
-    // Singleton initialization: every vertex its own module. Stats here
-    // are local approximations; the first owner reduction replaces them
-    // with exact values before any move decision is made.
-    let module_of: Vec<u64> = verts.iter().map(|&v| v as u64).collect();
-    let mut modules = HashMap::with_capacity(n);
-    for li in 0..n {
-        modules.insert(
-            verts[li] as u64,
-            ModuleEntry { flow: node_flow[li], exit: out_flow[li], members: 1 },
-        );
-    }
+    // Singleton initialization: every vertex its own module, interned at
+    // slot == local index. Stats here are local approximations; the first
+    // owner reduction replaces them with exact values before any move
+    // decision is made.
+    let module_of: Vec<u32> = (0..n as u32).collect();
+    let module_ids: Vec<u64> = verts.iter().map(|&v| v as u64).collect();
+    let module_slot: HashMap<u64, u32> =
+        module_ids.iter().enumerate().map(|(s, &gid)| (gid, s as u32)).collect();
+    let module_stats: Vec<ModuleEntry> = (0..n)
+        .map(|li| ModuleEntry { flow: node_flow[li], exit: out_flow[li], members: 1 })
+        .collect();
+    let module_present = vec![true; n];
     let sum_exit = 0.0; // refreshed by the first sync round
 
     LocalState {
@@ -260,7 +359,10 @@ fn assemble(
         node_flow,
         out_flow,
         module_of,
-        modules,
+        module_ids,
+        module_slot,
+        module_stats,
+        module_present,
         owned_modules: HashMap::new(),
         sum_exit,
         subscribers,
@@ -268,8 +370,9 @@ fn assemble(
         send_targets,
         inv_two_w,
         movable,
-        last_announced: HashMap::new(),
-        last_contrib: HashMap::new(),
+        last_announced: vec![u64::MAX; n],
+        last_contrib: vec![(0.0, 0.0, 0); n],
+        last_contrib_active: vec![false; n],
         owner_sources: HashMap::new(),
         owner_subs: HashMap::new(),
     }

@@ -152,8 +152,11 @@ impl Comm {
         }
     }
 
-    /// Record `units` of abstract compute work (e.g. one unit per edge
-    /// examined while searching for the best module). Straggler faults
+    /// Record `units` of abstract compute work. Callers meter **logical**
+    /// work — e.g. one unit per arc relaxed while searching for the best
+    /// module, regardless of which kernel performs the relaxation — so
+    /// modeled runtimes stay comparable across kernel implementations and
+    /// only wall-clock reflects constant-factor wins. Straggler faults
     /// inflate the charge; the surplus is recorded separately so modeled
     /// overhead stays attributable.
     pub fn add_work(&mut self, units: u64) {
@@ -250,6 +253,14 @@ impl Comm {
                 self.delayed.push((release, dest, env));
             }
         }
+    }
+
+    /// [`Comm::send`] from a borrowed staging buffer: the fabric takes
+    /// ownership of a copy (as MPI's internal buffering of a non-blocking
+    /// send would), while the caller's buffer keeps its capacity for
+    /// reuse. Metering is identical to `send`.
+    pub fn send_slice<T: Clone + Send + 'static>(&mut self, dest: usize, tag: u64, payload: &[T]) {
+        self.send(dest, tag, payload.to_vec());
     }
 
     /// Blocking selective receive: the next message from `src` with `tag`.
