@@ -1,0 +1,308 @@
+//! perf_comm — traffic and modeled-latency comparison of the two
+//! communication paths (DESIGN.md §6.13): the compact default
+//! (owner-reduced delegate election, delta/varint wire codecs, fused
+//! sync collectives) against the legacy path (allgathered elections,
+//! packed fixed-width records, standalone allreduces).
+//!
+//! Runs the full distributed pipeline on generated scale-free graphs —
+//! one hub-heavy instance (delegate hubs are where the legacy election's
+//! O(total × p) receive volume explodes) and one flat instance — across
+//! p ∈ {4, 16, 64}, with both paths on identical seeds. The paths are
+//! bit-identical by construction, and every pair of runs is asserted to
+//! produce the same MDL series, move counts, and final assignment — the
+//! harness doubles as an end-to-end equivalence check on realistic
+//! inputs.
+//!
+//! Reported per run:
+//!
+//! - **metered bytes** per phase and in total: point-to-point payload
+//!   bytes sent, plus both sides of every collective (contributed bytes
+//!   and received bytes), summed over ranks. Legacy records are metered
+//!   at their *packed wire extents* (`WIRE_BYTES`, not in-memory
+//!   `size_of`), so the comparison is against an honest baseline.
+//! - message and collective-call counts, and the compact path's codec
+//!   throughput (`codec_bytes`, priced by the cost model's `t_encode`).
+//! - the modeled makespan from the metered counters (max-over-ranks per
+//!   phase, summed over phases — the bulk-synchronous model of §4.2).
+//!
+//! The harness asserts the byte budget phase by phase: the compact path
+//! must meter **no more** bytes than legacy in *every* phase, strictly
+//! fewer in total, and a strictly smaller modeled makespan. On the full
+//! (non-`--tiny`) hub-heavy graph it additionally enforces the ≤ 0.6×
+//! total-byte acceptance ratio at p ∈ {16, 64}.
+//!
+//! Writes `BENCH_comm.json` at the repo root (override with `--out
+//! PATH`); `--tiny` shrinks the graphs for CI smoke runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use infomap_bench::{cost_model, env_seed, fmt_secs, Table};
+use infomap_distributed::{CommPath, DistributedConfig, DistributedInfomap, DistributedOutput};
+use infomap_graph::generators::{chung_lu, power_law_degrees};
+use infomap_graph::Graph;
+use infomap_mpisim::PhaseStats;
+
+struct GraphSpec {
+    name: &'static str,
+    graph: Graph,
+}
+
+/// Bytes a phase record puts on the modeled network: point-to-point
+/// payloads (counted once, on the send side) plus both sides of every
+/// collective.
+fn metered_bytes(ps: &PhaseStats) -> u64 {
+    ps.p2p_bytes_sent + ps.collective_bytes + ps.collective_bytes_recv
+}
+
+/// Everything recorded about one (graph, p, path) run.
+struct RunMeasure {
+    /// Phase → metered bytes, summed over ranks. Communication outside
+    /// any named phase (assignment refresh, final assembly) is collected
+    /// under `"(unphased)"`.
+    phase_bytes: BTreeMap<String, u64>,
+    total_bytes: u64,
+    p2p_msgs: u64,
+    collective_calls: u64,
+    codec_bytes: u64,
+    modeled_s: BTreeMap<String, f64>,
+    modeled_total_s: f64,
+    total_moves: u64,
+    mdl_final: f64,
+    /// Bit-comparison fingerprint: every per-round MDL across all stages.
+    mdl_bits: Vec<u64>,
+    modules: Vec<u32>,
+}
+
+fn measure(g: &Graph, p: usize, seed: u64, path: CommPath) -> RunMeasure {
+    let cfg = DistributedConfig { nranks: p, seed, comm_path: path, ..Default::default() };
+    let out: DistributedOutput = DistributedInfomap::new(cfg).run(g);
+
+    let mut phase_bytes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total_bytes = 0u64;
+    for rs in &out.rank_stats {
+        let mut phased = 0u64;
+        for (name, ps) in &rs.phases {
+            let b = metered_bytes(ps);
+            *phase_bytes.entry(name.clone()).or_insert(0) += b;
+            phased += b;
+        }
+        let total = metered_bytes(&rs.total);
+        *phase_bytes.entry("(unphased)".into()).or_insert(0) +=
+            total.saturating_sub(phased);
+        total_bytes += total;
+    }
+    let bd = cost_model().makespan(&out.rank_stats);
+    let total_moves: u64 = out.trace.iter().map(|t| t.moves).sum();
+    let mdl_bits: Vec<u64> =
+        out.trace.iter().flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits())).collect();
+    RunMeasure {
+        phase_bytes,
+        total_bytes,
+        p2p_msgs: out.rank_stats.iter().map(|r| r.total.p2p_msgs_sent).sum(),
+        collective_calls: out.rank_stats.iter().map(|r| r.total.collective_calls).sum(),
+        codec_bytes: out.rank_stats.iter().map(|r| r.total.codec_bytes).sum(),
+        modeled_s: bd.phases.clone(),
+        modeled_total_s: bd.total,
+        total_moves,
+        mdl_final: out.codelength,
+        mdl_bits,
+        modules: out.modules,
+    }
+}
+
+/// Phase-by-phase byte-budget regression check: the compact path may not
+/// out-spend legacy in any metered phase.
+fn assert_phase_budget(legacy: &RunMeasure, compact: &RunMeasure, label: &str) {
+    let mut names: Vec<&String> =
+        legacy.phase_bytes.keys().chain(compact.phase_bytes.keys()).collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        let l = legacy.phase_bytes.get(name).copied().unwrap_or(0);
+        let c = compact.phase_bytes.get(name).copied().unwrap_or(0);
+        assert!(
+            c <= l,
+            "{label}: compact out-spent legacy in phase {name}: {c} > {l} bytes"
+        );
+    }
+}
+
+fn fmt_mib(bytes: u64) -> String {
+    format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn json_bytes_map(out: &mut String, indent: &str, map: &BTreeMap<String, u64>) {
+    out.push('{');
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n{indent}  \"{k}\": {v}");
+    }
+    let _ = write!(out, "\n{indent}}}");
+}
+
+fn json_f64_map(out: &mut String, indent: &str, map: &BTreeMap<String, f64>) {
+    out.push('{');
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n{indent}  \"{k}\": {v:e}");
+    }
+    let _ = write!(out, "\n{indent}}}");
+}
+
+fn json_run(out: &mut String, indent: &str, m: &RunMeasure) {
+    let _ = write!(out, "{{\n{indent}  \"total_bytes\": {},", m.total_bytes);
+    let _ = write!(out, "\n{indent}  \"phase_bytes\": ");
+    json_bytes_map(out, &format!("{indent}  "), &m.phase_bytes);
+    let _ = write!(out, ",\n{indent}  \"p2p_msgs\": {},", m.p2p_msgs);
+    let _ = write!(out, "\n{indent}  \"collective_calls\": {},", m.collective_calls);
+    let _ = write!(out, "\n{indent}  \"codec_bytes\": {},", m.codec_bytes);
+    let _ = write!(out, "\n{indent}  \"modeled_s\": ");
+    json_f64_map(out, &format!("{indent}  "), &m.modeled_s);
+    let _ = write!(out, ",\n{indent}  \"modeled_total_s\": {:e},", m.modeled_total_s);
+    let _ = write!(out, "\n{indent}  \"total_moves\": {},", m.total_moves);
+    let _ = write!(out, "\n{indent}  \"mdl_final\": {:e}\n{indent}}}", m.mdl_final);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/../../BENCH_comm.json", env!("CARGO_MANIFEST_DIR")));
+    let seed = env_seed();
+    let procs = [4usize, 16, 64];
+
+    // Hub-heavy: a heavy power-law tail, so delegate elections carry real
+    // proposal volume — the regime the owner reduction targets. Flat: a
+    // bounded-degree instance dominated by boundary gossip and syncs.
+    let (n_hub, kmax_hub, n_flat, kmax_flat) =
+        if tiny { (1_500, 750, 1_500, 16) } else { (20_000, 10_000, 12_000, 32) };
+    let graphs = [
+        GraphSpec {
+            name: "hub_heavy",
+            graph: chung_lu(&power_law_degrees(n_hub, 2.0, 2, kmax_hub, seed), seed + 1),
+        },
+        GraphSpec {
+            name: "flat",
+            graph: chung_lu(&power_law_degrees(n_flat, 2.6, 2, kmax_flat, seed + 2), seed + 3),
+        },
+    ];
+
+    let mode = if tiny { "tiny" } else { "full" };
+    println!("perf_comm: compact vs legacy communication paths ({mode}, seed {seed})\n");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"dinfomap-perf-comm-v1\",\n");
+    let _ = write!(json, "  \"mode\": \"{mode}\",\n  \"seed\": {seed},\n");
+    json.push_str(
+        "  \"regenerate\": \"cargo run --release -p infomap-bench --bin perf_comm\",\n",
+    );
+    json.push_str("  \"byte_note\": \"metered bytes = p2p payload bytes sent + collective contributed bytes + collective received bytes, summed over ranks; legacy records are priced at packed wire extents (WIRE_BYTES), not in-memory size_of; '(unphased)' collects assignment refresh and final assembly\",\n");
+    json.push_str("  \"invariants\": \"both paths are bit-identical per seed (asserted: MDL series, moves, assignment); compact <= legacy bytes in every phase; compact < legacy in total bytes and modeled makespan\",\n");
+    json.push_str("  \"graphs\": [");
+
+    for (gi, spec) in graphs.iter().enumerate() {
+        let g = &spec.graph;
+        let max_deg = (0..g.num_vertices() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        println!(
+            "{} (|V|={}, |E|={}, max deg {}):",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges(),
+            max_deg
+        );
+        let mut table = Table::new(&[
+            "p",
+            "legacy bytes",
+            "compact bytes",
+            "ratio",
+            "msgs l/c",
+            "colls l/c",
+            "makespan l->c",
+        ]);
+        if gi > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\n      \"name\": \"{}\",\n      \"vertices\": {},\n      \"edges\": {},\n      \"max_degree\": {},\n      \"runs\": [",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges(),
+            max_deg
+        );
+        for (pi, &p) in procs.iter().enumerate() {
+            let legacy = measure(g, p, seed, CommPath::Legacy);
+            let compact = measure(g, p, seed, CommPath::Compact);
+            let label = format!("{} p={p}", spec.name);
+            // The paths must be interchangeable to the bit — the contract
+            // the compact rebuild was designed around.
+            assert_eq!(legacy.mdl_bits, compact.mdl_bits, "{label}: MDL series diverged");
+            assert_eq!(legacy.total_moves, compact.total_moves, "{label}: moves");
+            assert_eq!(legacy.modules, compact.modules, "{label}: assignment");
+            assert_phase_budget(&legacy, &compact, &label);
+            assert!(
+                compact.total_bytes < legacy.total_bytes,
+                "{label}: compact {} >= legacy {} total bytes",
+                compact.total_bytes,
+                legacy.total_bytes
+            );
+            assert!(
+                compact.modeled_total_s < legacy.modeled_total_s,
+                "{label}: compact makespan {} >= legacy {}",
+                compact.modeled_total_s,
+                legacy.modeled_total_s
+            );
+            let ratio = compact.total_bytes as f64 / legacy.total_bytes as f64;
+            if !tiny && spec.name == "hub_heavy" && p >= 16 {
+                assert!(
+                    ratio <= 0.6,
+                    "{label}: byte ratio {ratio:.3} misses the 0.6x acceptance bar"
+                );
+            }
+            let makespan_ratio = compact.modeled_total_s / legacy.modeled_total_s;
+            table.row(vec![
+                p.to_string(),
+                fmt_mib(legacy.total_bytes),
+                fmt_mib(compact.total_bytes),
+                format!("{ratio:.3}"),
+                format!("{}/{}", legacy.p2p_msgs, compact.p2p_msgs),
+                format!("{}/{}", legacy.collective_calls, compact.collective_calls),
+                format!(
+                    "{} -> {}",
+                    fmt_secs(legacy.modeled_total_s),
+                    fmt_secs(compact.modeled_total_s)
+                ),
+            ]);
+            if pi > 0 {
+                json.push(',');
+            }
+            let _ = write!(json, "\n        {{\n          \"p\": {p},\n          \"legacy\": ");
+            json_run(&mut json, "          ", &legacy);
+            json.push_str(",\n          \"compact\": ");
+            json_run(&mut json, "          ", &compact);
+            let _ = write!(
+                json,
+                ",\n          \"bytes_ratio\": {ratio:.4},\n          \"makespan_ratio\": {makespan_ratio:.4},\n          \"bit_identical\": true\n        }}"
+            );
+        }
+        json.push_str("\n      ]\n    }");
+        table.print();
+        println!();
+    }
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_comm.json");
+    println!("wrote {out_path}");
+}

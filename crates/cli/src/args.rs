@@ -1,6 +1,8 @@
 //! Hand-rolled argument parsing (no external dependencies): a small,
 //! explicit state machine over `--flag value` pairs.
 
+use infomap_distributed::CommPath;
+
 /// Printed on parse errors and `--help`.
 pub const USAGE: &str = "\
 dinfomap — community detection with (distributed) Infomap
@@ -22,6 +24,8 @@ CLUSTER OPTIONS:
                                       \"seed=1;crash=1@200;drop=0.01;straggler=0x2\"
   --checkpoint-every N                dist only: checkpoint every N rounds (default 0 = off)
   --max-retries N                     dist only: retries from the last checkpoint (default 3)
+  --comm-path compact|legacy          dist only: wire format and collective layout
+                                      (default compact; both paths are bit-identical)
 
 PARTITION OPTIONS:
   --ranks N                           world size (default 8)
@@ -50,6 +54,8 @@ pub enum Command {
         checkpoint_every: usize,
         /// Retry budget when a fault plan is active (dist only).
         max_retries: usize,
+        /// Communication path of the distributed driver (dist only).
+        comm_path: CommPath,
     },
     Partition {
         path: String,
@@ -104,6 +110,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut fault_plan = None;
             let mut checkpoint_every = 0usize;
             let mut max_retries = 3usize;
+            let mut comm_path = CommPath::Compact;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--algorithm" => {
@@ -123,6 +130,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--fault-plan" => fault_plan = Some(next(&mut it, flag)?),
                     "--checkpoint-every" => checkpoint_every = num(&mut it, flag)?,
                     "--max-retries" => max_retries = num(&mut it, flag)?,
+                    "--comm-path" => {
+                        comm_path = match next(&mut it, flag)?.as_str() {
+                            "compact" => CommPath::Compact,
+                            "legacy" => CommPath::Legacy,
+                            other => return Err(format!("unknown comm path {other:?}")),
+                        }
+                    }
                     other => return Err(format!("cluster: unknown flag {other:?}")),
                 }
             }
@@ -137,6 +151,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 fault_plan,
                 checkpoint_every,
                 max_retries,
+                comm_path,
             })
         }
         "partition" => {
@@ -224,6 +239,7 @@ mod tests {
                 fault_plan: None,
                 checkpoint_every: 0,
                 max_retries: 3,
+                comm_path: CommPath::Compact,
             }
         );
     }
@@ -263,9 +279,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_comm_path() {
+        let cmd = parse(&argv("cluster g.txt --comm-path legacy")).unwrap();
+        match cmd {
+            Command::Cluster { comm_path, .. } => assert_eq!(comm_path, CommPath::Legacy),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&argv("cluster g.txt --comm-path compact")).unwrap();
+        match cmd {
+            Command::Cluster { comm_path, .. } => assert_eq!(comm_path, CommPath::Compact),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_algorithms() {
         assert!(parse(&argv("cluster g.txt --bogus 1")).is_err());
         assert!(parse(&argv("cluster g.txt --algorithm magic")).is_err());
+        assert!(parse(&argv("cluster g.txt --comm-path morse")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&[]).is_err());
     }

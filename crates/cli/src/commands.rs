@@ -4,7 +4,7 @@ use std::io::Write;
 
 use infomap_baselines::{gossip_map, GossipConfig, RelaxMap, RelaxMapConfig};
 use infomap_core::sequential::{Infomap, InfomapConfig};
-use infomap_distributed::{DistributedConfig, DistributedInfomap, RecoveryConfig};
+use infomap_distributed::{CommPath, DistributedConfig, DistributedInfomap, RecoveryConfig};
 use infomap_graph::datasets::DatasetId;
 use infomap_graph::generators::{lfr_like, LfrParams};
 use infomap_graph::{io, Graph};
@@ -27,6 +27,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             fault_plan,
             checkpoint_every,
             max_retries,
+            comm_path,
         } => cluster(
             &path,
             algorithm,
@@ -38,6 +39,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             fault_plan.as_deref(),
             checkpoint_every,
             max_retries,
+            comm_path,
         ),
         Command::Partition { path, ranks, strategy } => partition(&path, ranks, strategy),
         Command::Generate { what, n, mu, scale, seed, output, truth } => {
@@ -63,6 +65,7 @@ fn cluster(
     fault_plan: Option<&str>,
     checkpoint_every: usize,
     max_retries: usize,
+    comm_path: CommPath,
 ) -> Result<(), String> {
     if algorithm != Algorithm::Distributed && (fault_plan.is_some() || checkpoint_every > 0) {
         return Err(
@@ -88,6 +91,7 @@ fn cluster(
             let r = DistributedInfomap::new(DistributedConfig {
                 nranks: ranks,
                 seed,
+                comm_path,
                 recovery: RecoveryConfig {
                     checkpoint_every,
                     max_retries,
@@ -279,6 +283,7 @@ mod tests {
             fault_plan: None,
             checkpoint_every: 0,
             max_retries: 3,
+            comm_path: CommPath::Compact,
         })
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
@@ -310,6 +315,7 @@ mod tests {
                 fault_plan: None,
                 checkpoint_every: 0,
                 max_retries: 3,
+                comm_path: CommPath::Compact,
             })
             .unwrap();
         }
@@ -329,6 +335,7 @@ mod tests {
             fault_plan: Some("seed=1;crash=0@5".into()),
             checkpoint_every: 0,
             max_retries: 3,
+            comm_path: CommPath::Compact,
         });
         assert!(err.unwrap_err().contains("only supported by --algorithm dist"));
     }
@@ -348,6 +355,7 @@ mod tests {
             fault_plan: Some("seed=3;crash=1@50".into()),
             checkpoint_every: 2,
             max_retries: 3,
+            comm_path: CommPath::Legacy,
         })
         .unwrap();
         std::fs::remove_dir_all(dir).ok();

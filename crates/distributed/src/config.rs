@@ -18,6 +18,29 @@ pub enum MoveKernel {
     LegacyScan,
 }
 
+/// Which wire layout and exchange pattern the three communication paths
+/// use (DESIGN.md §6.13). Both paths drive the clustering through the
+/// identical trajectory — same proposals, same elected winners, same MDL
+/// bits, same assignments per seed — the choice only affects how many
+/// bytes, messages and collectives the substrate meters, which is what
+/// the `perf_comm` harness measures one path against the other.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommPath {
+    /// Owner-reduced delegate election (proposals route to the delegate's
+    /// owner via alltoallv; only winners are gathered back), varint/delta
+    /// wire codecs on every batch, and coalesced sync rounds (moves count
+    /// and MDL partials piggyback on exchanges that already happen). The
+    /// default.
+    #[default]
+    Compact,
+    /// The pre-overhaul paths: the election allgathers every proposal to
+    /// every rank (O(total × p) receive bytes), records travel as padded
+    /// POD structs, and the moves count / MDL reduction are standalone
+    /// collectives. Kept as the measurable baseline and as the bit-level
+    /// cross-check of the compact path.
+    Legacy,
+}
+
 /// Tunables of [`crate::DistributedInfomap`]. The defaults follow the
 /// paper's §4 setup (`d_high` = rank count, rebalancing on, minimum-label
 /// tie-break on, full `Module_Info` swapping on).
@@ -65,6 +88,9 @@ pub struct DistributedConfig {
     /// Best-move kernel of the greedy sweep (bit-identical results either
     /// way; see [`MoveKernel`]).
     pub kernel: MoveKernel,
+    /// Communication path (bit-identical trajectories either way; see
+    /// [`CommPath`]).
+    pub comm_path: CommPath,
     /// Checkpoint/retry policy for fault-tolerant runs.
     pub recovery: RecoveryConfig,
 }
@@ -107,6 +133,7 @@ impl Default for DistributedConfig {
             move_fraction_denom: 2,
             sync_interval: 1,
             kernel: MoveKernel::default(),
+            comm_path: CommPath::default(),
             recovery: RecoveryConfig::default(),
         }
     }
@@ -124,6 +151,7 @@ mod tests {
         assert!(c.min_label_tiebreak);
         assert!(c.full_module_swap);
         assert_eq!(c.kernel, MoveKernel::Stamped);
+        assert_eq!(c.comm_path, CommPath::Compact);
     }
 
     #[test]

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod codec;
 pub mod config;
 pub mod driver;
 pub mod messages;
@@ -59,7 +60,7 @@ pub mod rounds;
 pub mod state;
 
 pub use checkpoint::{CheckpointStore, RankSnapshot, SnapshotPos};
-pub use config::{DistributedConfig, MoveKernel, RecoveryConfig};
+pub use config::{CommPath, DistributedConfig, MoveKernel, RecoveryConfig};
 pub use driver::{DistributedInfomap, DistributedOutput, RecoveryReport, StageTrace};
 pub use rounds::{
     apply_local_move, best_local_move, best_local_move_scan, LocalCandidate, NeighborhoodScratch,

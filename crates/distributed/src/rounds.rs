@@ -58,7 +58,8 @@ use infomap_mpisim::{Comm, ReduceOp};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use crate::config::{DistributedConfig, MoveKernel};
+use crate::codec;
+use crate::config::{CommPath, DistributedConfig, MoveKernel};
 use crate::messages::{DelegateProposal, ModuleContribution, ModuleInfoMsg, VertexUpdate};
 use crate::state::{LocalState, ModuleEntry, VertexKind};
 
@@ -81,6 +82,9 @@ pub struct StageOutcome {
 /// Tag bases for point-to-point boundary traffic.
 const TAG_VERTEX_UPDATES: u64 = 0x10;
 const TAG_MODULE_INFO: u64 = 0x11;
+/// Fused updates+infos packet of the compact path (one message per
+/// neighbor instead of two).
+const TAG_BOUNDARY_PACKET: u64 = 0x12;
 
 /// Per-vertex neighborhood accumulator: module slot → (flow, seen via a
 /// ghost arc). Epoch-stamped, so starting the next vertex is O(1).
@@ -102,6 +106,9 @@ pub struct RoundBuffers {
     elected: HashMap<u32, usize>,
     /// Sorted winning proposal indices.
     winners: Vec<usize>,
+    /// Compact election: proposal staging per owner rank
+    /// (`delegate mod p`).
+    prop_out: Vec<Vec<DelegateProposal>>,
     /// Boundary-update staging, one bucket per destination rank.
     updates: Vec<Vec<VertexUpdate>>,
     /// `Module_Info` staging, one bucket per destination rank.
@@ -135,6 +142,7 @@ impl RoundBuffers {
             order: Vec::new(),
             elected: HashMap::new(),
             winners: Vec::new(),
+            prop_out: vec![Vec::new(); nranks],
             updates: vec![Vec::new(); nranks],
             infos: vec![Vec::new(); nranks],
             sent_to: HashSet::new(),
@@ -435,22 +443,17 @@ fn find_best_modules(
     (owned_moves, arcs_scanned, proposals)
 }
 
-/// Phase 2: elect and apply delegate moves. Returns the number of
-/// delegates moved (identical on every rank).
-fn broadcast_delegates(
-    comm: &mut Comm,
-    st: &mut LocalState,
-    proposals: Vec<DelegateProposal>,
-    delegate_assign: &mut HashMap<u32, u64>,
-    bufs: &mut RoundBuffers,
-) -> u64 {
-    let all = comm.allgatherv(proposals);
-    // Elect per delegate: minimal δL; ties by smaller target module id
-    // (minimum label), then by proposer rank, making the election
-    // deterministic and identical everywhere.
-    bufs.elected.clear();
+/// Elect per delegate: minimal δL; ties by smaller target module id
+/// (minimum label), then by proposer rank, making the election
+/// deterministic and identical everywhere. Within the ±1e-15 band the
+/// retained winner depends on scan order, so both communication paths
+/// feed `all` in the same (source rank, emission) order — the compact
+/// owner sees exactly the legacy concatenation restricted to its own
+/// delegates, which leaves every per-delegate subsequence intact.
+fn elect(all: &[DelegateProposal], elected: &mut HashMap<u32, usize>) {
+    elected.clear();
     for (i, p) in all.iter().enumerate() {
-        let replace = match bufs.elected.get(&p.delegate) {
+        let replace = match elected.get(&p.delegate) {
             None => true,
             Some(&j) => {
                 let cur = &all[j];
@@ -460,9 +463,85 @@ fn broadcast_delegates(
             }
         };
         if replace {
-            bufs.elected.insert(p.delegate, i);
+            elected.insert(p.delegate, i);
         }
     }
+}
+
+/// Apply one elected winner to the local view. Winners mutate module
+/// statistics, and a later winner's flow recompute reads assignments an
+/// earlier one may have changed — so every rank must apply the winners in
+/// the same (delegate-sorted) order, on both communication paths.
+fn apply_winner(
+    comm: &mut Comm,
+    st: &mut LocalState,
+    p: &DelegateProposal,
+    delegate_assign: &mut HashMap<u32, u64>,
+) {
+    delegate_assign.insert(p.delegate, p.to_module);
+    if let Some(&li) = st.index.get(&p.delegate) {
+        if st.kind[li as usize] != VertexKind::DelegateCopy {
+            return;
+        }
+        if st.module_id_of(li as usize) == p.to_module {
+            return;
+        }
+        // Learn the target module from the proposal if unknown
+        // (Algorithm 3 lines 23–24).
+        let to_slot = st.insert_module_if_absent(
+            p.to_module,
+            ModuleEntry {
+                flow: p.target_info.flow,
+                exit: p.target_info.exit,
+                members: p.target_info.members,
+            },
+        );
+        // Recompute this copy's flows toward source/target and apply
+        // the local share.
+        let current = st.module_of[li as usize];
+        let mut flow_to_current = 0.0;
+        let mut flow_to_target = 0.0;
+        for (tgt, w) in st.arcs_of(li) {
+            if tgt == li {
+                continue;
+            }
+            let m = st.module_of[tgt as usize];
+            let f = w * st.inv_two_w;
+            if m == current {
+                flow_to_current += f;
+            } else if m == to_slot {
+                flow_to_target += f;
+            }
+        }
+        // One logical relaxation per stored arc (the flow recompute
+        // above) — the degree comes from the CSR offsets; re-walking
+        // the adjacency just to count it was the old code's bug.
+        comm.add_work(
+            st.adj_off[li as usize + 1] as u64 - st.adj_off[li as usize] as u64,
+        );
+        let cand = LocalCandidate {
+            to_slot,
+            delta: p.delta,
+            flow_to_current,
+            flow_to_target,
+        };
+        apply_local_move(st, li, &cand);
+    }
+}
+
+/// Phase 2, legacy path: every proposal is allgathered to every rank and
+/// each rank runs the full election locally. Simple, but the receive side
+/// replicates the total proposal volume p times. Returns the number of
+/// delegates moved (identical on every rank).
+fn broadcast_delegates(
+    comm: &mut Comm,
+    st: &mut LocalState,
+    proposals: Vec<DelegateProposal>,
+    delegate_assign: &mut HashMap<u32, u64>,
+    bufs: &mut RoundBuffers,
+) -> u64 {
+    let all = comm.allgatherv_packed(proposals, DelegateProposal::WIRE_BYTES);
+    elect(&all, &mut bufs.elected);
     let mut moved = 0u64;
     bufs.winners.clear();
     bufs.winners.extend(bufs.elected.values().copied());
@@ -470,67 +549,132 @@ fn broadcast_delegates(
     for idx in 0..bufs.winners.len() {
         let p = all[bufs.winners[idx]];
         moved += 1;
-        delegate_assign.insert(p.delegate, p.to_module);
-        if let Some(&li) = st.index.get(&p.delegate) {
-            if st.kind[li as usize] != VertexKind::DelegateCopy {
-                continue;
-            }
-            if st.module_id_of(li as usize) == p.to_module {
-                continue;
-            }
-            // Learn the target module from the proposal if unknown
-            // (Algorithm 3 lines 23–24).
-            let to_slot = st.insert_module_if_absent(
-                p.to_module,
-                ModuleEntry {
-                    flow: p.target_info.flow,
-                    exit: p.target_info.exit,
-                    members: p.target_info.members,
-                },
-            );
-            // Recompute this copy's flows toward source/target and apply
-            // the local share.
-            let current = st.module_of[li as usize];
-            let mut flow_to_current = 0.0;
-            let mut flow_to_target = 0.0;
-            for (tgt, w) in st.arcs_of(li) {
-                if tgt == li {
-                    continue;
-                }
-                let m = st.module_of[tgt as usize];
-                let f = w * st.inv_two_w;
-                if m == current {
-                    flow_to_current += f;
-                } else if m == to_slot {
-                    flow_to_target += f;
-                }
-            }
-            // One logical relaxation per stored arc (the flow recompute
-            // above) — the degree comes from the CSR offsets; re-walking
-            // the adjacency just to count it was the old code's bug.
-            comm.add_work(
-                st.adj_off[li as usize + 1] as u64 - st.adj_off[li as usize] as u64,
-            );
-            let cand = LocalCandidate {
-                to_slot,
-                delta: p.delta,
-                flow_to_current,
-                flow_to_target,
-            };
-            apply_local_move(st, li, &cand);
-        }
+        apply_winner(comm, st, &p, delegate_assign);
     }
     moved
 }
 
+/// Phase 2, compact path: owner-reduced election. Proposals travel once,
+/// to the delegate's owner rank (`delegate mod p`) via an alltoallv; the
+/// owner elects, and only the winners are gathered back — turning the
+/// legacy O(total × p) receive volume into O(total + winners × p).
+///
+/// The exchange rides on [`Comm::alltoallv_reduce`], which folds a
+/// 16-byte `(owned_moves, proposals)` partial per rank alongside the
+/// buckets: summing gives every rank the global owned-move count (so the
+/// round needs no standalone moves-allreduce) and the global proposal
+/// count (so the winner gather is skipped entirely on proposal-free
+/// rounds — the steady state of every quiescing stage). Empty buckets
+/// ship zero bytes, like the legacy path's empty allgatherv parts.
+///
+/// Returns `(delegates moved, global owned moves)`, both identical on
+/// every rank.
+fn broadcast_delegates_compact(
+    comm: &mut Comm,
+    st: &mut LocalState,
+    proposals: Vec<DelegateProposal>,
+    owned_moves: u64,
+    delegate_assign: &mut HashMap<u32, u64>,
+    bufs: &mut RoundBuffers,
+) -> (u64, u64) {
+    let p = st.nranks;
+    for bucket in bufs.prop_out.iter_mut() {
+        bucket.clear();
+    }
+    // Emission order is preserved within each owner bucket (see `elect`).
+    for pr in &proposals {
+        bufs.prop_out[pr.delegate as usize % p].push(*pr);
+    }
+    let mut enc = 0u64;
+    let outgoing: Vec<Vec<u8>> = bufs
+        .prop_out
+        .iter()
+        .map(|bucket| {
+            let mut buf = Vec::new();
+            if !bucket.is_empty() {
+                codec::encode_proposals(&mut buf, bucket);
+                enc += buf.len() as u64;
+            }
+            buf
+        })
+        .collect();
+    comm.add_codec_bytes(enc);
+    let (incoming, (global_moves, global_props)) = comm.alltoallv_reduce(
+        outgoing,
+        (owned_moves, proposals.len() as u64),
+        |parts| {
+            parts
+                .into_iter()
+                .fold((0u64, 0u64), |acc, x| (acc.0 + x.0, acc.1 + x.1))
+        },
+    );
+    let mut mine: Vec<DelegateProposal> = Vec::new();
+    let mut dec = 0u64;
+    for buf in &incoming {
+        if buf.is_empty() {
+            continue;
+        }
+        dec += buf.len() as u64;
+        let mut pos = 0;
+        mine.extend(codec::decode_proposals(buf, &mut pos));
+    }
+    comm.add_codec_bytes(dec);
+    if global_props == 0 {
+        // No rank proposed anything: the election (and its second
+        // collective) is over before it began. The piggybacked partials
+        // already synchronized the round.
+        return (0, global_moves);
+    }
+    // Owner-side election over this rank's delegates only.
+    elect(&mine, &mut bufs.elected);
+    bufs.winners.clear();
+    bufs.winners.extend(bufs.elected.values().copied());
+    bufs.winners.sort_by_key(|&i| mine[i].delegate);
+    let my_winners: Vec<DelegateProposal> =
+        bufs.winners.iter().map(|&i| mine[i]).collect();
+    let mut wire = Vec::new();
+    if !my_winners.is_empty() {
+        codec::encode_proposals(&mut wire, &my_winners);
+        comm.add_codec_bytes(wire.len() as u64);
+    }
+    let parts = comm.allgather_parts(wire);
+    let mut winners: Vec<DelegateProposal> = Vec::new();
+    let mut dec2 = 0u64;
+    for part in parts.iter() {
+        if part.is_empty() {
+            continue; // owner with no winners shipped nothing
+        }
+        dec2 += part.len() as u64;
+        let mut pos = 0;
+        winners.extend(codec::decode_proposals(part, &mut pos));
+    }
+    comm.add_codec_bytes(dec2);
+    // Delegates are globally unique across owners, so this is the total
+    // order the legacy path applies in.
+    winners.sort_by_key(|w| w.delegate);
+    let mut moved = 0u64;
+    for w in &winners {
+        moved += 1;
+        apply_winner(comm, st, w, delegate_assign);
+    }
+    (moved, global_moves)
+}
+
 /// Phase 3: swap boundary community IDs and `Module_Info` records with the
 /// static neighbor ranks (Algorithm 3).
+///
+/// On the compact path, a destination's updates and infos fuse into one
+/// delta/varint-encoded packet — halving the message count under full
+/// swapping and shrinking each record below its packed extent. The
+/// receiver processes the identical records in the identical per-provider
+/// order either way.
 fn swap_boundary_info(
     comm: &mut Comm,
     st: &mut LocalState,
     full_swap: bool,
     round: u64,
     bufs: &mut RoundBuffers,
+    path: CommPath,
 ) {
     // Build per-destination updates into the persistent staging buckets.
     // `sent_to` marks modules already included for a destination this
@@ -570,15 +714,73 @@ fn swap_boundary_info(
     for &(li, gid) in &bufs.announce {
         st.last_announced[li as usize] = gid;
     }
-    for &dest in &st.send_targets {
-        comm.send_slice(dest, TAG_VERTEX_UPDATES + round * 16, &bufs.updates[dest]);
-        if full_swap {
-            comm.send_slice(dest, TAG_MODULE_INFO + round * 16, &bufs.infos[dest]);
+    match path {
+        CommPath::Legacy => {
+            for &dest in &st.send_targets {
+                comm.send_slice_packed(
+                    dest,
+                    TAG_VERTEX_UPDATES + round * 16,
+                    &bufs.updates[dest],
+                    VertexUpdate::WIRE_BYTES,
+                );
+                if full_swap {
+                    comm.send_slice_packed(
+                        dest,
+                        TAG_MODULE_INFO + round * 16,
+                        &bufs.infos[dest],
+                        ModuleInfoMsg::WIRE_BYTES,
+                    );
+                }
+            }
+        }
+        CommPath::Compact => {
+            for &dest in &st.send_targets {
+                let mut buf = Vec::new();
+                // Quiet destinations get a zero-byte packet, like the
+                // legacy path's empty record slices (infos are only
+                // staged for updated vertices, so empty updates imply
+                // empty infos).
+                if !bufs.updates[dest].is_empty() {
+                    codec::encode_updates(&mut buf, &bufs.updates[dest]);
+                    if full_swap {
+                        codec::encode_infos(&mut buf, &bufs.infos[dest]);
+                    }
+                    comm.add_codec_bytes(buf.len() as u64);
+                }
+                comm.send(dest, TAG_BOUNDARY_PACKET + round * 16, buf);
+            }
         }
     }
     for i in 0..st.providers.len() {
         let src = st.providers[i];
-        let ups: Vec<VertexUpdate> = comm.recv(src, TAG_VERTEX_UPDATES + round * 16);
+        let (ups, infos) = match path {
+            CommPath::Legacy => {
+                let ups: Vec<VertexUpdate> =
+                    comm.recv(src, TAG_VERTEX_UPDATES + round * 16);
+                let infos: Vec<ModuleInfoMsg> = if full_swap {
+                    comm.recv(src, TAG_MODULE_INFO + round * 16)
+                } else {
+                    Vec::new()
+                };
+                (ups, infos)
+            }
+            CommPath::Compact => {
+                let buf: Vec<u8> = comm.recv(src, TAG_BOUNDARY_PACKET + round * 16);
+                if buf.is_empty() {
+                    (Vec::new(), Vec::new())
+                } else {
+                    comm.add_codec_bytes(buf.len() as u64);
+                    let mut pos = 0;
+                    let ups = codec::decode_updates(&buf, &mut pos);
+                    let infos = if full_swap {
+                        codec::decode_infos(&buf, &mut pos)
+                    } else {
+                        Vec::new()
+                    };
+                    (ups, infos)
+                }
+            }
+        };
         for u in ups {
             if let Some(&li) = st.index.get(&u.vertex) {
                 let s = st.intern_module(u.module);
@@ -586,21 +788,18 @@ fn swap_boundary_info(
             }
             comm.add_work(1);
         }
-        if full_swap {
-            let infos: Vec<ModuleInfoMsg> = comm.recv(src, TAG_MODULE_INFO + round * 16);
-            for m in infos {
-                if m.is_sent {
-                    continue; // duplicate within this swap — skip
-                }
-                // Unknown modules are built from the received info; known
-                // ones keep the local view (the owner reduction will
-                // reconcile exactly at the end of the round).
-                st.insert_module_if_absent(
-                    m.mod_id,
-                    ModuleEntry { flow: m.flow, exit: m.exit, members: m.members },
-                );
-                comm.add_work(1);
+        for m in infos {
+            if m.is_sent {
+                continue; // duplicate within this swap — skip
             }
+            // Unknown modules are built from the received info; known
+            // ones keep the local view (the owner reduction will
+            // reconcile exactly at the end of the round).
+            st.insert_module_if_absent(
+                m.mod_id,
+                ModuleEntry { flow: m.flow, exit: m.exit, members: m.members },
+            );
+            comm.add_work(1);
         }
     }
 }
@@ -630,6 +829,28 @@ pub fn sync_modules(
     node_term: f64,
     full_swap: bool,
     bufs: &mut RoundBuffers,
+) -> (f64, u64) {
+    sync_modules_path(comm, st, node_term, full_swap, bufs, CommPath::Legacy)
+}
+
+/// [`sync_modules`] with an explicit communication path.
+///
+/// Both paths run the identical reduction; they differ in wire format and
+/// collective count. Legacy ships contributions and refreshed infos as
+/// packed records and allreduces the MDL partials separately. Compact
+/// delta/varint-encodes both exchanges and fuses the partials into the
+/// publish collective via [`Comm::alltoallv_reduce`], whose rank-order
+/// fold matches `allreduce_with` — so the MDL bits are identical while
+/// one collective per sync disappears. (Without full swapping there is no
+/// publish exchange to ride on, so the compact path falls back to the
+/// allreduce.)
+pub fn sync_modules_path(
+    comm: &mut Comm,
+    st: &mut LocalState,
+    node_term: f64,
+    full_swap: bool,
+    bufs: &mut RoundBuffers,
+    path: CommPath,
 ) -> (f64, u64) {
     let p = st.nranks;
     // ---- 1. Fresh local contributions (exact, O(local arcs)), into the
@@ -730,9 +951,44 @@ pub fn sync_modules(
     }
     // The fabric takes ownership of the wire payload (as MPI buffering
     // would); the staging buckets keep their capacity for the next round.
-    let outgoing: Vec<Vec<ModuleContribution>> =
-        bufs.contrib_out.iter().map(|b| b.as_slice().to_vec()).collect();
-    let incoming = comm.alltoallv(outgoing);
+    let incoming: Vec<Vec<ModuleContribution>> = match path {
+        CommPath::Legacy => {
+            let outgoing: Vec<Vec<ModuleContribution>> =
+                bufs.contrib_out.iter().map(|b| b.as_slice().to_vec()).collect();
+            comm.alltoallv_packed(outgoing, ModuleContribution::WIRE_BYTES)
+        }
+        CommPath::Compact => {
+            let mut enc = 0u64;
+            let outgoing: Vec<Vec<u8>> = bufs
+                .contrib_out
+                .iter()
+                .map(|b| {
+                    let mut buf = Vec::new();
+                    if !b.is_empty() {
+                        codec::encode_contribs(&mut buf, b);
+                        enc += buf.len() as u64;
+                    }
+                    buf
+                })
+                .collect();
+            comm.add_codec_bytes(enc);
+            let packets = comm.alltoallv(outgoing);
+            let mut dec = 0u64;
+            let decoded = packets
+                .iter()
+                .map(|buf| {
+                    if buf.is_empty() {
+                        return Vec::new();
+                    }
+                    dec += buf.len() as u64;
+                    let mut pos = 0;
+                    codec::decode_contribs(buf, &mut pos)
+                })
+                .collect();
+            comm.add_codec_bytes(dec);
+            decoded
+        }
+    };
 
     // ---- 3. Owner: apply deltas to running totals. ----
     // (module, src) pairs whose stats must be (re)published.
@@ -780,8 +1036,8 @@ pub fn sync_modules(
         }
     }
 
-    // ---- 4. Exact global MDL from the owners' totals. ----
-    let (sum_exit, s_plogp_exit, s_plogp_both, nmod) = {
+    // ---- 4. Local MDL partials from the owners' totals. ----
+    let (q, s1, s2, k) = {
         let mut q = 0.0;
         let mut s1 = 0.0;
         let mut s2 = 0.0;
@@ -800,17 +1056,13 @@ pub fn sync_modules(
             k += 1;
         }
         comm.add_work(st.owned_modules.len() as u64);
-        let red = comm.allreduce_with((q, s1, s2, k), |parts| {
-            parts.into_iter().fold((0.0, 0.0, 0.0, 0u64), |acc, x| {
-                (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2, acc.3 + x.3)
-            })
-        });
-        *red
+        (q, s1, s2, k)
     };
-    let mdl = plogp(sum_exit) - 2.0 * s_plogp_exit - node_term + s_plogp_both;
 
-    // ---- 5. Publish refreshed stats for changed modules (plus current
+    // ---- 5. Global reduction of the partials, and (under full swapping)
+    //         publish refreshed stats for changed modules (plus current
     //         stats to brand-new subscribers). ----
+    let (sum_exit, s_plogp_exit, s_plogp_both, nmod);
     if full_swap {
         for bucket in bufs.info_out.iter_mut() {
             bucket.clear();
@@ -837,29 +1089,94 @@ pub fn sync_modules(
             });
             comm.add_work(1);
         }
-        let responses: Vec<Vec<ModuleInfoMsg>> =
-            bufs.info_out.iter().map(|b| b.as_slice().to_vec()).collect();
-        let received = comm.alltoallv(responses);
-        for msgs in received {
-            for m in msgs {
-                if m.members == 0 && m.flow <= 1e-15 {
-                    st.remove_module(m.mod_id);
-                } else {
-                    st.set_module(
-                        m.mod_id,
-                        ModuleEntry { flow: m.flow, exit: m.exit, members: m.members },
-                    );
+        match path {
+            CommPath::Legacy => {
+                let red = comm.allreduce_with((q, s1, s2, k), |parts| {
+                    parts.into_iter().fold((0.0, 0.0, 0.0, 0u64), |acc, x| {
+                        (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2, acc.3 + x.3)
+                    })
+                });
+                (sum_exit, s_plogp_exit, s_plogp_both, nmod) = *red;
+                let responses: Vec<Vec<ModuleInfoMsg>> =
+                    bufs.info_out.iter().map(|b| b.as_slice().to_vec()).collect();
+                let received =
+                    comm.alltoallv_packed(responses, ModuleInfoMsg::WIRE_BYTES);
+                for msgs in received {
+                    for m in msgs {
+                        apply_published_info(comm, st, &m);
+                    }
                 }
-                comm.add_work(1);
+            }
+            CommPath::Compact => {
+                // The publish exchange and the MDL allreduce fuse into one
+                // `alltoallv_reduce`: the 32-byte (q, s1, s2, k) partial
+                // rides the collective — folded in source-rank order, the
+                // exact order `allreduce_with` folds in, so the sums are
+                // bit-identical — and one collective per sync disappears.
+                // Destinations with nothing to publish get zero bytes.
+                let mut enc = 0u64;
+                let outgoing: Vec<Vec<u8>> = bufs
+                    .info_out
+                    .iter()
+                    .map(|b| {
+                        let mut buf = Vec::new();
+                        if !b.is_empty() {
+                            codec::encode_infos(&mut buf, b);
+                            enc += buf.len() as u64;
+                        }
+                        buf
+                    })
+                    .collect();
+                comm.add_codec_bytes(enc);
+                let (packets, red) =
+                    comm.alltoallv_reduce(outgoing, (q, s1, s2, k), |parts| {
+                        parts.into_iter().fold((0.0, 0.0, 0.0, 0u64), |acc, x| {
+                            (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2, acc.3 + x.3)
+                        })
+                    });
+                // Apply each source's infos in ascending source order — the
+                // legacy apply order.
+                let mut dec = 0u64;
+                for buf in &packets {
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    dec += buf.len() as u64;
+                    let mut pos = 0;
+                    for m in codec::decode_infos(buf, &mut pos) {
+                        apply_published_info(comm, st, &m);
+                    }
+                }
+                comm.add_codec_bytes(dec);
+                (sum_exit, s_plogp_exit, s_plogp_both, nmod) = red;
             }
         }
-        st.sum_exit = sum_exit;
     } else {
-        // Naive-swap ablation: no stat redistribution; local views drift.
-        st.sum_exit = sum_exit;
+        // Naive-swap ablation: no stat redistribution to ride on — both
+        // paths reduce the partials with the standalone collective, and
+        // local views drift until the next full swap.
+        let red = comm.allreduce_with((q, s1, s2, k), |parts| {
+            parts.into_iter().fold((0.0, 0.0, 0.0, 0u64), |acc, x| {
+                (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2, acc.3 + x.3)
+            })
+        });
+        (sum_exit, s_plogp_exit, s_plogp_both, nmod) = *red;
     }
+    st.sum_exit = sum_exit;
+    let mdl = plogp(sum_exit) - 2.0 * s_plogp_exit - node_term + s_plogp_both;
 
     (mdl, nmod)
+}
+
+/// Receiver side of the publish exchange: one refreshed `Module_Info`
+/// record updates (or retires) the local view of a module.
+fn apply_published_info(comm: &mut Comm, st: &mut LocalState, m: &ModuleInfoMsg) {
+    if m.members == 0 && m.flow <= 1e-15 {
+        st.remove_module(m.mod_id);
+    } else {
+        st.set_module(m.mod_id, ModuleEntry { flow: m.flow, exit: m.exit, members: m.members });
+    }
+    comm.add_work(1);
 }
 
 /// Resumable position inside a clustering stage: everything
@@ -938,6 +1255,13 @@ pub fn cluster_stage_recoverable(
     on_checkpoint: CheckpointHook<'_>,
 ) -> StageOutcome {
     let ph = |name: &str| format!("{stage_prefix}{name}");
+    // Stage-static and identical on every rank (and across restores): the
+    // driver seeds `delegate_assign` from the replicated delegate set for
+    // stage 1 and passes an empty map for stage 2, so a delegate-free
+    // stage can skip the election exchange outright — zero bytes and zero
+    // collectives in BroadcastDelegates, like the legacy path's empty
+    // allgatherv — and count moves with the plain allreduce instead.
+    let has_delegates = !delegate_assign.is_empty();
     let mut bufs = RoundBuffers::new(st.nranks);
     let mut rng;
     let mut mdl_series;
@@ -975,7 +1299,14 @@ pub fn cluster_stage_recoverable(
             // so it is metered as "Init", not amortized into the
             // per-iteration "Other" phase that Figure 8 breaks down.
             let (mdl0, nmod0) = comm.phase(&ph("Init"), |c| {
-                sync_modules(c, st, node_term, cfg.full_module_swap, &mut bufs)
+                sync_modules_path(
+                    c,
+                    st,
+                    node_term,
+                    cfg.full_module_swap,
+                    &mut bufs,
+                    cfg.comm_path,
+                )
             });
             mdl = mdl0;
             nmod = nmod0;
@@ -995,16 +1326,44 @@ pub fn cluster_stage_recoverable(
             (moves, proposals)
         });
 
-        let delegate_moves = comm.phase(&ph("BroadcastDelegates"), |c| {
-            broadcast_delegates(c, st, proposals, delegate_assign, &mut bufs)
+        let (delegate_moves, global_owned) = comm.phase(&ph("BroadcastDelegates"), |c| {
+            match cfg.comm_path {
+                CommPath::Legacy => {
+                    (broadcast_delegates(c, st, proposals, delegate_assign, &mut bufs), 0)
+                }
+                CommPath::Compact if has_delegates => broadcast_delegates_compact(
+                    c,
+                    st,
+                    proposals,
+                    owned_moves,
+                    delegate_assign,
+                    &mut bufs,
+                ),
+                // No delegates anywhere: nothing to elect, nothing to send.
+                CommPath::Compact => (0, 0),
+            }
         });
 
         comm.phase(&ph("SwapBoundaryInfo"), |c| {
-            swap_boundary_info(c, st, cfg.full_module_swap, round as u64 + 1, &mut bufs)
+            swap_boundary_info(
+                c,
+                st,
+                cfg.full_module_swap,
+                round as u64 + 1,
+                &mut bufs,
+                cfg.comm_path,
+            )
         });
 
-        let round_moves = comm.phase(&ph("Other"), |c| {
-            c.allreduce_u64(owned_moves, ReduceOp::Sum) + delegate_moves
+        let round_moves = comm.phase(&ph("Other"), |c| match cfg.comm_path {
+            // Legacy: a standalone allreduce establishes the global move
+            // count. Compact with delegates: the count already arrived on
+            // the election collective — no extra traffic here. Compact
+            // without delegates: there was no election collective to ride,
+            // so the same allreduce the legacy path uses runs instead.
+            CommPath::Legacy => c.allreduce_u64(owned_moves, ReduceOp::Sum) + delegate_moves,
+            CommPath::Compact if has_delegates => global_owned + delegate_moves,
+            CommPath::Compact => c.allreduce_u64(owned_moves, ReduceOp::Sum),
         });
         total_moves += round_moves;
 
@@ -1025,7 +1384,14 @@ pub fn cluster_stage_recoverable(
         let due = (round + 1) % sync_interval == 0;
         if due || quiesced || round + 1 == cfg.max_inner_iterations {
             let (new_mdl, new_nmod) = comm.phase(&ph("Other"), |c| {
-                sync_modules(c, st, node_term, cfg.full_module_swap, &mut bufs)
+                sync_modules_path(
+                    c,
+                    st,
+                    node_term,
+                    cfg.full_module_swap,
+                    &mut bufs,
+                    cfg.comm_path,
+                )
             });
             mdl_series.push(new_mdl);
             let improved = mdl - new_mdl;

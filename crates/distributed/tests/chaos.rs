@@ -5,7 +5,7 @@
 //! mid-stream RNG, the recovered run is *bit-identical* to the fault-free
 //! one on the same seed.
 
-use infomap_distributed::{DistributedConfig, DistributedInfomap, RecoveryConfig};
+use infomap_distributed::{CommPath, DistributedConfig, DistributedInfomap, RecoveryConfig};
 use infomap_graph::generators::{self, LfrParams};
 use infomap_mpisim::FaultPlan;
 
@@ -24,6 +24,12 @@ fn chaos_cfg() -> DistributedConfig {
         ..Default::default()
     }
 }
+
+// Crash events are calibrated against the comm-event stream of the
+// *default* (compact) path on this graph: the whole run spans ~300
+// events on rank 1, stage 1 ends near event 140, and the legacy path —
+// which meters a standalone moves-allreduce, a separate MDL allreduce
+// and two messages per boundary neighbor — spans ~495.
 
 #[test]
 fn fault_free_run_reports_no_recovery_activity() {
@@ -81,9 +87,9 @@ fn checkpointing_without_faults_is_invisible_to_the_result() {
 fn crash_mid_stage_one_recovers_bit_identically() {
     let g = lfr();
     let clean = DistributedInfomap::new(chaos_cfg()).run(&g);
-    // Comm event 200 on rank 1 lands mid-stage-1 (≈ round 14 of ~40),
-    // well past the first round-2 checkpoint.
-    let plan = FaultPlan::new(7).crash(1, 200);
+    // Comm event 80 on rank 1 lands mid-stage-1, well past the first
+    // round-2 checkpoint.
+    let plan = FaultPlan::new(7).crash(1, 80);
     let out = DistributedInfomap::new(chaos_cfg())
         .run_with_plan(&g, Some(plan))
         .expect("the retry loop must absorb a single crash");
@@ -112,9 +118,9 @@ fn crash_mid_stage_one_recovers_bit_identically() {
 fn crash_during_stage_two_resumes_the_outer_loop() {
     let g = lfr();
     let clean = DistributedInfomap::new(chaos_cfg()).run(&g);
-    // Comm event 850 on rank 1 lands in the stage-2 levels (the whole
-    // run spans ~870 events on this graph).
-    let plan = FaultPlan::new(7).crash(1, 850);
+    // Comm event 280 on rank 1 lands in the stage-2 levels (the whole
+    // run spans ~300 events on this graph).
+    let plan = FaultPlan::new(7).crash(1, 280);
     let out = DistributedInfomap::new(chaos_cfg())
         .run_with_plan(&g, Some(plan))
         .expect("stage-2 crashes are recoverable too");
@@ -138,7 +144,9 @@ fn graceful_degradation_returns_the_best_checkpoint() {
         ..chaos_cfg()
     };
     // A repeating crash fires on every attempt: the run can never finish.
-    let plan = FaultPlan::new(7).crash_repeating(1, 200);
+    // (Event 100 re-fires even on the restored attempt, whose remaining
+    // event stream is shorter than the full run's.)
+    let plan = FaultPlan::new(7).crash_repeating(1, 100);
     let out = DistributedInfomap::new(cfg)
         .run_with_plan(&g, Some(plan))
         .expect("degradation must turn exhaustion into a result");
@@ -148,7 +156,8 @@ fn graceful_degradation_returns_the_best_checkpoint() {
     assert_eq!(out.recovery.failures.len(), 2);
     assert!(out.recovery.checkpoints_committed > 0);
     // The degraded clustering is the checkpointed one: already better
-    // than the one-module partition by round 14, and fully populated.
+    // than the one-module partition by the crash round, and fully
+    // populated.
     assert_eq!(out.modules.len(), g.num_vertices());
     assert!(out.codelength.is_finite());
     assert!(out.codelength <= out.one_level_codelength);
@@ -166,10 +175,91 @@ fn retry_exhaustion_surfaces_every_failure() {
         },
         ..chaos_cfg()
     };
-    let plan = FaultPlan::new(7).crash_repeating(1, 200);
+    let plan = FaultPlan::new(7).crash_repeating(1, 100);
     let err = DistributedInfomap::new(cfg)
         .run_with_plan(&g, Some(plan))
         .expect_err("without degradation, exhaustion is an error");
     assert!(err.contains("failed after 2 attempts"), "got `{err}`");
     assert!(err.contains("fault injected"), "got `{err}`");
+}
+
+fn path_cfg(path: CommPath) -> DistributedConfig {
+    DistributedConfig { comm_path: path, ..chaos_cfg() }
+}
+
+/// The legacy path stays fully recoverable, and its fault-free run is
+/// bit-identical to the compact default's — crashes in stage 1 (event
+/// 200) and stage 2 (event 450 of ~495) both replay to the exact same
+/// clustering.
+#[test]
+fn legacy_path_recovers_and_matches_compact() {
+    let g = lfr();
+    let compact = DistributedInfomap::new(path_cfg(CommPath::Compact)).run(&g);
+    let clean = DistributedInfomap::new(path_cfg(CommPath::Legacy)).run(&g);
+    assert_eq!(clean.modules, compact.modules);
+    assert_eq!(clean.codelength.to_bits(), compact.codelength.to_bits());
+    assert_eq!(clean.trace, compact.trace);
+
+    for at_event in [200u64, 450] {
+        let plan = FaultPlan::new(7).crash(1, at_event);
+        let out = DistributedInfomap::new(path_cfg(CommPath::Legacy))
+            .run_with_plan(&g, Some(plan))
+            .expect("legacy crashes stay recoverable");
+        assert_eq!(out.recovery.restores, 1, "crash at {at_event} did not fire");
+        assert_eq!(out.modules, clean.modules);
+        assert_eq!(out.codelength.to_bits(), clean.codelength.to_bits());
+        assert_eq!(out.trace, clean.trace);
+    }
+}
+
+/// Dropped messages starve a receive, fail the rank, and recover through
+/// the checkpoint — bit-identically, on both communication paths. The
+/// fate coins are seeded, so seed 9 deterministically drops a message on
+/// the first attempt (forcing a restore) and lets a retry through on
+/// both paths.
+#[test]
+fn dropped_messages_recover_bit_identically_on_both_paths() {
+    let g = lfr();
+    for path in [CommPath::Compact, CommPath::Legacy] {
+        let cfg = DistributedConfig {
+            recovery: RecoveryConfig {
+                checkpoint_every: 2,
+                max_retries: 6,
+                degrade_gracefully: false,
+            },
+            ..path_cfg(path)
+        };
+        let clean = DistributedInfomap::new(cfg).run(&g);
+        let plan = FaultPlan::new(9)
+            .drop_messages(None, None, 0.004)
+            .hang_timeout_ms(250);
+        let out = DistributedInfomap::new(cfg)
+            .run_with_plan(&g, Some(plan))
+            .expect("retries must ride out the dropped messages");
+        let drops: u64 = out.rank_stats.iter().map(|r| r.faults.msgs_dropped).sum();
+        assert!(drops >= 1, "{path:?}: the plan injected no drop at all");
+        assert!(out.recovery.restores >= 1, "{path:?}: no restore happened");
+        assert_eq!(out.modules, clean.modules, "{path:?} diverged");
+        assert_eq!(out.codelength.to_bits(), clean.codelength.to_bits());
+    }
+}
+
+/// A straggler inflates metered compute but injects no failure: the
+/// result is bit-identical with zero recovery activity on both paths,
+/// and the overhead is attributed in the fault counters.
+#[test]
+fn stragglers_slow_but_never_diverge() {
+    let g = lfr();
+    for path in [CommPath::Compact, CommPath::Legacy] {
+        let clean = DistributedInfomap::new(path_cfg(path)).run(&g);
+        let plan = FaultPlan::new(3).straggler(1, 4);
+        let out = DistributedInfomap::new(path_cfg(path))
+            .run_with_plan(&g, Some(plan))
+            .expect("a slow rank is not a failed rank");
+        assert_eq!(out.recovery.restores, 0);
+        assert_eq!(out.modules, clean.modules, "{path:?} diverged");
+        assert_eq!(out.codelength.to_bits(), clean.codelength.to_bits());
+        assert!(out.rank_stats[1].faults.straggler_units > 0);
+        assert_eq!(out.rank_stats[0].faults.straggler_units, 0);
+    }
 }

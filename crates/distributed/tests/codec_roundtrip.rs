@@ -1,0 +1,184 @@
+//! Property tests for the compact wire codecs: every batch codec must
+//! roundtrip arbitrary message batches *exactly* — including NaN, ±inf,
+//! -0.0 and subnormal f64 payloads, unsorted and wrapping ids — because
+//! the compact communication path's bit-identity guarantee rests on the
+//! decoder reproducing the encoder's input bit for bit.
+
+use proptest::prelude::*;
+
+use infomap_distributed::codec;
+use infomap_distributed::messages::{
+    DelegateProposal, ModuleContribution, ModuleInfoMsg, VertexUpdate,
+};
+
+/// f64 equality by bit pattern: NaN == NaN, +0.0 != -0.0.
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn info_eq(a: &ModuleInfoMsg, b: &ModuleInfoMsg) -> bool {
+    a.mod_id == b.mod_id
+        && bits_eq(a.flow, b.flow)
+        && bits_eq(a.exit, b.exit)
+        && a.members == b.members
+        && a.is_sent == b.is_sent
+}
+
+/// Build a `ModuleInfoMsg` from five raw words. Using raw words (rather
+/// than typed strategies) guarantees every f64 bit pattern is reachable.
+fn info_from(w: &[u64]) -> ModuleInfoMsg {
+    ModuleInfoMsg {
+        mod_id: w[0],
+        flow: f64::from_bits(w[1]),
+        exit: f64::from_bits(w[2]),
+        members: w[3] as u32,
+        is_sent: w[4] & 1 == 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn updates_roundtrip_exactly(words in collection::vec(any::<u64>(), 0..120)) {
+        let ups: Vec<VertexUpdate> = words
+            .chunks_exact(2)
+            .map(|w| VertexUpdate { vertex: w[0] as u32, module: w[1] })
+            .collect();
+        let mut buf = Vec::new();
+        codec::encode_updates(&mut buf, &ups);
+        let mut pos = 0;
+        let back = codec::decode_updates(&buf, &mut pos);
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back, ups);
+    }
+
+    #[test]
+    fn infos_roundtrip_exactly(words in collection::vec(any::<u64>(), 0..200)) {
+        let infos: Vec<ModuleInfoMsg> = words.chunks_exact(5).map(info_from).collect();
+        let mut buf = Vec::new();
+        codec::encode_infos(&mut buf, &infos);
+        let mut pos = 0;
+        let back = codec::decode_infos(&buf, &mut pos);
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back.len(), infos.len());
+        for (a, b) in back.iter().zip(&infos) {
+            prop_assert!(info_eq(a, b), "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn contribs_roundtrip_exactly(words in collection::vec(any::<u64>(), 0..200)) {
+        let contribs: Vec<ModuleContribution> = words
+            .chunks_exact(5)
+            .map(|w| ModuleContribution {
+                mod_id: w[0],
+                // Mix arbitrary bit patterns with exact zeros so the
+                // zero-payload-elision bitmap path is exercised.
+                flow: if w[1] % 3 == 0 { 0.0 } else { f64::from_bits(w[1]) },
+                exit: if w[2] % 3 == 0 { 0.0 } else { f64::from_bits(w[2]) },
+                members: if w[3] % 3 == 0 { 0 } else { w[3] as u32 },
+                retract: w[4] & 1 == 1,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        codec::encode_contribs(&mut buf, &contribs);
+        let mut pos = 0;
+        let back = codec::decode_contribs(&buf, &mut pos);
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back.len(), contribs.len());
+        for (a, b) in back.iter().zip(&contribs) {
+            prop_assert!(
+                a.mod_id == b.mod_id
+                    && bits_eq(a.flow, b.flow)
+                    && bits_eq(a.exit, b.exit)
+                    && a.members == b.members
+                    && a.retract == b.retract,
+                "{a:?} != {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn proposals_roundtrip_exactly(words in collection::vec(any::<u64>(), 0..320)) {
+        // Confine `to_module` and the info payloads to small spaces so
+        // batches repeat (to_module, identical-info) pairs — the case the
+        // stateful has-info cache elides — while `delta` and the rest stay
+        // fully arbitrary.
+        let props: Vec<DelegateProposal> = words
+            .chunks_exact(8)
+            .map(|w| DelegateProposal {
+                delegate: w[0] as u32,
+                to_module: w[1] % 6,
+                delta: f64::from_bits(w[2]),
+                proposer: w[3] as u32,
+                target_info: ModuleInfoMsg {
+                    mod_id: w[1] % 6,
+                    flow: [0.25, -0.0, f64::NAN, f64::from_bits(w[4])][(w[5] % 4) as usize],
+                    exit: [0.5, 0.0, f64::from_bits(w[6])][(w[7] % 3) as usize],
+                    members: (w[4] % 4) as u32,
+                    is_sent: w[6] & 1 == 1,
+                },
+            })
+            .collect();
+        let mut buf = Vec::new();
+        codec::encode_proposals(&mut buf, &props);
+        let mut pos = 0;
+        let back = codec::decode_proposals(&buf, &mut pos);
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back.len(), props.len());
+        for (a, b) in back.iter().zip(&props) {
+            prop_assert!(
+                a.delegate == b.delegate
+                    && a.to_module == b.to_module
+                    && bits_eq(a.delta, b.delta)
+                    && a.proposer == b.proposer
+                    && info_eq(&a.target_info, &b.target_info),
+                "{a:?} != {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_roundtrip_exactly(words in collection::vec(any::<u64>(), 0..120)) {
+        let pairs: Vec<(u32, u32)> = words
+            .chunks_exact(2)
+            .map(|w| (w[0] as u32, w[1] as u32))
+            .collect();
+        let mut buf = Vec::new();
+        codec::encode_pairs(&mut buf, &pairs);
+        let mut pos = 0;
+        let back = codec::decode_pairs(&buf, &mut pos);
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn fused_batches_roundtrip_in_sequence(
+        words in collection::vec(any::<u64>(), 0..150),
+        header in (any::<u64>(), any::<u64>()),
+    ) {
+        // The wire packets fuse header varints + several batches into one
+        // buffer; decoding must consume each section exactly where the
+        // encoder left it.
+        let ups: Vec<VertexUpdate> = words
+            .chunks_exact(7)
+            .map(|w| VertexUpdate { vertex: w[5] as u32, module: w[6] })
+            .collect();
+        let infos: Vec<ModuleInfoMsg> = words.chunks_exact(7).map(info_from).collect();
+        let mut buf = Vec::new();
+        codec::put_uvarint(&mut buf, header.0);
+        codec::put_uvarint(&mut buf, header.1);
+        codec::encode_updates(&mut buf, &ups);
+        codec::encode_infos(&mut buf, &infos);
+        let mut pos = 0;
+        prop_assert_eq!(codec::get_uvarint(&buf, &mut pos), header.0);
+        prop_assert_eq!(codec::get_uvarint(&buf, &mut pos), header.1);
+        prop_assert_eq!(codec::decode_updates(&buf, &mut pos), ups);
+        let back = codec::decode_infos(&buf, &mut pos);
+        prop_assert_eq!(pos, buf.len());
+        for (a, b) in back.iter().zip(&infos) {
+            prop_assert!(info_eq(a, b), "{a:?} != {b:?}");
+        }
+    }
+}

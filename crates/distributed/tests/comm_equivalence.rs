@@ -1,0 +1,104 @@
+//! Legacy-vs-compact communication-path equivalence (DESIGN.md §6.13):
+//! the compact path must reproduce the legacy trajectory bit for bit —
+//! same per-round MDL series, same move counts, same final assignment —
+//! while metering strictly less traffic. The bit-identity half is the
+//! acceptance criterion that lets `perf_comm` benchmark the two paths
+//! against each other on the very same runs.
+
+use infomap_distributed::{CommPath, DistributedConfig, DistributedInfomap, DistributedOutput};
+use infomap_graph::generators::{self, chung_lu, power_law_degrees, LfrParams};
+use infomap_graph::Graph;
+
+fn hub_graph() -> Graph {
+    // Scale-free with genuine hubs: delegate copies, ghosts, and heavy
+    // proposal traffic — the election path's worst case.
+    let degs = power_law_degrees(600, 2.1, 2, 120, 11);
+    chung_lu(&degs, 12)
+}
+
+fn flat_graph() -> Graph {
+    generators::lfr_like(LfrParams { n: 400, ..Default::default() }, 11).0
+}
+
+fn run(g: &Graph, p: usize, path: CommPath) -> DistributedOutput {
+    let cfg =
+        DistributedConfig { nranks: p, seed: 7, comm_path: path, ..Default::default() };
+    DistributedInfomap::new(cfg).run(g)
+}
+
+/// Total metered traffic of a run: point-to-point bytes plus both sides
+/// of every collective, summed over ranks.
+fn total_bytes(out: &DistributedOutput) -> u64 {
+    out.rank_stats
+        .iter()
+        .map(|r| {
+            r.total.p2p_bytes_sent + r.total.collective_bytes + r.total.collective_bytes_recv
+        })
+        .sum()
+}
+
+fn assert_bit_identical(a: &DistributedOutput, b: &DistributedOutput, what: &str) {
+    assert_eq!(a.modules, b.modules, "{what}: assignments differ");
+    assert_eq!(
+        a.codelength.to_bits(),
+        b.codelength.to_bits(),
+        "{what}: codelength bits differ"
+    );
+    assert_eq!(a.trace, b.trace, "{what}: per-round MDL trajectory differs");
+}
+
+#[test]
+fn compact_path_is_bit_identical_and_cheaper_across_rank_counts() {
+    for (g, name) in [(hub_graph(), "hubs"), (flat_graph(), "flat")] {
+        for p in [2usize, 4, 6] {
+            let legacy = run(&g, p, CommPath::Legacy);
+            let compact = run(&g, p, CommPath::Compact);
+            assert_bit_identical(&legacy, &compact, &format!("{name} p={p}"));
+            let (lb, cb) = (total_bytes(&legacy), total_bytes(&compact));
+            assert!(
+                cb < lb,
+                "{name} p={p}: compact metered {cb} bytes >= legacy {lb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compact_savings_grow_with_rank_count() {
+    // The legacy election's receive side replicates every proposal p
+    // times; the owner reduction removes that factor, so the byte ratio
+    // must improve as ranks are added.
+    let g = hub_graph();
+    let ratio = |p: usize| {
+        let legacy = run(&g, p, CommPath::Legacy);
+        let compact = run(&g, p, CommPath::Compact);
+        assert_bit_identical(&legacy, &compact, &format!("p={p}"));
+        total_bytes(&compact) as f64 / total_bytes(&legacy) as f64
+    };
+    let r2 = ratio(2);
+    let r8 = ratio(8);
+    assert!(
+        r8 < r2,
+        "byte ratio did not improve with rank count: p=2 -> {r2:.3}, p=8 -> {r8:.3}"
+    );
+}
+
+#[test]
+fn compact_is_the_default_and_codec_traffic_is_metered() {
+    let g = flat_graph();
+    let out = DistributedInfomap::new(DistributedConfig {
+        nranks: 4,
+        seed: 7,
+        ..Default::default()
+    })
+    .run(&g);
+    let explicit = run(&g, 4, CommPath::Compact);
+    assert_bit_identical(&out, &explicit, "default vs explicit compact");
+    // The compact path charges every encoded/decoded byte so the cost
+    // model can price codec CPU; the legacy path must charge none.
+    let codec: u64 = out.rank_stats.iter().map(|r| r.total.codec_bytes).sum();
+    assert!(codec > 0, "compact run metered no codec bytes");
+    let legacy = run(&g, 4, CommPath::Legacy);
+    let legacy_codec: u64 = legacy.rank_stats.iter().map(|r| r.total.codec_bytes).sum();
+    assert_eq!(legacy_codec, 0, "legacy run charged codec bytes");
+}

@@ -173,6 +173,14 @@ impl Comm {
         self.charge(|s| s.checkpoint_bytes += bytes);
     }
 
+    /// Record `bytes` passed through a wire codec (priced by
+    /// [`crate::CostModel::t_encode`]; default-0, see EXPERIMENTS.md). The
+    /// compact communication path charges every encoded buffer here so its
+    /// CPU cost is modelable, not silently free.
+    pub fn add_codec_bytes(&mut self, bytes: u64) {
+        self.charge(|s| s.codec_bytes += bytes);
+    }
+
     /// Run `body` inside a named phase. Phases nest; metering charges the
     /// innermost phase plus the rank total. Wall time of the phase is also
     /// recorded (informational on a single-core host).
@@ -201,12 +209,24 @@ impl Comm {
 
     /// Send `payload` to `dest` under `tag`. Non-blocking (buffered).
     ///
-    /// Bytes are metered as `payload.len() * size_of::<T>()` — the wire size
-    /// an MPI derived type for `T` would occupy.
+    /// Bytes are metered as `payload.len() * size_of::<T>()` — the size of
+    /// `T`'s in-memory representation. For records whose wire form is
+    /// smaller than their padded in-memory form, use
+    /// [`Comm::send_slice_packed`] with an explicit per-record wire size.
     pub fn send<T: Clone + Send + 'static>(&mut self, dest: usize, tag: u64, payload: Vec<T>) {
+        let bytes = (payload.len() * size_of::<T>()) as u64;
+        self.send_metered(dest, tag, payload, bytes);
+    }
+
+    fn send_metered<T: Clone + Send + 'static>(
+        &mut self,
+        dest: usize,
+        tag: u64,
+        payload: Vec<T>,
+        bytes: u64,
+    ) {
         assert!(dest < self.size(), "send to rank {dest} out of range");
         self.comm_event();
-        let bytes = (payload.len() * size_of::<T>()) as u64;
         self.charge(|s| {
             s.p2p_bytes_sent += bytes;
             s.p2p_msgs_sent += 1;
@@ -261,6 +281,22 @@ impl Comm {
     /// reuse. Metering is identical to `send`.
     pub fn send_slice<T: Clone + Send + 'static>(&mut self, dest: usize, tag: u64, payload: &[T]) {
         self.send(dest, tag, payload.to_vec());
+    }
+
+    /// [`Comm::send_slice`] metered at an explicit per-record wire size
+    /// instead of `size_of::<T>()` — what an MPI derived type with no
+    /// interior padding would occupy (e.g. `ModuleInfoMsg`: 29 wire bytes
+    /// vs a 32-byte in-memory layout). The matching `recv` is charged the
+    /// same total because the envelope carries the metered size.
+    pub fn send_slice_packed<T: Clone + Send + 'static>(
+        &mut self,
+        dest: usize,
+        tag: u64,
+        payload: &[T],
+        wire_bytes_per_record: u64,
+    ) {
+        let bytes = payload.len() as u64 * wire_bytes_per_record;
+        self.send_metered(dest, tag, payload.to_vec(), bytes);
     }
 
     /// Blocking selective receive: the next message from `src` with `tag`.
@@ -375,40 +411,134 @@ impl Comm {
 
     /// Gather each rank's vector and hand everyone the concatenation, in
     /// rank order. Mirrors `MPI_Allgatherv`.
+    ///
+    /// Metering: the contribution is charged to `collective_bytes`, and
+    /// everything gathered *from the other ranks* to
+    /// `collective_bytes_recv` — an allgatherv replicates the total volume
+    /// to every rank, and the receive side is where that O(total × p)
+    /// blow-up lives.
     pub fn allgatherv<T: Clone + Send + Sync + 'static>(&mut self, local: Vec<T>) -> Arc<Vec<T>> {
-        let bytes = (local.len() * size_of::<T>()) as u64;
-        self.collective(bytes, local, |parts| {
+        self.allgatherv_packed(local, size_of::<T>() as u64)
+    }
+
+    /// [`Comm::allgatherv`] metered at an explicit per-record wire size
+    /// (see [`Comm::send_slice_packed`]).
+    pub fn allgatherv_packed<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        local: Vec<T>,
+        wire_bytes_per_record: u64,
+    ) -> Arc<Vec<T>> {
+        let bytes = local.len() as u64 * wire_bytes_per_record;
+        let out = self.collective(bytes, local, |parts| {
             let total = parts.iter().map(Vec::len).sum();
-            let mut out = Vec::with_capacity(total);
+            let mut all = Vec::with_capacity(total);
             for part in parts {
-                out.extend(part);
+                all.extend(part);
             }
-            out
-        })
+            all
+        });
+        let recv = (out.len() as u64 * wire_bytes_per_record).saturating_sub(bytes);
+        self.charge(|s| s.collective_bytes_recv += recv);
+        out
     }
 
     /// Like [`Comm::allgatherv`] but keeps the per-rank structure: everyone
-    /// receives `Vec` indexed by source rank.
+    /// receives `Vec` indexed by source rank. Metering as in `allgatherv`.
     pub fn allgather_parts<T: Clone + Send + Sync + 'static>(
         &mut self,
         local: Vec<T>,
     ) -> Arc<Vec<Vec<T>>> {
-        let bytes = (local.len() * size_of::<T>()) as u64;
-        self.collective(bytes, local, |parts| parts)
+        let per = size_of::<T>() as u64;
+        let bytes = local.len() as u64 * per;
+        let me = self.rank;
+        let out = self.collective(bytes, local, |parts| parts);
+        let recv: u64 = out
+            .iter()
+            .enumerate()
+            .filter(|(src, _)| *src != me)
+            .map(|(_, part)| part.len() as u64 * per)
+            .sum();
+        self.charge(|s| s.collective_bytes_recv += recv);
+        out
     }
 
     /// Personalized all-to-all: `outgoing[d]` is delivered to rank `d`;
     /// returns the vector of messages addressed to this rank, indexed by
     /// source rank. Mirrors `MPI_Alltoallv`.
+    ///
+    /// Metering: outgoing buckets (self-bucket included, as MPI counts it)
+    /// to `collective_bytes`; incoming buckets from other ranks to
+    /// `collective_bytes_recv`.
     pub fn alltoallv<T: Clone + Send + Sync + 'static>(
         &mut self,
         outgoing: Vec<Vec<T>>,
     ) -> Vec<Vec<T>> {
+        self.alltoallv_packed(outgoing, size_of::<T>() as u64)
+    }
+
+    /// [`Comm::alltoallv`] metered at an explicit per-record wire size
+    /// (see [`Comm::send_slice_packed`]).
+    pub fn alltoallv_packed<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        outgoing: Vec<Vec<T>>,
+        wire_bytes_per_record: u64,
+    ) -> Vec<Vec<T>> {
         assert_eq!(outgoing.len(), self.size(), "alltoallv needs one bucket per rank");
-        let bytes: u64 = outgoing.iter().map(|b| (b.len() * size_of::<T>()) as u64).sum();
+        let bytes: u64 =
+            outgoing.iter().map(|b| b.len() as u64 * wire_bytes_per_record).sum();
         let me = self.rank;
         let matrix = self.collective(bytes, outgoing, |rows| rows);
-        matrix.iter().map(|row| row[me].clone()).collect()
+        let incoming: Vec<Vec<T>> = matrix.iter().map(|row| row[me].clone()).collect();
+        let recv: u64 = incoming
+            .iter()
+            .enumerate()
+            .filter(|(src, _)| *src != me)
+            .map(|(_, b)| b.len() as u64 * wire_bytes_per_record)
+            .sum();
+        self.charge(|s| s.collective_bytes_recv += recv);
+        incoming
+    }
+
+    /// Personalized all-to-all fused with an allreduce: one collective
+    /// call exchanges `outgoing` exactly as [`Comm::alltoallv`] does while
+    /// also folding one `partial` per rank — presented to `fold` in rank
+    /// order, as [`Comm::allreduce_with`] does — into a shared result.
+    ///
+    /// Metering: the buckets as in `alltoallv`, plus the reduce payload
+    /// charged at its in-memory size with nothing on the receive side —
+    /// identical to the standalone `allreduce_with` it replaces (a real
+    /// allreduce combines in-network, so its traffic is its contribution,
+    /// not p copies). The fusion therefore saves one collective call per
+    /// round without hiding bytes.
+    pub fn alltoallv_reduce<T, U, R, F>(
+        &mut self,
+        outgoing: Vec<Vec<T>>,
+        partial: U,
+        fold: F,
+    ) -> (Vec<Vec<T>>, R)
+    where
+        T: Clone + Send + Sync + 'static,
+        U: Send + 'static,
+        R: Clone + Send + Sync + 'static,
+        F: FnOnce(Vec<U>) -> R + Send + 'static,
+    {
+        assert_eq!(outgoing.len(), self.size(), "alltoallv needs one bucket per rank");
+        let bytes: u64 = outgoing.iter().map(|b| (b.len() * size_of::<T>()) as u64).sum::<u64>()
+            + size_of::<U>() as u64;
+        let me = self.rank;
+        let shared = self.collective(bytes, (outgoing, partial), move |rows| {
+            let (mats, parts): (Vec<Vec<Vec<T>>>, Vec<U>) = rows.into_iter().unzip();
+            (mats, fold(parts))
+        });
+        let incoming: Vec<Vec<T>> = shared.0.iter().map(|row| row[me].clone()).collect();
+        let recv: u64 = incoming
+            .iter()
+            .enumerate()
+            .filter(|(src, _)| *src != me)
+            .map(|(_, b)| (b.len() * size_of::<T>()) as u64)
+            .sum();
+        self.charge(|s| s.collective_bytes_recv += recv);
+        (incoming, shared.1.clone())
     }
 
     /// Broadcast `value` from `root` to every rank.
@@ -433,6 +563,10 @@ impl Comm {
         let shared = self.collective(bytes, value, move |mut vs| {
             vs.swap_remove(root).expect("broadcast root supplied no value")
         });
+        if self.rank != root {
+            let recv = shared.wire_bytes();
+            self.charge(|s| s.collective_bytes_recv += recv);
+        }
         (*shared).clone()
     }
 }

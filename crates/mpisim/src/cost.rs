@@ -44,6 +44,13 @@ pub struct CostModel {
     /// default 0.5 ns/B (≈2 GB/s aggregate burst-buffer bandwidth). Zero on
     /// fault-free runs since nothing is checkpointed unless enabled.
     pub t_ckpt_byte: f64,
+    /// Seconds of CPU per byte passed through a wire codec
+    /// ([`PhaseStats::codec_bytes`]). Default 0: encoding is a few shifts
+    /// and table-free branches per byte, far below `t_byte`, so the honest
+    /// first-order model ignores it — but the term exists so a calibrated
+    /// non-zero value (see EXPERIMENTS.md) can price the compact path's CPU
+    /// overhead instead of silently assuming compression is free.
+    pub t_encode: f64,
 }
 
 impl Default for CostModel {
@@ -54,6 +61,7 @@ impl Default for CostModel {
             t_msg: 2e-6,
             t_coll: 5e-6,
             t_ckpt_byte: 0.5e-9,
+            t_encode: 0.0,
         }
     }
 }
@@ -75,8 +83,9 @@ impl CostModel {
             + (s.p2p_bytes_sent + s.p2p_bytes_recv) as f64 * self.t_byte
             + s.p2p_msgs_sent as f64 * self.t_msg
             + s.collective_calls as f64 * self.t_coll * tree_depth
-            + s.collective_bytes as f64 * self.t_byte
+            + (s.collective_bytes + s.collective_bytes_recv) as f64 * self.t_byte
             + s.checkpoint_bytes as f64 * self.t_ckpt_byte
+            + s.codec_bytes as f64 * self.t_encode
     }
 
     /// Modeled total seconds for one rank across the whole run.
@@ -138,7 +147,7 @@ mod tests {
 
     #[test]
     fn makespan_takes_max_over_ranks_per_phase() {
-        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0, t_ckpt_byte: 0.0 };
+        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0, t_ckpt_byte: 0.0, t_encode: 0.0 };
         let mut r0 = RankStats::new(0);
         r0.phases.insert("a".into(), stats(10, 0));
         r0.total.absorb(&stats(10, 0));
@@ -152,7 +161,7 @@ mod tests {
 
     #[test]
     fn unphased_residue_counts_toward_total() {
-        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0, t_ckpt_byte: 0.0 };
+        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0, t_ckpt_byte: 0.0, t_encode: 0.0 };
         let mut r0 = RankStats::new(0);
         r0.phases.insert("a".into(), stats(10, 0));
         r0.total.absorb(&stats(25, 0)); // 15 units outside any phase

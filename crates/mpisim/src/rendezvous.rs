@@ -119,10 +119,18 @@ impl Rendezvous {
             return result;
         }
 
-        // Wait for the result of my generation to be published.
+        // Wait for the result of my generation to be published. A poison
+        // only aborts the wait while the generation is still incomplete:
+        // once the last arriver has published, the collective *happened* —
+        // every rank must leave with the result (and run whatever commit
+        // rides on it) even if the world died right after, or a crash
+        // could split a "committed by all or by none" boundary. The dying
+        // world still unwinds this rank at its next communication event.
         while st.generation == my_generation {
             self.condvar.wait(&mut st);
-            self.check_poison();
+            if st.generation == my_generation {
+                self.check_poison();
+            }
         }
         let shared = st
             .result

@@ -27,6 +27,17 @@ pub struct PhaseStats {
     pub collective_calls: u64,
     /// Bytes this rank contributed to collectives.
     pub collective_bytes: u64,
+    /// Bytes this rank *received* from collectives beyond its own
+    /// contribution (the fan-in side of an allgather / alltoall /
+    /// broadcast). Metering both directions makes replication visible: an
+    /// allgatherv of N records costs every rank ~N records on the receive
+    /// side, which is exactly the O(total × p) term the owner-reduced
+    /// election removes (DESIGN.md §6.13).
+    pub collective_bytes_recv: u64,
+    /// Bytes passed through a wire codec (encode side). Priced by
+    /// [`crate::CostModel::t_encode`] so the CPU cost of compact encoding
+    /// can be modeled honestly; zero on the legacy communication path.
+    pub codec_bytes: u64,
     /// Bytes written to (or read back from) checkpoint storage, priced
     /// separately from network traffic by the cost model.
     pub checkpoint_bytes: u64,
@@ -46,6 +57,8 @@ impl PhaseStats {
         self.p2p_bytes_recv += other.p2p_bytes_recv;
         self.collective_calls += other.collective_calls;
         self.collective_bytes += other.collective_bytes;
+        self.collective_bytes_recv += other.collective_bytes_recv;
+        self.codec_bytes += other.codec_bytes;
         self.checkpoint_bytes += other.checkpoint_bytes;
         self.wall += other.wall;
         self.entries += other.entries;

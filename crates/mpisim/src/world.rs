@@ -397,6 +397,36 @@ mod tests {
     }
 
     #[test]
+    fn alltoallv_reduce_transposes_and_folds_in_rank_order() {
+        let p = 4;
+        let report = World::new(p).run(|c| {
+            let outgoing: Vec<Vec<u64>> =
+                (0..c.size()).map(|d| vec![(c.rank() * 10 + d) as u64]).collect();
+            c.alltoallv_reduce(outgoing, vec![c.rank() as u64], |parts| {
+                // Concatenation exposes the fold order.
+                parts.into_iter().flatten().collect::<Vec<u64>>()
+            })
+        });
+        for (me, (incoming, folded)) in report.results.iter().enumerate() {
+            for (src, msg) in incoming.iter().enumerate() {
+                assert_eq!(msg, &vec![(src * 10 + me) as u64]);
+            }
+            assert_eq!(folded, &vec![0, 1, 2, 3], "rank {me} saw a reordered fold");
+        }
+        // One collective call, metered as buckets + the reduce partial:
+        // 4 buckets x 8 bytes + size_of::<Vec<u64>>() per rank.
+        for s in &report.stats {
+            assert_eq!(s.total.collective_calls, 1);
+            assert_eq!(
+                s.total.collective_bytes,
+                4 * 8 + std::mem::size_of::<Vec<u64>>() as u64
+            );
+            // Receive side: the 3 non-self buckets only.
+            assert_eq!(s.total.collective_bytes_recv, 3 * 8);
+        }
+    }
+
+    #[test]
     fn broadcast_from_nonzero_root() {
         let report = World::new(5).run(|c| {
             let v = if c.rank() == 3 { Some(vec![9_u8, 8, 7]) } else { None };
