@@ -18,8 +18,8 @@
 //! Running both algorithms on the same simulator with the same cost model
 //! is what makes Table 3's speedups a like-for-like comparison.
 
-use infomap_graph::Graph;
 use infomap_distributed::{DistributedConfig, DistributedInfomap, DistributedOutput};
+use infomap_graph::Graph;
 use infomap_partition::DelegateThreshold;
 
 /// Tunables for the gossip baseline.
@@ -33,7 +33,12 @@ pub struct GossipConfig {
 
 impl Default for GossipConfig {
     fn default() -> Self {
-        GossipConfig { nranks: 4, max_outer_iterations: 30, max_inner_iterations: 40, seed: 0 }
+        GossipConfig {
+            nranks: 4,
+            max_outer_iterations: 30,
+            max_inner_iterations: 40,
+            seed: 0,
+        }
     }
 }
 
@@ -67,10 +72,20 @@ mod tests {
     #[test]
     fn gossip_converges_but_underperforms_full_swap() {
         let (g, _) = generators::lfr_like(
-            generators::LfrParams { n: 500, mu: 0.3, ..Default::default() },
+            generators::LfrParams {
+                n: 500,
+                mu: 0.3,
+                ..Default::default()
+            },
             8,
         );
-        let gossip = gossip_map(&g, GossipConfig { nranks: 4, ..Default::default() });
+        let gossip = gossip_map(
+            &g,
+            GossipConfig {
+                nranks: 4,
+                ..Default::default()
+            },
+        );
         let full = DistributedInfomap::new(DistributedConfig {
             nranks: 4,
             ..Default::default()
@@ -93,15 +108,35 @@ mod tests {
         // With one rank there is no remote information to miss, so both
         // protocols coincide.
         let (g, _) = generators::planted_partition(4, 12, 0.5, 0.02, 3);
-        let gossip = gossip_map(&g, GossipConfig { nranks: 1, ..Default::default() });
+        let gossip = gossip_map(
+            &g,
+            GossipConfig {
+                nranks: 1,
+                ..Default::default()
+            },
+        );
         assert!(gossip.codelength < gossip.one_level_codelength);
     }
 
     #[test]
     fn gossip_is_deterministic() {
         let (g, _) = generators::lfr_like(generators::LfrParams::default(), 5);
-        let a = gossip_map(&g, GossipConfig { nranks: 3, seed: 7, ..Default::default() });
-        let b = gossip_map(&g, GossipConfig { nranks: 3, seed: 7, ..Default::default() });
+        let a = gossip_map(
+            &g,
+            GossipConfig {
+                nranks: 3,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let b = gossip_map(
+            &g,
+            GossipConfig {
+                nranks: 3,
+                seed: 7,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.modules, b.modules);
     }
 }

@@ -13,6 +13,8 @@
 //!   simulated substrate the paper's algorithm runs on, so Table 3's
 //!   speedups compare like for like.
 
+#![forbid(unsafe_code)]
+
 pub mod gossip;
 pub mod relaxmap;
 

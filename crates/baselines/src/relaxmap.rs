@@ -96,9 +96,17 @@ impl Level {
         }
         let node_flow = match flows {
             Some(f) => f.to_vec(),
-            None => (0..n as VertexId).map(|u| graph.strength(u) * inv_two_w).collect(),
+            None => (0..n as VertexId)
+                .map(|u| graph.strength(u) * inv_two_w)
+                .collect(),
         };
-        Level { off, tgt, w, node_flow, out_flow }
+        Level {
+            off,
+            tgt,
+            w,
+            node_flow,
+            out_flow,
+        }
     }
 
     fn num_vertices(&self) -> usize {
@@ -107,7 +115,10 @@ impl Level {
 
     fn arcs(&self, u: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let r = self.off[u]..self.off[u + 1];
-        self.tgt[r.clone()].iter().copied().zip(self.w[r].iter().copied())
+        self.tgt[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.w[r].iter().copied())
     }
 }
 
@@ -127,7 +138,10 @@ impl AtomicF64 {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + d).to_bits();
-            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(now) => cur = now,
             }
@@ -208,8 +222,10 @@ impl RelaxMap {
             }
 
             // Harvest assignments and contract.
-            let assigned: Vec<u32> =
-                assignments.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+            let assigned: Vec<u32> = assignments
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect();
             let (contracted, contracted_flows, dense) =
                 contract(&level_graph, &level.node_flow, &assigned);
             for m in final_modules.iter_mut() {
@@ -227,7 +243,11 @@ impl RelaxMap {
             }
         }
 
-        RelaxMapResult { modules: final_modules, codelength: prev_l, trace }
+        RelaxMapResult {
+            modules: final_modules,
+            codelength: prev_l,
+            trace,
+        }
     }
 }
 
@@ -290,13 +310,18 @@ fn sweep_stripe(
                 }
             }
         }
-        let Some((target, _, flow_to_target)) = best else { continue };
+        let Some((target, _, flow_to_target)) = best else {
+            continue;
+        };
 
         // Apply under ordered two-module locking.
         let (a, b) = (current.min(target) as usize, current.max(target) as usize);
         let (first, second) = (stats[a].lock(), stats[b].lock());
-        let (mut from_guard, mut to_guard) =
-            if current < target { (first, second) } else { (second, first) };
+        let (mut from_guard, mut to_guard) = if current < target {
+            (first, second)
+        } else {
+            (second, first)
+        };
         // Re-check the assignment (another thread may have moved us).
         if assignments[u].load(Ordering::Relaxed) != current {
             continue;
@@ -331,7 +356,8 @@ fn delta(
     let q_i_new = (q_i - out_u + 2.0 * flow_to_current).max(0.0);
     let q_j_new = (q_j + out_u - 2.0 * flow_to_target).max(0.0);
     let q_new = (sum_exit + (q_i_new - q_i) + (q_j_new - q_j)).max(0.0);
-    plogp(q_new) - plogp(sum_exit)
+    plogp(q_new)
+        - plogp(sum_exit)
         - 2.0 * (plogp(q_i_new) - plogp(q_i) + plogp(q_j_new) - plogp(q_j))
         + plogp(q_i_new + (p_i - p_u).max(0.0))
         - plogp(q_i + p_i)
@@ -414,11 +440,19 @@ mod tests {
     #[test]
     fn codelength_comparable_to_sequential() {
         let (g, _) = generators::lfr_like(
-            generators::LfrParams { n: 500, mu: 0.3, ..Default::default() },
+            generators::LfrParams {
+                n: 500,
+                mu: 0.3,
+                ..Default::default()
+            },
             4,
         );
         let seq = Infomap::new(InfomapConfig::default()).run(&g);
-        let par = RelaxMap::new(RelaxMapConfig { threads: 4, ..Default::default() }).run(&g);
+        let par = RelaxMap::new(RelaxMapConfig {
+            threads: 4,
+            ..Default::default()
+        })
+        .run(&g);
         let rel = (par.codelength - seq.codelength).abs() / seq.codelength;
         assert!(
             rel < 0.10,
@@ -431,7 +465,11 @@ mod tests {
     #[test]
     fn single_thread_still_works() {
         let (g, _) = generators::planted_partition(4, 15, 0.5, 0.02, 2);
-        let out = RelaxMap::new(RelaxMapConfig { threads: 1, ..Default::default() }).run(&g);
+        let out = RelaxMap::new(RelaxMapConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(&g);
         let max = out.modules.iter().copied().max().unwrap() + 1;
         assert!((3..=6).contains(&(max as usize)));
         assert!(!out.trace.is_empty());

@@ -28,7 +28,11 @@ fn hub_state() -> LocalState {
     for v in 1..=HUB_DEG {
         let w = if v == HUB_DEG { 1 } else { v + 1 };
         edges.push((v, w));
-        let w2 = if v + 2 > HUB_DEG { v + 2 - HUB_DEG } else { v + 2 };
+        let w2 = if v + 2 > HUB_DEG {
+            v + 2 - HUB_DEG
+        } else {
+            v + 2
+        };
         edges.push((v, w2));
     }
     let g = Graph::from_unweighted(n as usize, &edges);

@@ -9,7 +9,15 @@ use infomap_graph::generators::{lfr_like, LfrParams};
 use infomap_graph::Graph;
 
 fn graph() -> Graph {
-    lfr_like(LfrParams { n: 2000, mu: 0.3, ..Default::default() }, 5).0
+    lfr_like(
+        LfrParams {
+            n: 2000,
+            mu: 0.3,
+            ..Default::default()
+        },
+        5,
+    )
+    .0
 }
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -20,16 +28,33 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| Infomap::new(InfomapConfig::default()).run(&g))
     });
     group.bench_function("relaxmap_4_threads", |b| {
-        b.iter(|| RelaxMap::new(RelaxMapConfig { threads: 4, ..Default::default() }).run(&g))
+        b.iter(|| {
+            RelaxMap::new(RelaxMapConfig {
+                threads: 4,
+                ..Default::default()
+            })
+            .run(&g)
+        })
     });
     group.bench_function("distributed_4_ranks", |b| {
         b.iter(|| {
-            DistributedInfomap::new(DistributedConfig { nranks: 4, ..Default::default() })
-                .run(&g)
+            DistributedInfomap::new(DistributedConfig {
+                nranks: 4,
+                ..Default::default()
+            })
+            .run(&g)
         })
     });
     group.bench_function("gossip_4_ranks", |b| {
-        b.iter(|| gossip_map(&g, GossipConfig { nranks: 4, ..Default::default() }))
+        b.iter(|| {
+            gossip_map(
+                &g,
+                GossipConfig {
+                    nranks: 4,
+                    ..Default::default()
+                },
+            )
+        })
     });
     group.finish();
 }

@@ -54,8 +54,9 @@ fn bench_alltoallv(c: &mut Criterion) {
                 world.run(|c| {
                     let mut got = 0usize;
                     for _ in 0..10 {
-                        let out: Vec<Vec<u64>> =
-                            (0..c.size()).map(|d| vec![d as u64; 1000 / c.size()]).collect();
+                        let out: Vec<Vec<u64>> = (0..c.size())
+                            .map(|d| vec![d as u64; 1000 / c.size()])
+                            .collect();
                         got += c.alltoallv(out).iter().map(Vec::len).sum::<usize>();
                     }
                     got
@@ -89,5 +90,11 @@ fn bench_p2p_ring(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_barrier, bench_allreduce, bench_alltoallv, bench_p2p_ring);
+criterion_group!(
+    benches,
+    bench_barrier,
+    bench_allreduce,
+    bench_alltoallv,
+    bench_p2p_ring
+);
 criterion_main!(benches);

@@ -10,7 +10,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn network(n: usize) -> FlowNetwork {
-    let (g, _) = lfr_like(LfrParams { n, ..Default::default() }, 42);
+    let (g, _) = lfr_like(
+        LfrParams {
+            n,
+            ..Default::default()
+        },
+        42,
+    );
     FlowNetwork::from_graph(g)
 }
 
@@ -52,7 +58,10 @@ fn bench_best_move(c: &mut Criterion) {
         b.iter(|| {
             let mut found = 0usize;
             for u in 0..200u32 {
-                if part.best_move(&net, u, 1e-10, 1e-12, &mut scratch).is_some() {
+                if part
+                    .best_move(&net, u, 1e-10, 1e-12, &mut scratch)
+                    .is_some()
+                {
                     found += 1;
                 }
             }

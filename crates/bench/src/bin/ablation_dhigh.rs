@@ -20,7 +20,11 @@ fn main() {
     let p = 32;
     let profile = DatasetId::Uk2005.profile();
     let (g, _) = profile.generate_scaled(scale, seed);
-    let seq = Infomap::new(InfomapConfig { seed, ..Default::default() }).run(&g);
+    let seq = Infomap::new(InfomapConfig {
+        seed,
+        ..Default::default()
+    })
+    .run(&g);
     println!(
         "Ablation d_high on {} (|V|={}, |E|={}, p={p}):\n",
         profile.name,
@@ -38,9 +42,18 @@ fn main() {
     let mean_deg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
     let candidates: Vec<(String, DelegateThreshold)> = vec![
         (format!("p = {p} (paper)"), DelegateThreshold::RankCount),
-        ("auto 4x mean (default)".into(), DelegateThreshold::Auto(4.0)),
-        (format!("{}", (mean_deg as usize).max(1)), DelegateThreshold::Fixed(mean_deg as usize)),
-        (format!("{}", 8 * mean_deg as usize), DelegateThreshold::Fixed(8 * mean_deg as usize)),
+        (
+            "auto 4x mean (default)".into(),
+            DelegateThreshold::Auto(4.0),
+        ),
+        (
+            format!("{}", (mean_deg as usize).max(1)),
+            DelegateThreshold::Fixed(mean_deg as usize),
+        ),
+        (
+            format!("{}", 8 * mean_deg as usize),
+            DelegateThreshold::Fixed(8 * mean_deg as usize),
+        ),
         ("disabled (1D)".into(), DelegateThreshold::Fixed(usize::MAX)),
     ];
     for (label, threshold) in candidates {

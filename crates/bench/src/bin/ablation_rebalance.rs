@@ -27,8 +27,7 @@ fn main() {
         let profile = id.profile();
         let (g, _) = profile.generate_scaled(scale, seed);
         for rebalance in [false, true] {
-            let part =
-                Partition::delegate(&g, p, DelegateThreshold::Auto(4.0), rebalance);
+            let part = Partition::delegate(&g, p, DelegateThreshold::Auto(4.0), rebalance);
             let s = BalanceStats::from_loads(&part.edge_counts());
             let out = DistributedInfomap::new(DistributedConfig {
                 nranks: p,

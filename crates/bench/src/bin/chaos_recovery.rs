@@ -25,7 +25,11 @@ fn cfg(p: usize, seed: u64, checkpoint_every: usize) -> DistributedConfig {
     DistributedConfig {
         nranks: p,
         seed,
-        recovery: RecoveryConfig { checkpoint_every, max_retries: 3, ..Default::default() },
+        recovery: RecoveryConfig {
+            checkpoint_every,
+            max_retries: 3,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -47,7 +51,13 @@ fn main() {
     let scale = env_scale();
     let seed = env_seed();
     let n = ((40_000.0 * scale) as usize).max(400);
-    let (g, _) = lfr_like(LfrParams { n, ..Default::default() }, seed);
+    let (g, _) = lfr_like(
+        LfrParams {
+            n,
+            ..Default::default()
+        },
+        seed,
+    );
     println!(
         "Chaos recovery on LFR (|V|={}, |E|={}), checkpoint every 2 rounds\n",
         g.num_vertices(),

@@ -31,7 +31,11 @@ fn sweep(label: &str, sets: &[DatasetId], procs: &[usize], scale: f64, seed: u64
         let base_p = procs[0];
         let base_t = run_total(id, scale, seed, base_p);
         for &p in procs {
-            let tp = if p == base_p { base_t } else { run_total(id, scale, seed, p) };
+            let tp = if p == base_p {
+                base_t
+            } else {
+                run_total(id, scale, seed, p)
+            };
             let eff = parallel_efficiency(base_p, base_t, p, tp);
             t.row(vec![
                 id.profile().name.to_string(),

@@ -20,7 +20,11 @@ fn main() {
     for id in DatasetId::SMALL {
         let profile = id.profile();
         let (g, _) = profile.generate_scaled(scale, seed);
-        let seq = Infomap::new(InfomapConfig { seed, ..Default::default() }).run(&g);
+        let seq = Infomap::new(InfomapConfig {
+            seed,
+            ..Default::default()
+        })
+        .run(&g);
         let dist = DistributedInfomap::new(DistributedConfig {
             nranks,
             seed,
@@ -41,8 +45,14 @@ fn main() {
         for i in 0..rows {
             t.row(vec![
                 i.to_string(),
-                seq_series.get(i).map(|x| format!("{x:.4}")).unwrap_or_default(),
-                dist_series.get(i).map(|x| format!("{x:.4}")).unwrap_or_default(),
+                seq_series
+                    .get(i)
+                    .map(|x| format!("{x:.4}"))
+                    .unwrap_or_default(),
+                dist_series
+                    .get(i)
+                    .map(|x| format!("{x:.4}"))
+                    .unwrap_or_default(),
             ]);
         }
         t.print();

@@ -23,7 +23,11 @@ fn main() {
         let profile = id.profile();
         let (g, _) = profile.generate_scaled(scale, seed);
         let n0 = g.num_vertices() as f64;
-        let seq = Infomap::new(InfomapConfig { seed, ..Default::default() }).run(&g);
+        let seq = Infomap::new(InfomapConfig {
+            seed,
+            ..Default::default()
+        })
+        .run(&g);
         let dist = DistributedInfomap::new(DistributedConfig {
             nranks,
             seed,
@@ -39,12 +43,22 @@ fn main() {
             .map(|t| (t.vertices_before - t.vertices_after) as f64 / n0)
             .collect();
         let rows = seq_rates.len().max(dist_rates.len());
-        let mut t = Table::new(&["iteration", "sequential merge rate", "distributed merge rate"]);
+        let mut t = Table::new(&[
+            "iteration",
+            "sequential merge rate",
+            "distributed merge rate",
+        ]);
         for i in 0..rows {
             t.row(vec![
                 i.to_string(),
-                seq_rates.get(i).map(|x| format!("{:.1}%", x * 100.0)).unwrap_or_default(),
-                dist_rates.get(i).map(|x| format!("{:.1}%", x * 100.0)).unwrap_or_default(),
+                seq_rates
+                    .get(i)
+                    .map(|x| format!("{:.1}%", x * 100.0))
+                    .unwrap_or_default(),
+                dist_rates
+                    .get(i)
+                    .map(|x| format!("{:.1}%", x * 100.0))
+                    .unwrap_or_default(),
             ]);
         }
         t.print();

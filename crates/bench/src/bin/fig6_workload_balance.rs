@@ -19,21 +19,17 @@ fn main() {
     let p = 256;
     println!("Figure 6: workload balance, 1D vs delegate partitioning (p={p}, scale {scale})\n");
     let mut t = Table::new(&[
-        "Dataset",
-        "strategy",
-        "min",
-        "p25",
-        "median",
-        "p75",
-        "max",
-        "max/mean",
+        "Dataset", "strategy", "min", "p25", "median", "p75", "max", "max/mean",
     ]);
     for id in DatasetId::LARGE {
         let profile = id.profile();
         let (g, _) = profile.generate_scaled(scale, seed);
         for (label, part) in [
             ("1D", Partition::one_d_block(&g, p)),
-            ("delegate", Partition::delegate(&g, p, DelegateThreshold::RankCount, true)),
+            (
+                "delegate",
+                Partition::delegate(&g, p, DelegateThreshold::RankCount, true),
+            ),
         ] {
             let s = BalanceStats::from_loads(&part.edge_counts());
             t.row(vec![

@@ -17,23 +17,21 @@ fn main() {
     let scale = (env_scale() * 6.0).min(1.0);
     let seed = env_seed();
     let p = 256;
-    println!("Figure 7: communication balance (ghost vertices), 1D vs delegate (p={p}, scale {scale})\n");
+    println!(
+        "Figure 7: communication balance (ghost vertices), 1D vs delegate (p={p}, scale {scale})\n"
+    );
     let mut t = Table::new(&[
-        "Dataset",
-        "strategy",
-        "min",
-        "p25",
-        "median",
-        "p75",
-        "max",
-        "max/mean",
+        "Dataset", "strategy", "min", "p25", "median", "p75", "max", "max/mean",
     ]);
     for id in DatasetId::LARGE {
         let profile = id.profile();
         let (g, _) = profile.generate_scaled(scale, seed);
         for (label, part) in [
             ("1D", Partition::one_d_block(&g, p)),
-            ("delegate", Partition::delegate(&g, p, DelegateThreshold::RankCount, true)),
+            (
+                "delegate",
+                Partition::delegate(&g, p, DelegateThreshold::RankCount, true),
+            ),
         ] {
             let s = BalanceStats::from_loads(&part.ghost_counts());
             t.row(vec![

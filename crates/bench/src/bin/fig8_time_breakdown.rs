@@ -25,7 +25,12 @@ fn main() {
     for id in DatasetId::LARGE {
         let profile = id.profile();
         let (g, _) = profile.generate_scaled(scale, seed);
-        println!("{} (|V|={}, |E|={}):", profile.name, g.num_vertices(), g.num_edges());
+        println!(
+            "{} (|V|={}, |E|={}):",
+            profile.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         let mut t = Table::new(&[
             "p",
             "Find Best Module",

@@ -7,7 +7,9 @@
 //! (Friendster/UK-2007 class) have comparatively shorter stage-2 times
 //! (the paper's §5 discussion).
 
-use infomap_bench::{env_scale, env_seed, fmt_secs, parse_comm_path, scaled_model, stage_split, Table};
+use infomap_bench::{
+    env_scale, env_seed, fmt_secs, parse_comm_path, scaled_model, stage_split, Table,
+};
 use infomap_distributed::{DistributedConfig, DistributedInfomap};
 use infomap_graph::datasets::DatasetId;
 
@@ -21,7 +23,12 @@ fn main() {
     for id in DatasetId::LARGE {
         let profile = id.profile();
         let (g, _) = profile.generate_scaled(scale, seed);
-        println!("{} (|V|={}, |E|={}):", profile.name, g.num_vertices(), g.num_edges());
+        println!(
+            "{} (|V|={}, |E|={}):",
+            profile.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         let mut t = Table::new(&["p", "stage 1", "stage 2", "merge", "total", "speedup vs p0"]);
         let mut t0: Option<(usize, f64)> = None;
         for &p in &procs {

@@ -75,7 +75,12 @@ struct RunMeasure {
 }
 
 fn measure(g: &Graph, p: usize, seed: u64, path: CommPath) -> RunMeasure {
-    let cfg = DistributedConfig { nranks: p, seed, comm_path: path, ..Default::default() };
+    let cfg = DistributedConfig {
+        nranks: p,
+        seed,
+        comm_path: path,
+        ..Default::default()
+    };
     let out: DistributedOutput = DistributedInfomap::new(cfg).run(g);
 
     let mut phase_bytes: BTreeMap<String, u64> = BTreeMap::new();
@@ -88,19 +93,25 @@ fn measure(g: &Graph, p: usize, seed: u64, path: CommPath) -> RunMeasure {
             phased += b;
         }
         let total = metered_bytes(&rs.total);
-        *phase_bytes.entry("(unphased)".into()).or_insert(0) +=
-            total.saturating_sub(phased);
+        *phase_bytes.entry("(unphased)".into()).or_insert(0) += total.saturating_sub(phased);
         total_bytes += total;
     }
     let bd = cost_model().makespan(&out.rank_stats);
     let total_moves: u64 = out.trace.iter().map(|t| t.moves).sum();
-    let mdl_bits: Vec<u64> =
-        out.trace.iter().flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits())).collect();
+    let mdl_bits: Vec<u64> = out
+        .trace
+        .iter()
+        .flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits()))
+        .collect();
     RunMeasure {
         phase_bytes,
         total_bytes,
         p2p_msgs: out.rank_stats.iter().map(|r| r.total.p2p_msgs_sent).sum(),
-        collective_calls: out.rank_stats.iter().map(|r| r.total.collective_calls).sum(),
+        collective_calls: out
+            .rank_stats
+            .iter()
+            .map(|r| r.total.collective_calls)
+            .sum(),
         codec_bytes: out.rank_stats.iter().map(|r| r.total.codec_bytes).sum(),
         modeled_s: bd.phases.clone(),
         modeled_total_s: bd.total,
@@ -114,8 +125,11 @@ fn measure(g: &Graph, p: usize, seed: u64, path: CommPath) -> RunMeasure {
 /// Phase-by-phase byte-budget regression check: the compact path may not
 /// out-spend legacy in any metered phase.
 fn assert_phase_budget(legacy: &RunMeasure, compact: &RunMeasure, label: &str) {
-    let mut names: Vec<&String> =
-        legacy.phase_bytes.keys().chain(compact.phase_bytes.keys()).collect();
+    let mut names: Vec<&String> = legacy
+        .phase_bytes
+        .keys()
+        .chain(compact.phase_bytes.keys())
+        .collect();
     names.sort();
     names.dedup();
     for name in names {
@@ -163,13 +177,25 @@ fn json_run(out: &mut String, indent: &str, m: &RunMeasure) {
     let _ = write!(out, "\n{indent}  \"phase_bytes\": ");
     json_bytes_map(out, &format!("{indent}  "), &m.phase_bytes);
     let _ = write!(out, ",\n{indent}  \"p2p_msgs\": {},", m.p2p_msgs);
-    let _ = write!(out, "\n{indent}  \"collective_calls\": {},", m.collective_calls);
+    let _ = write!(
+        out,
+        "\n{indent}  \"collective_calls\": {},",
+        m.collective_calls
+    );
     let _ = write!(out, "\n{indent}  \"codec_bytes\": {},", m.codec_bytes);
     let _ = write!(out, "\n{indent}  \"modeled_s\": ");
     json_f64_map(out, &format!("{indent}  "), &m.modeled_s);
-    let _ = write!(out, ",\n{indent}  \"modeled_total_s\": {:e},", m.modeled_total_s);
+    let _ = write!(
+        out,
+        ",\n{indent}  \"modeled_total_s\": {:e},",
+        m.modeled_total_s
+    );
     let _ = write!(out, "\n{indent}  \"total_moves\": {},", m.total_moves);
-    let _ = write!(out, "\n{indent}  \"mdl_final\": {:e}\n{indent}}}", m.mdl_final);
+    let _ = write!(
+        out,
+        "\n{indent}  \"mdl_final\": {:e}\n{indent}}}",
+        m.mdl_final
+    );
 }
 
 fn main() {
@@ -186,8 +212,11 @@ fn main() {
     // Hub-heavy: a heavy power-law tail, so delegate elections carry real
     // proposal volume — the regime the owner reduction targets. Flat: a
     // bounded-degree instance dominated by boundary gossip and syncs.
-    let (n_hub, kmax_hub, n_flat, kmax_flat) =
-        if tiny { (1_500, 750, 1_500, 16) } else { (20_000, 10_000, 12_000, 32) };
+    let (n_hub, kmax_hub, n_flat, kmax_flat) = if tiny {
+        (1_500, 750, 1_500, 16)
+    } else {
+        (20_000, 10_000, 12_000, 32)
+    };
     let graphs = [
         GraphSpec {
             name: "hub_heavy",
@@ -195,7 +224,10 @@ fn main() {
         },
         GraphSpec {
             name: "flat",
-            graph: chung_lu(&power_law_degrees(n_flat, 2.6, 2, kmax_flat, seed + 2), seed + 3),
+            graph: chung_lu(
+                &power_law_degrees(n_flat, 2.6, 2, kmax_flat, seed + 2),
+                seed + 3,
+            ),
         },
     ];
 
@@ -205,16 +237,17 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": \"dinfomap-perf-comm-v1\",\n");
     let _ = write!(json, "  \"mode\": \"{mode}\",\n  \"seed\": {seed},\n");
-    json.push_str(
-        "  \"regenerate\": \"cargo run --release -p infomap-bench --bin perf_comm\",\n",
-    );
+    json.push_str("  \"regenerate\": \"cargo run --release -p infomap-bench --bin perf_comm\",\n");
     json.push_str("  \"byte_note\": \"metered bytes = p2p payload bytes sent + collective contributed bytes + collective received bytes, summed over ranks; legacy records are priced at packed wire extents (WIRE_BYTES), not in-memory size_of; '(unphased)' collects assignment refresh and final assembly\",\n");
     json.push_str("  \"invariants\": \"both paths are bit-identical per seed (asserted: MDL series, moves, assignment); compact <= legacy bytes in every phase; compact < legacy in total bytes and modeled makespan\",\n");
     json.push_str("  \"graphs\": [");
 
     for (gi, spec) in graphs.iter().enumerate() {
         let g = &spec.graph;
-        let max_deg = (0..g.num_vertices() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        let max_deg = (0..g.num_vertices() as u32)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap_or(0);
         println!(
             "{} (|V|={}, |E|={}, max deg {}):",
             spec.name,
@@ -248,7 +281,10 @@ fn main() {
             let label = format!("{} p={p}", spec.name);
             // The paths must be interchangeable to the bit — the contract
             // the compact rebuild was designed around.
-            assert_eq!(legacy.mdl_bits, compact.mdl_bits, "{label}: MDL series diverged");
+            assert_eq!(
+                legacy.mdl_bits, compact.mdl_bits,
+                "{label}: MDL series diverged"
+            );
             assert_eq!(legacy.total_moves, compact.total_moves, "{label}: moves");
             assert_eq!(legacy.modules, compact.modules, "{label}: assignment");
             assert_phase_budget(&legacy, &compact, &label);
@@ -288,7 +324,10 @@ fn main() {
             if pi > 0 {
                 json.push(',');
             }
-            let _ = write!(json, "\n        {{\n          \"p\": {p},\n          \"legacy\": ");
+            let _ = write!(
+                json,
+                "\n        {{\n          \"p\": {p},\n          \"legacy\": "
+            );
             json_run(&mut json, "          ", &legacy);
             json.push_str(",\n          \"compact\": ");
             json_run(&mut json, "          ", &compact);

@@ -38,8 +38,8 @@ use std::time::Instant;
 use infomap_bench::{cost_model, env_seed, fmt_secs, Table};
 use infomap_distributed::state::build_stage1_states;
 use infomap_distributed::{
-    apply_local_move, best_local_move, best_local_move_scan, DistributedConfig,
-    DistributedInfomap, DistributedOutput, MoveKernel, NeighborhoodScratch,
+    apply_local_move, best_local_move, best_local_move_scan, DistributedConfig, DistributedInfomap,
+    DistributedOutput, MoveKernel, NeighborhoodScratch,
 };
 use infomap_graph::generators::{chung_lu, power_law_degrees};
 use infomap_graph::Graph;
@@ -66,7 +66,12 @@ struct RunMeasure {
 }
 
 fn measure(g: &Graph, p: usize, seed: u64, kernel: MoveKernel) -> RunMeasure {
-    let cfg = DistributedConfig { nranks: p, seed, kernel, ..Default::default() };
+    let cfg = DistributedConfig {
+        nranks: p,
+        seed,
+        kernel,
+        ..Default::default()
+    };
     let t0 = Instant::now();
     let out: DistributedOutput = DistributedInfomap::new(cfg).run(g);
     let wall_total_s = t0.elapsed().as_secs_f64();
@@ -79,8 +84,11 @@ fn measure(g: &Graph, p: usize, seed: u64, kernel: MoveKernel) -> RunMeasure {
     }
     let bd = cost_model().makespan(&out.rank_stats);
     let total_moves: u64 = out.trace.iter().map(|t| t.moves).sum();
-    let mdl_bits: Vec<u64> =
-        out.trace.iter().flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits())).collect();
+    let mdl_bits: Vec<u64> = out
+        .trace
+        .iter()
+        .flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits()))
+        .collect();
     RunMeasure {
         wall_total_s,
         phase_wall_s,
@@ -95,7 +103,10 @@ fn measure(g: &Graph, p: usize, seed: u64, kernel: MoveKernel) -> RunMeasure {
 
 /// Wall seconds spent in the stage-1 FindBestModule phase (across ranks).
 fn find_best_wall(m: &RunMeasure) -> f64 {
-    m.phase_wall_s.get("s1/FindBestModule").copied().unwrap_or(0.0)
+    m.phase_wall_s
+        .get("s1/FindBestModule")
+        .copied()
+        .unwrap_or(0.0)
 }
 
 /// Serial replay of the FindBestModule compute, per kernel.
@@ -196,8 +207,17 @@ fn kernel_sweep(g: &Graph, part: &Partition) -> SweepMeasure {
         stamped_wall_s = stamped_wall_s.min(w);
         stamped_moves = m;
     }
-    assert_eq!(scan_moves, stamped_moves, "sweep replay diverged between kernels");
-    SweepMeasure { rounds: ROUNDS, arcs_relaxed, moves: stamped_moves, scan_wall_s, stamped_wall_s }
+    assert_eq!(
+        scan_moves, stamped_moves,
+        "sweep replay diverged between kernels"
+    );
+    SweepMeasure {
+        rounds: ROUNDS,
+        arcs_relaxed,
+        moves: stamped_moves,
+        scan_wall_s,
+        stamped_wall_s,
+    }
 }
 
 fn json_sweep(out: &mut String, indent: &str, s: &SweepMeasure) {
@@ -222,15 +242,27 @@ fn json_map(out: &mut String, indent: &str, map: &BTreeMap<String, f64>) {
 }
 
 fn json_run(out: &mut String, indent: &str, m: &RunMeasure) {
-    let _ = write!(out, "{{\n{indent}  \"find_best_module_wall_s\": {:e},", find_best_wall(m));
+    let _ = write!(
+        out,
+        "{{\n{indent}  \"find_best_module_wall_s\": {:e},",
+        find_best_wall(m)
+    );
     let _ = write!(out, "\n{indent}  \"wall_total_s\": {:e},", m.wall_total_s);
     let _ = write!(out, "\n{indent}  \"phase_wall_s\": ");
     json_map(out, &format!("{indent}  "), &m.phase_wall_s);
     let _ = write!(out, ",\n{indent}  \"modeled_s\": ");
     json_map(out, &format!("{indent}  "), &m.modeled_s);
-    let _ = write!(out, ",\n{indent}  \"modeled_total_s\": {:e},", m.modeled_total_s);
+    let _ = write!(
+        out,
+        ",\n{indent}  \"modeled_total_s\": {:e},",
+        m.modeled_total_s
+    );
     let _ = write!(out, "\n{indent}  \"total_moves\": {},", m.total_moves);
-    let _ = write!(out, "\n{indent}  \"mdl_final\": {:e}\n{indent}}}", m.mdl_final);
+    let _ = write!(
+        out,
+        "\n{indent}  \"mdl_final\": {:e}\n{indent}}}",
+        m.mdl_final
+    );
 }
 
 fn main() {
@@ -240,9 +272,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| {
-            format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR"))
-        });
+        .unwrap_or_else(|| format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR")));
     let seed = env_seed();
     let procs = [4usize, 16, 64];
 
@@ -261,7 +291,10 @@ fn main() {
         },
         GraphSpec {
             name: "flat",
-            graph: chung_lu(&power_law_degrees(n_flat, 2.6, 2, kmax_flat, seed + 2), seed + 3),
+            graph: chung_lu(
+                &power_law_degrees(n_flat, 2.6, 2, kmax_flat, seed + 2),
+                seed + 3,
+            ),
         },
     ];
 
@@ -280,8 +313,10 @@ fn main() {
 
     for (gi, spec) in graphs.iter().enumerate() {
         let g = &spec.graph;
-        let max_deg =
-            (0..g.num_vertices() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        let max_deg = (0..g.num_vertices() as u32)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap_or(0);
         println!(
             "{} (|V|={}, |E|={}, max deg {}):",
             spec.name,
@@ -313,16 +348,30 @@ fn main() {
             let stamped = measure(g, p, seed, MoveKernel::Stamped);
             // The kernels must be interchangeable to the bit — this is the
             // determinism contract the rewrite was built around.
-            assert_eq!(scan.mdl_bits, stamped.mdl_bits, "{} p={p}: MDL series diverged", spec.name);
-            assert_eq!(scan.total_moves, stamped.total_moves, "{} p={p}: moves", spec.name);
-            assert_eq!(scan.modules, stamped.modules, "{} p={p}: assignment", spec.name);
+            assert_eq!(
+                scan.mdl_bits, stamped.mdl_bits,
+                "{} p={p}: MDL series diverged",
+                spec.name
+            );
+            assert_eq!(
+                scan.total_moves, stamped.total_moves,
+                "{} p={p}: moves",
+                spec.name
+            );
+            assert_eq!(
+                scan.modules, stamped.modules,
+                "{} p={p}: assignment",
+                spec.name
+            );
             // 1D partitioning: hubs keep their whole adjacency — the
             // O(deg·k) regime the rewrite targets (headline number).
             let sweep_1d = kernel_sweep(g, &Partition::one_d(g, p));
             // Delegate partitioning (driver default): local degrees are
             // capped near d_high, so constant factors only.
-            let sweep_del =
-                kernel_sweep(g, &Partition::delegate(g, p, DelegateThreshold::Auto(4.0), true));
+            let sweep_del = kernel_sweep(
+                g,
+                &Partition::delegate(g, p, DelegateThreshold::Auto(4.0), true),
+            );
             let speedup = sweep_1d.speedup();
             table.row(vec![
                 p.to_string(),
@@ -335,7 +384,10 @@ fn main() {
             if pi > 0 {
                 json.push(',');
             }
-            let _ = write!(json, "\n        {{\n          \"p\": {p},\n          \"baseline_scan\": ");
+            let _ = write!(
+                json,
+                "\n        {{\n          \"p\": {p},\n          \"baseline_scan\": "
+            );
             json_run(&mut json, "          ", &scan);
             json.push_str(",\n          \"stamped\": ");
             json_run(&mut json, "          ", &stamped);

@@ -26,7 +26,9 @@ const HARNESSES: &[&str] = &[
 ];
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_string());
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
     let exe_dir = std::env::current_exe()
         .ok()

@@ -10,14 +10,16 @@ use infomap_bench::{env_scale, env_seed, Table};
 use infomap_core::sequential::{Infomap, InfomapConfig};
 use infomap_distributed::{DistributedConfig, DistributedInfomap};
 use infomap_graph::datasets::DatasetId;
-use infomap_partition::DelegateThreshold;
 use infomap_metrics::quality;
+use infomap_partition::DelegateThreshold;
 
 fn main() {
     let scale = env_scale();
     let seed = env_seed();
     let nranks = 8;
-    println!("Table 2: Quality of distributed vs sequential partitions (p={nranks}, scale {scale})\n");
+    println!(
+        "Table 2: Quality of distributed vs sequential partitions (p={nranks}, scale {scale})\n"
+    );
     let mut t = Table::new(&[
         "Dataset",
         "NMI",
@@ -27,10 +29,19 @@ fn main() {
         "dist modules",
         "seq-vs-seq NMI/F/JI",
     ]);
-    for id in [DatasetId::Dblp, DatasetId::Amazon, DatasetId::NdWeb, DatasetId::YouTube] {
+    for id in [
+        DatasetId::Dblp,
+        DatasetId::Amazon,
+        DatasetId::NdWeb,
+        DatasetId::YouTube,
+    ] {
         let profile = id.profile();
         let (g, _) = profile.generate_scaled(scale, seed);
-        let seq = Infomap::new(InfomapConfig { seed, ..Default::default() }).run(&g);
+        let seq = Infomap::new(InfomapConfig {
+            seed,
+            ..Default::default()
+        })
+        .run(&g);
         let threshold = std::env::var("DINFOMAP_DHIGH")
             .ok()
             .and_then(|s| s.parse().ok())
@@ -46,8 +57,11 @@ fn main() {
         let q = quality(&seq.modules, &dist.modules);
         // Agreement ceiling: how much do two sequential runs that differ
         // only in sweep order agree with each other on this graph?
-        let seq_b = Infomap::new(InfomapConfig { seed: seed ^ 0xabcd, ..Default::default() })
-            .run(&g);
+        let seq_b = Infomap::new(InfomapConfig {
+            seed: seed ^ 0xabcd,
+            ..Default::default()
+        })
+        .run(&g);
         let ceil = quality(&seq.modules, &seq_b.modules);
         t.row(vec![
             profile.name.to_string(),

@@ -27,8 +27,12 @@ fn main() {
         "our MDL",
         "gossip MDL",
     ]);
-    let sets =
-        [DatasetId::NdWeb, DatasetId::LiveJournal, DatasetId::WebBase2001, DatasetId::Uk2007];
+    let sets = [
+        DatasetId::NdWeb,
+        DatasetId::LiveJournal,
+        DatasetId::WebBase2001,
+        DatasetId::Uk2007,
+    ];
     for id in sets {
         let profile = id.profile();
         let (g, _) = profile.generate_scaled(scale, seed);
@@ -38,7 +42,14 @@ fn main() {
             ..Default::default()
         })
         .run(&g);
-        let gossip = gossip_map(&g, GossipConfig { nranks: p, seed, ..Default::default() });
+        let gossip = gossip_map(
+            &g,
+            GossipConfig {
+                nranks: p,
+                seed,
+                ..Default::default()
+            },
+        );
         let model = scaled_model(&profile, &g);
         let (a1, a2, am) = stage_split(&ours, &model);
         let (b1, b2, bm) = stage_split(&gossip, &model);
@@ -51,7 +62,10 @@ fn main() {
         // prorated by the fraction of synchronized rounds needed.
         let target = gossip.codelength;
         let series = ours.mdl_series();
-        let reached = series.iter().position(|&l| l <= target).unwrap_or(series.len() - 1);
+        let reached = series
+            .iter()
+            .position(|&l| l <= target)
+            .unwrap_or(series.len() - 1);
         let frac = (reached as f64 / (series.len() - 1).max(1) as f64).max(0.05);
         let t_ours = t_ours_total * frac;
         t.row(vec![
@@ -64,6 +78,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nPaper: 1.08x (ND-Web), 3.05x (LiveJournal), 3.18x (WebBase-2001), 6.02x (UK-2007).");
+    println!(
+        "\nPaper: 1.08x (ND-Web), 3.05x (LiveJournal), 3.18x (WebBase-2001), 6.02x (UK-2007)."
+    );
     println!("Expected shape: speedup grows with graph size and hub weight; our MDL ≤ gossip MDL.");
 }

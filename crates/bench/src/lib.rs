@@ -18,6 +18,8 @@
 //!   (default 0.15; the full-scale stand-ins are ~10× larger);
 //! * `DINFOMAP_SEED` — global seed (default 42).
 
+#![forbid(unsafe_code)]
+
 use infomap_distributed::{CommPath, DistributedOutput};
 use infomap_graph::datasets::DatasetProfile;
 use infomap_graph::Graph;
@@ -28,7 +30,11 @@ use infomap_mpisim::{CostModel, PhaseBreakdown};
 /// clustering trajectory is bit-identical on either path.
 pub fn parse_comm_path() -> CommPath {
     let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--comm-path").and_then(|i| args.get(i + 1)) {
+    match args
+        .iter()
+        .position(|a| a == "--comm-path")
+        .and_then(|i| args.get(i + 1))
+    {
         None => CommPath::Compact,
         Some(v) => match v.as_str() {
             "compact" => CommPath::Compact,
@@ -48,7 +54,10 @@ pub fn env_scale() -> f64 {
 
 /// Global seed from `DINFOMAP_SEED` (default 42).
 pub fn env_seed() -> u64 {
-    std::env::var("DINFOMAP_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+    std::env::var("DINFOMAP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
 }
 
 /// The cost model every experiment shares (see `infomap_mpisim::cost`).
@@ -67,7 +76,11 @@ pub fn cost_model() -> CostModel {
 pub fn scaled_model(profile: &DatasetProfile, graph: &Graph) -> CostModel {
     let rep = (profile.real_edges as f64 / graph.num_edges().max(1) as f64).max(1.0);
     let base = cost_model();
-    CostModel { t_work: base.t_work * rep, t_byte: base.t_byte * rep, ..base }
+    CostModel {
+        t_work: base.t_work * rep,
+        t_byte: base.t_byte * rep,
+        ..base
+    }
 }
 
 /// Modeled makespan of a distributed run under the shared cost model.
@@ -112,7 +125,10 @@ pub fn stage1_phase_breakdown(out: &DistributedOutput, model: &CostModel) -> [(S
     let grab = |name: &str| bd.phases.get(&format!("s1/{name}")).copied().unwrap_or(0.0) / iters;
     [
         ("Find Best Module".to_string(), grab("FindBestModule")),
-        ("Broadcast Delegates".to_string(), grab("BroadcastDelegates")),
+        (
+            "Broadcast Delegates".to_string(),
+            grab("BroadcastDelegates"),
+        ),
         ("Swap Boundary Info".to_string(), grab("SwapBoundaryInfo")),
         ("Other".to_string(), grab("Other")),
     ]
@@ -131,7 +147,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -147,14 +166,21 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let fields: Vec<String> =
-                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            let fields: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
             println!("  {}", fields.join("  "));
         };
         line(&self.headers);
         println!(
             "  {}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
         );
         for row in &self.rows {
             line(row);

@@ -172,7 +172,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     other => return Err(format!("partition: unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Partition { path, ranks, strategy })
+            Ok(Command::Partition {
+                path,
+                ranks,
+                strategy,
+            })
         }
         "generate" => {
             let what = it.next().ok_or("generate: missing <what>")?.clone();
@@ -193,7 +197,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     other => return Err(format!("generate: unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Generate { what, n, mu, scale, seed, output, truth })
+            Ok(Command::Generate {
+                what,
+                n,
+                mu,
+                scale,
+                seed,
+                output,
+                truth,
+            })
         }
         "info" => {
             let path = it.next().ok_or("info: missing <edges.txt>")?.clone();
@@ -204,7 +216,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
 }
 
 fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
-    it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
 }
 
 fn num<T: std::str::FromStr>(
@@ -212,7 +226,8 @@ fn num<T: std::str::FromStr>(
     flag: &str,
 ) -> Result<T, String> {
     let raw = next(it, flag)?;
-    raw.parse().map_err(|_| format!("{flag}: cannot parse {raw:?}"))
+    raw.parse()
+        .map_err(|_| format!("{flag}: cannot parse {raw:?}"))
 }
 
 #[cfg(test)]
@@ -251,7 +266,14 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Cluster { algorithm, ranks, seed, output, quiet, .. } => {
+            Command::Cluster {
+                algorithm,
+                ranks,
+                seed,
+                output,
+                quiet,
+                ..
+            } => {
                 assert_eq!(algorithm, Algorithm::Sequential);
                 assert_eq!(ranks, 16);
                 assert_eq!(seed, 7);
@@ -269,7 +291,12 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Cluster { fault_plan, checkpoint_every, max_retries, .. } => {
+            Command::Cluster {
+                fault_plan,
+                checkpoint_every,
+                max_retries,
+                ..
+            } => {
                 assert_eq!(fault_plan.as_deref(), Some("seed=1;crash=1@200"));
                 assert_eq!(checkpoint_every, 2);
                 assert_eq!(max_retries, 5);
@@ -306,11 +333,21 @@ mod tests {
         let cmd = parse(&argv("partition g.txt --ranks 32 --strategy block")).unwrap();
         assert_eq!(
             cmd,
-            Command::Partition { path: "g.txt".into(), ranks: 32, strategy: Strategy::Block }
+            Command::Partition {
+                path: "g.txt".into(),
+                ranks: 32,
+                strategy: Strategy::Block
+            }
         );
         let cmd = parse(&argv("generate lfr --n 500 --mu 0.4 --output g.txt")).unwrap();
         match cmd {
-            Command::Generate { what, n, mu, output, .. } => {
+            Command::Generate {
+                what,
+                n,
+                mu,
+                output,
+                ..
+            } => {
                 assert_eq!(what, "lfr");
                 assert_eq!(n, 500);
                 assert!((mu - 0.4).abs() < 1e-12);

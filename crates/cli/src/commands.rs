@@ -41,10 +41,28 @@ pub fn run(cmd: Command) -> Result<(), String> {
             max_retries,
             comm_path,
         ),
-        Command::Partition { path, ranks, strategy } => partition(&path, ranks, strategy),
-        Command::Generate { what, n, mu, scale, seed, output, truth } => {
-            generate(&what, n, mu, scale, seed, output.as_deref(), truth.as_deref())
-        }
+        Command::Partition {
+            path,
+            ranks,
+            strategy,
+        } => partition(&path, ranks, strategy),
+        Command::Generate {
+            what,
+            n,
+            mu,
+            scale,
+            seed,
+            output,
+            truth,
+        } => generate(
+            &what,
+            n,
+            mu,
+            scale,
+            seed,
+            output.as_deref(),
+            truth.as_deref(),
+        ),
         Command::Info { path } => info(&path),
     }
 }
@@ -78,12 +96,20 @@ fn cluster(
     let mut recovery_line = None;
     let (name, modules, codelength): (&str, Vec<u32>, f64) = match algorithm {
         Algorithm::Sequential => {
-            let r = Infomap::new(InfomapConfig { seed, ..Default::default() }).run(g);
+            let r = Infomap::new(InfomapConfig {
+                seed,
+                ..Default::default()
+            })
+            .run(g);
             ("sequential Infomap", r.modules, r.codelength)
         }
         Algorithm::RelaxMap => {
-            let r = RelaxMap::new(RelaxMapConfig { threads, seed, ..Default::default() })
-                .run(g);
+            let r = RelaxMap::new(RelaxMapConfig {
+                threads,
+                seed,
+                ..Default::default()
+            })
+            .run(g);
             ("RelaxMap", r.modules, r.codelength)
         }
         Algorithm::Distributed => {
@@ -103,23 +129,37 @@ fn cluster(
             if fault_plan.is_some() {
                 recovery_line = Some(format!(
                     "{} attempt(s), {} restore(s), {} checkpoint(s) committed",
-                    r.recovery.attempts,
-                    r.recovery.restores,
-                    r.recovery.checkpoints_committed
+                    r.recovery.attempts, r.recovery.restores, r.recovery.checkpoints_committed
                 ));
             }
             ("distributed Infomap", r.modules, r.codelength)
         }
         Algorithm::Gossip => {
-            let r = gossip_map(g, GossipConfig { nranks: ranks, seed, ..Default::default() });
+            let r = gossip_map(
+                g,
+                GossipConfig {
+                    nranks: ranks,
+                    seed,
+                    ..Default::default()
+                },
+            );
             ("GossipMap-like baseline", r.modules, r.codelength)
         }
     };
     let elapsed = started.elapsed();
 
     if !quiet {
-        let k = modules.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
-        println!("{name}: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+        let k = modules
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0);
+        println!(
+            "{name}: {} vertices, {} edges",
+            g.num_vertices(),
+            g.num_edges()
+        );
         println!("  modules:    {k}");
         println!("  codelength: {codelength:.6} bits");
         println!("  modularity: {:.4}", modularity(g, &modules));
@@ -131,7 +171,8 @@ fn cluster(
 
     if let Some(out_path) = output {
         let mut w = std::io::BufWriter::new(
-            std::fs::File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?,
+            std::fs::File::create(out_path)
+                .map_err(|e| format!("cannot create {out_path}: {e}"))?,
         );
         writeln!(w, "# vertex community").map_err(|e| e.to_string())?;
         for (dense, &m) in modules.iter().enumerate() {
@@ -187,7 +228,14 @@ fn generate(
     truth_path: Option<&str>,
 ) -> Result<(), String> {
     let (g, truth): (Graph, Vec<u32>) = match what {
-        "lfr" => lfr_like(LfrParams { n, mu, ..Default::default() }, seed),
+        "lfr" => lfr_like(
+            LfrParams {
+                n,
+                mu,
+                ..Default::default()
+            },
+            seed,
+        ),
         name => {
             let id = match name {
                 "amazon" => DatasetId::Amazon,
@@ -215,9 +263,8 @@ fn generate(
         println!("wrote {path}");
     }
     if let Some(path) = truth_path {
-        let mut w = std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| e.to_string())?,
-        );
+        let mut w =
+            std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| e.to_string())?);
         for (v, c) in truth.iter().enumerate() {
             writeln!(w, "{v} {c}").map_err(|e| e.to_string())?;
         }
@@ -253,7 +300,14 @@ mod tests {
     }
 
     fn write_test_graph(dir: &std::path::Path) -> String {
-        let (g, _) = lfr_like(LfrParams { n: 120, mu: 0.2, ..Default::default() }, 5);
+        let (g, _) = lfr_like(
+            LfrParams {
+                n: 120,
+                mu: 0.2,
+                ..Default::default()
+            },
+            5,
+        );
         let path = dir.join("g.txt");
         io::write_edge_list_file(&g, &path).unwrap();
         path.to_string_lossy().into_owned()
@@ -288,7 +342,11 @@ mod tests {
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
         let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
-        assert!(lines.len() >= 100, "too few assignment lines: {}", lines.len());
+        assert!(
+            lines.len() >= 100,
+            "too few assignment lines: {}",
+            lines.len()
+        );
         for line in &lines {
             let mut parts = line.split_whitespace();
             parts.next().unwrap().parse::<u64>().unwrap();
@@ -301,9 +359,12 @@ mod tests {
     fn all_algorithms_run_through_the_cli_path() {
         let dir = tmpdir("algos");
         let path = write_test_graph(&dir);
-        for algorithm in
-            [Algorithm::Sequential, Algorithm::RelaxMap, Algorithm::Distributed, Algorithm::Gossip]
-        {
+        for algorithm in [
+            Algorithm::Sequential,
+            Algorithm::RelaxMap,
+            Algorithm::Distributed,
+            Algorithm::Gossip,
+        ] {
             run(Command::Cluster {
                 path: path.clone(),
                 algorithm,
@@ -337,7 +398,9 @@ mod tests {
             max_retries: 3,
             comm_path: CommPath::Compact,
         });
-        assert!(err.unwrap_err().contains("only supported by --algorithm dist"));
+        assert!(err
+            .unwrap_err()
+            .contains("only supported by --algorithm dist"));
     }
 
     #[test]
@@ -366,7 +429,12 @@ mod tests {
         let dir = tmpdir("part");
         let path = write_test_graph(&dir);
         for strategy in [Strategy::OneD, Strategy::Block, Strategy::Delegate] {
-            run(Command::Partition { path: path.clone(), ranks: 4, strategy }).unwrap();
+            run(Command::Partition {
+                path: path.clone(),
+                ranks: 4,
+                strategy,
+            })
+            .unwrap();
         }
         std::fs::remove_dir_all(dir).ok();
     }
@@ -407,7 +475,9 @@ mod tests {
 
     #[test]
     fn missing_file_is_a_readable_error() {
-        let err = run(Command::Info { path: "/nonexistent/graph.txt".into() });
+        let err = run(Command::Info {
+            path: "/nonexistent/graph.txt".into(),
+        });
         let msg = err.unwrap_err();
         assert!(msg.contains("cannot read"), "message: {msg}");
     }

@@ -12,6 +12,8 @@
 //! Input: whitespace edge lists (`u v [w]`, `#`/`%` comments). Output:
 //! one `vertex community` pair per line, in original vertex ids.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 mod args;

@@ -45,7 +45,11 @@ pub struct StampedSlotMap<V> {
 
 impl<V: Copy + Default> StampedSlotMap<V> {
     pub fn new() -> Self {
-        StampedSlotMap { entries: Vec::new(), epoch: 0, touched: Vec::new() }
+        StampedSlotMap {
+            entries: Vec::new(),
+            epoch: 0,
+            touched: Vec::new(),
+        }
     }
 
     /// Start a new accumulation over a slot space of (at least) `slots`
@@ -94,7 +98,10 @@ impl<V: Copy + Default> StampedSlotMap<V> {
     #[inline]
     pub fn is_touched(&self, slot: u32) -> bool {
         self.epoch != 0
-            && self.entries.get(slot as usize).is_some_and(|e| e.0 == self.epoch)
+            && self
+                .entries
+                .get(slot as usize)
+                .is_some_and(|e| e.0 == self.epoch)
     }
 
     /// Live slots in first-touch order (the determinism contract).
@@ -152,8 +159,11 @@ mod tests {
             stamped.update(s, |v| *v += f);
         }
         let from_scan: Vec<(u32, f64)> = scan.clone();
-        let from_stamped: Vec<(u32, f64)> =
-            stamped.touched().iter().map(|&s| (s, stamped.get(s))).collect();
+        let from_stamped: Vec<(u32, f64)> = stamped
+            .touched()
+            .iter()
+            .map(|&s| (s, stamped.get(s)))
+            .collect();
         assert_eq!(from_scan, from_stamped);
     }
 

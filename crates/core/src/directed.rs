@@ -52,7 +52,10 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { teleport: 0.15, iterations: 100 }
+        PageRankConfig {
+            teleport: 0.15,
+            iterations: 100,
+        }
     }
 }
 
@@ -100,8 +103,7 @@ impl DirectedNetwork {
             let base = tau / n as f64 + (1.0 - tau) * dangling / n as f64;
             next.iter_mut().for_each(|x| *x = base);
             for &((u, v), w) in &arcs {
-                next[v as usize] +=
-                    (1.0 - tau) * p[u as usize] * w / out_strength[u as usize];
+                next[v as usize] += (1.0 - tau) * p[u as usize] * w / out_strength[u as usize];
             }
             std::mem::swap(&mut p, &mut next);
         }
@@ -142,7 +144,15 @@ impl DirectedNetwork {
             in_cur[v as usize] += 1;
         }
 
-        DirectedNetwork { out_off, out_tgt, out_flow, in_off, in_src, in_flow, node_flow: p }
+        DirectedNetwork {
+            out_off,
+            out_tgt,
+            out_flow,
+            in_off,
+            in_src,
+            in_flow,
+            node_flow: p,
+        }
     }
 
     /// Build directly from already-normalized arc flows and node flows —
@@ -191,7 +201,15 @@ impl DirectedNetwork {
             in_flow[in_cur[v as usize]] = f;
             in_cur[v as usize] += 1;
         }
-        DirectedNetwork { out_off, out_tgt, out_flow, in_off, in_src, in_flow, node_flow }
+        DirectedNetwork {
+            out_off,
+            out_tgt,
+            out_flow,
+            in_off,
+            in_src,
+            in_flow,
+            node_flow,
+        }
     }
 
     pub fn num_vertices(&self) -> usize {
@@ -262,8 +280,7 @@ impl DirectedPartitioning {
         let n = net.num_vertices();
         let module_of: Vec<u32> = (0..n as u32).collect();
         let module_flow = net.node_flow.clone();
-        let module_exit: Vec<f64> =
-            (0..n as VertexId).map(|u| net.total_out(u)).collect();
+        let module_exit: Vec<f64> = (0..n as VertexId).map(|u| net.total_out(u)).collect();
         let sum_exit: f64 = module_exit.iter().sum();
         let sum_plogp_exit: f64 = module_exit.iter().copied().map(plogp).sum();
         let sum_plogp_both: f64 = module_exit
@@ -293,8 +310,7 @@ impl DirectedPartitioning {
 
     /// Directed two-level codelength.
     pub fn codelength(&self) -> f64 {
-        plogp(self.sum_exit) - 2.0 * self.sum_plogp_exit - self.node_term
-            + self.sum_plogp_both
+        plogp(self.sum_exit) - 2.0 * self.sum_plogp_exit - self.node_term + self.sum_plogp_both
     }
 
     /// Flows from `u` toward each neighbor module: `(out+in flow to the
@@ -364,7 +380,8 @@ impl DirectedPartitioning {
         let p_j_new = p_j + p_u;
         let q_new = (self.sum_exit + (q_i_new - q_i) + (q_j_new - q_j)).max(0.0);
 
-        plogp(q_new) - plogp(self.sum_exit)
+        plogp(q_new)
+            - plogp(self.sum_exit)
             - 2.0 * (plogp(q_i_new) - plogp(q_i) + plogp(q_j_new) - plogp(q_j))
             + plogp(q_i_new + p_i_new)
             - plogp(q_i + p_i)
@@ -388,15 +405,12 @@ impl DirectedPartitioning {
         let total_out = net.total_out(u);
         let p_u = net.node_flow(u);
 
-        let q_i_new = (self.module_exit[from] - (total_out - out_to_current)
-            + in_from_current)
-            .max(0.0);
-        let q_j_new = (self.module_exit[to_i] + (total_out - out_to_target)
-            - in_from_target)
-            .max(0.0);
+        let q_i_new =
+            (self.module_exit[from] - (total_out - out_to_current) + in_from_current).max(0.0);
+        let q_j_new =
+            (self.module_exit[to_i] + (total_out - out_to_target) - in_from_target).max(0.0);
         self.sum_exit += (q_i_new - self.module_exit[from]) + (q_j_new - self.module_exit[to_i]);
-        self.sum_plogp_exit += plogp(q_i_new) - plogp(self.module_exit[from])
-            + plogp(q_j_new)
+        self.sum_plogp_exit += plogp(q_i_new) - plogp(self.module_exit[from]) + plogp(q_j_new)
             - plogp(self.module_exit[to_i]);
         self.sum_plogp_both += plogp(q_i_new + (self.module_flow[from] - p_u).max(0.0))
             - plogp(self.module_exit[from] + self.module_flow[from])
@@ -537,7 +551,11 @@ pub fn directed_infomap(net: &DirectedNetwork, seed: u64) -> DirectedResult {
         final_modules = vec![0; n];
         codelength = one_level;
     }
-    DirectedResult { modules: final_modules, codelength, one_level_codelength: one_level }
+    DirectedResult {
+        modules: final_modules,
+        codelength,
+        one_level_codelength: one_level,
+    }
 }
 
 #[cfg(test)]
@@ -559,8 +577,7 @@ mod tests {
 
     #[test]
     fn pagerank_sums_to_one_and_is_uniform_on_a_cycle() {
-        let edges: Vec<(u32, u32, f64)> =
-            (0..6u32).map(|v| (v, (v + 1) % 6, 1.0)).collect();
+        let edges: Vec<(u32, u32, f64)> = (0..6u32).map(|v| (v, (v + 1) % 6, 1.0)).collect();
         let net = DirectedNetwork::from_edges(6, &edges, PageRankConfig::default());
         let total: f64 = (0..6).map(|u| net.node_flow(u)).sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -572,11 +589,8 @@ mod tests {
     #[test]
     fn dangling_vertices_do_not_lose_mass() {
         // 0 -> 1 -> 2, vertex 2 dangles.
-        let net = DirectedNetwork::from_edges(
-            3,
-            &[(0, 1, 1.0), (1, 2, 1.0)],
-            PageRankConfig::default(),
-        );
+        let net =
+            DirectedNetwork::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)], PageRankConfig::default());
         let total: f64 = (0..3).map(|u| net.node_flow(u)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(net.node_flow(2) > 0.2, "sink should accumulate flow");
@@ -595,7 +609,10 @@ mod tests {
                 let before = part.codelength();
                 part.apply(&net, u, m, oc, ic, ot, it);
                 let after = part.codelength();
-                assert!(((after - before) - d).abs() < 1e-10, "delta mismatch at {u}");
+                assert!(
+                    ((after - before) - d).abs() < 1e-10,
+                    "delta mismatch at {u}"
+                );
             }
         }
         let scratch_l = directed_codelength(&net, part.assignments());

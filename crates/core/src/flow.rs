@@ -32,7 +32,11 @@ impl FlowNetwork {
         let node_flow = (0..graph.num_vertices() as VertexId)
             .map(|u| graph.strength(u) * inv_two_w)
             .collect();
-        FlowNetwork { graph, node_flow, inv_two_w }
+        FlowNetwork {
+            graph,
+            node_flow,
+            inv_two_w,
+        }
     }
 
     /// An aggregated-level network: `node_flow[v]` is the flow of the module
@@ -40,7 +44,11 @@ impl FlowNetwork {
     pub fn with_flows(graph: Graph, node_flow: Vec<f64>, inv_two_w: f64) -> Self {
         assert_eq!(graph.num_vertices(), node_flow.len());
         assert!(inv_two_w > 0.0);
-        FlowNetwork { graph, node_flow, inv_two_w }
+        FlowNetwork {
+            graph,
+            node_flow,
+            inv_two_w,
+        }
     }
 
     /// The underlying graph.
@@ -72,7 +80,10 @@ impl FlowNetwork {
     /// never carry exit flow).
     pub fn out_arcs(&self, u: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
         let inv = self.inv_two_w;
-        self.graph.arcs(u).filter(move |&(v, _)| v != u).map(move |(v, w)| (v, w * inv))
+        self.graph
+            .arcs(u)
+            .filter(move |&(v, _)| v != u)
+            .map(move |(v, w)| (v, w * inv))
     }
 
     /// Total non-self arc flow leaving `u` — the exit flow of `u` as a

@@ -28,6 +28,8 @@
 //! # let _ = truth;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod accumulate;
 pub mod directed;
 pub mod flow;

@@ -77,8 +77,7 @@ impl Partitioning {
         let n = network.num_vertices();
         let module_of: Vec<u32> = (0..n as u32).collect();
         let module_flow: Vec<f64> = network.node_flows().to_vec();
-        let module_exit: Vec<f64> =
-            (0..n as VertexId).map(|u| network.out_flow(u)).collect();
+        let module_exit: Vec<f64> = (0..n as VertexId).map(|u| network.out_flow(u)).collect();
         let module_members = vec![1u32; n];
         let sum_exit = module_exit.iter().sum();
         let sum_plogp_exit = module_exit.iter().copied().map(plogp).sum();
@@ -169,7 +168,8 @@ impl Partitioning {
         let p_j_new = p_j + node_flow;
         let sum_exit_new = self.sum_exit + (q_i_new - q_i) + (q_j_new - q_j);
 
-        plogp(sum_exit_new) - plogp(self.sum_exit)
+        plogp(sum_exit_new)
+            - plogp(self.sum_exit)
             - 2.0 * (plogp(q_i_new) - plogp(q_i) + plogp(q_j_new) - plogp(q_j))
             + (plogp(q_i_new + p_i_new) - plogp(q_i + p_i))
             + (plogp(q_j_new + p_j_new) - plogp(q_j + p_j))
@@ -195,8 +195,7 @@ impl Partitioning {
         let p_i_new = self.module_flow[i] - node_flow;
         let p_j_new = self.module_flow[j] + node_flow;
 
-        self.sum_exit +=
-            (q_i_new - self.module_exit[i]) + (q_j_new - self.module_exit[j]);
+        self.sum_exit += (q_i_new - self.module_exit[i]) + (q_j_new - self.module_exit[j]);
         self.sum_plogp_exit += plogp(q_i_new) - plogp(self.module_exit[i]) + plogp(q_j_new)
             - plogp(self.module_exit[j]);
         self.sum_plogp_exit_plus_flow += plogp(q_i_new + p_i_new)
@@ -249,7 +248,8 @@ impl Partitioning {
             let better = match &best {
                 None => delta < -min_gain,
                 Some(b) => {
-                    delta < b.delta - tie_eps || ((delta - b.delta).abs() <= tie_eps && m < b.to_module)
+                    delta < b.delta - tie_eps
+                        || ((delta - b.delta).abs() <= tie_eps && m < b.to_module)
                 }
             };
             if better && delta < -min_gain {
@@ -301,7 +301,8 @@ impl Partitioning {
             let better = match &best {
                 None => delta < -min_gain,
                 Some(b) => {
-                    delta < b.delta - tie_eps || ((delta - b.delta).abs() <= tie_eps && m < b.to_module)
+                    delta < b.delta - tie_eps
+                        || ((delta - b.delta).abs() <= tie_eps && m < b.to_module)
                 }
             };
             if better && delta < -min_gain {
@@ -360,10 +361,8 @@ mod tests {
 
     fn two_triangles() -> FlowNetwork {
         // Two triangles joined by one edge: the textbook two-module graph.
-        let g = Graph::from_unweighted(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g =
+            Graph::from_unweighted(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         FlowNetwork::from_graph(g)
     }
 
@@ -407,7 +406,9 @@ mod tests {
         let mut p = Partitioning::singletons(&net);
         let before = p.codelength();
         let mut buf = Vec::new();
-        let c = p.best_move(&net, 1, 1e-12, 1e-12, &mut buf).expect("some move improves");
+        let c = p
+            .best_move(&net, 1, 1e-12, 1e-12, &mut buf)
+            .expect("some move improves");
         p.apply_candidate(&net, &c);
         let after = p.codelength();
         assert!(((after - before) - c.delta).abs() < 1e-10);

@@ -79,7 +79,12 @@ pub struct InfomapResult {
 impl InfomapResult {
     /// Number of detected modules.
     pub fn num_modules(&self) -> usize {
-        self.modules.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0)
+        self.modules
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0)
     }
 }
 
@@ -106,8 +111,12 @@ impl Infomap {
         let cfg = self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let original_n = network.num_vertices();
-        let node_term: f64 =
-            network.node_flows().iter().copied().map(crate::map_equation::plogp).sum();
+        let node_term: f64 = network
+            .node_flows()
+            .iter()
+            .copied()
+            .map(crate::map_equation::plogp)
+            .sum();
 
         // One-level reference: all vertices in one module (q = 0).
         let one_level = codelength_from_scratch(&network, &vec![0; original_n], node_term);
@@ -137,8 +146,7 @@ impl Infomap {
             codelength = partitioning.codelength();
 
             // Contract modules into the next level's network.
-            let (next_network, dense_of_module) =
-                aggregate(&level_network, &partitioning);
+            let (next_network, dense_of_module) = aggregate(&level_network, &partitioning);
             let vertices_before = level_network.num_vertices();
             let vertices_after = next_network.num_vertices();
             for m in final_modules.iter_mut() {
@@ -219,13 +227,13 @@ pub fn greedy_sweeps(
 
 /// Contract every module of `partitioning` into a single vertex. Returns
 /// the aggregated network and the dense new id of each old module id.
-pub fn aggregate(
-    network: &FlowNetwork,
-    partitioning: &Partitioning,
-) -> (FlowNetwork, Vec<u32>) {
+pub fn aggregate(network: &FlowNetwork, partitioning: &Partitioning) -> (FlowNetwork, Vec<u32>) {
     let n = network.num_vertices();
     // Dense-relabel the surviving modules in ascending module-id order.
-    let max_module = (0..n).map(|u| partitioning.module_of(u as VertexId)).max().unwrap_or(0);
+    let max_module = (0..n)
+        .map(|u| partitioning.module_of(u as VertexId))
+        .max()
+        .unwrap_or(0);
     let mut dense_of_module = vec![u32::MAX; max_module as usize + 1];
     let mut next = 0u32;
     for u in 0..n as VertexId {
@@ -239,8 +247,7 @@ pub fn aggregate(
 
     let mut flows = vec![0.0; num_new];
     for u in 0..n as VertexId {
-        flows[dense_of_module[partitioning.module_of(u) as usize] as usize] +=
-            network.node_flow(u);
+        flows[dense_of_module[partitioning.module_of(u) as usize] as usize] += network.node_flow(u);
     }
 
     // Inter- and intra-module weights. Arc flows are `w * inv_two_w`; we
@@ -263,7 +270,10 @@ pub fn aggregate(
         }
     }
     let graph = builder.build();
-    (FlowNetwork::with_flows(graph, flows, network.inv_two_w()), dense_of_module)
+    (
+        FlowNetwork::with_flows(graph, flows, network.inv_two_w()),
+        dense_of_module,
+    )
 }
 
 #[cfg(test)]
@@ -283,7 +293,10 @@ mod tests {
                 .filter(|&v| truth[v] == c)
                 .map(|v| result.modules[v])
                 .collect();
-            assert!(members.windows(2).all(|w| w[0] == w[1]), "clique {c} split: {members:?}");
+            assert!(
+                members.windows(2).all(|w| w[0] == w[1]),
+                "clique {c} split: {members:?}"
+            );
         }
     }
 
@@ -298,13 +311,20 @@ mod tests {
     #[test]
     fn final_codelength_matches_assignments() {
         let (g, _) = generators::lfr_like(
-            generators::LfrParams { n: 400, ..Default::default() },
+            generators::LfrParams {
+                n: 400,
+                ..Default::default()
+            },
             5,
         );
         let result = Infomap::new(InfomapConfig::default()).run(&g);
         let net = FlowNetwork::from_graph(g);
-        let node_term: f64 =
-            net.node_flows().iter().copied().map(crate::map_equation::plogp).sum();
+        let node_term: f64 = net
+            .node_flows()
+            .iter()
+            .copied()
+            .map(crate::map_equation::plogp)
+            .sum();
         let scratch = codelength_from_scratch(&net, &result.modules, node_term);
         assert!(
             (scratch - result.codelength).abs() < 1e-8,
@@ -316,7 +336,11 @@ mod tests {
     #[test]
     fn trace_codelengths_are_monotone_nonincreasing() {
         let (g, _) = generators::lfr_like(
-            generators::LfrParams { n: 600, mu: 0.35, ..Default::default() },
+            generators::LfrParams {
+                n: 600,
+                mu: 0.35,
+                ..Default::default()
+            },
             7,
         );
         let result = Infomap::new(InfomapConfig::default()).run(&g);
@@ -334,8 +358,12 @@ mod tests {
     fn aggregation_preserves_codelength() {
         let (g, _) = generators::planted_partition(5, 10, 0.5, 0.02, 11);
         let net = FlowNetwork::from_graph(g);
-        let node_term: f64 =
-            net.node_flows().iter().copied().map(crate::map_equation::plogp).sum();
+        let node_term: f64 = net
+            .node_flows()
+            .iter()
+            .copied()
+            .map(crate::map_equation::plogp)
+            .sum();
         let mut part = Partitioning::singletons_with_node_term(&net, node_term);
         let mut rng = StdRng::seed_from_u64(1);
         greedy_sweeps(&net, &mut part, 20, 1e-10, &mut rng);
@@ -353,8 +381,16 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (g, _) = generators::lfr_like(generators::LfrParams::default(), 2);
-        let a = Infomap::new(InfomapConfig { seed: 9, ..Default::default() }).run(&g);
-        let b = Infomap::new(InfomapConfig { seed: 9, ..Default::default() }).run(&g);
+        let a = Infomap::new(InfomapConfig {
+            seed: 9,
+            ..Default::default()
+        })
+        .run(&g);
+        let b = Infomap::new(InfomapConfig {
+            seed: 9,
+            ..Default::default()
+        })
+        .run(&g);
         assert_eq!(a.modules, b.modules);
         assert_eq!(a.codelength, b.codelength);
     }
@@ -362,7 +398,11 @@ mod tests {
     #[test]
     fn merge_rate_is_large_on_community_graphs() {
         let (g, _) = generators::lfr_like(
-            generators::LfrParams { n: 1000, mu: 0.2, ..Default::default() },
+            generators::LfrParams {
+                n: 1000,
+                mu: 0.2,
+                ..Default::default()
+            },
             4,
         );
         let result = Infomap::new(InfomapConfig::default()).run(&g);

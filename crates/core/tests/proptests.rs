@@ -15,8 +15,9 @@ use infomap_graph::{Graph, VertexId};
 fn connected_graph(n: usize, extra: &[(u8, u8)]) -> Graph {
     // A ring guarantees every vertex has degree >= 2; extra edges add
     // arbitrary structure.
-    let mut edges: Vec<(VertexId, VertexId)> =
-        (0..n as VertexId).map(|v| (v, (v + 1) % n as VertexId)).collect();
+    let mut edges: Vec<(VertexId, VertexId)> = (0..n as VertexId)
+        .map(|v| (v, (v + 1) % n as VertexId))
+        .collect();
     for &(a, b) in extra {
         let (a, b) = ((a as usize % n) as VertexId, (b as usize % n) as VertexId);
         if a != b {

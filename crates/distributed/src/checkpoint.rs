@@ -16,7 +16,7 @@
 //! a boundary or none did, and [`CheckpointStore::latest_pos`] can insist
 //! on global agreement.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -53,7 +53,7 @@ pub struct RankSnapshot {
     /// Mid-stage cursor to resume `cluster_stage_recoverable` from.
     pub cursor: StageCursor,
     /// Delegate (stage 1) assignment map at the boundary.
-    pub delegate_assign: HashMap<u32, u64>,
+    pub delegate_assign: BTreeMap<u32, u64>,
     /// Original-vertex assignments carried by the driver (empty during
     /// stage 1, where they are derived at the first merge).
     pub assign: Vec<(u32, u32)>,
@@ -77,8 +77,7 @@ impl RankSnapshot {
         // modules this rank has a live view of would be serialized — the
         // interned slot tables are rebuilt on restore.
         let tables = (st.num_known_modules() + st.owned_modules.len()) as u64 * 28;
-        let delta_bookkeeping =
-            (st.num_active_contribs() + st.owner_sources.len()) as u64 * 28;
+        let delta_bookkeeping = (st.num_active_contribs() + st.owner_sources.len()) as u64 * 28;
         let delegate = self.delegate_assign.len() as u64 * 12;
         let carry = self.assign.len() as u64 * 8 + self.cursor.mdl_series.len() as u64 * 8;
         assignments + tables + delta_bookkeeping + delegate + carry + 64
@@ -144,9 +143,21 @@ mod tests {
 
     #[test]
     fn pos_word_orders_like_the_tuple() {
-        let a = SnapshotPos { stage: 1, level: 0, round: 4 };
-        let b = SnapshotPos { stage: 1, level: 0, round: 6 };
-        let c = SnapshotPos { stage: 2, level: 1, round: 0 };
+        let a = SnapshotPos {
+            stage: 1,
+            level: 0,
+            round: 4,
+        };
+        let b = SnapshotPos {
+            stage: 1,
+            level: 0,
+            round: 6,
+        };
+        let c = SnapshotPos {
+            stage: 2,
+            level: 1,
+            round: 0,
+        };
         assert!(a < b && b < c);
         assert!(a.as_word() < b.as_word() && b.as_word() < c.as_word());
     }

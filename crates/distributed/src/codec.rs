@@ -149,7 +149,10 @@ pub fn decode_updates(buf: &[u8], pos: &mut usize) -> Vec<VertexUpdate> {
     for _ in 0..n {
         pv = get_delta(buf, pos, pv);
         pm = get_delta(buf, pos, pm);
-        out.push(VertexUpdate { vertex: pv as u32, module: pm });
+        out.push(VertexUpdate {
+            vertex: pv as u32,
+            module: pm,
+        });
     }
     out
 }
@@ -182,7 +185,13 @@ pub fn decode_infos(buf: &[u8], pos: &mut usize) -> Vec<ModuleInfoMsg> {
         let flow = get_f64(buf, pos);
         let exit = get_f64(buf, pos);
         let members = get_uvarint(buf, pos) as u32;
-        out.push(ModuleInfoMsg { mod_id: pm, flow, exit, members, is_sent });
+        out.push(ModuleInfoMsg {
+            mod_id: pm,
+            flow,
+            exit,
+            members,
+            is_sent,
+        });
     }
     out
 }
@@ -228,7 +237,13 @@ pub fn decode_contribs(buf: &[u8], pos: &mut usize) -> Vec<ModuleContribution> {
             let exit = get_f64(buf, pos);
             (flow, exit, get_uvarint(buf, pos) as u32)
         };
-        out.push(ModuleContribution { mod_id: pm, flow, exit, members, retract: retract[i] });
+        out.push(ModuleContribution {
+            mod_id: pm,
+            flow,
+            exit,
+            members,
+            retract: retract[i],
+        });
     }
     out
 }
@@ -249,7 +264,9 @@ pub fn encode_proposals(buf: &mut Vec<u8>, props: &[DelegateProposal]) {
     let has_info: Vec<bool> = props
         .iter()
         .map(|p| {
-            let dup = cache.get(&p.to_module).is_some_and(|c| bits_eq(c, &p.target_info));
+            let dup = cache
+                .get(&p.to_module)
+                .is_some_and(|c| bits_eq(c, &p.target_info));
             if !dup {
                 cache.insert(p.to_module, p.target_info);
             }
@@ -295,7 +312,13 @@ pub fn decode_proposals(buf: &[u8], pos: &mut usize) -> Vec<DelegateProposal> {
             let members = get_uvarint(buf, pos) as u32;
             let is_sent = buf[*pos] != 0;
             *pos += 1;
-            let info = ModuleInfoMsg { mod_id, flow, exit, members, is_sent };
+            let info = ModuleInfoMsg {
+                mod_id,
+                flow,
+                exit,
+                members,
+                is_sent,
+            };
             cache.insert(pm, info);
             info
         } else {
@@ -354,12 +377,28 @@ mod tests {
     use super::*;
 
     fn info(mod_id: u64, flow: f64, members: u32, is_sent: bool) -> ModuleInfoMsg {
-        ModuleInfoMsg { mod_id, flow, exit: flow * 0.25, members, is_sent }
+        ModuleInfoMsg {
+            mod_id,
+            flow,
+            exit: flow * 0.25,
+            members,
+            is_sent,
+        }
     }
 
     #[test]
     fn uvarint_roundtrips_edge_values() {
-        for v in [0, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             put_uvarint(&mut buf, v);
             let mut pos = 0;
@@ -380,7 +419,15 @@ mod tests {
 
     #[test]
     fn f64_roundtrips_bit_patterns() {
-        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE, 1e-300] {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::NAN,
+            f64::INFINITY,
+            f64::MIN_POSITIVE,
+            1e-300,
+        ] {
             let mut buf = Vec::new();
             put_f64(&mut buf, v);
             let mut pos = 0;
@@ -390,8 +437,12 @@ mod tests {
 
     #[test]
     fn updates_roundtrip_and_compress_sorted_ids() {
-        let ups: Vec<VertexUpdate> =
-            (0..100).map(|i| VertexUpdate { vertex: 1000 + i, module: 500 + i as u64 }).collect();
+        let ups: Vec<VertexUpdate> = (0..100)
+            .map(|i| VertexUpdate {
+                vertex: 1000 + i,
+                module: 500 + i as u64,
+            })
+            .collect();
         let mut buf = Vec::new();
         encode_updates(&mut buf, &ups);
         // Two varint bytes for the first record's deltas is the worst case
@@ -404,8 +455,9 @@ mod tests {
 
     #[test]
     fn infos_roundtrip_below_packed_size() {
-        let infos: Vec<ModuleInfoMsg> =
-            (0..50).map(|i| info(40 + i, 0.01 * i as f64, i as u32 % 7, i % 3 == 0)).collect();
+        let infos: Vec<ModuleInfoMsg> = (0..50)
+            .map(|i| info(40 + i, 0.01 * i as f64, i as u32 % 7, i % 3 == 0))
+            .collect();
         let mut buf = Vec::new();
         encode_infos(&mut buf, &infos);
         assert!((buf.len() as u64) < infos.len() as u64 * ModuleInfoMsg::WIRE_BYTES);
@@ -417,9 +469,27 @@ mod tests {
     #[test]
     fn contribs_omit_retract_payloads() {
         let recs = vec![
-            ModuleContribution { mod_id: 9, flow: 0.5, exit: 0.1, members: 3, retract: false },
-            ModuleContribution { mod_id: 11, flow: 0.0, exit: 0.0, members: 0, retract: true },
-            ModuleContribution { mod_id: 12, flow: -0.0, exit: 0.0, members: 0, retract: false },
+            ModuleContribution {
+                mod_id: 9,
+                flow: 0.5,
+                exit: 0.1,
+                members: 3,
+                retract: false,
+            },
+            ModuleContribution {
+                mod_id: 11,
+                flow: 0.0,
+                exit: 0.0,
+                members: 0,
+                retract: true,
+            },
+            ModuleContribution {
+                mod_id: 12,
+                flow: -0.0,
+                exit: 0.0,
+                members: 0,
+                retract: false,
+            },
         ];
         let mut buf = Vec::new();
         encode_contribs(&mut buf, &recs);
@@ -436,8 +506,20 @@ mod tests {
         let a = info(7, 0.25, 4, false);
         let a_mut = info(7, 0.26, 5, false); // stats mutated mid-sweep
         let props = vec![
-            DelegateProposal { delegate: 3, to_module: 7, delta: -0.1, proposer: 1, target_info: a },
-            DelegateProposal { delegate: 5, to_module: 7, delta: -0.2, proposer: 1, target_info: a },
+            DelegateProposal {
+                delegate: 3,
+                to_module: 7,
+                delta: -0.1,
+                proposer: 1,
+                target_info: a,
+            },
+            DelegateProposal {
+                delegate: 5,
+                to_module: 7,
+                delta: -0.2,
+                proposer: 1,
+                target_info: a,
+            },
             DelegateProposal {
                 delegate: 8,
                 to_module: 7,
@@ -445,7 +527,13 @@ mod tests {
                 proposer: 1,
                 target_info: a_mut,
             },
-            DelegateProposal { delegate: 9, to_module: 9, delta: 0.4, proposer: 2, target_info: a },
+            DelegateProposal {
+                delegate: 9,
+                to_module: 9,
+                delta: 0.4,
+                proposer: 2,
+                target_info: a,
+            },
         ];
         let mut buf = Vec::new();
         encode_proposals(&mut buf, &props);
@@ -483,7 +571,10 @@ mod tests {
 
     #[test]
     fn batches_fuse_in_one_packet() {
-        let ups = vec![VertexUpdate { vertex: 4, module: 2 }];
+        let ups = vec![VertexUpdate {
+            vertex: 4,
+            module: 2,
+        }];
         let infos = vec![info(2, 0.5, 2, false)];
         let mut buf = Vec::new();
         encode_updates(&mut buf, &ups);

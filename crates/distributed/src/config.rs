@@ -113,7 +113,11 @@ pub struct RecoveryConfig {
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        RecoveryConfig { checkpoint_every: 0, max_retries: 3, degrade_gracefully: false }
+        RecoveryConfig {
+            checkpoint_every: 0,
+            max_retries: 3,
+            degrade_gracefully: false,
+        }
     }
 }
 

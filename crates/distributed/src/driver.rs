@@ -3,7 +3,7 @@
 //! (§3.5), and repeated stage-2 clustering without delegates until the MDL
 //! stops improving.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use infomap_core::plogp;
 use infomap_graph::{Graph, VertexId};
@@ -79,12 +79,20 @@ pub struct RecoveryReport {
 impl DistributedOutput {
     /// Number of detected modules.
     pub fn num_modules(&self) -> usize {
-        self.modules.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0)
+        self.modules
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0)
     }
 
     /// The concatenated MDL series across all stages (Figure 4's y-axis).
     pub fn mdl_series(&self) -> Vec<f64> {
-        self.trace.iter().flat_map(|t| t.mdl_series.iter().copied()).collect()
+        self.trace
+            .iter()
+            .flat_map(|t| t.mdl_series.iter().copied())
+            .collect()
     }
 }
 
@@ -148,14 +156,18 @@ impl DistributedInfomap {
         if let Some(plan) = plan {
             world = world.fault_plan(plan);
         }
-        let max_attempts = if with_faults { 1 + cfg.recovery.max_retries } else { 1 };
+        let max_attempts = if with_faults {
+            1 + cfg.recovery.max_retries
+        } else {
+            1
+        };
 
         let attempt = |comm: &mut Comm| {
             let rank = comm.rank();
             let mut st: LocalState;
             let mut trace: Vec<StageTrace>;
             let mut assign: Vec<(u32, u32)>;
-            let mut delegate_assign: HashMap<u32, u64>;
+            let mut delegate_assign: BTreeMap<u32, u64>;
             let mut prev_mdl: f64;
             let mut level_vertices: usize;
             let mut resume: Option<(SnapshotPos, StageCursor)> = None;
@@ -191,8 +203,7 @@ impl DistributedInfomap {
                 }
             }
 
-            let resumed_stage2 =
-                resume.as_ref().is_some_and(|(pos, _)| pos.stage == 2);
+            let resumed_stage2 = resume.as_ref().is_some_and(|(pos, _)| pos.stage == 2);
             let mut start_level = 1usize;
 
             if !resumed_stage2 {
@@ -257,10 +268,10 @@ impl DistributedInfomap {
             }
 
             // ---- Stage 2 loop: clustering without delegates ----
-            let mut no_delegates: HashMap<u32, u64> = if resumed_stage2 {
+            let mut no_delegates: BTreeMap<u32, u64> = if resumed_stage2 {
                 std::mem::take(&mut delegate_assign)
             } else {
-                HashMap::new()
+                BTreeMap::new()
             };
             for level in start_level..=cfg.max_outer_iterations {
                 if level_vertices <= 1 {
@@ -336,8 +347,12 @@ impl DistributedInfomap {
             }
         };
 
-        let mut stats: Vec<RankStats> =
-            (0..p).map(|rank| RankStats { rank, ..Default::default() }).collect();
+        let mut stats: Vec<RankStats> = (0..p)
+            .map(|rank| RankStats {
+                rank,
+                ..Default::default()
+            })
+            .collect();
         let mut recovery = RecoveryReport::default();
         loop {
             recovery.attempts += 1;
@@ -409,8 +424,9 @@ fn degraded_output(
     let (mut modules, mut codelength, trace) = match store.latest_pos() {
         None => (vec![0u32; original_n], one_level, Vec::new()),
         Some(pos) => {
-            let snaps: Vec<RankSnapshot> =
-                (0..p).map(|r| store.restore(r).expect("store is consistent")).collect();
+            let snaps: Vec<RankSnapshot> = (0..p)
+                .map(|r| store.restore(r).expect("store is consistent"))
+                .collect();
             let codelength = snaps[0].cursor.mdl;
             let trace = snaps[0].trace.clone();
             let mut modules = vec![0u32; original_n];
@@ -438,8 +454,11 @@ fn degraded_output(
                 let mut ids: Vec<u64> = pairs.iter().map(|&(_, m)| m).collect();
                 ids.sort_unstable();
                 ids.dedup();
-                let dense: HashMap<u64, u32> =
-                    ids.iter().enumerate().map(|(i, &m)| (m, i as u32)).collect();
+                let dense: HashMap<u64, u32> = ids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &m)| (m, i as u32))
+                    .collect();
                 for (v, m) in pairs {
                     modules[v as usize] = dense[&m];
                 }
@@ -500,8 +519,11 @@ fn distributed_merge(comm: &mut Comm, st: &LocalState, _cfg: &DistributedConfig)
     let mut sorted: Vec<u64> = (*all_ids).clone();
     sorted.sort_unstable();
     sorted.dedup();
-    let dense: HashMap<u64, u32> =
-        sorted.iter().enumerate().map(|(i, &m)| (m, i as u32)).collect();
+    let dense: HashMap<u64, u32> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (m, i as u32))
+        .collect();
 
     // 2. Aggregate local arcs by (new src, new dst) and route to the new
     //    source owner.
@@ -519,7 +541,11 @@ fn distributed_merge(comm: &mut Comm, st: &LocalState, _cfg: &DistributedConfig)
     }
     let mut arc_out: Vec<Vec<MergedArc>> = vec![Vec::new(); p];
     for (&(a, b), &w) in &agg {
-        arc_out[(a as usize) % p].push(MergedArc { src: a, dst: b, weight: w });
+        arc_out[(a as usize) % p].push(MergedArc {
+            src: a,
+            dst: b,
+            weight: w,
+        });
     }
     // Deterministic accumulation order at the receiver.
     for bucket in &mut arc_out {
@@ -531,7 +557,10 @@ fn distributed_merge(comm: &mut Comm, st: &LocalState, _cfg: &DistributedConfig)
     let mut flow_out: Vec<Vec<MergedFlow>> = vec![Vec::new(); p];
     for (&m, e) in &st.owned_modules {
         if let Some(&a) = dense.get(&m) {
-            flow_out[(a as usize) % p].push(MergedFlow { vertex: a, flow: e.flow });
+            flow_out[(a as usize) % p].push(MergedFlow {
+                vertex: a,
+                flow: e.flow,
+            });
         }
     }
     for bucket in &mut flow_out {
@@ -548,7 +577,11 @@ fn distributed_merge(comm: &mut Comm, st: &LocalState, _cfg: &DistributedConfig)
     }
     let mut arcs: Vec<Arc> = merged
         .into_iter()
-        .map(|((a, b), w)| Arc { src: a, dst: b, weight: w })
+        .map(|((a, b), w)| Arc {
+            src: a,
+            dst: b,
+            weight: w,
+        })
         .collect();
     arcs.sort_by_key(|a| (a.src, a.dst));
     let mut flows: HashMap<u32, f64> = HashMap::new();
@@ -598,7 +631,10 @@ fn refresh_assignments(
                 for key in keys {
                     let li = st.local_of(key);
                     let module = st.module_id_of(li as usize);
-                    replies[src].push(AssignmentReply { key, module: dense_of(dense, module) });
+                    replies[src].push(AssignmentReply {
+                        key,
+                        module: dense_of(dense, module),
+                    });
                     comm.add_work(1);
                 }
             }
@@ -668,10 +704,16 @@ mod tests {
     #[test]
     fn stage1_merge_produces_symmetric_level() {
         let (g, _) = generators::lfr_like(
-            generators::LfrParams { n: 400, ..Default::default() },
+            generators::LfrParams {
+                n: 400,
+                ..Default::default()
+            },
             11,
         );
-        let cfg = DistributedConfig { nranks: 3, ..Default::default() };
+        let cfg = DistributedConfig {
+            nranks: 3,
+            ..Default::default()
+        };
         let p = cfg.nranks;
         let partition = Partition::delegate(&g, p, cfg.threshold, cfg.rebalance);
         let states = build_stage1_states(&g, &partition);
@@ -681,11 +723,12 @@ mod tests {
             .sum();
         let delegates = partition.delegates.clone();
 
-        let collected: StdMutex<Vec<(usize, Vec<(u32, u64)>, Vec<(u32, u32, u64)>)>> =
-            StdMutex::new(Vec::new());
+        // (rank, owned `(vertex, module)` pairs, ghost `(vertex, owner, module)` views)
+        type RankView = (usize, Vec<(u32, u64)>, Vec<(u32, u32, u64)>);
+        let collected: StdMutex<Vec<RankView>> = StdMutex::new(Vec::new());
         infomap_mpisim::World::new(p).run(|comm| {
             let mut st = states[comm.rank()].clone();
-            let mut delegate_assign: std::collections::HashMap<u32, u64> =
+            let mut delegate_assign: BTreeMap<u32, u64> =
                 delegates.iter().map(|&d| (d, d as u64)).collect();
             let _s1 = cluster_stage(comm, &mut st, &cfg, node_term, &mut delegate_assign, "s1/");
             // Record each rank's view: owned assignments and ghost views.
@@ -812,7 +855,10 @@ mod tests {
                 .filter(|&v| truth[v] == c)
                 .map(|v| out.modules[v])
                 .collect();
-            assert!(members.windows(2).all(|w| w[0] == w[1]), "clique {c}: {members:?}");
+            assert!(
+                members.windows(2).all(|w| w[0] == w[1]),
+                "clique {c}: {members:?}"
+            );
         }
     }
 
@@ -839,7 +885,11 @@ mod tests {
     #[test]
     fn distributed_mdl_close_to_sequential_on_lfr() {
         let (g, _) = generators::lfr_like(
-            generators::LfrParams { n: 600, mu: 0.25, ..Default::default() },
+            generators::LfrParams {
+                n: 600,
+                mu: 0.25,
+                ..Default::default()
+            },
             3,
         );
         let seq = Infomap::new(InfomapConfig::default()).run(&g);
@@ -861,7 +911,10 @@ mod tests {
     #[test]
     fn mdl_series_converges_with_bounded_transients() {
         let (g, _) = generators::lfr_like(
-            generators::LfrParams { n: 400, ..Default::default() },
+            generators::LfrParams {
+                n: 400,
+                ..Default::default()
+            },
             11,
         );
         let out = DistributedInfomap::new(DistributedConfig {
@@ -888,13 +941,20 @@ mod tests {
         }
         // The final value sits at (or within a hair of) the series minimum.
         let min = series.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(last <= min + 0.01 * min.abs(), "did not settle at the minimum: {series:?}");
+        assert!(
+            last <= min + 0.01 * min.abs(),
+            "did not settle at the minimum: {series:?}"
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
         let (g, _) = generators::lfr_like(generators::LfrParams::default(), 2);
-        let cfg = DistributedConfig { nranks: 3, seed: 5, ..Default::default() };
+        let cfg = DistributedConfig {
+            nranks: 3,
+            seed: 5,
+            ..Default::default()
+        };
         let a = DistributedInfomap::new(cfg).run(&g);
         let b = DistributedInfomap::new(cfg).run(&g);
         assert_eq!(a.modules, b.modules);
@@ -910,7 +970,11 @@ mod tests {
         })
         .run(&g);
         for s in &out.rank_stats {
-            assert!(s.phases.contains_key("s1/FindBestModule"), "phases: {:?}", s.phases.keys());
+            assert!(
+                s.phases.contains_key("s1/FindBestModule"),
+                "phases: {:?}",
+                s.phases.keys()
+            );
             assert!(s.phases.contains_key("s1/Other"));
         }
         let total_work: u64 = out.rank_stats.iter().map(|s| s.total.work_units).sum();

@@ -51,6 +51,8 @@
 //! assert_eq!(out.num_modules(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod codec;
 pub mod config;

@@ -51,7 +51,7 @@
 //! by the sweep, per-record reduction work), so modeled runtimes stay
 //! comparable across kernels even though the wall-clock per unit changed.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use infomap_core::{plogp, StampedSlotMap};
 use infomap_mpisim::{Comm, ReduceOp};
@@ -103,7 +103,7 @@ pub struct RoundBuffers {
     order: Vec<u32>,
     /// Delegate election: delegate id → index into the allgathered
     /// proposals.
-    elected: HashMap<u32, usize>,
+    elected: BTreeMap<u32, usize>,
     /// Sorted winning proposal indices.
     winners: Vec<usize>,
     /// Compact election: proposal staging per owner rank
@@ -140,7 +140,7 @@ impl RoundBuffers {
             neigh: NeighborhoodScratch::new(),
             scan: Vec::new(),
             order: Vec::new(),
-            elected: HashMap::new(),
+            elected: BTreeMap::new(),
             winners: Vec::new(),
             prop_out: vec![Vec::new(); nranks],
             updates: vec![Vec::new(); nranks],
@@ -180,7 +180,8 @@ fn delta_codelength(
     let p_i_new = (p_i - p_u).max(0.0);
     let p_j_new = p_j + p_u;
     let q_new = (sum_exit + (q_i_new - q_i) + (q_j_new - q_j)).max(0.0);
-    plogp(q_new) - plogp(sum_exit)
+    plogp(q_new)
+        - plogp(sum_exit)
         - 2.0 * (plogp(q_i_new) - plogp(q_i) + plogp(q_j_new) - plogp(q_j))
         + plogp(q_i_new + p_i_new)
         - plogp(q_i + p_i)
@@ -250,20 +251,31 @@ pub fn best_local_move(
             continue; // boundary community: minimum-label rule
         }
         let to = st.module_stats[m as usize];
-        let delta =
-            delta_codelength(st.sum_exit, &from, &to, p_u, out_u, flow_to_current, flow_to_target);
+        let delta = delta_codelength(
+            st.sum_exit,
+            &from,
+            &to,
+            p_u,
+            out_u,
+            flow_to_current,
+            flow_to_target,
+        );
         if delta >= -min_gain {
             continue;
         }
         let better = match &best {
             None => true,
             Some(b) => {
-                delta < b.delta - 1e-12
-                    || ((delta - b.delta).abs() <= 1e-12 && gid < best_gid)
+                delta < b.delta - 1e-12 || ((delta - b.delta).abs() <= 1e-12 && gid < best_gid)
             }
         };
         if better {
-            best = Some(LocalCandidate { to_slot: m, delta, flow_to_current, flow_to_target });
+            best = Some(LocalCandidate {
+                to_slot: m,
+                delta,
+                flow_to_current,
+                flow_to_target,
+            });
             best_gid = gid;
         }
     }
@@ -318,20 +330,31 @@ pub fn best_local_move_scan(
             continue; // boundary community: minimum-label rule
         }
         let to = st.module_stats[m as usize];
-        let delta =
-            delta_codelength(st.sum_exit, &from, &to, p_u, out_u, flow_to_current, flow_to_target);
+        let delta = delta_codelength(
+            st.sum_exit,
+            &from,
+            &to,
+            p_u,
+            out_u,
+            flow_to_current,
+            flow_to_target,
+        );
         if delta >= -min_gain {
             continue;
         }
         let better = match &best {
             None => true,
             Some(b) => {
-                delta < b.delta - 1e-12
-                    || ((delta - b.delta).abs() <= 1e-12 && gid < best_gid)
+                delta < b.delta - 1e-12 || ((delta - b.delta).abs() <= 1e-12 && gid < best_gid)
             }
         };
         if better {
-            best = Some(LocalCandidate { to_slot: m, delta, flow_to_current, flow_to_target });
+            best = Some(LocalCandidate {
+                to_slot: m,
+                delta,
+                flow_to_current,
+                flow_to_target,
+            });
             best_gid = gid;
         }
     }
@@ -402,12 +425,14 @@ fn find_best_modules(
         // eligible per round, which bounds how many simultaneous joiners a
         // module can receive on stale statistics (over-merging guard).
         let v = st.verts[li as usize] as u64;
-        if subset > 1 && !(v.wrapping_mul(0x9e3779b97f4a7c15) >> 32).wrapping_add(round as u64).is_multiple_of(subset)
+        if subset > 1
+            && !(v.wrapping_mul(0x9e3779b97f4a7c15) >> 32)
+                .wrapping_add(round as u64)
+                .is_multiple_of(subset)
         {
             continue;
         }
-        arcs_scanned +=
-            st.adj_off[li as usize + 1] as u64 - st.adj_off[li as usize] as u64;
+        arcs_scanned += st.adj_off[li as usize + 1] as u64 - st.adj_off[li as usize] as u64;
         let cand = match cfg.kernel {
             MoveKernel::Stamped => {
                 best_local_move(st, li, cfg.min_gain, restrict_boundary, &mut bufs.neigh)
@@ -450,7 +475,7 @@ fn find_best_modules(
 /// feed `all` in the same (source rank, emission) order — the compact
 /// owner sees exactly the legacy concatenation restricted to its own
 /// delegates, which leaves every per-delegate subsequence intact.
-fn elect(all: &[DelegateProposal], elected: &mut HashMap<u32, usize>) {
+fn elect(all: &[DelegateProposal], elected: &mut BTreeMap<u32, usize>) {
     elected.clear();
     for (i, p) in all.iter().enumerate() {
         let replace = match elected.get(&p.delegate) {
@@ -476,7 +501,7 @@ fn apply_winner(
     comm: &mut Comm,
     st: &mut LocalState,
     p: &DelegateProposal,
-    delegate_assign: &mut HashMap<u32, u64>,
+    delegate_assign: &mut BTreeMap<u32, u64>,
 ) {
     delegate_assign.insert(p.delegate, p.to_module);
     if let Some(&li) = st.index.get(&p.delegate) {
@@ -516,9 +541,7 @@ fn apply_winner(
         // One logical relaxation per stored arc (the flow recompute
         // above) — the degree comes from the CSR offsets; re-walking
         // the adjacency just to count it was the old code's bug.
-        comm.add_work(
-            st.adj_off[li as usize + 1] as u64 - st.adj_off[li as usize] as u64,
-        );
+        comm.add_work(st.adj_off[li as usize + 1] as u64 - st.adj_off[li as usize] as u64);
         let cand = LocalCandidate {
             to_slot,
             delta: p.delta,
@@ -537,7 +560,7 @@ fn broadcast_delegates(
     comm: &mut Comm,
     st: &mut LocalState,
     proposals: Vec<DelegateProposal>,
-    delegate_assign: &mut HashMap<u32, u64>,
+    delegate_assign: &mut BTreeMap<u32, u64>,
     bufs: &mut RoundBuffers,
 ) -> u64 {
     let all = comm.allgatherv_packed(proposals, DelegateProposal::WIRE_BYTES);
@@ -574,7 +597,7 @@ fn broadcast_delegates_compact(
     st: &mut LocalState,
     proposals: Vec<DelegateProposal>,
     owned_moves: u64,
-    delegate_assign: &mut HashMap<u32, u64>,
+    delegate_assign: &mut BTreeMap<u32, u64>,
     bufs: &mut RoundBuffers,
 ) -> (u64, u64) {
     let p = st.nranks;
@@ -599,15 +622,12 @@ fn broadcast_delegates_compact(
         })
         .collect();
     comm.add_codec_bytes(enc);
-    let (incoming, (global_moves, global_props)) = comm.alltoallv_reduce(
-        outgoing,
-        (owned_moves, proposals.len() as u64),
-        |parts| {
+    let (incoming, (global_moves, global_props)) =
+        comm.alltoallv_reduce(outgoing, (owned_moves, proposals.len() as u64), |parts| {
             parts
                 .into_iter()
                 .fold((0u64, 0u64), |acc, x| (acc.0 + x.0, acc.1 + x.1))
-        },
-    );
+        });
     let mut mine: Vec<DelegateProposal> = Vec::new();
     let mut dec = 0u64;
     for buf in &incoming {
@@ -630,8 +650,7 @@ fn broadcast_delegates_compact(
     bufs.winners.clear();
     bufs.winners.extend(bufs.elected.values().copied());
     bufs.winners.sort_by_key(|&i| mine[i].delegate);
-    let my_winners: Vec<DelegateProposal> =
-        bufs.winners.iter().map(|&i| mine[i]).collect();
+    let my_winners: Vec<DelegateProposal> = bufs.winners.iter().map(|&i| mine[i]).collect();
     let mut wire = Vec::new();
     if !my_winners.is_empty() {
         codec::encode_proposals(&mut wire, &my_winners);
@@ -697,7 +716,10 @@ fn swap_boundary_info(
         }
         bufs.announce.push((li as u32, gid));
         for &dest in subs {
-            bufs.updates[dest].push(VertexUpdate { vertex: *v, module: gid });
+            bufs.updates[dest].push(VertexUpdate {
+                vertex: *v,
+                module: gid,
+            });
             if full_swap {
                 let entry = st.module_stats[m as usize];
                 let already = !bufs.sent_to.insert((dest, m));
@@ -755,8 +777,7 @@ fn swap_boundary_info(
         let src = st.providers[i];
         let (ups, infos) = match path {
             CommPath::Legacy => {
-                let ups: Vec<VertexUpdate> =
-                    comm.recv(src, TAG_VERTEX_UPDATES + round * 16);
+                let ups: Vec<VertexUpdate> = comm.recv(src, TAG_VERTEX_UPDATES + round * 16);
                 let infos: Vec<ModuleInfoMsg> = if full_swap {
                     comm.recv(src, TAG_MODULE_INFO + round * 16)
                 } else {
@@ -797,7 +818,11 @@ fn swap_boundary_info(
             // reconcile exactly at the end of the round).
             st.insert_module_if_absent(
                 m.mod_id,
-                ModuleEntry { flow: m.flow, exit: m.exit, members: m.members },
+                ModuleEntry {
+                    flow: m.flow,
+                    exit: m.exit,
+                    members: m.members,
+                },
             );
             comm.add_work(1);
         }
@@ -953,8 +978,11 @@ pub fn sync_modules_path(
     // would); the staging buckets keep their capacity for the next round.
     let incoming: Vec<Vec<ModuleContribution>> = match path {
         CommPath::Legacy => {
-            let outgoing: Vec<Vec<ModuleContribution>> =
-                bufs.contrib_out.iter().map(|b| b.as_slice().to_vec()).collect();
+            let outgoing: Vec<Vec<ModuleContribution>> = bufs
+                .contrib_out
+                .iter()
+                .map(|b| b.as_slice().to_vec())
+                .collect();
             comm.alltoallv_packed(outgoing, ModuleContribution::WIRE_BYTES)
         }
         CommPath::Compact => {
@@ -1097,10 +1125,12 @@ pub fn sync_modules_path(
                     })
                 });
                 (sum_exit, s_plogp_exit, s_plogp_both, nmod) = *red;
-                let responses: Vec<Vec<ModuleInfoMsg>> =
-                    bufs.info_out.iter().map(|b| b.as_slice().to_vec()).collect();
-                let received =
-                    comm.alltoallv_packed(responses, ModuleInfoMsg::WIRE_BYTES);
+                let responses: Vec<Vec<ModuleInfoMsg>> = bufs
+                    .info_out
+                    .iter()
+                    .map(|b| b.as_slice().to_vec())
+                    .collect();
+                let received = comm.alltoallv_packed(responses, ModuleInfoMsg::WIRE_BYTES);
                 for msgs in received {
                     for m in msgs {
                         apply_published_info(comm, st, &m);
@@ -1128,12 +1158,11 @@ pub fn sync_modules_path(
                     })
                     .collect();
                 comm.add_codec_bytes(enc);
-                let (packets, red) =
-                    comm.alltoallv_reduce(outgoing, (q, s1, s2, k), |parts| {
-                        parts.into_iter().fold((0.0, 0.0, 0.0, 0u64), |acc, x| {
-                            (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2, acc.3 + x.3)
-                        })
-                    });
+                let (packets, red) = comm.alltoallv_reduce(outgoing, (q, s1, s2, k), |parts| {
+                    parts.into_iter().fold((0.0, 0.0, 0.0, 0u64), |acc, x| {
+                        (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2, acc.3 + x.3)
+                    })
+                });
                 // Apply each source's infos in ascending source order — the
                 // legacy apply order.
                 let mut dec = 0u64;
@@ -1174,7 +1203,14 @@ fn apply_published_info(comm: &mut Comm, st: &mut LocalState, m: &ModuleInfoMsg)
     if m.members == 0 && m.flow <= 1e-15 {
         st.remove_module(m.mod_id);
     } else {
-        st.set_module(m.mod_id, ModuleEntry { flow: m.flow, exit: m.exit, members: m.members });
+        st.set_module(
+            m.mod_id,
+            ModuleEntry {
+                flow: m.flow,
+                exit: m.exit,
+                members: m.members,
+            },
+        );
     }
     comm.add_work(1);
 }
@@ -1209,7 +1245,7 @@ pub fn cluster_stage(
     st: &mut LocalState,
     cfg: &DistributedConfig,
     node_term: f64,
-    delegate_assign: &mut HashMap<u32, u64>,
+    delegate_assign: &mut BTreeMap<u32, u64>,
     stage_prefix: &str,
 ) -> StageOutcome {
     cluster_stage_recoverable(
@@ -1230,7 +1266,7 @@ pub fn cluster_stage(
 /// collective), the clustering state, the delegate assignment and the
 /// cursor to resume from.
 pub type CheckpointHook<'a> =
-    &'a mut dyn FnMut(&mut Comm, &LocalState, &HashMap<u32, u64>, &StageCursor);
+    &'a mut dyn FnMut(&mut Comm, &LocalState, &BTreeMap<u32, u64>, &StageCursor);
 
 /// [`cluster_stage`] with round-boundary checkpointing and resume.
 ///
@@ -1248,7 +1284,7 @@ pub fn cluster_stage_recoverable(
     st: &mut LocalState,
     cfg: &DistributedConfig,
     node_term: f64,
-    delegate_assign: &mut HashMap<u32, u64>,
+    delegate_assign: &mut BTreeMap<u32, u64>,
     stage_prefix: &str,
     resume: Option<StageCursor>,
     checkpoint_every: usize,
@@ -1285,9 +1321,8 @@ pub fn cluster_stage_recoverable(
             start_round = cur.next_round;
         }
         None => {
-            rng = StdRng::seed_from_u64(
-                cfg.seed ^ (st.rank as u64).wrapping_mul(0x9e3779b97f4a7c15),
-            );
+            rng =
+                StdRng::seed_from_u64(cfg.seed ^ (st.rank as u64).wrapping_mul(0x9e3779b97f4a7c15));
             mdl_series = Vec::new();
             total_moves = 0;
             inner = 0;
@@ -1328,9 +1363,10 @@ pub fn cluster_stage_recoverable(
 
         let (delegate_moves, global_owned) = comm.phase(&ph("BroadcastDelegates"), |c| {
             match cfg.comm_path {
-                CommPath::Legacy => {
-                    (broadcast_delegates(c, st, proposals, delegate_assign, &mut bufs), 0)
-                }
+                CommPath::Legacy => (
+                    broadcast_delegates(c, st, proposals, delegate_assign, &mut bufs),
+                    0,
+                ),
                 CommPath::Compact if has_delegates => broadcast_delegates_compact(
                     c,
                     st,
@@ -1438,7 +1474,13 @@ pub fn cluster_stage_recoverable(
         }
     }
 
-    StageOutcome { inner_iterations: inner, total_moves, mdl, mdl_series, num_modules: nmod }
+    StageOutcome {
+        inner_iterations: inner,
+        total_moves,
+        mdl,
+        mdl_series,
+        num_modules: nmod,
+    }
 }
 
 #[cfg(test)]
@@ -1449,30 +1491,42 @@ mod tests {
     use infomap_mpisim::World;
     use infomap_partition::{DelegateThreshold, Partition};
 
-    fn run_sync_rounds(
-        p: usize,
-        rounds: usize,
-        full_swap: bool,
-    ) -> Vec<(f64, u64)> {
+    fn run_sync_rounds(p: usize, rounds: usize, full_swap: bool) -> Vec<(f64, u64)> {
         let (g, _) = generators::lfr_like(
-            generators::LfrParams { n: 200, mu: 0.25, ..Default::default() },
+            generators::LfrParams {
+                n: 200,
+                mu: 0.25,
+                ..Default::default()
+            },
             3,
         );
         let partition = Partition::delegate(&g, p, DelegateThreshold::Auto(4.0), true);
         let states = build_stage1_states(&g, &partition);
-        let slots: Vec<std::sync::Mutex<Option<crate::state::LocalState>>> =
-            states.into_iter().map(|s| std::sync::Mutex::new(Some(s))).collect();
+        let slots: Vec<std::sync::Mutex<Option<crate::state::LocalState>>> = states
+            .into_iter()
+            .map(|s| std::sync::Mutex::new(Some(s)))
+            .collect();
         let inv_two_w = 1.0 / (2.0 * g.total_weight());
         let node_term: f64 = (0..g.num_vertices() as u32)
             .map(|v| plogp(g.strength(v) * inv_two_w))
             .sum();
-        let cfg = DistributedConfig { nranks: p, full_module_swap: full_swap, ..Default::default() };
+        let cfg = DistributedConfig {
+            nranks: p,
+            full_module_swap: full_swap,
+            ..Default::default()
+        };
         let report = World::new(p).run(|comm| {
             let mut st = slots[comm.rank()].lock().unwrap().take().unwrap();
             let mut bufs = RoundBuffers::new(p);
             let mut out = Vec::new();
             for _ in 0..rounds {
-                out.push(sync_modules(comm, &mut st, node_term, cfg.full_module_swap, &mut bufs));
+                out.push(sync_modules(
+                    comm,
+                    &mut st,
+                    node_term,
+                    cfg.full_module_swap,
+                    &mut bufs,
+                ));
             }
             out
         });
@@ -1510,8 +1564,16 @@ mod tests {
 
     #[test]
     fn delta_codelength_is_zero_for_identity_move() {
-        let from = ModuleEntry { flow: 0.2, exit: 0.1, members: 3 };
-        let to = ModuleEntry { flow: 0.2, exit: 0.1, members: 3 };
+        let from = ModuleEntry {
+            flow: 0.2,
+            exit: 0.1,
+            members: 3,
+        };
+        let to = ModuleEntry {
+            flow: 0.2,
+            exit: 0.1,
+            members: 3,
+        };
         // Moving a vertex with zero flow and zero links changes nothing.
         let d = delta_codelength(0.4, &from, &to, 0.0, 0.0, 0.0, 0.0);
         assert!(d.abs() < 1e-12);
@@ -1521,14 +1583,24 @@ mod tests {
     fn delta_codelength_favors_joining_a_connected_module() {
         // Vertex with flow 0.1, all of its 0.1 out-flow pointing into the
         // target module: joining removes boundary flow on both sides.
-        let from = ModuleEntry { flow: 0.1, exit: 0.1, members: 1 };
-        let to = ModuleEntry { flow: 0.3, exit: 0.15, members: 3 };
-        let join =
-            delta_codelength(0.5, &from, &to, 0.1, 0.1, 0.0, 0.1);
+        let from = ModuleEntry {
+            flow: 0.1,
+            exit: 0.1,
+            members: 1,
+        };
+        let to = ModuleEntry {
+            flow: 0.3,
+            exit: 0.15,
+            members: 3,
+        };
+        let join = delta_codelength(0.5, &from, &to, 0.1, 0.1, 0.0, 0.1);
         // The same vertex moving to an unconnected module of equal size.
-        let elsewhere = ModuleEntry { flow: 0.3, exit: 0.15, members: 3 };
-        let stray =
-            delta_codelength(0.5, &from, &elsewhere, 0.1, 0.1, 0.0, 0.0);
+        let elsewhere = ModuleEntry {
+            flow: 0.3,
+            exit: 0.15,
+            members: 3,
+        };
+        let stray = delta_codelength(0.5, &from, &elsewhere, 0.1, 0.1, 0.0, 0.0);
         assert!(join < stray, "join {join} should beat stray {stray}");
         assert!(join < 0.0, "joining a connected module should gain: {join}");
     }

@@ -113,7 +113,10 @@ impl LocalState {
     /// Arcs of local vertex `li` as `(local target, weight)`.
     pub fn arcs_of(&self, li: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
         let r = self.adj_off[li as usize]..self.adj_off[li as usize + 1];
-        self.adj_tgt[r.clone()].iter().copied().zip(self.adj_w[r].iter().copied())
+        self.adj_tgt[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.adj_w[r].iter().copied())
     }
 
     /// Is local vertex `li` a delegate copy?
@@ -339,10 +342,17 @@ fn assemble(
     // decision is made.
     let module_of: Vec<u32> = (0..n as u32).collect();
     let module_ids: Vec<u64> = verts.iter().map(|&v| v as u64).collect();
-    let module_slot: HashMap<u64, u32> =
-        module_ids.iter().enumerate().map(|(s, &gid)| (gid, s as u32)).collect();
+    let module_slot: HashMap<u64, u32> = module_ids
+        .iter()
+        .enumerate()
+        .map(|(s, &gid)| (gid, s as u32))
+        .collect();
     let module_stats: Vec<ModuleEntry> = (0..n)
-        .map(|li| ModuleEntry { flow: node_flow[li], exit: out_flow[li], members: 1 })
+        .map(|li| ModuleEntry {
+            flow: node_flow[li],
+            exit: out_flow[li],
+            members: 1,
+        })
         .collect();
     let module_present = vec![true; n];
     let sum_exit = 0.0; // refreshed by the first sync round
@@ -601,8 +611,7 @@ mod tests {
         let p = 3;
         let part = Partition::one_d(&g, p);
         let inv = 1.0 / (2.0 * g.total_weight());
-        let flows: HashMap<u32, f64> =
-            (0..40u32).map(|v| (v, g.strength(v) * inv)).collect();
+        let flows: HashMap<u32, f64> = (0..40u32).map(|v| (v, g.strength(v) * inv)).collect();
         let states: Vec<LocalState> = (0..p)
             .map(|r| build_1d_state(r, p, part.arcs[r].clone(), &flows, inv))
             .collect();

@@ -10,7 +10,14 @@ use infomap_graph::generators::{self, LfrParams};
 use infomap_mpisim::FaultPlan;
 
 fn lfr() -> infomap_graph::Graph {
-    generators::lfr_like(LfrParams { n: 400, ..Default::default() }, 11).0
+    generators::lfr_like(
+        LfrParams {
+            n: 400,
+            ..Default::default()
+        },
+        11,
+    )
+    .0
 }
 
 fn chaos_cfg() -> DistributedConfig {
@@ -77,7 +84,11 @@ fn checkpointing_without_faults_is_invisible_to_the_result() {
     assert!(ckpt.recovery.checkpoints_committed > 0);
     assert_eq!(ckpt.recovery.restores, 0);
     // Checkpoint traffic is metered so the cost model can price it.
-    let ckpt_bytes: u64 = ckpt.rank_stats.iter().map(|r| r.total.checkpoint_bytes).sum();
+    let ckpt_bytes: u64 = ckpt
+        .rank_stats
+        .iter()
+        .map(|r| r.total.checkpoint_bytes)
+        .sum();
     assert!(ckpt_bytes > 0);
 }
 
@@ -102,7 +113,11 @@ fn crash_mid_stage_one_recovers_bit_identically() {
     assert_eq!(out.rank_stats[1].faults.crashes, 1);
     // The restoring attempt meters a Recovery phase on every rank.
     for rs in &out.rank_stats {
-        assert!(rs.phases.contains_key("Recovery"), "rank {} has no Recovery", rs.rank);
+        assert!(
+            rs.phases.contains_key("Recovery"),
+            "rank {} has no Recovery",
+            rs.rank
+        );
     }
 
     // Bit-identical replay — far stronger than the 1%-MDL acceptance bar.
@@ -184,7 +199,10 @@ fn retry_exhaustion_surfaces_every_failure() {
 }
 
 fn path_cfg(path: CommPath) -> DistributedConfig {
-    DistributedConfig { comm_path: path, ..chaos_cfg() }
+    DistributedConfig {
+        comm_path: path,
+        ..chaos_cfg()
+    }
 }
 
 /// The legacy path stays fully recoverable, and its fault-free run is

@@ -17,12 +17,23 @@ fn hub_graph() -> Graph {
 }
 
 fn flat_graph() -> Graph {
-    generators::lfr_like(LfrParams { n: 400, ..Default::default() }, 11).0
+    generators::lfr_like(
+        LfrParams {
+            n: 400,
+            ..Default::default()
+        },
+        11,
+    )
+    .0
 }
 
 fn run(g: &Graph, p: usize, path: CommPath) -> DistributedOutput {
-    let cfg =
-        DistributedConfig { nranks: p, seed: 7, comm_path: path, ..Default::default() };
+    let cfg = DistributedConfig {
+        nranks: p,
+        seed: 7,
+        comm_path: path,
+        ..Default::default()
+    };
     DistributedInfomap::new(cfg).run(g)
 }
 
@@ -31,9 +42,7 @@ fn run(g: &Graph, p: usize, path: CommPath) -> DistributedOutput {
 fn total_bytes(out: &DistributedOutput) -> u64 {
     out.rank_stats
         .iter()
-        .map(|r| {
-            r.total.p2p_bytes_sent + r.total.collective_bytes + r.total.collective_bytes_recv
-        })
+        .map(|r| r.total.p2p_bytes_sent + r.total.collective_bytes + r.total.collective_bytes_recv)
         .sum()
 }
 

@@ -38,7 +38,12 @@ struct Fingerprint {
 }
 
 fn run(kernel: MoveKernel) -> Fingerprint {
-    let cfg = DistributedConfig { nranks: NRANKS, seed: SEED, kernel, ..Default::default() };
+    let cfg = DistributedConfig {
+        nranks: NRANKS,
+        seed: SEED,
+        kernel,
+        ..Default::default()
+    };
     let out = DistributedInfomap::new(cfg).run(&test_graph());
     Fingerprint {
         mdl_bits: out
@@ -92,7 +97,10 @@ fn stamped_and_legacy_scan_kernels_agree_bitwise() {
 
 #[test]
 fn seeded_run_matches_recorded_golden() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_determinism_p4.txt");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden_determinism_p4.txt"
+    );
     let encoded = run(MoveKernel::Stamped).encode();
     match std::fs::read_to_string(path) {
         Ok(golden) => assert_eq!(

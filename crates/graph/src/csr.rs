@@ -101,7 +101,9 @@ impl Graph {
     /// All undirected edges `(u, v, w)` with `u <= v`, in vertex order.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, f64)> + '_ {
         (0..self.num_vertices() as VertexId).flat_map(move |u| {
-            self.arcs(u).filter(move |&(v, _)| u <= v).map(move |(v, w)| (u, v, w))
+            self.arcs(u)
+                .filter(move |&(v, _)| u <= v)
+                .map(move |(v, w)| (u, v, w))
         })
     }
 
@@ -114,7 +116,10 @@ impl Graph {
 
     /// Maximum vertex degree (arc count).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices() as VertexId).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..self.num_vertices() as VertexId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Connected components; returns (component id per vertex, count).
@@ -145,8 +150,11 @@ impl Graph {
     /// Induced subgraph on `keep` (ids relabeled to 0..keep.len() in the
     /// order given). Returns the subgraph and the old→new id map.
     pub fn subgraph(&self, keep: &[VertexId]) -> (Graph, HashMap<VertexId, VertexId>) {
-        let remap: HashMap<VertexId, VertexId> =
-            keep.iter().enumerate().map(|(new, &old)| (old, new as VertexId)).collect();
+        let remap: HashMap<VertexId, VertexId> = keep
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new as VertexId))
+            .collect();
         let mut b = GraphBuilder::new(keep.len());
         for &old_u in keep {
             let new_u = remap[&old_u];
@@ -172,7 +180,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph on `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        GraphBuilder { num_vertices, edges: HashMap::new() }
+        GraphBuilder {
+            num_vertices,
+            edges: HashMap::new(),
+        }
     }
 
     /// Add (or merge into) the undirected edge `{u, v}` with weight `w`.
@@ -182,7 +193,10 @@ impl GraphBuilder {
             "edge ({u},{v}) out of range for {} vertices",
             self.num_vertices
         );
-        assert!(w >= 0.0 && w.is_finite(), "edge weight must be finite and non-negative");
+        assert!(
+            w >= 0.0 && w.is_finite(),
+            "edge weight must be finite and non-negative"
+        );
         let key = if u <= v { (u, v) } else { (v, u) };
         *self.edges.entry(key).or_insert(0.0) += w;
     }
@@ -233,10 +247,7 @@ impl GraphBuilder {
                 strengths[u as usize] += 2.0 * w;
             }
         }
-        let num_edges = offsets
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .sum::<usize>();
+        let num_edges = offsets.windows(2).map(|w| w[1] - w[0]).sum::<usize>();
         // num_arcs counts self-loops once and other edges twice.
         let self_loops = {
             let mut c = 0usize;
@@ -251,7 +262,14 @@ impl GraphBuilder {
         };
         let undirected = (num_edges - self_loops) / 2 + self_loops;
 
-        Graph { offsets, targets, weights, num_edges: undirected, total_weight, strengths }
+        Graph {
+            offsets,
+            targets,
+            weights,
+            num_edges: undirected,
+            total_weight,
+            strengths,
+        }
     }
 }
 

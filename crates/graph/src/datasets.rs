@@ -47,8 +47,12 @@ impl DatasetId {
     ];
 
     /// The paper's four "small" datasets used in Figures 4–5 and Table 2.
-    pub const SMALL: [DatasetId; 4] =
-        [DatasetId::Amazon, DatasetId::Dblp, DatasetId::NdWeb, DatasetId::YouTube];
+    pub const SMALL: [DatasetId; 4] = [
+        DatasetId::Amazon,
+        DatasetId::Dblp,
+        DatasetId::NdWeb,
+        DatasetId::YouTube,
+    ];
 
     /// The paper's four "large" datasets used in Figures 6–9.
     pub const LARGE: [DatasetId; 4] = [
@@ -266,7 +270,11 @@ mod tests {
             let p = id.profile();
             let (g, truth) = p.generate_scaled(0.05, 1);
             assert!(g.num_vertices() >= 64, "{}: too few vertices", p.name);
-            assert!(g.num_edges() > g.num_vertices() / 2, "{}: too sparse", p.name);
+            assert!(
+                g.num_edges() > g.num_vertices() / 2,
+                "{}: too sparse",
+                p.name
+            );
             assert_eq!(truth.len(), g.num_vertices());
         }
     }

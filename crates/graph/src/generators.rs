@@ -378,7 +378,11 @@ mod tests {
         let g = barabasi_albert(500, 3, 42);
         assert_eq!(g.num_vertices(), 500);
         // Early vertices accumulate far more than the attachment count.
-        assert!(g.max_degree() > 20, "max degree {} too small", g.max_degree());
+        assert!(
+            g.max_degree() > 20,
+            "max degree {} too small",
+            g.max_degree()
+        );
     }
 
     #[test]
@@ -421,7 +425,11 @@ mod tests {
     #[test]
     fn lfr_like_mixing_close_to_mu() {
         let (g, truth) = lfr_like(
-            LfrParams { n: 3000, mu: 0.25, ..Default::default() },
+            LfrParams {
+                n: 3000,
+                mu: 0.25,
+                ..Default::default()
+            },
             9,
         );
         let mut cut = 0usize;

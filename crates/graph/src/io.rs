@@ -65,9 +65,20 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, IoError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let parse_err = || IoError::Parse { line: line_no, content: line.to_string() };
-        let u: u64 = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
-        let v: u64 = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let parse_err = || IoError::Parse {
+            line: line_no,
+            content: line.to_string(),
+        };
+        let u: u64 = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let v: u64 = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
         let w: f64 = match parts.next() {
             Some(tok) => tok.parse().map_err(|_| parse_err())?,
             None => 1.0,
@@ -86,7 +97,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, IoError> {
     for (u, v, w) in edges {
         b.add_edge(u, v, w);
     }
-    Ok(LoadedGraph { graph: b.build(), original_ids })
+    Ok(LoadedGraph {
+        graph: b.build(),
+        original_ids,
+    })
 }
 
 /// Read an edge list from a file path.
@@ -98,7 +112,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, IoErr
 /// Weights are written only when not 1.0.
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# vertices {} edges {}", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# vertices {} edges {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v, weight) in graph.edges() {
         if weight == 1.0 {
             writeln!(w, "{u} {v}")?;

@@ -14,6 +14,8 @@
 //!   mixing (see DESIGN.md for the substitution argument);
 //! * [`io`]: whitespace edge-list reading and writing.
 
+#![forbid(unsafe_code)]
+
 pub mod csr;
 pub mod datasets;
 pub mod generators;

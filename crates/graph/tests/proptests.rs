@@ -7,10 +7,7 @@ use infomap_graph::generators::{self, LfrParams};
 use infomap_graph::{io, Graph, VertexId};
 
 fn arbitrary_edges(n: usize) -> impl Strategy<Value = Vec<(VertexId, VertexId, f64)>> {
-    proptest::collection::vec(
-        (0..n as VertexId, 0..n as VertexId, 0.1f64..10.0),
-        0..60,
-    )
+    proptest::collection::vec((0..n as VertexId, 0..n as VertexId, 0.1f64..10.0), 0..60)
 }
 
 proptest! {

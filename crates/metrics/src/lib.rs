@@ -6,6 +6,8 @@
 //! independent sanity check. All pairwise measures are computed from the
 //! contingency table in O(V + K₁·K₂) — no O(V²) pair enumeration.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 
 use infomap_graph::Graph;
@@ -35,7 +37,12 @@ impl Contingency {
             *a_sizes.entry(x).or_insert(0u64) += 1;
             *b_sizes.entry(y).or_insert(0u64) += 1;
         }
-        Contingency { counts, a_sizes, b_sizes, n: a.len() as u64 }
+        Contingency {
+            counts,
+            a_sizes,
+            b_sizes,
+            n: a.len() as u64,
+        }
     }
 
     /// Number of vertices.
@@ -145,8 +152,10 @@ pub fn modularity(graph: &Graph, modules: &[u32]) -> f64 {
     for (u, &m) in modules.iter().enumerate().take(graph.num_vertices()) {
         *strength_per_module.entry(m).or_insert(0.0) += graph.strength(u as u32);
     }
-    let expected: f64 =
-        strength_per_module.values().map(|&s| (s / two_w) * (s / two_w)).sum();
+    let expected: f64 = strength_per_module
+        .values()
+        .map(|&s| (s / two_w) * (s / two_w))
+        .sum();
     intra / two_w - expected
 }
 

@@ -10,7 +10,7 @@ use std::time::Instant;
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::fault::{FaultState, MessageFate};
-use crate::rendezvous::Rendezvous;
+use crate::rendezvous::{Rendezvous, ScheduleStamp};
 use crate::stats::RankStats;
 use crate::wire::WireSized;
 
@@ -38,6 +38,10 @@ pub(crate) struct Fabric {
     /// case every fault hook is a no-op and the metered counters are
     /// bit-identical to a build without fault support.
     pub fault: Option<Arc<FaultState>>,
+    /// Verify the collective schedule at every rendezvous (the dynamic
+    /// counterpart of spmd-lint rule R1). Defaults to on in debug builds;
+    /// see [`crate::World::check_schedule`].
+    pub check_schedule: bool,
 }
 
 /// A rank's communicator. One instance per rank; not shareable across ranks.
@@ -62,12 +66,19 @@ pub struct Comm {
     /// flushed whenever this rank's event counter passes `release_event`
     /// (and unconditionally when the rank finishes).
     delayed: Vec<(u64, usize, Envelope)>,
+    /// Collectives issued so far (the schedule checker's sequence number).
+    sched_seq: u64,
+    /// Running hash of this rank's `(kind, seq)` collective schedule.
+    sched_hash: u64,
 }
 
 impl Comm {
     pub(crate) fn new(rank: usize, fabric: Arc<Fabric>, inbox: Receiver<Envelope>) -> Self {
-        let work_scale =
-            fabric.fault.as_ref().map(|f| f.straggler_factor(rank)).unwrap_or(1);
+        let work_scale = fabric
+            .fault
+            .as_ref()
+            .map(|f| f.straggler_factor(rank))
+            .unwrap_or(1);
         Comm {
             rank,
             fabric,
@@ -77,6 +88,8 @@ impl Comm {
             phase_stack: Vec::new(),
             work_scale,
             delayed: Vec::new(),
+            sched_seq: 0,
+            sched_hash: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
         }
     }
 
@@ -237,7 +250,12 @@ impl Comm {
         };
         match fate {
             MessageFate::Deliver => {
-                let env = Envelope { src: self.rank, tag, payload: Box::new(payload), bytes };
+                let env = Envelope {
+                    src: self.rank,
+                    tag,
+                    payload: Box::new(payload),
+                    bytes,
+                };
                 self.deliver(dest, env);
             }
             MessageFate::Drop => {
@@ -257,7 +275,12 @@ impl Comm {
                     payload: Box::new(payload.clone()),
                     bytes,
                 };
-                let env = Envelope { src: self.rank, tag, payload: Box::new(payload), bytes };
+                let env = Envelope {
+                    src: self.rank,
+                    tag,
+                    payload: Box::new(payload),
+                    bytes,
+                };
                 self.deliver(dest, env);
                 self.deliver(dest, copy);
             }
@@ -269,7 +292,12 @@ impl Comm {
                     .as_ref()
                     .map(|f| f.current_event(self.rank) + events)
                     .unwrap_or(0);
-                let env = Envelope { src: self.rank, tag, payload: Box::new(payload), bytes };
+                let env = Envelope {
+                    src: self.rank,
+                    tag,
+                    payload: Box::new(payload),
+                    bytes,
+                };
                 self.delayed.push((release, dest, env));
             }
         }
@@ -320,7 +348,10 @@ impl Comm {
             .map(|f| std::time::Duration::from_millis(f.plan().hang_timeout_ms));
         let started = Instant::now();
         loop {
-            match self.inbox.recv_timeout(std::time::Duration::from_millis(100)) {
+            match self
+                .inbox
+                .recv_timeout(std::time::Duration::from_millis(100))
+            {
                 Ok(env) => {
                     if env.src == src && env.tag == tag {
                         return self.open::<T>(env);
@@ -352,61 +383,103 @@ impl Comm {
     fn open<T: Send + 'static>(&mut self, env: Envelope) -> Vec<T> {
         let bytes = env.bytes;
         self.charge(|s| s.p2p_bytes_recv += bytes);
-        *env.payload
-            .downcast::<Vec<T>>()
-            .unwrap_or_else(|_| panic!("message type mismatch on recv (src {}, tag {})", env.src, env.tag))
+        *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "message type mismatch on recv (src {}, tag {})",
+                env.src, env.tag
+            )
+        })
     }
 
     // ------------------------------------------------------------------
     // Collectives
     // ------------------------------------------------------------------
 
-    fn collective<T, R, F>(&mut self, bytes: u64, contribution: T, combine: F) -> Arc<R>
+    #[track_caller]
+    fn collective<T, R, F>(
+        &mut self,
+        kind: &'static str,
+        bytes: u64,
+        contribution: T,
+        combine: F,
+    ) -> Arc<R>
     where
         T: Send + 'static,
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>) -> R,
     {
+        // Capture the user-facing call site before anything can panic
+        // (`#[track_caller]` propagates through the public collectives).
+        let site = std::panic::Location::caller();
         self.comm_event();
         self.charge(|s| {
             s.collective_calls += 1;
             s.collective_bytes += bytes;
         });
-        self.fabric.rendezvous.exchange(self.rank, contribution, combine)
+        let stamp = if self.fabric.check_schedule {
+            let seq = self.sched_seq;
+            self.sched_seq += 1;
+            self.sched_hash = schedule_mix(self.sched_hash, kind, seq);
+            Some(ScheduleStamp {
+                kind,
+                seq,
+                history: self.sched_hash,
+                site,
+            })
+        } else {
+            None
+        };
+        self.fabric
+            .rendezvous
+            .exchange(self.rank, contribution, stamp, combine)
     }
 
     /// Block until every rank has reached the barrier.
+    #[track_caller]
     pub fn barrier(&mut self) {
-        self.collective(0, (), |_| ());
+        self.collective("barrier", 0, (), |_| ());
     }
 
     /// Allreduce over `f64` values.
+    #[track_caller]
     pub fn allreduce_f64(&mut self, value: f64, op: ReduceOp) -> f64 {
-        *self.collective(size_of::<f64>() as u64, value, move |vs| match op {
-            ReduceOp::Sum => vs.iter().sum(),
-            ReduceOp::Min => vs.iter().copied().fold(f64::INFINITY, f64::min),
-            ReduceOp::Max => vs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-        })
+        *self.collective(
+            "allreduce_f64",
+            size_of::<f64>() as u64,
+            value,
+            move |vs| match op {
+                ReduceOp::Sum => vs.iter().sum(),
+                ReduceOp::Min => vs.iter().copied().fold(f64::INFINITY, f64::min),
+                ReduceOp::Max => vs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            },
+        )
     }
 
     /// Allreduce over `u64` values.
+    #[track_caller]
     pub fn allreduce_u64(&mut self, value: u64, op: ReduceOp) -> u64 {
-        *self.collective(size_of::<u64>() as u64, value, move |vs| match op {
-            ReduceOp::Sum => vs.iter().sum(),
-            ReduceOp::Min => vs.iter().copied().min().unwrap_or(u64::MAX),
-            ReduceOp::Max => vs.iter().copied().max().unwrap_or(0),
-        })
+        *self.collective(
+            "allreduce_u64",
+            size_of::<u64>() as u64,
+            value,
+            move |vs| match op {
+                ReduceOp::Sum => vs.iter().sum(),
+                ReduceOp::Min => vs.iter().copied().min().unwrap_or(u64::MAX),
+                ReduceOp::Max => vs.iter().copied().max().unwrap_or(0),
+            },
+        )
     }
 
     /// Generic allreduce: `fold` combines the per-rank contributions
     /// (provided in rank order) into the shared result.
+    #[track_caller]
     pub fn allreduce_with<T, R, F>(&mut self, value: T, fold: F) -> Arc<R>
     where
         T: Send + 'static,
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>) -> R,
     {
-        self.collective(size_of::<T>() as u64, value, fold)
+        self.collective("allreduce_with", size_of::<T>() as u64, value, fold)
     }
 
     /// Gather each rank's vector and hand everyone the concatenation, in
@@ -417,19 +490,21 @@ impl Comm {
     /// `collective_bytes_recv` — an allgatherv replicates the total volume
     /// to every rank, and the receive side is where that O(total × p)
     /// blow-up lives.
+    #[track_caller]
     pub fn allgatherv<T: Clone + Send + Sync + 'static>(&mut self, local: Vec<T>) -> Arc<Vec<T>> {
         self.allgatherv_packed(local, size_of::<T>() as u64)
     }
 
     /// [`Comm::allgatherv`] metered at an explicit per-record wire size
     /// (see [`Comm::send_slice_packed`]).
+    #[track_caller]
     pub fn allgatherv_packed<T: Clone + Send + Sync + 'static>(
         &mut self,
         local: Vec<T>,
         wire_bytes_per_record: u64,
     ) -> Arc<Vec<T>> {
         let bytes = local.len() as u64 * wire_bytes_per_record;
-        let out = self.collective(bytes, local, |parts| {
+        let out = self.collective("allgatherv", bytes, local, |parts| {
             let total = parts.iter().map(Vec::len).sum();
             let mut all = Vec::with_capacity(total);
             for part in parts {
@@ -444,6 +519,7 @@ impl Comm {
 
     /// Like [`Comm::allgatherv`] but keeps the per-rank structure: everyone
     /// receives `Vec` indexed by source rank. Metering as in `allgatherv`.
+    #[track_caller]
     pub fn allgather_parts<T: Clone + Send + Sync + 'static>(
         &mut self,
         local: Vec<T>,
@@ -451,7 +527,7 @@ impl Comm {
         let per = size_of::<T>() as u64;
         let bytes = local.len() as u64 * per;
         let me = self.rank;
-        let out = self.collective(bytes, local, |parts| parts);
+        let out = self.collective("allgather_parts", bytes, local, |parts| parts);
         let recv: u64 = out
             .iter()
             .enumerate()
@@ -469,6 +545,7 @@ impl Comm {
     /// Metering: outgoing buckets (self-bucket included, as MPI counts it)
     /// to `collective_bytes`; incoming buckets from other ranks to
     /// `collective_bytes_recv`.
+    #[track_caller]
     pub fn alltoallv<T: Clone + Send + Sync + 'static>(
         &mut self,
         outgoing: Vec<Vec<T>>,
@@ -478,16 +555,23 @@ impl Comm {
 
     /// [`Comm::alltoallv`] metered at an explicit per-record wire size
     /// (see [`Comm::send_slice_packed`]).
+    #[track_caller]
     pub fn alltoallv_packed<T: Clone + Send + Sync + 'static>(
         &mut self,
         outgoing: Vec<Vec<T>>,
         wire_bytes_per_record: u64,
     ) -> Vec<Vec<T>> {
-        assert_eq!(outgoing.len(), self.size(), "alltoallv needs one bucket per rank");
-        let bytes: u64 =
-            outgoing.iter().map(|b| b.len() as u64 * wire_bytes_per_record).sum();
+        assert_eq!(
+            outgoing.len(),
+            self.size(),
+            "alltoallv needs one bucket per rank"
+        );
+        let bytes: u64 = outgoing
+            .iter()
+            .map(|b| b.len() as u64 * wire_bytes_per_record)
+            .sum();
         let me = self.rank;
-        let matrix = self.collective(bytes, outgoing, |rows| rows);
+        let matrix = self.collective("alltoallv", bytes, outgoing, |rows| rows);
         let incoming: Vec<Vec<T>> = matrix.iter().map(|row| row[me].clone()).collect();
         let recv: u64 = incoming
             .iter()
@@ -510,6 +594,7 @@ impl Comm {
     /// allreduce combines in-network, so its traffic is its contribution,
     /// not p copies). The fusion therefore saves one collective call per
     /// round without hiding bytes.
+    #[track_caller]
     pub fn alltoallv_reduce<T, U, R, F>(
         &mut self,
         outgoing: Vec<Vec<T>>,
@@ -522,14 +607,26 @@ impl Comm {
         R: Clone + Send + Sync + 'static,
         F: FnOnce(Vec<U>) -> R + Send + 'static,
     {
-        assert_eq!(outgoing.len(), self.size(), "alltoallv needs one bucket per rank");
-        let bytes: u64 = outgoing.iter().map(|b| (b.len() * size_of::<T>()) as u64).sum::<u64>()
+        assert_eq!(
+            outgoing.len(),
+            self.size(),
+            "alltoallv needs one bucket per rank"
+        );
+        let bytes: u64 = outgoing
+            .iter()
+            .map(|b| (b.len() * size_of::<T>()) as u64)
+            .sum::<u64>()
             + size_of::<U>() as u64;
         let me = self.rank;
-        let shared = self.collective(bytes, (outgoing, partial), move |rows| {
-            let (mats, parts): (Vec<Vec<Vec<T>>>, Vec<U>) = rows.into_iter().unzip();
-            (mats, fold(parts))
-        });
+        let shared = self.collective(
+            "alltoallv_reduce",
+            bytes,
+            (outgoing, partial),
+            move |rows| {
+                let (mats, parts): (Vec<Vec<Vec<T>>>, Vec<U>) = rows.into_iter().unzip();
+                (mats, fold(parts))
+            },
+        );
         let incoming: Vec<Vec<T>> = shared.0.iter().map(|row| row[me].clone()).collect();
         let recv: u64 = incoming
             .iter()
@@ -547,6 +644,7 @@ impl Comm {
     /// ([`WireSized`]), so nested payloads (`Vec`, tuples of `Vec`s, …)
     /// count their contents — mirroring how [`Comm::allgatherv`] meters
     /// element counts rather than container headers.
+    #[track_caller]
     pub fn broadcast<T: Clone + Send + Sync + WireSized + 'static>(
         &mut self,
         root: usize,
@@ -560,8 +658,9 @@ impl Comm {
             (Some(v), true) => v.wire_bytes(),
             _ => 0,
         };
-        let shared = self.collective(bytes, value, move |mut vs| {
-            vs.swap_remove(root).expect("broadcast root supplied no value")
+        let shared = self.collective("broadcast", bytes, value, move |mut vs| {
+            vs.swap_remove(root)
+                .expect("broadcast root supplied no value")
         });
         if self.rank != root {
             let recv = shared.wire_bytes();
@@ -569,6 +668,18 @@ impl Comm {
         }
         (*shared).clone()
     }
+}
+
+/// One FNV-1a-style step folding `(kind, seq)` into the schedule hash.
+fn schedule_mix(mut h: u64, kind: &str, seq: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for b in kind.as_bytes() {
+        h = (h ^ *b as u64).wrapping_mul(PRIME);
+    }
+    for b in seq.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    h
 }
 
 impl Drop for Comm {

@@ -119,8 +119,7 @@ impl CostModel {
         let residue = ranks
             .iter()
             .map(|r| {
-                let phased: f64 =
-                    r.phases.values().map(|p| self.phase_time(p, nranks)).sum();
+                let phased: f64 = r.phases.values().map(|p| self.phase_time(p, nranks)).sum();
                 (self.phase_time(&r.total, nranks) - phased).max(0.0)
             })
             .fold(0.0, f64::max);
@@ -134,7 +133,11 @@ mod tests {
     use super::*;
 
     fn stats(work: u64, bytes: u64) -> PhaseStats {
-        PhaseStats { work_units: work, p2p_bytes_sent: bytes, ..Default::default() }
+        PhaseStats {
+            work_units: work,
+            p2p_bytes_sent: bytes,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -147,7 +150,14 @@ mod tests {
 
     #[test]
     fn makespan_takes_max_over_ranks_per_phase() {
-        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0, t_ckpt_byte: 0.0, t_encode: 0.0 };
+        let m = CostModel {
+            t_work: 1.0,
+            t_byte: 0.0,
+            t_msg: 0.0,
+            t_coll: 0.0,
+            t_ckpt_byte: 0.0,
+            t_encode: 0.0,
+        };
         let mut r0 = RankStats::new(0);
         r0.phases.insert("a".into(), stats(10, 0));
         r0.total.absorb(&stats(10, 0));
@@ -161,7 +171,14 @@ mod tests {
 
     #[test]
     fn unphased_residue_counts_toward_total() {
-        let m = CostModel { t_work: 1.0, t_byte: 0.0, t_msg: 0.0, t_coll: 0.0, t_ckpt_byte: 0.0, t_encode: 0.0 };
+        let m = CostModel {
+            t_work: 1.0,
+            t_byte: 0.0,
+            t_msg: 0.0,
+            t_coll: 0.0,
+            t_ckpt_byte: 0.0,
+            t_encode: 0.0,
+        };
         let mut r0 = RankStats::new(0);
         r0.phases.insert("a".into(), stats(10, 0));
         r0.total.absorb(&stats(25, 0)); // 15 units outside any phase

@@ -89,18 +89,29 @@ impl Default for FaultPlan {
 
 impl FaultPlan {
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, ..Default::default() }
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Crash `rank` at its `at_event`-th communication event, once.
     pub fn crash(mut self, rank: usize, at_event: u64) -> Self {
-        self.crashes.push(CrashSpec { rank, at_event, repeat: false });
+        self.crashes.push(CrashSpec {
+            rank,
+            at_event,
+            repeat: false,
+        });
         self
     }
 
     /// Crash `rank` at its `at_event`-th communication event, every attempt.
     pub fn crash_repeating(mut self, rank: usize, at_event: u64) -> Self {
-        self.crashes.push(CrashSpec { rank, at_event, repeat: true });
+        self.crashes.push(CrashSpec {
+            rank,
+            at_event,
+            repeat: true,
+        });
         self
     }
 
@@ -192,8 +203,7 @@ impl FaultPlan {
                 .ok_or_else(|| format!("fault clause `{clause}` is not key=value"))?;
             match key {
                 "seed" => {
-                    plan.seed =
-                        val.parse().map_err(|_| format!("bad seed `{val}`"))?;
+                    plan.seed = val.parse().map_err(|_| format!("bad seed `{val}`"))?;
                 }
                 "crash" => {
                     let (repeat, val) = match val.strip_suffix('!') {
@@ -205,9 +215,7 @@ impl FaultPlan {
                         .ok_or_else(|| format!("crash spec `{val}` is not R@N"))?;
                     plan.crashes.push(CrashSpec {
                         rank: r.parse().map_err(|_| format!("bad crash rank `{r}`"))?,
-                        at_event: n
-                            .parse()
-                            .map_err(|_| format!("bad crash event `{n}`"))?,
+                        at_event: n.parse().map_err(|_| format!("bad crash event `{n}`"))?,
                         repeat,
                     });
                 }
@@ -236,9 +244,7 @@ impl FaultPlan {
                             .parse()
                             .map_err(|_| format!("bad delay probability `{p}`"))?,
                         kind: MessageFaultKind::Delay {
-                            events: e
-                                .parse()
-                                .map_err(|_| format!("bad delay events `{e}`"))?,
+                            events: e.parse().map_err(|_| format!("bad delay events `{e}`"))?,
                         },
                     });
                 }
@@ -254,8 +260,9 @@ impl FaultPlan {
                     });
                 }
                 "hang" => {
-                    plan.hang_timeout_ms =
-                        val.parse().map_err(|_| format!("bad hang timeout `{val}`"))?;
+                    plan.hang_timeout_ms = val
+                        .parse()
+                        .map_err(|_| format!("bad hang timeout `{val}`"))?;
                 }
                 _ => return Err(format!("unknown fault clause `{key}`")),
             }
@@ -290,7 +297,9 @@ fn split_pair(val: &str) -> Result<(&str, Option<usize>, Option<usize>), String>
 
 fn parse_prob_pair(val: &str) -> Result<(f64, Option<usize>, Option<usize>), String> {
     let (head, src, dst) = split_pair(val)?;
-    let p = head.parse().map_err(|_| format!("bad probability `{head}`"))?;
+    let p = head
+        .parse()
+        .map_err(|_| format!("bad probability `{head}`"))?;
     Ok((p, src, dst))
 }
 
@@ -323,7 +332,11 @@ pub(crate) struct FaultState {
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan, nranks: usize) -> Self {
         FaultState {
-            crash_fired: plan.crashes.iter().map(|_| AtomicBool::new(false)).collect(),
+            crash_fired: plan
+                .crashes
+                .iter()
+                .map(|_| AtomicBool::new(false))
+                .collect(),
             attempt: AtomicU64::new(0),
             events: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
             msg_seq: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
@@ -434,8 +447,16 @@ mod tests {
         assert_eq!(
             plan.crashes,
             vec![
-                CrashSpec { rank: 1, at_event: 40, repeat: false },
-                CrashSpec { rank: 2, at_event: 9, repeat: true },
+                CrashSpec {
+                    rank: 1,
+                    at_event: 40,
+                    repeat: false
+                },
+                CrashSpec {
+                    rank: 2,
+                    at_event: 9,
+                    repeat: true
+                },
             ]
         );
         assert_eq!(plan.message_faults.len(), 3);
@@ -478,7 +499,10 @@ mod tests {
         assert!(!st.crash_due(1, 2));
         assert!(st.crash_due(1, 3));
         st.begin_attempt();
-        assert!(!st.crash_due(1, 3), "one-shot crash must not re-fire on retry");
+        assert!(
+            !st.crash_due(1, 3),
+            "one-shot crash must not re-fire on retry"
+        );
     }
 
     #[test]

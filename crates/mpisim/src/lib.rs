@@ -40,6 +40,8 @@
 //! driver can retry from a checkpoint; fault events land in
 //! [`FaultStats`] so recovery traffic is priced by the [`CostModel`].
 
+#![forbid(unsafe_code)]
+
 mod comm;
 mod cost;
 mod fault;

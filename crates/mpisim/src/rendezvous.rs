@@ -9,6 +9,7 @@
 //! collectives cannot interleave.
 
 use std::any::Any;
+use std::panic::Location;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -17,6 +18,33 @@ use parking_lot::{Condvar, Mutex};
 type AnyBox = Box<dyn Any + Send>;
 type AnyArc = Arc<dyn Any + Send + Sync>;
 
+/// Debug-mode collective-schedule fingerprint (the dynamic counterpart of
+/// spmd-lint rule R1). Each rank stamps every collective with the call
+/// kind, its per-rank sequence number, and a running hash of the whole
+/// schedule so far; the rendezvous verifies all ranks agree *before*
+/// combining. A divergent-collective bug then surfaces as an immediate
+/// per-rank diagnostic naming each rank's call site, instead of a hang or
+/// an opaque downcast failure.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScheduleStamp {
+    /// Collective kind (`"barrier"`, `"allreduce_u64"`, …).
+    pub kind: &'static str,
+    /// How many collectives this rank has issued before this one.
+    pub seq: u64,
+    /// Order-sensitive hash of every `(kind, seq)` this rank has issued;
+    /// differing histories with matching heads mean the divergence
+    /// happened earlier and compensated.
+    pub history: u64,
+    /// User-facing call site (via `#[track_caller]` on the `Comm` API).
+    pub site: &'static Location<'static>,
+}
+
+impl ScheduleStamp {
+    fn agrees_with(&self, other: &ScheduleStamp) -> bool {
+        self.kind == other.kind && self.seq == other.seq && self.history == other.history
+    }
+}
+
 struct CellState {
     /// Number of ranks that have deposited a contribution this generation.
     arrived: usize,
@@ -24,6 +52,14 @@ struct CellState {
     departing: usize,
     generation: u64,
     slots: Vec<Option<AnyBox>>,
+    /// Schedule fingerprints for the current generation (`None` entries
+    /// when the checker is off).
+    stamps: Vec<Option<ScheduleStamp>>,
+    /// Ranks whose SPMD closure already returned (schedule checker only).
+    /// A collective entered after any rank finished — or a rank finishing
+    /// while deposits are pending — can never complete; both are
+    /// diagnosed instead of deadlocking.
+    done: Vec<bool>,
     result: Option<AnyArc>,
 }
 
@@ -35,6 +71,10 @@ pub(crate) struct Rendezvous {
     /// Set when a rank died mid-run; all waiters panic instead of blocking
     /// on a collective that can never complete.
     poisoned: AtomicBool,
+    /// Primary failure description for a schedule divergence. When set,
+    /// poisoned waiters unwind with this message instead of the generic
+    /// cascade text, so every rank's failure carries the diagnostic.
+    diagnostic: Mutex<Option<String>>,
 }
 
 impl Rendezvous {
@@ -46,10 +86,13 @@ impl Rendezvous {
                 departing: 0,
                 generation: 0,
                 slots: (0..nranks).map(|_| None).collect(),
+                stamps: (0..nranks).map(|_| None).collect(),
+                done: (0..nranks).map(|_| false).collect(),
                 result: None,
             }),
             condvar: Condvar::new(),
             poisoned: AtomicBool::new(false),
+            diagnostic: Mutex::new(None),
         }
     }
 
@@ -66,16 +109,72 @@ impl Rendezvous {
         self.poisoned.load(Ordering::SeqCst)
     }
 
+    /// Poison the world with a primary diagnostic: waiters unwind with
+    /// `msg` instead of the generic sympathetic-cascade text. First writer
+    /// wins — a later diagnosis never rewrites the original failure story.
+    fn poison_with(&self, msg: String) {
+        let mut d = self.diagnostic.lock();
+        if d.is_none() {
+            *d = Some(msg);
+        }
+        drop(d);
+        self.poison();
+    }
+
     fn check_poison(&self) {
         if self.is_poisoned() {
+            if let Some(msg) = self.diagnostic.lock().clone() {
+                panic!("{msg}");
+            }
             panic!("world poisoned: another rank panicked");
+        }
+    }
+
+    /// Record that `rank`'s SPMD closure returned (schedule checker only).
+    /// If any peer is already blocked inside a collective, that collective
+    /// can never complete — this rank will never arrive — so the guaranteed
+    /// deadlock is converted into a poisoning diagnostic for the waiters.
+    pub(crate) fn mark_done(&self, rank: usize) {
+        // A crashed world already has a failure story; ranks deposited in
+        // a cell there are victims of the crash, not of this rank's exit.
+        if self.is_poisoned() {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.done[rank] = true;
+        if st.arrived > 0 {
+            let mut msg = format!(
+                "collective schedule divergence: rank {rank} finished its SPMD closure while \
+                 other ranks are blocked in a collective that can now never complete\n"
+            );
+            for (r, slot) in st.slots.iter().enumerate() {
+                if slot.is_some() {
+                    match &st.stamps[r] {
+                        Some(s) => msg.push_str(&format!(
+                            "  rank {r}: waiting in {} #{} at {}\n",
+                            s.kind, s.seq, s.site
+                        )),
+                        None => msg.push_str(&format!("  rank {r}: waiting (no stamp)\n")),
+                    }
+                }
+            }
+            drop(st);
+            self.poison_with(msg);
         }
     }
 
     /// Deposit `contribution` for `rank`, wait for all ranks, and return the
     /// combined result. `combine` receives the contributions in rank order;
     /// it runs exactly once per generation, on the last-arriving rank.
-    pub(crate) fn exchange<T, R, F>(&self, rank: usize, contribution: T, combine: F) -> Arc<R>
+    /// With the schedule checker on, `stamp` carries this rank's collective
+    /// fingerprint; the last arriver verifies agreement before combining.
+    pub(crate) fn exchange<T, R, F>(
+        &self,
+        rank: usize,
+        contribution: T,
+        stamp: Option<ScheduleStamp>,
+        combine: F,
+    ) -> Arc<R>
     where
         T: Send + 'static,
         R: Send + Sync + 'static,
@@ -89,19 +188,86 @@ impl Rendezvous {
             self.condvar.wait(&mut st);
             self.check_poison();
         }
+        // With the checker on, a collective entered after any rank already
+        // returned from its SPMD closure can never fill: that rank will
+        // never arrive. Diagnose the count divergence instead of hanging.
+        if let Some(s) = &stamp {
+            if st.done.iter().any(|&d| d) {
+                let finished: Vec<String> = st
+                    .done
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d)
+                    .map(|(r, _)| r.to_string())
+                    .collect();
+                let msg = format!(
+                    "collective schedule divergence: rank {rank} entered {} #{} at {}, but \
+                     rank(s) {} already finished their SPMD closure — this collective can \
+                     never complete\n",
+                    s.kind,
+                    s.seq,
+                    s.site,
+                    finished.join(", ")
+                );
+                drop(st);
+                self.poison_with(msg.clone());
+                panic!("{msg}");
+            }
+        }
         let my_generation = st.generation;
-        debug_assert!(st.slots[rank].is_none(), "rank {rank} arrived twice at one collective");
+        debug_assert!(
+            st.slots[rank].is_none(),
+            "rank {rank} arrived twice at one collective"
+        );
         st.slots[rank] = Some(Box::new(contribution));
+        st.stamps[rank] = stamp;
         st.arrived += 1;
 
         if st.arrived == self.nranks {
+            // Before touching the typed contributions, verify the schedule
+            // fingerprints: a kind/seq/history mismatch means the ranks
+            // disagree on *which* collective this is, and the downcast
+            // below would only produce an opaque type error (or, worse,
+            // silently combine same-typed contributions from different
+            // call sites).
+            if st.stamps.iter().any(Option::is_some) {
+                let reference = st.stamps.iter().flatten().next().copied();
+                let diverged = st.stamps.iter().any(|s| match (s, &reference) {
+                    (Some(a), Some(b)) => !a.agrees_with(b),
+                    _ => true, // checker on for some ranks only: a bug
+                });
+                if diverged {
+                    let mut msg = String::from(
+                        "collective schedule divergence: ranks disagree on the collective \
+                         schedule at this rendezvous\n",
+                    );
+                    for (r, s) in st.stamps.iter().enumerate() {
+                        match s {
+                            Some(s) => msg.push_str(&format!(
+                                "  rank {r}: {} #{} (history {:#018x}) at {}\n",
+                                s.kind, s.seq, s.history, s.site
+                            )),
+                            None => msg.push_str(&format!("  rank {r}: <no schedule stamp>\n")),
+                        }
+                    }
+                    // Unwind the whole world: drop the cell lock first
+                    // (poison re-takes it to fence the condvar), then
+                    // poison with the diagnostic so blocked peers panic
+                    // with the same message instead of hanging.
+                    drop(st);
+                    self.poison_with(msg.clone());
+                    panic!("{msg}");
+                }
+            }
             // Last arriver: gather the typed contributions and combine.
             let contributions: Vec<T> = st
                 .slots
                 .iter_mut()
                 .enumerate()
                 .map(|(i, slot)| {
-                    let any = slot.take().unwrap_or_else(|| panic!("missing contribution from rank {i}"));
+                    let any = slot
+                        .take()
+                        .unwrap_or_else(|| panic!("missing contribution from rank {i}"));
                     *any.downcast::<T>().unwrap_or_else(|_| {
                         panic!("collective type mismatch: ranks disagree on the operation sequence")
                     })
@@ -157,7 +323,7 @@ mod tests {
     #[test]
     fn single_rank_exchange_returns_own_value() {
         let r = Rendezvous::new(1);
-        let out = r.exchange(0, 41_u32, |v| v[0] + 1);
+        let out = r.exchange(0, 41_u32, None, |v| v[0] + 1);
         assert_eq!(*out, 42);
     }
 
@@ -168,7 +334,7 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|rank| {
                     let r = &r;
-                    s.spawn(move || (*r.exchange(rank, rank * 10, |v| v.clone())).clone())
+                    s.spawn(move || (*r.exchange(rank, rank * 10, None, |v| v.clone())).clone())
                 })
                 .collect();
             for h in handles {
@@ -187,7 +353,7 @@ mod tests {
                     s.spawn(move || {
                         let mut sums = Vec::new();
                         for round in 0..100_u64 {
-                            let sum = *r.exchange(rank, round, |v| v.iter().sum::<u64>());
+                            let sum = *r.exchange(rank, round, None, |v| v.iter().sum::<u64>());
                             sums.push(sum);
                         }
                         sums

@@ -113,7 +113,10 @@ pub struct RankStats {
 
 impl RankStats {
     pub(crate) fn new(rank: usize) -> Self {
-        RankStats { rank, ..Default::default() }
+        RankStats {
+            rank,
+            ..Default::default()
+        }
     }
 
     /// The record for `phase`, created on first use.

@@ -23,7 +23,25 @@ macro_rules! pod_wire {
     )*};
 }
 
-pod_wire!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+pod_wire!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl<T: WireSized> WireSized for Vec<T> {
     fn wire_bytes(&self) -> u64 {

@@ -21,6 +21,9 @@ pub struct World {
     /// Shared fault bookkeeping; persists across runs of the same world so
     /// one-shot crashes stay fired when a driver retries.
     fault: Option<Arc<FaultState>>,
+    /// Verify the collective schedule at every rendezvous (see
+    /// [`World::check_schedule`]). Defaults to on in debug builds.
+    check_schedule: bool,
 }
 
 /// How one rank ended a [`World::run_with_outcomes`] execution.
@@ -91,7 +94,12 @@ impl<R> WorldOutcome<R> {
         if !self.all_completed() {
             return None;
         }
-        Some(self.outcomes.into_iter().filter_map(RankOutcome::completed).collect())
+        Some(
+            self.outcomes
+                .into_iter()
+                .filter_map(RankOutcome::completed)
+                .collect(),
+        )
     }
 
     /// Modeled makespan under `model` (see [`CostModel::makespan`]).
@@ -126,7 +134,11 @@ impl<R> WorldReport<R> {
 
     /// Maximum work units on any single rank (the makespan driver).
     pub fn max_rank_work(&self) -> u64 {
-        self.stats.iter().map(|s| s.total.work_units).max().unwrap_or(0)
+        self.stats
+            .iter()
+            .map(|s| s.total.work_units)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -139,7 +151,11 @@ fn is_cascade_payload(payload: &Box<dyn std::any::Any + Send>) -> bool {
     payload
         .downcast_ref::<String>()
         .map(|s| s.contains("world poisoned"))
-        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.contains("world poisoned")))
+        .or_else(|| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("world poisoned"))
+        })
         .unwrap_or(false)
 }
 
@@ -159,7 +175,25 @@ impl World {
     pub fn new(nranks: usize) -> Self {
         assert!(nranks > 0, "a world needs at least one rank");
         // Modest stacks so that worlds of hundreds of ranks stay cheap.
-        World { nranks, stack_size: 2 << 20, fault: None }
+        World {
+            nranks,
+            stack_size: 2 << 20,
+            fault: None,
+            check_schedule: cfg!(debug_assertions),
+        }
+    }
+
+    /// Toggle the collective-schedule checker (the dynamic counterpart of
+    /// spmd-lint rule R1). When on, every collective carries a
+    /// `(kind, sequence, history-hash)` fingerprint plus its
+    /// `#[track_caller]` call site, and the rendezvous verifies all ranks
+    /// agree before combining — so a rank-divergent collective fails
+    /// immediately with a per-rank diagnostic instead of hanging or dying
+    /// on an opaque type mismatch. Defaults to on in debug builds and off
+    /// in release builds (the stamp costs one hash per collective).
+    pub fn check_schedule(mut self, on: bool) -> Self {
+        self.check_schedule = on;
+        self
     }
 
     /// Override the per-rank thread stack size (bytes).
@@ -172,8 +206,11 @@ impl World {
     /// one-shot crash fired in one [`World::run_with_outcomes`] call stays
     /// fired when the same world re-runs (a driver retry does not re-crash).
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault =
-            if plan.is_empty() { None } else { Some(Arc::new(FaultState::new(plan, self.nranks))) };
+        self.fault = if plan.is_empty() {
+            None
+        } else {
+            Some(Arc::new(FaultState::new(plan, self.nranks)))
+        };
         self
     }
 
@@ -192,13 +229,13 @@ impl World {
         if let Some(fault) = &self.fault {
             fault.begin_attempt();
         }
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..self.nranks).map(|_| unbounded()).unzip();
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..self.nranks).map(|_| unbounded()).unzip();
         let fabric = Arc::new(Fabric {
             nranks: self.nranks,
             mailboxes: senders,
             rendezvous: Rendezvous::new(self.nranks),
             fault: self.fault.clone(),
+            check_schedule: self.check_schedule,
         });
 
         let mut slots: Vec<Option<RawOutcome<R>>> = (0..self.nranks).map(|_| None).collect();
@@ -217,11 +254,16 @@ impl World {
                         // on collectives or receives unwind instead of
                         // deadlocking; counters survive the unwind so even a
                         // crashed rank's partial traffic can be priced.
-                        let outcome = std::panic::catch_unwind(
-                            std::panic::AssertUnwindSafe(|| f(&mut comm)),
-                        );
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
                         if outcome.is_err() {
                             fabric.rendezvous.poison();
+                        } else if fabric.check_schedule {
+                            // Schedule checker: a rank returning while peers
+                            // are blocked inside a collective is a count
+                            // divergence — diagnose it instead of letting
+                            // the world deadlock on a cell that never fills.
+                            fabric.rendezvous.mark_done(rank);
                         }
                         let stats = comm.take_stats();
                         (outcome, stats)
@@ -239,7 +281,10 @@ impl World {
             }
         });
 
-        slots.into_iter().map(|s| s.expect("rank produced no outcome")).collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("rank produced no outcome"))
+            .collect()
     }
 
     /// Run `f` on every rank and collect results and counters in rank order.
@@ -385,8 +430,9 @@ mod tests {
     fn alltoallv_transposes() {
         let p = 4;
         let report = World::new(p).run(|c| {
-            let outgoing: Vec<Vec<u64>> =
-                (0..c.size()).map(|d| vec![(c.rank() * 10 + d) as u64]).collect();
+            let outgoing: Vec<Vec<u64>> = (0..c.size())
+                .map(|d| vec![(c.rank() * 10 + d) as u64])
+                .collect();
             c.alltoallv(outgoing)
         });
         for (me, incoming) in report.results.iter().enumerate() {
@@ -400,8 +446,9 @@ mod tests {
     fn alltoallv_reduce_transposes_and_folds_in_rank_order() {
         let p = 4;
         let report = World::new(p).run(|c| {
-            let outgoing: Vec<Vec<u64>> =
-                (0..c.size()).map(|d| vec![(c.rank() * 10 + d) as u64]).collect();
+            let outgoing: Vec<Vec<u64>> = (0..c.size())
+                .map(|d| vec![(c.rank() * 10 + d) as u64])
+                .collect();
             c.alltoallv_reduce(outgoing, vec![c.rank() as u64], |parts| {
                 // Concatenation exposes the fold order.
                 parts.into_iter().flatten().collect::<Vec<u64>>()
@@ -429,7 +476,11 @@ mod tests {
     #[test]
     fn broadcast_from_nonzero_root() {
         let report = World::new(5).run(|c| {
-            let v = if c.rank() == 3 { Some(vec![9_u8, 8, 7]) } else { None };
+            let v = if c.rank() == 3 {
+                Some(vec![9_u8, 8, 7])
+            } else {
+                None
+            };
             c.broadcast(3, v)
         });
         for got in report.results {
@@ -476,9 +527,7 @@ mod tests {
 
     #[test]
     fn allreduce_f64_min_handles_negatives() {
-        let report = World::new(3).run(|c| {
-            c.allreduce_f64(-(c.rank() as f64), ReduceOp::Min)
-        });
+        let report = World::new(3).run(|c| c.allreduce_f64(-(c.rank() as f64), ReduceOp::Min));
         for got in report.results {
             assert_eq!(got, -2.0);
         }

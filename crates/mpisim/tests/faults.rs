@@ -18,7 +18,11 @@ fn crash_fails_the_rank_and_aborts_blocked_survivors() {
     let failures = out.failures();
     assert_eq!(failures.len(), 1);
     assert_eq!(failures[0].0, 1);
-    assert!(failures[0].1.contains("fault injected"), "got `{}`", failures[0].1);
+    assert!(
+        failures[0].1.contains("fault injected"),
+        "got `{}`",
+        failures[0].1
+    );
     assert!(failures[0].1.contains("comm event 5"));
     assert_eq!(out.stats[1].faults.crashes, 1);
     for rank in [0, 2] {
@@ -46,7 +50,10 @@ fn one_shot_crash_does_not_refire_on_the_same_world() {
         }
         acc
     });
-    assert!(second.all_completed(), "one-shot crashes stay fired across attempts");
+    assert!(
+        second.all_completed(),
+        "one-shot crashes stay fired across attempts"
+    );
     assert_eq!(second.into_results(), Some(vec![2, 2]));
 }
 
@@ -59,7 +66,10 @@ fn repeating_crash_refires_every_attempt() {
             c.barrier();
             c.barrier();
         });
-        assert!(!out.all_completed(), "repeating crash must fire on attempt {attempt}");
+        assert!(
+            !out.all_completed(),
+            "repeating crash must fire on attempt {attempt}"
+        );
     }
 }
 
@@ -101,8 +111,8 @@ fn dropped_message_starves_the_receiver_into_a_recoverable_failure() {
 
 #[test]
 fn duplicated_message_is_delivered_and_metered_twice() {
-    let world = World::new(2)
-        .fault_plan(FaultPlan::new(3).duplicate_messages(Some(0), Some(1), 1.0));
+    let world =
+        World::new(2).fault_plan(FaultPlan::new(3).duplicate_messages(Some(0), Some(1), 1.0));
     let report = world.run(|c| {
         if c.rank() == 0 {
             c.send(1, 8, vec![42u64]);
@@ -123,8 +133,8 @@ fn duplicated_message_is_delivered_and_metered_twice() {
 
 #[test]
 fn delayed_message_arrives_after_the_sender_advances() {
-    let world = World::new(2)
-        .fault_plan(FaultPlan::new(0).delay_messages(Some(0), Some(1), 1.0, 3));
+    let world =
+        World::new(2).fault_plan(FaultPlan::new(0).delay_messages(Some(0), Some(1), 1.0, 3));
     let report = world.run(|c| {
         if c.rank() == 0 {
             c.send(1, 6, vec![7u8]);
@@ -161,7 +171,10 @@ fn message_faults_are_deterministic_for_a_given_seed() {
     let a = run_once();
     let b = run_once();
     assert_eq!(a, b, "same plan + seed must produce identical fates");
-    assert!(a > 0 && a < 20, "p=0.5 over 20 messages should drop some, not all (got {a})");
+    assert!(
+        a > 0 && a < 20,
+        "p=0.5 over 20 messages should drop some, not all (got {a})"
+    );
 }
 
 #[test]

@@ -67,7 +67,10 @@ fn rank_blocked_in_collective_unwinds_promptly() {
     assert!(failures[0].1.contains("collective peer died"));
     for (rank, o) in out.outcomes.iter().enumerate() {
         if rank != 1 {
-            assert!(matches!(o, RankOutcome::Aborted), "rank {rank} should abort");
+            assert!(
+                matches!(o, RankOutcome::Aborted),
+                "rank {rank} should abort"
+            );
         }
     }
 }
@@ -166,14 +169,20 @@ fn run_prefers_original_panic_over_dead_destination_send() {
 #[test]
 fn broadcast_meters_actual_payload_bytes() {
     let report = World::new(2).run(|c| {
-        let v = if c.rank() == 0 { Some(vec![0u64; 100]) } else { None };
+        let v = if c.rank() == 0 {
+            Some(vec![0u64; 100])
+        } else {
+            None
+        };
         c.broadcast(0, v).len()
     });
     assert_eq!(report.results, vec![100, 100]);
     assert_eq!(
-        report.stats[0].total.collective_bytes,
-        800,
+        report.stats[0].total.collective_bytes, 800,
         "root must meter 100 * 8 payload bytes"
     );
-    assert_eq!(report.stats[1].total.collective_bytes, 0, "non-roots contribute nothing");
+    assert_eq!(
+        report.stats[1].total.collective_bytes, 0,
+        "non-roots contribute nothing"
+    );
 }

@@ -47,8 +47,8 @@ proptest! {
         lens in proptest::collection::vec(0usize..5, 6),
     ) {
         let mut expect: Vec<u32> = Vec::new();
-        for r in 0..p {
-            expect.extend(std::iter::repeat_n(r as u32, lens[r]));
+        for (r, &len) in lens.iter().enumerate().take(p) {
+            expect.extend(std::iter::repeat_n(r as u32, len));
         }
         let report = World::new(p).run(|c| {
             let local = vec![c.rank() as u32; lens[c.rank()]];

@@ -1,0 +1,143 @@
+//! The collective-schedule checker: a deliberately rank-divergent
+//! collective must produce an immediate per-rank diagnostic — naming the
+//! diverging rank, the mismatched collective kinds, and the call sites —
+//! instead of a hang or an opaque downcast panic.
+
+use infomap_mpisim::{RankOutcome, ReduceOp, World};
+
+/// One rank calls a different collective than everyone else (the exact bug
+/// spmd-lint rule R1 flags statically: a collective under a rank-keyed
+/// conditional). The checker must convert it into a diagnostic.
+#[test]
+fn divergent_collective_reports_ranks_and_call_sites() {
+    let outcome = World::new(4).check_schedule(true).run_with_outcomes(|c| {
+        c.barrier();
+        if c.rank() == 1 {
+            // Divergent: rank 1 issues an allreduce while the others
+            // issue a barrier.
+            c.allreduce_u64(7, ReduceOp::Sum);
+        } else {
+            c.barrier();
+        }
+        c.rank()
+    });
+
+    assert!(
+        !outcome.all_completed(),
+        "the divergent schedule must not complete"
+    );
+    // The last arriver raises the diagnostic; sympathetic ranks abort.
+    let failures = outcome.failures();
+    assert!(
+        !failures.is_empty(),
+        "at least one rank must carry the diagnostic"
+    );
+    let msg = failures[0].1;
+    assert!(
+        msg.contains("collective schedule divergence"),
+        "diagnostic must name the failure class, got: {msg}"
+    );
+    assert!(
+        msg.contains("rank 1: allreduce_u64"),
+        "must pin rank 1's kind, got: {msg}"
+    );
+    assert!(
+        msg.contains("rank 0: barrier"),
+        "must show the peers' kind, got: {msg}"
+    );
+    assert!(
+        msg.contains("tests/schedule.rs"),
+        "must carry the call site, got: {msg}"
+    );
+    for f in &failures {
+        assert!(
+            f.1.contains("collective schedule divergence"),
+            "every failed rank must fail with the schedule diagnostic, not a hang/timeout"
+        );
+    }
+}
+
+/// A count divergence — one rank issues fewer collectives than its peers
+/// and returns early — leaves the peers blocked in a rendezvous that can
+/// never fill. Without the checker that is a permanent deadlock; with it,
+/// the early return is detected and the waiters unwind with a diagnostic.
+#[test]
+fn skipped_collective_is_diagnosed_not_deadlocked() {
+    let outcome = World::new(3).check_schedule(true).run_with_outcomes(|c| {
+        c.barrier();
+        if c.rank() != 2 {
+            c.barrier(); // rank 2 skips this one and finishes early
+        }
+        c.rank()
+    });
+    assert!(!outcome.all_completed());
+    let failures = outcome.failures();
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.1.contains("collective schedule divergence")),
+        "waiters must unwind with the divergence diagnostic, got: {failures:?}"
+    );
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.1.contains("rank(s) 2 already finished")),
+        "the diagnostic must name the rank that finished early, got: {failures:?}"
+    );
+}
+
+/// A healthy SPMD program passes with the checker forced on, and the
+/// stamps change nothing observable (same results, same counters).
+#[test]
+fn healthy_schedule_is_transparent() {
+    let run = |check: bool| {
+        World::new(4).check_schedule(check).run(|c| {
+            c.barrier();
+            let s = c.allreduce_u64(c.rank() as u64, ReduceOp::Sum);
+            let g = (*c.allgatherv(vec![c.rank() as u32])).clone();
+            let m = c.allreduce_f64(c.rank() as f64, ReduceOp::Max);
+            (s, g, m)
+        })
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(with.results, without.results);
+    for (a, b) in with.stats.iter().zip(&without.stats) {
+        assert_eq!(a.total.collective_calls, b.total.collective_calls);
+        assert_eq!(a.total.collective_bytes, b.total.collective_bytes);
+    }
+}
+
+/// With the checker off, the legacy behavior is preserved: a divergent
+/// collective of the same contribution type completes (garbage in, garbage
+/// out — exactly why the checker defaults to on in debug builds); the
+/// harness still unwinds on type mismatches.
+#[test]
+fn checker_off_restores_legacy_semantics_for_same_typed_divergence() {
+    let outcome = World::new(2).check_schedule(false).run_with_outcomes(|c| {
+        if c.rank() == 0 {
+            c.allreduce_u64(1, ReduceOp::Sum)
+        } else {
+            // Same wire type (u64), different collective intent: the
+            // rendezvous cannot tell without stamps.
+            c.allreduce_u64(10, ReduceOp::Sum)
+        }
+    });
+    assert!(
+        outcome.all_completed(),
+        "unstampped same-typed exchange completes silently"
+    );
+
+    let outcome = World::new(2).check_schedule(true).run_with_outcomes(|c| {
+        if c.rank() == 0 {
+            c.allreduce_u64(1, ReduceOp::Sum) as f64
+        } else {
+            c.allreduce_f64(1.0, ReduceOp::Sum)
+        }
+    });
+    assert!(!outcome.all_completed(), "stamped mismatch must fail");
+    assert!(matches!(
+        outcome.outcomes.iter().find(|o| !o.is_completed()),
+        Some(RankOutcome::Failed(_) | RankOutcome::Aborted)
+    ));
+}

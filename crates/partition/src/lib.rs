@@ -21,6 +21,8 @@
 //! [`BalanceStats`] summarizes per-rank loads (edges or ghosts) for the
 //! workload/communication balance experiments (Figures 6–7).
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashSet;
 
 use infomap_graph::{Graph, VertexId};
@@ -119,9 +121,17 @@ impl Partition {
             let r = assign(u, n, nranks);
             for (v, w) in graph.arcs(u) {
                 if v == u {
-                    arcs[r].push(Arc { src: u, dst: u, weight: w });
+                    arcs[r].push(Arc {
+                        src: u,
+                        dst: u,
+                        weight: w,
+                    });
                 } else {
-                    arcs[r].push(Arc { src: u, dst: v, weight: w });
+                    arcs[r].push(Arc {
+                        src: u,
+                        dst: v,
+                        weight: w,
+                    });
                 }
             }
         }
@@ -170,7 +180,11 @@ impl Partition {
         let mut movable: Vec<(usize, usize)> = Vec::new();
         for u in 0..n as VertexId {
             for (v, w) in graph.arcs(u) {
-                let arc = Arc { src: u, dst: v, weight: w };
+                let arc = Arc {
+                    src: u,
+                    dst: v,
+                    weight: w,
+                };
                 let r = if is_delegate[u as usize] {
                     // Delegate source: co-locate with the target. A
                     // delegate-delegate arc can live anywhere; target's
@@ -190,7 +204,13 @@ impl Partition {
             rebalance_delegate_arcs(&mut arcs, movable, nranks);
         }
 
-        Partition { nranks, arcs, delegates, is_delegate, block_owned: false }
+        Partition {
+            nranks,
+            arcs,
+            delegates,
+            is_delegate,
+            block_owned: false,
+        }
     }
 
     /// Per-rank arc counts — the paper's workload proxy ("the total workload
@@ -248,11 +268,7 @@ impl Partition {
 /// are replicated everywhere, so their arcs may live on any rank; the
 /// pass removes each overloaded rank's surplus of delegate arcs and deals
 /// it to under-loaded ranks, moving the minimum number of arcs.
-fn rebalance_delegate_arcs(
-    arcs: &mut [Vec<Arc>],
-    movable: Vec<(usize, usize)>,
-    nranks: usize,
-) {
+fn rebalance_delegate_arcs(arcs: &mut [Vec<Arc>], movable: Vec<(usize, usize)>, nranks: usize) {
     let total: usize = arcs.iter().map(Vec::len).sum();
     let ideal = total / nranks;
     let mut loads: Vec<usize> = arcs.iter().map(Vec::len).collect();
@@ -272,7 +288,9 @@ fn rebalance_delegate_arcs(
     let mut pool: Vec<Arc> = Vec::new();
     for r in 0..nranks {
         while loads[r] > ideal {
-            let Some(idx) = movable_by_rank[r].pop() else { break };
+            let Some(idx) = movable_by_rank[r].pop() else {
+                break;
+            };
             // Indices were recorded against the original list; removals go
             // from the highest index down, so `idx` is still in range and
             // still points at the same (delegate-source) arc.
@@ -336,7 +354,11 @@ impl BalanceStats {
             p75: q(0.75),
             max: *sorted.last().unwrap(),
             mean,
-            imbalance: if mean > 0.0 { *sorted.last().unwrap() as f64 / mean } else { 1.0 },
+            imbalance: if mean > 0.0 {
+                *sorted.last().unwrap() as f64 / mean
+            } else {
+                1.0
+            },
         }
     }
 }
@@ -383,7 +405,12 @@ mod tests {
         let p = Partition::delegate(&g, 4, DelegateThreshold::Fixed(10), true);
         assert_eq!(p.delegates, vec![0]);
         let stats = BalanceStats::from_loads(&p.edge_counts());
-        assert!(stats.imbalance < 1.3, "imbalance {}: {:?}", stats.imbalance, p.edge_counts());
+        assert!(
+            stats.imbalance < 1.3,
+            "imbalance {}: {:?}",
+            stats.imbalance,
+            p.edge_counts()
+        );
         // Arc conservation under rebalancing.
         let total_arcs: usize = (0..g.num_vertices() as VertexId).map(|u| g.degree(u)).sum();
         assert_eq!(p.total_arcs(), total_arcs);
@@ -415,7 +442,12 @@ mod tests {
         );
         let e1 = BalanceStats::from_loads(&one_d.edge_counts());
         let e2 = BalanceStats::from_loads(&del.edge_counts());
-        assert!(e2.imbalance < e1.imbalance, "edge imbalance {} vs {}", e2.imbalance, e1.imbalance);
+        assert!(
+            e2.imbalance < e1.imbalance,
+            "edge imbalance {} vs {}",
+            e2.imbalance,
+            e1.imbalance
+        );
     }
 
     #[test]
@@ -469,8 +501,7 @@ mod tests {
                 }
             }
             // Arc conservation under rebalancing.
-            let expect: usize =
-                (0..g.num_vertices() as VertexId).map(|u| g.degree(u)).sum();
+            let expect: usize = (0..g.num_vertices() as VertexId).map(|u| g.degree(u)).sum();
             assert_eq!(part.total_arcs(), expect, "p={p}");
         }
     }
@@ -479,12 +510,7 @@ mod tests {
     fn self_loops_partition_once() {
         let g = Graph::from_edges(4, &[(0, 0, 1.0), (0, 1, 1.0), (2, 3, 1.0)]);
         let p = Partition::one_d(&g, 2);
-        let selfs: usize = p
-            .arcs
-            .iter()
-            .flatten()
-            .filter(|a| a.src == a.dst)
-            .count();
+        let selfs: usize = p.arcs.iter().flatten().filter(|a| a.src == a.dst).count();
         assert_eq!(selfs, 1);
     }
 }

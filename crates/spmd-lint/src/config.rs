@@ -1,0 +1,262 @@
+//! The checked-in allowlist (`spmd-lint.toml`) and its minimal TOML-subset
+//! reader.
+//!
+//! Only the shapes the allowlist needs are supported: `[[allow]]` array
+//! tables, `key = "string"` and `key = integer` pairs, and `#` comments.
+//! Every entry must carry a non-empty `justification` — an allowlist entry
+//! is a reviewed claim that the flagged site provably cannot break
+//! determinism, and the claim has to be written down.
+
+use std::cell::Cell;
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Rule};
+
+#[derive(Debug)]
+pub struct AllowEntry {
+    pub rule: Rule,
+    /// Matched as a suffix of the diagnostic's (workspace-relative) path.
+    pub path: String,
+    /// Optional substring the flagged source line must contain. Strongly
+    /// preferred over `line`: it survives unrelated edits above the site.
+    pub contains: Option<String>,
+    /// Optional exact line pin (brittle; use only when `contains` cannot
+    /// disambiguate).
+    pub line: Option<u32>,
+    pub justification: String,
+    /// Audit trail: set when a diagnostic matched this entry.
+    used: Cell<bool>,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    pub fn empty() -> Self {
+        Allowlist {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Parse `spmd-lint.toml` content. Returns `Err` with a line-numbered
+    /// message on malformed input or a missing justification.
+    pub fn parse(src: &str) -> Result<Allowlist, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        // Fields of the entry currently being assembled.
+        #[derive(Default)]
+        struct Partial {
+            rule: Option<Rule>,
+            path: Option<String>,
+            contains: Option<String>,
+            line: Option<u32>,
+            justification: Option<String>,
+        }
+        let mut cur: Option<Partial> = None;
+
+        fn flush(
+            cur: &mut Option<Partial>,
+            entries: &mut Vec<AllowEntry>,
+            at_line: usize,
+        ) -> Result<(), String> {
+            if let Some(p) = cur.take() {
+                let rule = p.rule.ok_or(format!(
+                    "allow entry before line {at_line} is missing `rule`"
+                ))?;
+                let path = p.path.ok_or(format!(
+                    "allow entry before line {at_line} is missing `path`"
+                ))?;
+                let justification =
+                    p.justification
+                        .filter(|j| !j.trim().is_empty())
+                        .ok_or(format!(
+                        "allow entry before line {at_line} is missing a non-empty `justification`"
+                    ))?;
+                entries.push(AllowEntry {
+                    rule,
+                    path,
+                    contains: p.contains,
+                    line: p.line,
+                    justification,
+                    used: Cell::new(false),
+                });
+            }
+            Ok(())
+        }
+
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                flush(&mut cur, &mut entries, lineno)?;
+                cur = Some(Partial::default());
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {lineno}: unsupported table `{line}`"));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or(format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let slot = cur
+                .as_mut()
+                .ok_or(format!("line {lineno}: `{key}` outside an [[allow]] entry"))?;
+            match key {
+                "rule" => {
+                    let s = parse_string(value, lineno)?;
+                    slot.rule = Some(
+                        Rule::from_code(&s).ok_or(format!("line {lineno}: unknown rule `{s}`"))?,
+                    );
+                }
+                "path" => slot.path = Some(parse_string(value, lineno)?),
+                "contains" => slot.contains = Some(parse_string(value, lineno)?),
+                "line" => {
+                    slot.line = Some(
+                        value
+                            .parse::<u32>()
+                            .map_err(|_| format!("line {lineno}: `line` must be an integer"))?,
+                    )
+                }
+                "justification" => slot.justification = Some(parse_string(value, lineno)?),
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        flush(&mut cur, &mut entries, src.lines().count() + 1)?;
+        Ok(Allowlist { entries })
+    }
+
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&src)
+    }
+
+    /// Does any entry cover this diagnostic? Marks the matching entry used.
+    pub fn covers(&self, d: &Diagnostic) -> bool {
+        let dpath = d.path.to_string_lossy().replace('\\', "/");
+        for e in &self.entries {
+            if e.rule != d.rule || !dpath.ends_with(e.path.as_str()) {
+                continue;
+            }
+            if let Some(c) = &e.contains {
+                if !d.snippet.contains(c.as_str()) {
+                    continue;
+                }
+            }
+            if let Some(l) = e.line {
+                if l != d.line {
+                    continue;
+                }
+            }
+            e.used.set(true);
+            return true;
+        }
+        false
+    }
+
+    /// Entries that never matched a diagnostic — stale claims to prune.
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| !e.used.get()).collect()
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string must not start a comment.
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+        return Err(format!(
+            "line {lineno}: expected a double-quoted string, got `{v}`"
+        ));
+    }
+    let inner = &v[1..v.len() - 1];
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn parses_entries_and_matches_suffix_and_contains() {
+        let toml = r#"
+# comment
+[[allow]]
+rule = "R3"
+path = "crates/mpisim/src/comm.rs"
+contains = "Instant::now"
+justification = "phase wall-clock is informational"
+"#;
+        let al = Allowlist::parse(toml).unwrap();
+        assert_eq!(al.entries.len(), 1);
+        let d = Diagnostic {
+            rule: Rule::NondeterministicSource,
+            path: PathBuf::from("crates/mpisim/src/comm.rs"),
+            line: 188,
+            message: String::new(),
+            snippet: "self.phase_stack.push((name.to_string(), Instant::now()));".into(),
+        };
+        assert!(al.covers(&d));
+        assert!(al.unused().is_empty());
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let toml = "[[allow]]\nrule = \"R1\"\npath = \"x.rs\"\n";
+        assert!(Allowlist::parse(toml).is_err());
+    }
+
+    #[test]
+    fn wrong_rule_or_snippet_does_not_match() {
+        let toml = "[[allow]]\nrule = \"R2\"\npath = \"a.rs\"\ncontains = \"zzz\"\njustification = \"j\"\n";
+        let al = Allowlist::parse(toml).unwrap();
+        let d = Diagnostic {
+            rule: Rule::UnorderedIteration,
+            path: PathBuf::from("crates/x/src/a.rs"),
+            line: 1,
+            message: String::new(),
+            snippet: "for k in map.keys() {".into(),
+        };
+        assert!(!al.covers(&d));
+        assert_eq!(al.unused().len(), 1);
+    }
+}

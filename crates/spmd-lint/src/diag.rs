@@ -1,0 +1,105 @@
+//! Diagnostic model shared by the library, the CLI, and the fixture tests.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The five SPMD determinism rule classes (see DESIGN.md note 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: collective call reachable inside a conditional keyed on
+    /// rank-local state — ranks can disagree on the collective schedule.
+    DivergentCollective,
+    /// R2: iteration over `HashMap`/`HashSet` where order can leak into
+    /// wire bytes, election order, or f64 accumulation.
+    UnorderedIteration,
+    /// R3: ambient nondeterminism (`Instant::now`, `SystemTime`,
+    /// `thread_rng`, `RandomState`) outside the cost model and benches.
+    NondeterministicSource,
+    /// R4: `send`/`send_slice` call site with no `WIRE_BYTES`-based
+    /// metering in the enclosing function — padded in-memory sizes leak
+    /// into the byte counters.
+    UnmeteredSend,
+    /// R5: `+=` f64 fold inside an unordered-container loop, bypassing
+    /// the canonical deterministic reductions.
+    FloatAccumulation,
+}
+
+impl Rule {
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::DivergentCollective => "R1",
+            Rule::UnorderedIteration => "R2",
+            Rule::NondeterministicSource => "R3",
+            Rule::UnmeteredSend => "R4",
+            Rule::FloatAccumulation => "R5",
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::DivergentCollective => "divergent-collective",
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::NondeterministicSource => "nondeterministic-source",
+            Rule::UnmeteredSend => "unmetered-send",
+            Rule::FloatAccumulation => "float-accumulation",
+        }
+    }
+
+    pub fn severity(self) -> Severity {
+        match self {
+            // Warnings still fail the build under `--deny`; the split only
+            // affects the default (non-deny) exit code.
+            Rule::NondeterministicSource => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    pub fn from_code(code: &str) -> Option<Rule> {
+        match code {
+            "R1" | "divergent-collective" => Some(Rule::DivergentCollective),
+            "R2" | "unordered-iteration" => Some(Rule::UnorderedIteration),
+            "R3" | "nondeterministic-source" => Some(Rule::NondeterministicSource),
+            "R4" | "unmetered-send" => Some(Rule::UnmeteredSend),
+            "R5" | "float-accumulation" => Some(Rule::FloatAccumulation),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    /// Path as reported (workspace-relative when produced by
+    /// `lint_workspace`).
+    pub path: PathBuf,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    pub message: String,
+    /// Trimmed source line, for context in the report and for allowlist
+    /// `contains` matching.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.rule.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        writeln!(
+            f,
+            "{sev}[{}] {}: {}",
+            self.rule.code(),
+            self.rule.name(),
+            self.message
+        )?;
+        writeln!(f, "  --> {}:{}", self.path.display(), self.line)?;
+        write!(f, "   | {}", self.snippet)
+    }
+}

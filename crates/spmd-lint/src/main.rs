@@ -1,0 +1,119 @@
+//! `spmd-lint` CLI: `cargo run -p spmd-lint -- --workspace [--deny]`.
+//!
+//! Exit status: 0 when clean (allowlisted findings are clean); 1 when any
+//! error-severity finding survives the allowlist, or — under `--deny` —
+//! when *any* finding survives; 2 on usage/config errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spmd_lint::{find_workspace_root, lint_workspace, Allowlist};
+
+const USAGE: &str =
+    "usage: spmd-lint [--workspace] [--deny] [--root DIR] [--allowlist FILE] [--quiet]
+
+  --workspace        lint every workspace crate (default; flag kept for clarity)
+  --deny             fail on warnings too, not just errors
+  --root DIR         workspace root (default: walk up from cwd to [workspace])
+  --allowlist FILE   allowlist path (default: <root>/spmd-lint.toml)
+  --quiet            print only the summary line
+";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => return usage_error("--allowlist needs a value"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage_error("no workspace root found (pass --root)"),
+    };
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("spmd-lint.toml"));
+    let allow = if allowlist_path.is_file() {
+        match Allowlist::load(&allowlist_path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("spmd-lint: bad allowlist: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::empty()
+    };
+
+    let report = match lint_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("spmd-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for d in &report.findings {
+            println!("{d}\n");
+        }
+        for e in allow.unused() {
+            println!(
+                "warning[allowlist] unused entry: rule {} path `{}`{} — prune it or fix the pin",
+                e.rule.code(),
+                e.path,
+                e.contains
+                    .as_deref()
+                    .map(|c| format!(" contains `{c}`"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+
+    let errors = report.error_count();
+    let warnings = report.warning_count();
+    println!(
+        "spmd-lint: {errors} error(s), {warnings} warning(s), {} allowlisted ({} allowlist entr{} unused)",
+        report.allowed.len(),
+        allow.unused().len(),
+        if allow.unused().len() == 1 { "y" } else { "ies" },
+    );
+
+    let fail = errors > 0 || (deny && !report.findings.is_empty());
+    if fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("spmd-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,16 @@
+// R1 fixture: a collective reachable only on some ranks. If rank 0 takes
+// this branch while the others do not, the collective schedule diverges
+// and the world deadlocks (or combines garbage).
+pub fn settle(c: &mut Comm) {
+    if c.rank() == 0 {
+        c.barrier();
+    }
+}
+
+pub fn settle_else(c: &mut Comm) {
+    if c.rank() == 0 {
+        log_progress();
+    } else {
+        c.allreduce_u64(0, ReduceOp::Sum);
+    }
+}

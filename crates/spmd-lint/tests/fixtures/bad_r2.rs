@@ -1,0 +1,13 @@
+// R2 fixture: iterating a hash container in an order-sensitive context.
+// HashMap iteration order varies across processes, so anything the loop
+// order can reach (wire bytes, accumulation, election) diverges by rank.
+use std::collections::HashMap;
+
+pub fn serialize_adjacency(adj: &HashMap<u32, Vec<u32>>) -> Vec<u32> {
+    let mut wire = Vec::new();
+    for (v, nbrs) in adj.iter() {
+        wire.push(*v);
+        wire.extend(nbrs);
+    }
+    wire
+}

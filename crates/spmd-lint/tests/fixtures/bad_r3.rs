@@ -1,0 +1,6 @@
+// R3 fixture: ambient nondeterminism. Replayed code must derive all state
+// from the seed and the comm schedule; a wall clock read breaks replay.
+pub fn elapsed_micros() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_micros() as u64
+}

@@ -1,0 +1,6 @@
+// R4 fixture: a point-to-point send with no WIRE_BYTES-based metering in
+// the enclosing function. Unmetered traffic silently vanishes from the
+// cost model's makespan.
+pub fn push_row(c: &mut Comm, dst: usize, row: Vec<u64>) {
+    c.send(dst, 7, row);
+}

@@ -1,0 +1,46 @@
+// Known-good fixture: the deterministic counterparts of every bad
+// fixture. None of these may produce a finding.
+use std::collections::BTreeMap;
+
+const ROW_WIRE_BYTES: u64 = 8;
+
+// R1 counterpart: the collective runs on every rank; only rank-local
+// bookkeeping sits under the rank conditional.
+pub fn settle(c: &mut Comm) {
+    c.barrier();
+    if c.rank() == 0 {
+        log_progress();
+    }
+}
+
+// R2 counterpart: BTreeMap iterates in key order on every rank.
+pub fn serialize_adjacency(adj: &BTreeMap<u32, Vec<u32>>) -> Vec<u32> {
+    let mut wire = Vec::new();
+    for (v, nbrs) in adj.iter() {
+        wire.push(*v);
+        wire.extend(nbrs);
+    }
+    wire
+}
+
+// R3 counterpart: time derives from the metered cost model, not a clock.
+
+// R4 counterpart: the send is metered through a *_WIRE_BYTES size.
+pub fn push_row(c: &mut Comm, dst: usize, row: Vec<u64>) {
+    c.add_work(row.len() as u64 * ROW_WIRE_BYTES);
+    c.send(dst, 7, row);
+}
+
+// R5 counterpart: the fold runs in key order, so it is associative-safe.
+pub fn modular_cost(flows: &BTreeMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for f in flows.values() {
+        total += f;
+    }
+    total
+}
+
+// Order-free access to a hash container is exempt even in scope.
+pub fn lookup(index: &std::collections::HashMap<u32, u64>, key: u32) -> Option<u64> {
+    index.get(&key).copied()
+}

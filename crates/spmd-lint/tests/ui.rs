@@ -1,0 +1,171 @@
+//! Fixture UI tests: one deliberately-bad snippet per rule, asserting the
+//! rule fires at the expected line, plus a known-good fixture that must be
+//! clean, plus a self-test that the real workspace is lint-clean under the
+//! checked-in allowlist.
+
+use std::path::Path;
+
+use spmd_lint::{lint_source, Allowlist, Diagnostic, Rule, Severity};
+
+/// Lint a fixture as if it lived in `infomap-distributed` (in scope for
+/// every rule).
+fn lint_fixture(name: &str, src: &str) -> Vec<Diagnostic> {
+    lint_source("infomap-distributed", Path::new(name), src)
+}
+
+/// The findings for `rule`, as `(line, snippet)` pairs.
+fn hits(diags: &[Diagnostic], rule: Rule) -> Vec<(u32, &str)> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| (d.line, d.snippet.as_str()))
+        .collect()
+}
+
+#[test]
+fn r1_flags_collectives_under_rank_conditionals() {
+    let diags = lint_fixture("bad_r1.rs", include_str!("fixtures/bad_r1.rs"));
+    let r1 = hits(&diags, Rule::DivergentCollective);
+    assert_eq!(
+        r1.len(),
+        2,
+        "both the if-branch and else-branch collectives: {diags:#?}"
+    );
+    assert_eq!(r1[0].0, 6, "barrier under `if c.rank() == 0`");
+    assert!(
+        r1[0].1.contains("c.barrier()"),
+        "snippet must show the call: {:?}",
+        r1[0].1
+    );
+    assert_eq!(r1[1].0, 14, "allreduce in the else of a rank-keyed if");
+    assert!(r1[1].1.contains("allreduce_u64"));
+    assert_eq!(Rule::DivergentCollective.severity(), Severity::Error);
+}
+
+#[test]
+fn r2_flags_hash_iteration() {
+    let diags = lint_fixture("bad_r2.rs", include_str!("fixtures/bad_r2.rs"));
+    let r2 = hits(&diags, Rule::UnorderedIteration);
+    assert_eq!(r2.len(), 1, "exactly the for-loop head: {diags:#?}");
+    assert_eq!(r2[0].0, 8);
+    assert!(r2[0].1.contains("adj.iter()"));
+}
+
+#[test]
+fn r3_warns_on_wall_clock_reads() {
+    let diags = lint_fixture("bad_r3.rs", include_str!("fixtures/bad_r3.rs"));
+    let r3 = hits(&diags, Rule::NondeterministicSource);
+    assert_eq!(r3.len(), 1, "{diags:#?}");
+    assert_eq!(r3[0].0, 4);
+    assert!(r3[0].1.contains("Instant::now"));
+    assert_eq!(Rule::NondeterministicSource.severity(), Severity::Warning);
+}
+
+#[test]
+fn r4_flags_unmetered_sends() {
+    let diags = lint_fixture("bad_r4.rs", include_str!("fixtures/bad_r4.rs"));
+    let r4 = hits(&diags, Rule::UnmeteredSend);
+    assert_eq!(r4.len(), 1, "{diags:#?}");
+    assert_eq!(r4[0].0, 5);
+    assert!(r4[0].1.contains("c.send("));
+}
+
+#[test]
+fn r5_flags_float_folds_in_hash_order() {
+    let diags = lint_fixture("bad_r5.rs", include_str!("fixtures/bad_r5.rs"));
+    let r5 = hits(&diags, Rule::FloatAccumulation);
+    assert_eq!(r5.len(), 1, "{diags:#?}");
+    assert_eq!(r5[0].0, 9);
+    assert!(r5[0].1.contains("total += f"));
+    // The enclosing loop is itself an R2 finding — both must fire.
+    let r2 = hits(&diags, Rule::UnorderedIteration);
+    assert_eq!(r2.len(), 1);
+    assert_eq!(r2[0].0, 8);
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let diags = lint_fixture("good.rs", include_str!("fixtures/good.rs"));
+    assert!(
+        diags.is_empty(),
+        "known-good fixture must produce no findings: {diags:#?}"
+    );
+}
+
+#[test]
+fn rules_are_scoped_to_their_crates() {
+    // R2/R5 only bite in the ordered crates; the same hash fold elsewhere
+    // (e.g. the bench harness) is out of scope.
+    let src = include_str!("fixtures/bad_r5.rs");
+    let diags = lint_source("infomap-bench", Path::new("bad_r5.rs"), src);
+    assert!(
+        hits(&diags, Rule::UnorderedIteration).is_empty()
+            && hits(&diags, Rule::FloatAccumulation).is_empty(),
+        "{diags:#?}"
+    );
+    // R3 is silent in the cost model, which legitimately defines clocks.
+    let clock = include_str!("fixtures/bad_r3.rs");
+    let diags = lint_source(
+        "infomap-mpisim",
+        Path::new("crates/mpisim/src/cost.rs"),
+        clock,
+    );
+    assert!(
+        hits(&diags, Rule::NondeterministicSource).is_empty(),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let started = std::time::Instant::now();
+        if c.rank() == 0 {
+            c.barrier();
+        }
+    }
+}
+"#;
+    let diags = lint_fixture("in_test.rs", src);
+    assert!(
+        diags.is_empty(),
+        "rules must be silent inside #[cfg(test)]: {diags:#?}"
+    );
+}
+
+/// The real workspace must be clean under the checked-in allowlist, and
+/// the allowlist must carry no stale entries. This makes `cargo test`
+/// enforce what CI's lint job enforces.
+#[test]
+fn workspace_is_clean_under_checked_in_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let allow = Allowlist::load(&root.join("spmd-lint.toml")).expect("allowlist parses");
+    let report = spmd_lint::lint_workspace(&root, &allow).expect("workspace lints");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has non-allowlisted findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let unused = allow.unused();
+    assert!(
+        unused.is_empty(),
+        "stale allowlist entries: {:?}",
+        unused
+            .iter()
+            .map(|e| (e.rule, e.path.clone()))
+            .collect::<Vec<_>>()
+    );
+}

@@ -7,9 +7,7 @@
 //! cargo run --release --example directed_flow
 //! ```
 
-use infomap_core::directed::{
-    directed_infomap, DirectedNetwork, PageRankConfig,
-};
+use infomap_core::directed::{directed_infomap, DirectedNetwork, PageRankConfig};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -45,7 +43,10 @@ fn main() {
     let net = DirectedNetwork::from_edges(n, &edges, PageRankConfig::default());
     let result = directed_infomap(&net, 0);
     let k = result.modules.iter().copied().max().unwrap() + 1;
-    println!("directed citation network: {n} vertices, {} arcs", edges.len());
+    println!(
+        "directed citation network: {n} vertices, {} arcs",
+        edges.len()
+    );
     println!(
         "detected {k} modules, codelength {:.4} bits (one-level {:.4})",
         result.codelength, result.one_level_codelength

@@ -32,8 +32,13 @@ fn main() {
     for t in &out.trace {
         println!(
             "  {:>5}  {:>5}  {:>12.4}  {:>8}  {:>8}  {:>7}  {:>6}",
-            t.stage, t.level, t.codelength, t.vertices_before, t.vertices_after,
-            t.inner_iterations, t.moves
+            t.stage,
+            t.level,
+            t.codelength,
+            t.vertices_before,
+            t.vertices_after,
+            t.inner_iterations,
+            t.moves
         );
     }
 

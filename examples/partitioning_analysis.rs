@@ -50,6 +50,10 @@ fn main() {
     );
     println!(
         "heaviest delegate: degree {}",
-        full.delegates.iter().map(|&d| graph.degree(d)).max().unwrap_or(0)
+        full.delegates
+            .iter()
+            .map(|&d| graph.degree(d))
+            .max()
+            .unwrap_or(0)
     );
 }

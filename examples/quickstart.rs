@@ -11,7 +11,11 @@ fn main() {
     // A 2,000-vertex LFR benchmark graph: power-law degrees, power-law
     // community sizes, 25% of each vertex's edges leaving its community.
     let (graph, planted) = generators::lfr_like(
-        generators::LfrParams { n: 2000, mu: 0.25, ..Default::default() },
+        generators::LfrParams {
+            n: 2000,
+            mu: 0.25,
+            ..Default::default()
+        },
         7,
     );
     println!(

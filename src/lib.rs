@@ -25,6 +25,8 @@
 //! assert_eq!(sequential.num_modules(), distributed.num_modules());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use infomap_baselines as baselines;
 pub use infomap_core as core;
 pub use infomap_distributed as distributed;

@@ -8,8 +8,11 @@ use distributed_infomap::prelude::*;
 fn figure4_distributed_mdl_converges_close_to_sequential() {
     let (g, _) = DatasetId::Amazon.profile().generate_scaled(0.08, 42);
     let seq = Infomap::new(InfomapConfig::default()).run(&g);
-    let dist = DistributedInfomap::new(DistributedConfig { nranks: 8, ..Default::default() })
-        .run(&g);
+    let dist = DistributedInfomap::new(DistributedConfig {
+        nranks: 8,
+        ..Default::default()
+    })
+    .run(&g);
     let gap = (dist.codelength - seq.codelength).abs() / seq.codelength;
     assert!(gap < 0.08, "MDL gap {gap:.3} exceeds 8%");
 }
@@ -17,11 +20,13 @@ fn figure4_distributed_mdl_converges_close_to_sequential() {
 #[test]
 fn figure5_first_iteration_merges_most_vertices() {
     let (g, _) = DatasetId::Dblp.profile().generate_scaled(0.08, 42);
-    let dist = DistributedInfomap::new(DistributedConfig { nranks: 8, ..Default::default() })
-        .run(&g);
+    let dist = DistributedInfomap::new(DistributedConfig {
+        nranks: 8,
+        ..Default::default()
+    })
+    .run(&g);
     let first = &dist.trace[0];
-    let merged = (first.vertices_before - first.vertices_after) as f64
-        / g.num_vertices() as f64;
+    let merged = (first.vertices_before - first.vertices_after) as f64 / g.num_vertices() as f64;
     assert!(
         merged > 0.5,
         "first-stage merge rate {merged:.2} below the paper's ~50%+"
@@ -31,7 +36,11 @@ fn figure5_first_iteration_merges_most_vertices() {
 #[test]
 fn table2_quality_measures_land_near_paper_band() {
     let (g, _) = DatasetId::Amazon.profile().generate_scaled(0.15, 42);
-    let seq = Infomap::new(InfomapConfig { seed: 42, ..Default::default() }).run(&g);
+    let seq = Infomap::new(InfomapConfig {
+        seed: 42,
+        ..Default::default()
+    })
+    .run(&g);
     let dist = DistributedInfomap::new(DistributedConfig {
         nranks: 8,
         seed: 42,
@@ -143,7 +152,14 @@ fn table3_delegate_algorithm_beats_gossip_on_hubby_graphs() {
         ..Default::default()
     })
     .run(&g);
-    let gossip = gossip_map(&g, GossipConfig { nranks: p, seed: 42, ..Default::default() });
+    let gossip = gossip_map(
+        &g,
+        GossipConfig {
+            nranks: p,
+            seed: 42,
+            ..Default::default()
+        },
+    );
     // Representation-scaled model (each stand-in edge stands for
     // real/generated edges): the paper's full-size runs are volume-
     // dominated, and that is the regime where 1D's hub imbalance costs
@@ -152,8 +168,11 @@ fn table3_delegate_algorithm_beats_gossip_on_hubby_graphs() {
     // of everything.
     let rep = profile.real_edges as f64 / g.num_edges() as f64;
     let base = CostModel::default();
-    let model =
-        CostModel { t_work: base.t_work * rep, t_byte: base.t_byte * rep, ..base };
+    let model = CostModel {
+        t_work: base.t_work * rep,
+        t_byte: base.t_byte * rep,
+        ..base
+    };
     // Iso-quality: our time to first reach the gossip baseline's final
     // MDL (prorated by synchronized rounds) vs the baseline's total time.
     let series = ours.mdl_series();
