@@ -1,0 +1,245 @@
+//! perf_transport — the thread world against the socket transport
+//! (DESIGN.md §6.15): the same distributed pipeline run over in-memory
+//! channels and over a real UDS mesh with length-prefixed frames,
+//! deadlines and heartbeats, on identical seeds.
+//!
+//! Ranks are threads either way — what changes is every byte of
+//! algorithm traffic crossing genuine kernel socket buffers instead of
+//! a `Vec` swap, so the delta is the transport's real cost: syscalls,
+//! copies, framing, and the byte-lowering of collectives onto blob
+//! exchanges. The two backends are asserted **bit-identical** per run
+//! (MDL series, move counts, final assignment) — the harness doubles as
+//! the backend-equivalence gate on a hub-heavy stand-in where the
+//! collectives carry real volume.
+//!
+//! Reported per p: measured wall-clock for both backends next to the
+//! modeled makespan from the metered counters (max-over-ranks per phase,
+//! the bulk-synchronous model of §4.2). Wall-clock is machine-dependent
+//! and carries no acceptance bar; the modeled time is the deterministic
+//! yardstick the paper-scale projections use, and printing the two side
+//! by side is the calibration check.
+//!
+//! Writes `BENCH_transport.json` at the repo root (override with `--out
+//! PATH`); `--tiny` shrinks the graph and drops p=16 for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use infomap_bench::{cost_model, env_seed, fmt_secs, Table};
+use infomap_distributed::{
+    CheckpointStore, DistributedConfig, DistributedInfomap, DistributedOutput, RankProgram,
+    RecoveryReport,
+};
+use infomap_graph::generators::{chung_lu, power_law_degrees};
+use infomap_graph::Graph;
+use infomap_mpisim::Comm;
+use infomap_transport_socket::{SocketConfig, SocketTransport};
+
+struct RunMeasure {
+    wall_s: f64,
+    modeled_total_s: f64,
+    total_bytes: u64,
+    total_moves: u64,
+    mdl_final: f64,
+    mdl_bits: Vec<u64>,
+    modules: Vec<u32>,
+}
+
+fn summarize(out: &DistributedOutput, wall_s: f64) -> RunMeasure {
+    let bd = cost_model().makespan(&out.rank_stats);
+    RunMeasure {
+        wall_s,
+        modeled_total_s: bd.total,
+        total_bytes: out
+            .rank_stats
+            .iter()
+            .map(|r| {
+                r.total.p2p_bytes_sent + r.total.collective_bytes + r.total.collective_bytes_recv
+            })
+            .sum(),
+        total_moves: out.trace.iter().map(|t| t.moves).sum(),
+        mdl_final: out.codelength,
+        mdl_bits: out
+            .trace
+            .iter()
+            .flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits()))
+            .collect(),
+        modules: out.modules.clone(),
+    }
+}
+
+fn thread_run(g: &Graph, p: usize, seed: u64) -> RunMeasure {
+    let started = Instant::now();
+    let out = DistributedInfomap::new(DistributedConfig {
+        nranks: p,
+        seed,
+        ..Default::default()
+    })
+    .run(g);
+    summarize(&out, started.elapsed().as_secs_f64())
+}
+
+/// Every rank on its own [`SocketTransport`] over a private UDS mesh.
+fn socket_run(g: &Graph, p: usize, seed: u64) -> RunMeasure {
+    let dir = std::env::temp_dir().join(format!(
+        "dinf-perf-transport-{}-p{p}-s{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mesh dir");
+    let cfg = DistributedConfig {
+        nranks: p,
+        seed,
+        ..Default::default()
+    };
+    let program = Arc::new(RankProgram::prepare(cfg, g));
+    let store = Arc::new(CheckpointStore::new(p));
+    let mut scfg = SocketConfig::uds(&dir);
+    scfg.timeout = std::time::Duration::from_secs(60);
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for rank in 0..p {
+        let program = Arc::clone(&program);
+        let store = Arc::clone(&store);
+        let scfg = scfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let t = SocketTransport::connect(rank, p, scfg).expect("connect");
+            let mut comm = Comm::over_transport(Box::new(t));
+            let done = program.run_rank(&mut comm, store.as_ref());
+            (done, comm.finish())
+        }));
+    }
+    let mut rank0 = None;
+    let mut stats = Vec::new();
+    for h in handles {
+        let (done, st) = h.join().expect("rank thread");
+        stats.push(st);
+        if let Some(result) = done {
+            rank0 = Some(result);
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    let (modules, trace, codelength) = rank0.expect("rank 0 result");
+    let out = program.assemble_output(modules, trace, codelength, stats, RecoveryReport::default());
+    summarize(&out, wall_s)
+}
+
+fn json_run(out: &mut String, indent: &str, m: &RunMeasure) {
+    let _ = write!(out, "{{\n{indent}  \"wall_s\": {:e},", m.wall_s);
+    let _ = write!(
+        out,
+        "\n{indent}  \"modeled_total_s\": {:e},",
+        m.modeled_total_s
+    );
+    let _ = write!(out, "\n{indent}  \"total_bytes\": {},", m.total_bytes);
+    let _ = write!(out, "\n{indent}  \"total_moves\": {},", m.total_moves);
+    let _ = write!(
+        out,
+        "\n{indent}  \"mdl_final\": {:e}\n{indent}}}",
+        m.mdl_final
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/../../BENCH_transport.json", env!("CARGO_MANIFEST_DIR")));
+    let seed = env_seed();
+    let procs: &[usize] = if tiny { &[4, 8] } else { &[4, 8, 16] };
+
+    // Hub stand-in: a heavy power-law tail, so delegate elections and
+    // module syncs push real volume through the transport.
+    let (n, kmax) = if tiny { (1_200, 300) } else { (8_000, 2_000) };
+    let g = chung_lu(&power_law_degrees(n, 2.0, 2, kmax, seed), seed + 1);
+    let max_deg = (0..g.num_vertices() as u32)
+        .map(|v| g.degree(v))
+        .max()
+        .unwrap_or(0);
+
+    let mode = if tiny { "tiny" } else { "full" };
+    println!("perf_transport: thread world vs socket transport ({mode}, seed {seed})");
+    println!(
+        "hub stand-in: |V|={}, |E|={}, max deg {}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        max_deg
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"dinfomap-perf-transport-v1\",\n");
+    let _ = write!(json, "  \"mode\": \"{mode}\",\n  \"seed\": {seed},\n");
+    json.push_str(
+        "  \"regenerate\": \"cargo run --release -p infomap-bench --bin perf_transport\",\n",
+    );
+    json.push_str("  \"note\": \"ranks are threads on both backends; the socket backend routes every byte through a UDS mesh with length-prefixed frames, deadlines and heartbeats. wall_s is machine-dependent (no acceptance bar); modeled_total_s is the deterministic cost-model makespan from the metered counters\",\n");
+    json.push_str("  \"invariants\": \"backends are bit-identical per (p, seed): asserted on the MDL series, move counts, and final assignment\",\n");
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{ \"name\": \"hub_standin\", \"vertices\": {}, \"edges\": {}, \"max_degree\": {} }},",
+        g.num_vertices(),
+        g.num_edges(),
+        max_deg
+    );
+    json.push_str("  \"runs\": [");
+
+    let mut table = Table::new(&[
+        "p",
+        "thread wall",
+        "socket wall",
+        "wall ratio",
+        "modeled t/s",
+        "bytes t/s",
+    ]);
+    for (pi, &p) in procs.iter().enumerate() {
+        let threaded = thread_run(&g, p, seed);
+        let socketed = socket_run(&g, p, seed);
+        let label = format!("p={p}");
+        assert_eq!(
+            threaded.mdl_bits, socketed.mdl_bits,
+            "{label}: MDL series diverged between backends"
+        );
+        assert_eq!(threaded.total_moves, socketed.total_moves, "{label}: moves");
+        assert_eq!(threaded.modules, socketed.modules, "{label}: assignment");
+        assert_eq!(
+            threaded.mdl_final.to_bits(),
+            socketed.mdl_final.to_bits(),
+            "{label}: final codelength bits"
+        );
+        let wall_ratio = socketed.wall_s / threaded.wall_s.max(1e-9);
+        table.row(vec![
+            p.to_string(),
+            fmt_secs(threaded.wall_s),
+            fmt_secs(socketed.wall_s),
+            format!("{wall_ratio:.2}x"),
+            format!(
+                "{} / {}",
+                fmt_secs(threaded.modeled_total_s),
+                fmt_secs(socketed.modeled_total_s)
+            ),
+            format!("{} / {}", threaded.total_bytes, socketed.total_bytes),
+        ]);
+        if pi > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, "\n    {{\n      \"p\": {p},\n      \"thread\": ");
+        json_run(&mut json, "      ", &threaded);
+        json.push_str(",\n      \"socket\": ");
+        json_run(&mut json, "      ", &socketed);
+        let _ = write!(
+            json,
+            ",\n      \"wall_ratio\": {wall_ratio:.4},\n      \"bit_identical\": true\n    }}"
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+
+    table.print();
+    std::fs::write(&out_path, &json).expect("write BENCH_transport.json");
+    println!("\nwrote {out_path}");
+}

@@ -3,12 +3,15 @@
 
 use infomap_distributed::CommPath;
 
+use crate::launch::{LaunchOpts, TransportKind, WorkerOpts};
+
 /// Printed on parse errors and `--help`.
 pub const USAGE: &str = "\
 dinfomap — community detection with (distributed) Infomap
 
 USAGE:
   dinfomap cluster <edges.txt> [options]   detect communities
+  dinfomap launch <edges.txt> [options]    detect communities with real OS processes
   dinfomap partition <edges.txt> [options] analyze a partitioning
   dinfomap generate <what> [options]       write a synthetic graph
   dinfomap info <edges.txt>                print graph statistics
@@ -26,6 +29,21 @@ CLUSTER OPTIONS:
   --max-retries N                     dist only: retries from the last checkpoint (default 3)
   --comm-path compact|legacy          dist only: wire format and collective layout
                                       (default compact; both paths are bit-identical)
+
+LAUNCH OPTIONS (distributed Infomap over the socket transport,
+one OS process per rank; bit-identical to `cluster --algorithm dist`):
+  --procs N                           worker processes (default 4)
+  --seed S                            RNG seed (default 0)
+  --output FILE                       write `vertex community` lines
+  --quiet                             suppress the run report
+  --transport uds|tcp                 socket family (default uds)
+  --base-port P                       tcp only: listen on 127.0.0.1:P+rank
+  --checkpoint-every N                durable checkpoints every N rounds (0 = off)
+  --max-retries N                     world relaunches after a failure (default 3)
+  --timeout-ms MS                     per-collective deadline (default 5000)
+  --kill-rank R@MS                    chaos: SIGKILL rank R after MS (first attempt)
+  --dir D                             rendezvous directory (default: temp dir)
+  --comm-path compact|legacy          wire format and collective layout
 
 PARTITION OPTIONS:
   --ranks N                           world size (default 8)
@@ -74,6 +92,10 @@ pub enum Command {
     Info {
         path: String,
     },
+    /// `launch`: the distributed pipeline over real OS processes.
+    Launch(LaunchOpts),
+    /// `_rank`: hidden worker subcommand, spawned by `launch`.
+    RankWorker(WorkerOpts),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -211,8 +233,122 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let path = it.next().ok_or("info: missing <edges.txt>")?.clone();
             Ok(Command::Info { path })
         }
+        "launch" => {
+            let path = it.next().ok_or("launch: missing <edges.txt>")?.clone();
+            let mut o = LaunchOpts {
+                path,
+                procs: 4,
+                seed: 0,
+                output: None,
+                quiet: false,
+                transport: TransportKind::Uds,
+                checkpoint_every: 0,
+                max_retries: 3,
+                timeout_ms: 5000,
+                kill_rank: None,
+                dir: None,
+                comm_path: CommPath::Compact,
+            };
+            let mut base_port: Option<u16> = None;
+            let mut tcp = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--procs" => o.procs = num(&mut it, flag)?,
+                    "--seed" => o.seed = num(&mut it, flag)?,
+                    "--output" => o.output = Some(next(&mut it, flag)?),
+                    "--quiet" => o.quiet = true,
+                    "--transport" => tcp = parse_transport(&next(&mut it, flag)?)?,
+                    "--base-port" => base_port = Some(num(&mut it, flag)?),
+                    "--checkpoint-every" => o.checkpoint_every = num(&mut it, flag)?,
+                    "--max-retries" => o.max_retries = num(&mut it, flag)?,
+                    "--timeout-ms" => o.timeout_ms = num(&mut it, flag)?,
+                    "--kill-rank" => o.kill_rank = Some(parse_kill(&next(&mut it, flag)?)?),
+                    "--dir" => o.dir = Some(next(&mut it, flag)?),
+                    "--comm-path" => o.comm_path = parse_comm_path(&next(&mut it, flag)?)?,
+                    other => return Err(format!("launch: unknown flag {other:?}")),
+                }
+            }
+            o.transport = resolve_transport(tcp, base_port)?;
+            Ok(Command::Launch(o))
+        }
+        "_rank" => {
+            let mut o = WorkerOpts {
+                rank: usize::MAX,
+                procs: 0,
+                graph: String::new(),
+                seed: 0,
+                dir: String::new(),
+                transport: TransportKind::Uds,
+                checkpoint_every: 0,
+                timeout_ms: 5000,
+                comm_path: CommPath::Compact,
+                output: None,
+            };
+            let mut base_port: Option<u16> = None;
+            let mut tcp = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--rank" => o.rank = num(&mut it, flag)?,
+                    "--procs" => o.procs = num(&mut it, flag)?,
+                    "--graph" => o.graph = next(&mut it, flag)?,
+                    "--seed" => o.seed = num(&mut it, flag)?,
+                    "--dir" => o.dir = next(&mut it, flag)?,
+                    "--transport" => tcp = parse_transport(&next(&mut it, flag)?)?,
+                    "--base-port" => base_port = Some(num(&mut it, flag)?),
+                    "--checkpoint-every" => o.checkpoint_every = num(&mut it, flag)?,
+                    "--timeout-ms" => o.timeout_ms = num(&mut it, flag)?,
+                    "--comm-path" => o.comm_path = parse_comm_path(&next(&mut it, flag)?)?,
+                    "--output" => o.output = Some(next(&mut it, flag)?),
+                    other => return Err(format!("_rank: unknown flag {other:?}")),
+                }
+            }
+            if o.rank == usize::MAX || o.procs == 0 || o.graph.is_empty() || o.dir.is_empty() {
+                return Err("_rank: --rank, --procs, --graph and --dir are required".into());
+            }
+            o.transport = resolve_transport(tcp, base_port)?;
+            Ok(Command::RankWorker(o))
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+fn parse_comm_path(raw: &str) -> Result<CommPath, String> {
+    match raw {
+        "compact" => Ok(CommPath::Compact),
+        "legacy" => Ok(CommPath::Legacy),
+        other => Err(format!("unknown comm path {other:?}")),
+    }
+}
+
+/// `--transport` value → is it tcp?
+fn parse_transport(raw: &str) -> Result<bool, String> {
+    match raw {
+        "uds" | "unix" => Ok(false),
+        "tcp" => Ok(true),
+        other => Err(format!("unknown transport {other:?}")),
+    }
+}
+
+fn resolve_transport(tcp: bool, base_port: Option<u16>) -> Result<TransportKind, String> {
+    match (tcp, base_port) {
+        (false, None) => Ok(TransportKind::Uds),
+        (false, Some(_)) => Err("--base-port requires --transport tcp".into()),
+        (true, Some(base_port)) => Ok(TransportKind::Tcp { base_port }),
+        (true, None) => Err("--transport tcp requires --base-port".into()),
+    }
+}
+
+/// `--kill-rank R@MS`.
+fn parse_kill(raw: &str) -> Result<(usize, u64), String> {
+    let (rank, at) = raw
+        .split_once('@')
+        .ok_or_else(|| format!("--kill-rank wants R@MS, got {raw:?}"))?;
+    Ok((
+        rank.parse()
+            .map_err(|_| format!("--kill-rank: bad rank {rank:?}"))?,
+        at.parse()
+            .map_err(|_| format!("--kill-rank: bad delay {at:?}"))?,
+    ))
 }
 
 fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {

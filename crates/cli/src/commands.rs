@@ -64,6 +64,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             truth.as_deref(),
         ),
         Command::Info { path } => info(&path),
+        Command::Launch(opts) => crate::launch::run_launch(opts),
+        Command::RankWorker(_) => unreachable!("handled in main for exit-code control"),
     }
 }
 

@@ -1,0 +1,718 @@
+//! `dinfomap launch` — run the distributed pipeline as **real OS
+//! processes** over the socket transport, instead of simulated ranks on
+//! threads.
+//!
+//! The launcher forks `--procs` copies of this binary with the hidden
+//! `_rank` subcommand. Every worker loads the same edge list, calls
+//! [`RankProgram::prepare`] (a pure function of the config and graph, so
+//! independently-preparing processes agree bit-for-bit), connects a
+//! [`SocketTransport`] mesh in a shared rendezvous directory, and runs
+//! the identical SPMD driver the thread world runs — the two backends
+//! produce bit-identical MDL series, move counts, and assignments per
+//! seed (gated by `tests/comm_equivalence.rs`).
+//!
+//! Failure handling against genuine OS failures (a SIGKILLed child, a
+//! wedged rank):
+//!
+//! - Workers never hang: every collective carries a deadline; a blocked
+//!   rank exits with code [`EXIT_TRANSPORT_FAULT`] and writes a
+//!   `rank-N.diag.json` naming the dead peer or the blocked collective
+//!   and the ranks it was waiting on.
+//! - The launcher relaunches the world up to `--max-retries` times; with
+//!   `--checkpoint-every N` the workers resume from the newest checkpoint
+//!   boundary **all** ranks hold on disk ([`FileCheckpointStore`]).
+//! - When retries are exhausted, the launcher degrades gracefully: it
+//!   reads the agreed checkpoint in-process and reports the best
+//!   checkpointed clustering, clearly marked degraded.
+//!
+//! Rank 0 writes `result.json` into the rendezvous directory with the
+//! codelength and per-round MDL series as exact f64 bit patterns, the
+//! measured wall time, and the modeled makespan from the same metering
+//! counters the thread world uses.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use infomap_distributed::{
+    checkpoint_files_present, degraded_output, CheckpointStore, CommPath, DistributedConfig,
+    DistributedOutput, FileCheckpointStore, RankProgram, RecoveryConfig, RecoveryReport,
+    SnapshotStore,
+};
+use infomap_graph::io;
+use infomap_mpisim::{Comm, CostModel, TransportFault};
+use infomap_transport_socket::{SocketConfig, SocketTransport};
+
+/// Worker exit code for a structured transport failure (diagnostic JSON
+/// written). Anything else nonzero is an ordinary error.
+pub const EXIT_TRANSPORT_FAULT: i32 = 21;
+
+/// Which socket family the mesh uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Unix-domain sockets in `<dir>/sock` (default; relaunch-safe).
+    Uds,
+    /// Loopback TCP on `base_port + rank`.
+    Tcp { base_port: u16 },
+}
+
+/// Parsed `launch` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LaunchOpts {
+    pub path: String,
+    pub procs: usize,
+    pub seed: u64,
+    pub output: Option<String>,
+    pub quiet: bool,
+    pub transport: TransportKind,
+    pub checkpoint_every: usize,
+    pub max_retries: usize,
+    /// Per-collective deadline for the workers, milliseconds.
+    pub timeout_ms: u64,
+    /// Chaos hook: SIGKILL rank R after MS milliseconds (first attempt
+    /// only) — `--kill-rank R@MS`.
+    pub kill_rank: Option<(usize, u64)>,
+    /// Rendezvous directory override (default: a fresh temp dir).
+    pub dir: Option<String>,
+    pub comm_path: CommPath,
+}
+
+/// Parsed hidden `_rank` invocation (one worker process).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerOpts {
+    pub rank: usize,
+    pub procs: usize,
+    pub graph: String,
+    pub seed: u64,
+    pub dir: String,
+    pub transport: TransportKind,
+    pub checkpoint_every: usize,
+    pub timeout_ms: u64,
+    pub comm_path: CommPath,
+    /// Rank 0 writes `vertex community` lines here on success.
+    pub output: Option<String>,
+}
+
+fn sock_dir(dir: &Path) -> PathBuf {
+    dir.join("sock")
+}
+
+fn ckpt_dir(dir: &Path) -> PathBuf {
+    dir.join("ckpt")
+}
+
+fn result_path(dir: &Path) -> PathBuf {
+    dir.join("result.json")
+}
+
+fn diag_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank-{rank}.diag.json"))
+}
+
+fn socket_config(o_transport: TransportKind, dir: &Path, timeout_ms: u64) -> SocketConfig {
+    let mut cfg = match o_transport {
+        TransportKind::Uds => SocketConfig::uds(sock_dir(dir)),
+        TransportKind::Tcp { base_port } => SocketConfig::tcp(base_port),
+    };
+    cfg.timeout = Duration::from_millis(timeout_ms);
+    // Keep the liveness window responsive relative to the deadline.
+    cfg.heartbeat = Duration::from_millis((timeout_ms / 8).clamp(25, 250));
+    cfg.setup_timeout = setup_window(timeout_ms);
+    cfg
+}
+
+/// Bootstrap allowance, shared by the workers (their setup deadline) and
+/// the launcher (its post-failure grace period, which must outlast it so
+/// a bootstrap-blocked survivor gets to write its own diagnostic).
+fn setup_window(timeout_ms: u64) -> Duration {
+    Duration::from_millis(timeout_ms.saturating_mul(4).max(4_000))
+}
+
+fn distributed_config(
+    procs: usize,
+    seed: u64,
+    checkpoint_every: usize,
+    comm_path: CommPath,
+) -> DistributedConfig {
+    DistributedConfig {
+        nranks: procs,
+        seed,
+        comm_path,
+        recovery: RecoveryConfig {
+            checkpoint_every,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker (`dinfomap _rank ...`)
+// ---------------------------------------------------------------------
+
+/// Run one rank. Returns the process exit code.
+pub fn run_worker(o: WorkerOpts) -> i32 {
+    match worker_inner(&o) {
+        Ok(()) => 0,
+        Err(WorkerFailure::Transport) => EXIT_TRANSPORT_FAULT,
+        Err(WorkerFailure::Other(msg)) => {
+            eprintln!("rank {}: {msg}", o.rank);
+            1
+        }
+    }
+}
+
+enum WorkerFailure {
+    /// Structured transport fault; diagnostic JSON already written.
+    Transport,
+    Other(String),
+}
+
+fn worker_inner(o: &WorkerOpts) -> Result<(), WorkerFailure> {
+    let dir = PathBuf::from(&o.dir);
+    let loaded = io::read_edge_list_file(&o.graph)
+        .map_err(|e| WorkerFailure::Other(format!("cannot read {}: {e}", o.graph)))?;
+    let cfg = distributed_config(o.procs, o.seed, o.checkpoint_every, o.comm_path);
+    let program = RankProgram::prepare(cfg, &loaded.graph);
+
+    // Durable checkpoints when enabled, so a relaunched world resumes;
+    // the in-memory store otherwise (no files, bit-identical fast path).
+    let store: Box<dyn SnapshotStore> = if o.checkpoint_every > 0 {
+        Box::new(
+            FileCheckpointStore::open(ckpt_dir(&dir), o.procs, o.seed)
+                .map_err(|e| WorkerFailure::Other(format!("checkpoint store: {e}")))?,
+        )
+    } else {
+        Box::new(CheckpointStore::new(o.procs))
+    };
+    let restored = store.agreed_pos().is_some();
+
+    let scfg = socket_config(o.transport, &dir, o.timeout_ms);
+    let transport = SocketTransport::connect(o.rank, o.procs, scfg).map_err(|e| {
+        write_diag(&dir, o.rank, "connect", &format!("{e}"));
+        WorkerFailure::Transport
+    })?;
+    let mut comm = Comm::over_transport(Box::new(transport));
+
+    // Transport failures surface as TransportFault panics, which we
+    // catch and report as diagnostics — keep the default hook's
+    // backtrace for genuine bugs only.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<TransportFault>().is_none() {
+            default_hook(info);
+        }
+    }));
+
+    let started = Instant::now();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        program.run_rank(&mut comm, store.as_ref())
+    }));
+    match run {
+        Ok(done) => {
+            let wall = started.elapsed();
+            let stats = comm.finish();
+            if let Some((modules, trace, codelength)) = done {
+                let recovery = RecoveryReport {
+                    attempts: 1,
+                    restores: usize::from(restored),
+                    checkpoints_committed: store.checkpoints_committed(),
+                    degraded: false,
+                    failures: Vec::new(),
+                };
+                let out =
+                    program.assemble_output(modules, trace, codelength, vec![stats], recovery);
+                write_result(&dir, o, &out, wall)
+                    .map_err(|e| WorkerFailure::Other(format!("write result: {e}")))?;
+                if let Some(out_path) = &o.output {
+                    write_assignments(out_path, &out.modules, &loaded.original_ids)
+                        .map_err(WorkerFailure::Other)?;
+                }
+            }
+            Ok(())
+        }
+        Err(payload) => {
+            // A transport failure surfaces as a TransportFault panic from
+            // inside a blocked collective; anything else is a plain bug.
+            let (op, detail) = match payload.downcast_ref::<TransportFault>() {
+                Some(f) => (f.op.clone(), format!("{}", f.error)),
+                None => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic".into());
+                    ("run".into(), msg)
+                }
+            };
+            write_diag(&dir, o.rank, &op, &detail);
+            eprintln!("rank {}: blocked in {op}: {detail}", o.rank);
+            Err(WorkerFailure::Transport)
+        }
+    }
+}
+
+fn write_assignments(path: &str, modules: &[u32], original_ids: &[u64]) -> Result<(), String> {
+    let mut w = std::io::BufWriter::new(
+        std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+    );
+    writeln!(w, "# vertex community").map_err(|e| e.to_string())?;
+    for (dense, &m) in modules.iter().enumerate() {
+        writeln!(w, "{} {}", original_ids[dense], m).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Atomic (tmp + rename) so the launcher never reads a torn file.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn write_result(
+    dir: &Path,
+    o: &WorkerOpts,
+    out: &DistributedOutput,
+    wall: Duration,
+) -> std::io::Result<()> {
+    let modeled = CostModel::default().makespan(&out.rank_stats).total;
+    let mdl_bits: Vec<u64> = out
+        .trace
+        .iter()
+        .flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits()))
+        .collect();
+    let total_moves: u64 = out.trace.iter().map(|t| t.moves).sum();
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"dinfomap-launch-result-v1\",\n");
+    let _ = write!(j, "  \"procs\": {},\n  \"seed\": {},\n", o.procs, o.seed);
+    let _ = write!(j, "  \"codelength\": {:e},\n", out.codelength);
+    let _ = write!(
+        j,
+        "  \"codelength_bits\": \"{:016x}\",\n",
+        out.codelength.to_bits()
+    );
+    let _ = write!(j, "  \"num_modules\": {},\n", out.num_modules());
+    let _ = write!(j, "  \"total_moves\": {total_moves},\n");
+    j.push_str("  \"mdl_series_bits\": [");
+    for (i, b) in mdl_bits.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        let _ = write!(j, "\"{b:016x}\"");
+    }
+    j.push_str("],\n");
+    let _ = write!(j, "  \"degraded\": {},\n", out.recovery.degraded);
+    let _ = write!(j, "  \"restored\": {},\n", out.recovery.restores > 0);
+    let _ = write!(
+        j,
+        "  \"checkpoints_committed\": {},\n",
+        out.recovery.checkpoints_committed
+    );
+    let _ = write!(j, "  \"wall_ms\": {:.3},\n", wall.as_secs_f64() * 1e3);
+    let _ = write!(j, "  \"modeled_ms\": {:.6},\n", modeled * 1e3);
+    j.push_str("  \"modules\": [");
+    for (i, m) in out.modules.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        let _ = write!(j, "{m}");
+    }
+    j.push_str("]\n}\n");
+    write_atomic(&result_path(dir), &j)
+}
+
+fn write_diag(dir: &Path, rank: usize, op: &str, detail: &str) {
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"dinfomap-launch-diag-v1\",\n");
+    let _ = write!(j, "  \"rank\": {rank},\n");
+    let _ = write!(j, "  \"op\": {},\n", json_string(op));
+    let _ = write!(j, "  \"detail\": {}\n}}\n", json_string(detail));
+    let _ = write_atomic(&diag_path(dir, rank), &j);
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Launcher (`dinfomap launch ...`)
+// ---------------------------------------------------------------------
+
+pub fn run_launch(o: LaunchOpts) -> Result<(), String> {
+    if o.procs == 0 {
+        return Err("launch: --procs must be >= 1".into());
+    }
+    // Validate the input up front (and keep it for degraded assembly).
+    let loaded =
+        io::read_edge_list_file(&o.path).map_err(|e| format!("cannot read {}: {e}", o.path))?;
+    let graph_abs = std::fs::canonicalize(&o.path)
+        .map_err(|e| format!("cannot resolve {}: {e}", o.path))?
+        .to_string_lossy()
+        .into_owned();
+
+    let (dir, ephemeral) = match &o.dir {
+        Some(d) => (PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("dinfomap-launch-{}", std::process::id())),
+            true,
+        ),
+    };
+    std::fs::create_dir_all(sock_dir(&dir)).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+
+    let started = Instant::now();
+    let attempts_budget = o.max_retries + 1;
+    let mut failures: Vec<String> = Vec::new();
+    let mut attempts = 0usize;
+    let mut restores = 0usize;
+    let mut outcome: Result<(), String> = Err("never launched".into());
+
+    for attempt in 0..attempts_budget {
+        attempts += 1;
+        if attempt > 0 && checkpoint_files_present(&ckpt_dir(&dir)) {
+            restores += 1;
+        }
+        let _ = std::fs::remove_file(result_path(&dir));
+        for r in 0..o.procs {
+            let _ = std::fs::remove_file(diag_path(&dir, r));
+        }
+        let kill = if attempt == 0 { o.kill_rank } else { None };
+        match run_world_once(&o, &dir, &graph_abs, kill) {
+            Ok(()) => {
+                outcome = Ok(());
+                break;
+            }
+            Err(msg) => {
+                if !o.quiet {
+                    eprintln!("attempt {}: {msg}", attempt + 1);
+                }
+                failures.push(msg.clone());
+                outcome = Err(msg);
+            }
+        }
+    }
+
+    let wall = started.elapsed();
+    let finish = |res: Result<(), String>| {
+        if ephemeral && res.is_ok() {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        res
+    };
+
+    match outcome {
+        Ok(()) => {
+            if !o.quiet {
+                let report = read_result_summary(&result_path(&dir))?;
+                println!(
+                    "distributed Infomap over {} OS processes ({}): {} vertices, {} edges",
+                    o.procs,
+                    match o.transport {
+                        TransportKind::Uds => "unix sockets".to_string(),
+                        TransportKind::Tcp { base_port } => format!("tcp 127.0.0.1:{base_port}+"),
+                    },
+                    loaded.graph.num_vertices(),
+                    loaded.graph.num_edges()
+                );
+                println!("  modules:    {}", report.num_modules);
+                println!("  codelength: {:.6} bits", report.codelength);
+                println!(
+                    "  wall time:  {:.1} ms total, {:.1} ms in the world (modeled {:.3} ms)",
+                    wall.as_secs_f64() * 1e3,
+                    report.wall_ms,
+                    report.modeled_ms
+                );
+                if attempts > 1 {
+                    println!("  recovery:   {attempts} attempt(s), {restores} restore(s)");
+                }
+            }
+            finish(Ok(()))
+        }
+        Err(last) => {
+            // Retries exhausted. Degrade gracefully when checkpoints
+            // exist: assemble the best agreed clustering in-process.
+            let ckpt = ckpt_dir(&dir);
+            if o.checkpoint_every > 0 && checkpoint_files_present(&ckpt) {
+                let cfg = distributed_config(o.procs, o.seed, o.checkpoint_every, o.comm_path);
+                let program = RankProgram::prepare(cfg, &loaded.graph);
+                let store = FileCheckpointStore::open(&ckpt, o.procs, o.seed)
+                    .map_err(|e| format!("checkpoint store: {e}"))?;
+                let recovery = RecoveryReport {
+                    attempts,
+                    restores,
+                    checkpoints_committed: store.checkpoints_committed(),
+                    degraded: true,
+                    failures: failures.clone(),
+                };
+                let out = degraded_output(
+                    &store,
+                    o.procs,
+                    program.one_level,
+                    program.original_n,
+                    Vec::new(),
+                    recovery,
+                );
+                if !o.quiet {
+                    println!(
+                        "degraded result after {attempts} attempt(s): {} modules, {:.6} bits (best checkpointed clustering)",
+                        out.num_modules(),
+                        out.codelength
+                    );
+                    println!("  last failure: {last}");
+                }
+                if let Some(out_path) = &o.output {
+                    write_assignments(out_path, &out.modules, &loaded.original_ids)?;
+                }
+                return finish(Ok(()));
+            }
+            finish(Err(format!(
+                "launch failed after {attempts} attempt(s): {last}"
+            )))
+        }
+    }
+}
+
+/// Spawn one world of `procs` workers and wait for it. `Ok` only when
+/// every worker exits 0 and rank 0 published `result.json`.
+fn run_world_once(
+    o: &LaunchOpts,
+    dir: &Path,
+    graph_abs: &str,
+    kill: Option<(usize, u64)>,
+) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut children = Vec::with_capacity(o.procs);
+    for rank in 0..o.procs {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("_rank")
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--procs")
+            .arg(o.procs.to_string())
+            .arg("--graph")
+            .arg(graph_abs)
+            .arg("--seed")
+            .arg(o.seed.to_string())
+            .arg("--dir")
+            .arg(dir.as_os_str())
+            .arg("--checkpoint-every")
+            .arg(o.checkpoint_every.to_string())
+            .arg("--timeout-ms")
+            .arg(o.timeout_ms.to_string());
+        if let TransportKind::Tcp { base_port } = o.transport {
+            cmd.arg("--transport").arg("tcp");
+            cmd.arg("--base-port").arg(base_port.to_string());
+        }
+        if o.comm_path == CommPath::Legacy {
+            cmd.arg("--comm-path").arg("legacy");
+        }
+        if rank == 0 {
+            if let Some(out) = &o.output {
+                cmd.arg("--output").arg(out);
+            }
+        }
+        let child = cmd.spawn().map_err(|e| format!("spawn rank {rank}: {e}"))?;
+        children.push(Some(child));
+    }
+
+    // Poll loop: supervise exits, fire the chaos kill, enforce a hang
+    // watchdog well beyond the workers' own deadlines (a worker that
+    // trips its collective timeout exits on its own — the watchdog only
+    // catches a worker wedged outside the transport).
+    let begun = Instant::now();
+    let watchdog = Duration::from_millis(o.timeout_ms.saturating_mul(10).max(60_000));
+    // Once one worker fails, give the survivors long enough to notice
+    // (PeerDead / Timeout — or their own setup deadline if the victim
+    // died during bootstrap), write their diagnostics, and exit.
+    let grace = setup_window(o.timeout_ms)
+        + Duration::from_millis(o.timeout_ms.saturating_mul(2).saturating_add(2_000));
+    let mut first_failure: Option<Instant> = None;
+    let mut statuses: Vec<Option<std::process::ExitStatus>> = vec![None; o.procs];
+    let mut killed = false;
+
+    loop {
+        let mut live = 0usize;
+        for (rank, slot) in children.iter_mut().enumerate() {
+            let Some(child) = slot else { continue };
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    statuses[rank] = Some(status);
+                    if !status.success() && first_failure.is_none() {
+                        first_failure = Some(Instant::now());
+                    }
+                    *slot = None;
+                }
+                Ok(None) => live += 1,
+                Err(e) => return Err(format!("wait rank {rank}: {e}")),
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        if let Some((victim, at_ms)) = kill {
+            if !killed && begun.elapsed() >= Duration::from_millis(at_ms) {
+                if let Some(child) = children.get_mut(victim).and_then(|c| c.as_mut()) {
+                    let _ = child.kill(); // SIGKILL: no cleanup, no goodbye
+                }
+                killed = true;
+            }
+        }
+        let over_grace = first_failure.is_some_and(|t| t.elapsed() > grace);
+        if begun.elapsed() > watchdog || over_grace {
+            for slot in children.iter_mut() {
+                if let Some(child) = slot.as_mut() {
+                    let _ = child.kill();
+                }
+            }
+            if begun.elapsed() > watchdog {
+                return Err(format!(
+                    "watchdog: world still running after {:?}; killed",
+                    watchdog
+                ));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut failed: BTreeMap<usize, String> = BTreeMap::new();
+    for (rank, status) in statuses.iter().enumerate() {
+        let status = status.expect("all children reaped");
+        if !status.success() {
+            let why = match status.code() {
+                Some(EXIT_TRANSPORT_FAULT) => read_diag_summary(dir, rank)
+                    .unwrap_or_else(|| "transport fault (no diagnostic)".into()),
+                Some(c) => format!("exit code {c}"),
+                None => "killed by signal".into(),
+            };
+            failed.insert(rank, why);
+        }
+    }
+    if failed.is_empty() {
+        if result_path(dir).exists() {
+            Ok(())
+        } else {
+            Err("all workers exited 0 but rank 0 published no result".into())
+        }
+    } else {
+        let mut msg = String::from("failed ranks: ");
+        for (i, (rank, why)) in failed.iter().enumerate() {
+            if i > 0 {
+                msg.push_str("; ");
+            }
+            let _ = write!(msg, "rank {rank}: {why}");
+        }
+        Err(msg)
+    }
+}
+
+/// The fields of `result.json` the launcher reports. Parsed with a
+/// purpose-built scanner — the file is machine-written by this same
+/// binary, so a `"key": value` scan is exact.
+struct ResultSummary {
+    codelength: f64,
+    num_modules: u64,
+    wall_ms: f64,
+    modeled_ms: f64,
+}
+
+fn json_field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c| c == ',' || c == '\n' || c == '}')
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn read_result_summary(path: &Path) -> Result<ResultSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let bits = json_field(&text, "codelength_bits")
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("result.json: missing codelength_bits")?;
+    let field = |key: &str| -> Result<f64, String> {
+        json_field(&text, key)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("result.json: missing {key}"))
+    };
+    Ok(ResultSummary {
+        codelength: f64::from_bits(bits),
+        num_modules: field("num_modules")? as u64,
+        wall_ms: field("wall_ms")?,
+        modeled_ms: field("modeled_ms")?,
+    })
+}
+
+fn read_diag_summary(dir: &Path, rank: usize) -> Option<String> {
+    let text = std::fs::read_to_string(diag_path(dir, rank)).ok()?;
+    let op = json_field(&text, "op")?.to_string();
+    let detail = json_field(&text, "detail")?.to_string();
+    Some(format!("blocked in {op}: {detail}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_field_scanner_reads_machine_written_fields() {
+        let text = "{\n  \"schema\": \"x\",\n  \"codelength_bits\": \"4008000000000000\",\n  \"num_modules\": 7,\n  \"wall_ms\": 12.5,\n  \"modeled_ms\": 0.25,\n  \"modules\": [1,2]\n}\n";
+        assert_eq!(json_field(text, "num_modules"), Some("7"));
+        assert_eq!(json_field(text, "wall_ms"), Some("12.5"));
+        assert_eq!(
+            json_field(text, "codelength_bits"),
+            Some("4008000000000000")
+        );
+        let s = read_result_summary_from(text).unwrap();
+        assert_eq!(s.codelength, 3.0);
+        assert_eq!(s.num_modules, 7);
+    }
+
+    fn read_result_summary_from(text: &str) -> Result<ResultSummary, String> {
+        let dir = std::env::temp_dir().join(format!("dinf-launch-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("result.json");
+        std::fs::write(&p, text).unwrap();
+        let r = read_result_summary(&p);
+        let _ = std::fs::remove_dir_all(&dir);
+        r
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn diag_files_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dinf-launch-diag-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_diag(
+            &dir,
+            2,
+            "exchange seq=9",
+            "peer 1 dead: heartbeat lapsed 2000ms",
+        );
+        let s = read_diag_summary(&dir, 2).unwrap();
+        assert!(s.contains("exchange seq=9"), "{s}");
+        assert!(s.contains("peer 1 dead"), "{s}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

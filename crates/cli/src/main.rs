@@ -18,10 +18,14 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod launch;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
+        // Worker processes signal structured transport faults through
+        // their exit code; bypass the Result-shaped path.
+        Ok(args::Command::RankWorker(o)) => ExitCode::from(launch::run_worker(o) as u8),
         Ok(cmd) => match commands::run(cmd) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {

@@ -1,0 +1,145 @@
+//! Backend-equivalence gate: the thread world and the socket transport
+//! must produce **bit-identical** results per seed — same per-round MDL
+//! series (as f64 bit patterns), same move counts, same final
+//! assignment. The byte backend lowers every collective onto blob
+//! exchanges with per-rank folds in rank order, so IEEE determinism
+//! carries across process/socket boundaries; this test is the contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use infomap_distributed::{
+    CheckpointStore, DistributedConfig, DistributedInfomap, DistributedOutput, RankProgram,
+    RecoveryReport,
+};
+use infomap_graph::generators::{lfr_like, LfrParams};
+use infomap_graph::Graph;
+use infomap_mpisim::Comm;
+use infomap_transport_socket::{SocketConfig, SocketTransport};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dinf-equiv-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run the distributed pipeline with every rank on its own
+/// [`SocketTransport`] over a private UDS mesh (threads stand in for
+/// processes; the byte path is identical either way).
+fn socket_run(g: &Graph, p: usize, seed: u64) -> DistributedOutput {
+    let dir = fresh_dir();
+    let cfg = DistributedConfig {
+        nranks: p,
+        seed,
+        ..Default::default()
+    };
+    let program = Arc::new(RankProgram::prepare(cfg, g));
+    let store = Arc::new(CheckpointStore::new(p));
+    let mut scfg = SocketConfig::uds(&dir);
+    scfg.timeout = std::time::Duration::from_secs(30); // generous for CI
+    let mut handles = Vec::new();
+    for rank in 0..p {
+        let program = Arc::clone(&program);
+        let store = Arc::clone(&store);
+        let scfg = scfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let t = SocketTransport::connect(rank, p, scfg).expect("connect");
+            let mut comm = Comm::over_transport(Box::new(t));
+            let done = program.run_rank(&mut comm, store.as_ref());
+            (done, comm.finish())
+        }));
+    }
+    let mut rank0 = None;
+    let mut stats = Vec::new();
+    for h in handles {
+        let (done, st) = h.join().expect("rank thread");
+        stats.push(st);
+        if let Some(result) = done {
+            rank0 = Some(result);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let (modules, trace, codelength) = rank0.expect("rank 0 result");
+    program.assemble_output(modules, trace, codelength, stats, RecoveryReport::default())
+}
+
+fn thread_run(g: &Graph, p: usize, seed: u64) -> DistributedOutput {
+    DistributedInfomap::new(DistributedConfig {
+        nranks: p,
+        seed,
+        ..Default::default()
+    })
+    .run(g)
+}
+
+fn mdl_bits(out: &DistributedOutput) -> Vec<u64> {
+    out.trace
+        .iter()
+        .flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits()))
+        .collect()
+}
+
+fn assert_equivalent(g: &Graph, p: usize, seed: u64) {
+    let threaded = thread_run(g, p, seed);
+    let socketed = socket_run(g, p, seed);
+    assert_eq!(
+        mdl_bits(&threaded),
+        mdl_bits(&socketed),
+        "p={p} seed={seed}: MDL series diverged between backends"
+    );
+    let moves = |o: &DistributedOutput| o.trace.iter().map(|t| t.moves).sum::<u64>();
+    assert_eq!(
+        moves(&threaded),
+        moves(&socketed),
+        "p={p} seed={seed}: moves"
+    );
+    assert_eq!(
+        threaded.codelength.to_bits(),
+        socketed.codelength.to_bits(),
+        "p={p} seed={seed}: final codelength bits"
+    );
+    assert_eq!(
+        threaded.modules, socketed.modules,
+        "p={p} seed={seed}: assignment"
+    );
+}
+
+#[test]
+fn socket_backend_is_bit_identical_to_thread_world() {
+    let (g, _) = lfr_like(
+        LfrParams {
+            n: 300,
+            mu: 0.25,
+            ..Default::default()
+        },
+        11,
+    );
+    for p in [2usize, 4] {
+        for seed in [0u64, 7] {
+            assert_equivalent(&g, p, seed);
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_on_a_hub_heavy_graph() {
+    // Delegate hubs are where the collectives carry real volume — the
+    // regime where a byte-lowering bug would actually surface.
+    let (g, _) = lfr_like(
+        LfrParams {
+            n: 400,
+            k_max: 120,
+            mu: 0.3,
+            ..Default::default()
+        },
+        3,
+    );
+    assert_equivalent(&g, 4, 1);
+}

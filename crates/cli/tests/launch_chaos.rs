@@ -1,0 +1,265 @@
+//! Chaos tests against genuine OS failures: a child rank is SIGKILLed
+//! mid-round and the launch must either **recover** (relaunch from the
+//! agreed checkpoint and finish bit-identically to the fault-free run)
+//! or **degrade by name** (exit with a diagnostic identifying the dead
+//! peer) — it must never hang. Every invocation runs under a hard
+//! watchdog enforced by the test itself.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use infomap_distributed::{DistributedConfig, DistributedInfomap};
+use infomap_graph::generators::{lfr_like, LfrParams};
+use infomap_graph::io;
+
+const BIN: &str = env!("CARGO_BIN_EXE_dinfomap");
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dinf-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_graph(dir: &std::path::Path) -> (infomap_graph::Graph, String) {
+    let (g, _) = lfr_like(
+        LfrParams {
+            n: 300,
+            mu: 0.25,
+            ..Default::default()
+        },
+        9,
+    );
+    let path = dir.join("g.txt");
+    io::write_edge_list_file(&g, &path).unwrap();
+    (g, path.to_string_lossy().into_owned())
+}
+
+/// Run the binary under a hard deadline; a hang is a test failure, not a
+/// CI timeout.
+fn run_guarded(args: &[&str]) -> (bool, String, String) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dinfomap");
+    let started = Instant::now();
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                let out = child.wait_with_output().expect("output");
+                return (
+                    status.success(),
+                    String::from_utf8_lossy(&out.stdout).into_owned(),
+                    String::from_utf8_lossy(&out.stderr).into_owned(),
+                );
+            }
+            None if started.elapsed() > WATCHDOG => {
+                let _ = child.kill();
+                panic!("dinfomap {args:?} hung past {WATCHDOG:?}");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn read_assignments(path: &std::path::Path) -> Vec<(u64, u32)> {
+    let text = std::fs::read_to_string(path).unwrap();
+    let mut pairs: Vec<(u64, u32)> = text
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(|l| {
+            let mut parts = l.split_whitespace();
+            (
+                parts.next().unwrap().parse().unwrap(),
+                parts.next().unwrap().parse().unwrap(),
+            )
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Calibrate the chaos kill delay against a fault-free launch, so the
+/// SIGKILL lands mid-run across build profiles (a debug binary spends
+/// far longer in spawn + bootstrap than a release one).
+fn calibrated_kill_ms(graph_path: &str, dir: &std::path::Path) -> u64 {
+    let rendezvous = dir.join("calib");
+    let started = Instant::now();
+    let (ok, _stdout, stderr) = run_guarded(&[
+        "launch",
+        &graph_path,
+        "--procs",
+        "4",
+        "--seed",
+        "5",
+        "--timeout-ms",
+        "4000",
+        "--dir",
+        rendezvous.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(ok, "calibration launch failed:\n{stderr}");
+    (started.elapsed().as_millis() as u64 / 2).max(30)
+}
+
+#[test]
+fn sigkilled_rank_recovers_bit_identically_from_checkpoints() {
+    let dir = tmpdir("recover");
+    let (g, graph_path) = write_graph(&dir);
+    let kill_ms = calibrated_kill_ms(&graph_path, &dir);
+
+    // Fault-free reference from the thread world (same seed) — run on the
+    // graph as the workers will see it. The edge-list reader relabels
+    // vertices densely by first appearance, and the clustering trajectory
+    // (shuffle order, tie-breaks) depends on those labels, so the
+    // reference must share the file roundtrip to be comparable
+    // bit-for-bit.
+    let loaded = io::read_edge_list_file(&graph_path).expect("reread graph");
+    let reference = DistributedInfomap::new(DistributedConfig {
+        nranks: 4,
+        seed: 5,
+        ..Default::default()
+    })
+    .run(&loaded.graph);
+    let module_of: std::collections::HashMap<u64, u32> = loaded
+        .original_ids
+        .iter()
+        .enumerate()
+        .map(|(dense, &orig)| (orig, reference.modules[dense]))
+        .collect();
+
+    let out_path = dir.join("sock.txt");
+    let rendezvous = dir.join("world");
+    let kill_spec = format!("1@{kill_ms}");
+    let (ok, _stdout, stderr) = run_guarded(&[
+        "launch",
+        &graph_path,
+        "--procs",
+        "4",
+        "--seed",
+        "5",
+        "--checkpoint-every",
+        "2",
+        "--max-retries",
+        "3",
+        "--timeout-ms",
+        "2000",
+        "--kill-rank",
+        &kill_spec,
+        "--dir",
+        rendezvous.to_str().unwrap(),
+        "--output",
+        out_path.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(ok, "launch failed to recover:\n{stderr}");
+
+    let got = read_assignments(&out_path);
+    assert_eq!(got.len(), g.num_vertices());
+    for (v, m) in &got {
+        assert_eq!(
+            *m, module_of[v],
+            "vertex {v}: socket relaunch diverged from the fault-free run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_without_checkpoints_names_the_dead_peer() {
+    let dir = tmpdir("named");
+    let (_g, graph_path) = write_graph(&dir);
+    let (ok, _stdout, stderr) = run_guarded(&[
+        "launch",
+        &graph_path,
+        "--procs",
+        "3",
+        "--seed",
+        "2",
+        "--max-retries",
+        "0",
+        "--timeout-ms",
+        "1500",
+        "--kill-rank",
+        "2@30",
+        "--quiet",
+    ]);
+    assert!(!ok, "launch must fail when the world cannot be relaunched");
+    assert!(
+        stderr.contains("rank 2"),
+        "diagnostic must name the killed rank:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("killed by signal"),
+        "launcher must report the SIGKILL itself:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("dead") || stderr.contains("waiting"),
+        "survivors must report the peer as dead or what they were waiting on:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_retries_degrade_to_the_best_checkpoint() {
+    let dir = tmpdir("degrade");
+    let (_g, graph_path) = write_graph(&dir);
+    let out_path = dir.join("deg.txt");
+    let rendezvous = dir.join("world");
+    // Seed the rendezvous directory with durable checkpoints from a
+    // fault-free run, so the degradation path is exercised regardless of
+    // where in the (build-profile-dependent) timeline the kill lands.
+    let (ok, _stdout, stderr) = run_guarded(&[
+        "launch",
+        &graph_path,
+        "--procs",
+        "3",
+        "--seed",
+        "4",
+        "--checkpoint-every",
+        "2",
+        "--timeout-ms",
+        "4000",
+        "--dir",
+        rendezvous.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(ok, "checkpoint-seeding launch failed:\n{stderr}");
+    // Zero retries but durable checkpoints: the launcher must fall back
+    // to the agreed boundary and still produce a (marked) clustering.
+    let (ok, stdout, stderr) = run_guarded(&[
+        "launch",
+        &graph_path,
+        "--procs",
+        "3",
+        "--seed",
+        "4",
+        "--checkpoint-every",
+        "2",
+        "--max-retries",
+        "0",
+        "--timeout-ms",
+        "1500",
+        "--kill-rank",
+        "1@40",
+        "--dir",
+        rendezvous.to_str().unwrap(),
+        "--output",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "graceful degradation should exit 0:\n{stderr}");
+    assert!(
+        stdout.contains("degraded"),
+        "degraded output must be clearly marked:\n{stdout}"
+    );
+    let got = read_assignments(&out_path);
+    assert_eq!(
+        got.len(),
+        300,
+        "degraded assignment must cover every vertex"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

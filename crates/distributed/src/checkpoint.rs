@@ -16,13 +16,18 @@
 //! a boundary or none did, and [`CheckpointStore::latest_pos`] can insist
 //! on global agreement.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use infomap_mpisim::{WireDecodeError, WirePayload};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
 use crate::driver::StageTrace;
 use crate::rounds::StageCursor;
-use crate::state::LocalState;
+use crate::state::{LocalState, ModuleEntry, VertexKind};
 
 /// Global position of a snapshot: which stage, merge level and round the
 /// checkpointed boundary belongs to. Identical on every rank of a
@@ -84,6 +89,32 @@ impl RankSnapshot {
     }
 }
 
+/// Where committed snapshots live, abstracted over the run mode.
+///
+/// The thread world uses the in-memory [`CheckpointStore`]; a
+/// multi-process run uses the [`FileCheckpointStore`], whose snapshots
+/// survive a SIGKILLed rank. The driver's retry loop and the process
+/// launcher both speak only this trait.
+///
+/// The in-memory store can rely on the simulator's guarantee that commits
+/// are all-or-nothing across ranks; a real process can die *between* the
+/// consensus collective and its own commit, so `agreed_pos` must find the
+/// newest boundary **every** rank holds a snapshot for (which is why the
+/// file store retains two generations per rank).
+pub trait SnapshotStore: Sync {
+    /// Commit `rank`'s snapshot at its position.
+    fn commit(&self, rank: usize, snap: &RankSnapshot);
+
+    /// The newest position every rank has a committed snapshot for.
+    fn agreed_pos(&self) -> Option<SnapshotPos>;
+
+    /// `rank`'s snapshot at the agreed position.
+    fn restore_agreed(&self, rank: usize) -> Option<RankSnapshot>;
+
+    /// Total rank-snapshot commits over the store's lifetime.
+    fn checkpoints_committed(&self) -> u64;
+}
+
 /// In-memory stand-in for the checkpoint storage of a real deployment
 /// (burst buffer / parallel FS): one slot per rank, written behind the
 /// stage's consensus collective and read back at the start of a retry.
@@ -137,6 +168,541 @@ impl CheckpointStore {
     }
 }
 
+impl SnapshotStore for CheckpointStore {
+    fn commit(&self, rank: usize, snap: &RankSnapshot) {
+        CheckpointStore::commit(self, rank, snap.clone());
+    }
+
+    fn agreed_pos(&self) -> Option<SnapshotPos> {
+        self.latest_pos()
+    }
+
+    fn restore_agreed(&self, rank: usize) -> Option<RankSnapshot> {
+        self.restore(rank)
+    }
+
+    fn checkpoints_committed(&self) -> u64 {
+        CheckpointStore::checkpoints_committed(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot serialization
+// ---------------------------------------------------------------------
+//
+// The binary snapshot format a file-backed store persists. Everything is
+// encoded with the deterministic little-endian [`WirePayload`] primitives
+// (floats as IEEE bit patterns), so a snapshot written by one process
+// decodes bit-identically in another.
+//
+// Hash maps are serialized as **sorted** pair vectors: byte-stable output
+// for identical logical state, and rebuilt verbatim on decode. Two maps
+// are not serialized at all because they are derived: `index` (position of
+// each id in `verts`) and `module_slot` (position in `module_ids`).
+//
+// The one non-serializable field is the cursor's `StdRng`. The sweep RNG
+// is consumed by exactly one `shuffle` of the (stage-static) movable list
+// per round, and is freshly seeded from `cfg.seed ^ f(rank)` at every
+// stage start — so instead of persisting generator internals, the decoder
+// reseeds and replays `next_round` shuffles on a scratch copy. The
+// replayed generator is in exactly the state the uninterrupted run's
+// generator was in at the boundary, under any `StdRng` implementation.
+
+/// Format version of the serialized snapshot. Bumped on layout changes so
+/// a stale file fails loudly instead of decoding garbage.
+const SNAPSHOT_VERSION: u32 = 1;
+
+fn encode_kind(k: VertexKind, out: &mut Vec<u8>) {
+    let v: u8 = match k {
+        VertexKind::Owned => 0,
+        VertexKind::DelegateCopy => 1,
+        VertexKind::Ghost => 2,
+    };
+    v.encode_into(out);
+}
+
+fn decode_kind(buf: &mut &[u8]) -> Result<VertexKind, WireDecodeError> {
+    match u8::decode_from(buf)? {
+        0 => Ok(VertexKind::Owned),
+        1 => Ok(VertexKind::DelegateCopy),
+        2 => Ok(VertexKind::Ghost),
+        _ => Err(WireDecodeError {
+            context: "VertexKind",
+        }),
+    }
+}
+
+fn encode_entry(e: &ModuleEntry, out: &mut Vec<u8>) {
+    e.flow.encode_into(out);
+    e.exit.encode_into(out);
+    e.members.encode_into(out);
+}
+
+fn decode_entry(buf: &mut &[u8]) -> Result<ModuleEntry, WireDecodeError> {
+    Ok(ModuleEntry {
+        flow: f64::decode_from(buf)?,
+        exit: f64::decode_from(buf)?,
+        members: u32::decode_from(buf)?,
+    })
+}
+
+fn encode_state(st: &LocalState, out: &mut Vec<u8>) {
+    st.rank.encode_into(out);
+    st.nranks.encode_into(out);
+    st.verts.encode_into(out);
+    (st.kind.len() as u64).encode_into(out);
+    for &k in &st.kind {
+        encode_kind(k, out);
+    }
+    st.adj_off.encode_into(out);
+    st.adj_tgt.encode_into(out);
+    st.adj_w.encode_into(out);
+    st.node_flow.encode_into(out);
+    st.out_flow.encode_into(out);
+    st.module_of.encode_into(out);
+    st.module_ids.encode_into(out);
+    (st.module_stats.len() as u64).encode_into(out);
+    for e in &st.module_stats {
+        encode_entry(e, out);
+    }
+    st.module_present.encode_into(out);
+    let mut owned: Vec<(&u64, &ModuleEntry)> = st.owned_modules.iter().collect();
+    owned.sort_by_key(|(&m, _)| m);
+    (owned.len() as u64).encode_into(out);
+    for (&m, e) in owned {
+        m.encode_into(out);
+        encode_entry(e, out);
+    }
+    st.sum_exit.encode_into(out);
+    st.subscribers.encode_into(out);
+    st.providers.encode_into(out);
+    st.send_targets.encode_into(out);
+    st.inv_two_w.encode_into(out);
+    st.movable.encode_into(out);
+    st.last_announced.encode_into(out);
+    st.last_contrib.encode_into(out);
+    st.last_contrib_active.encode_into(out);
+    let mut sources: Vec<_> = st.owner_sources.iter().collect();
+    sources.sort_by_key(|(&k, _)| k);
+    (sources.len() as u64).encode_into(out);
+    for (&k, &v) in sources {
+        k.encode_into(out);
+        v.encode_into(out);
+    }
+    let mut subs: Vec<(&u64, &Vec<usize>)> = st.owner_subs.iter().collect();
+    subs.sort_by_key(|(&m, _)| m);
+    (subs.len() as u64).encode_into(out);
+    for (&m, v) in subs {
+        m.encode_into(out);
+        v.encode_into(out);
+    }
+}
+
+fn decode_state(buf: &mut &[u8]) -> Result<LocalState, WireDecodeError> {
+    let rank = usize::decode_from(buf)?;
+    let nranks = usize::decode_from(buf)?;
+    let verts: Vec<u32> = Vec::decode_from(buf)?;
+    let nkind = u64::decode_from(buf)? as usize;
+    let mut kind = Vec::with_capacity(nkind);
+    for _ in 0..nkind {
+        kind.push(decode_kind(buf)?);
+    }
+    let adj_off = Vec::decode_from(buf)?;
+    let adj_tgt = Vec::decode_from(buf)?;
+    let adj_w = Vec::decode_from(buf)?;
+    let node_flow = Vec::decode_from(buf)?;
+    let out_flow = Vec::decode_from(buf)?;
+    let module_of = Vec::decode_from(buf)?;
+    let module_ids: Vec<u64> = Vec::decode_from(buf)?;
+    let nstats = u64::decode_from(buf)? as usize;
+    let mut module_stats = Vec::with_capacity(nstats);
+    for _ in 0..nstats {
+        module_stats.push(decode_entry(buf)?);
+    }
+    let module_present = Vec::decode_from(buf)?;
+    let nowned = u64::decode_from(buf)? as usize;
+    let mut owned_modules = HashMap::with_capacity(nowned);
+    for _ in 0..nowned {
+        let m = u64::decode_from(buf)?;
+        owned_modules.insert(m, decode_entry(buf)?);
+    }
+    let sum_exit = f64::decode_from(buf)?;
+    let subscribers = Vec::decode_from(buf)?;
+    let providers = Vec::decode_from(buf)?;
+    let send_targets = Vec::decode_from(buf)?;
+    let inv_two_w = f64::decode_from(buf)?;
+    let movable = Vec::decode_from(buf)?;
+    let last_announced = Vec::decode_from(buf)?;
+    let last_contrib = Vec::decode_from(buf)?;
+    let last_contrib_active = Vec::decode_from(buf)?;
+    let nsources = u64::decode_from(buf)? as usize;
+    let mut owner_sources = HashMap::with_capacity(nsources);
+    for _ in 0..nsources {
+        let k: (u64, u32) = WirePayload::decode_from(buf)?;
+        owner_sources.insert(k, WirePayload::decode_from(buf)?);
+    }
+    let nsubs = u64::decode_from(buf)? as usize;
+    let mut owner_subs = HashMap::with_capacity(nsubs);
+    for _ in 0..nsubs {
+        let m = u64::decode_from(buf)?;
+        owner_subs.insert(m, Vec::decode_from(buf)?);
+    }
+    // Derived maps.
+    let index: HashMap<u32, u32> = verts
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let module_slot: HashMap<u64, u32> = module_ids
+        .iter()
+        .enumerate()
+        .map(|(s, &gid)| (gid, s as u32))
+        .collect();
+    Ok(LocalState {
+        rank,
+        nranks,
+        verts,
+        index,
+        kind,
+        adj_off,
+        adj_tgt,
+        adj_w,
+        node_flow,
+        out_flow,
+        module_of,
+        module_ids,
+        module_slot,
+        module_stats,
+        module_present,
+        owned_modules,
+        sum_exit,
+        subscribers,
+        providers,
+        send_targets,
+        inv_two_w,
+        movable,
+        last_announced,
+        last_contrib,
+        last_contrib_active,
+        owner_sources,
+        owner_subs,
+    })
+}
+
+fn encode_trace(t: &StageTrace, out: &mut Vec<u8>) {
+    t.stage.encode_into(out);
+    t.level.encode_into(out);
+    t.codelength.encode_into(out);
+    t.num_modules.encode_into(out);
+    t.vertices_before.encode_into(out);
+    t.vertices_after.encode_into(out);
+    t.inner_iterations.encode_into(out);
+    t.moves.encode_into(out);
+    t.mdl_series.encode_into(out);
+}
+
+fn decode_trace(buf: &mut &[u8]) -> Result<StageTrace, WireDecodeError> {
+    Ok(StageTrace {
+        stage: u8::decode_from(buf)?,
+        level: usize::decode_from(buf)?,
+        codelength: f64::decode_from(buf)?,
+        num_modules: usize::decode_from(buf)?,
+        vertices_before: usize::decode_from(buf)?,
+        vertices_after: usize::decode_from(buf)?,
+        inner_iterations: usize::decode_from(buf)?,
+        moves: u64::decode_from(buf)?,
+        mdl_series: Vec::decode_from(buf)?,
+    })
+}
+
+/// The stage-seed mix of `cluster_stage_recoverable`: every stage reseeds
+/// its sweep RNG with this, which is what makes RNG-by-replay possible.
+pub fn stage_rng_seed(seed: u64, rank: usize) -> u64 {
+    seed ^ (rank as u64).wrapping_mul(0x9e3779b97f4a7c15)
+}
+
+impl RankSnapshot {
+    /// Serialize to the portable binary format (no checksum/framing — the
+    /// store wraps it).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        SNAPSHOT_VERSION.encode_into(&mut out);
+        self.pos.stage.encode_into(&mut out);
+        self.pos.level.encode_into(&mut out);
+        self.pos.round.encode_into(&mut out);
+        encode_state(&self.st, &mut out);
+        // Cursor, minus the RNG (reconstructed by replay on decode).
+        self.cursor.next_round.encode_into(&mut out);
+        self.cursor.mdl.encode_into(&mut out);
+        self.cursor.nmod.encode_into(&mut out);
+        self.cursor.mdl_series.encode_into(&mut out);
+        self.cursor.total_moves.encode_into(&mut out);
+        self.cursor.inner.encode_into(&mut out);
+        self.cursor.quiet_rounds.encode_into(&mut out);
+        self.cursor.stalled_syncs.encode_into(&mut out);
+        let pairs: Vec<(u32, u64)> = self.delegate_assign.iter().map(|(&d, &m)| (d, m)).collect();
+        pairs.encode_into(&mut out);
+        self.assign.encode_into(&mut out);
+        (self.trace.len() as u64).encode_into(&mut out);
+        for t in &self.trace {
+            encode_trace(t, &mut out);
+        }
+        self.prev_mdl.encode_into(&mut out);
+        self.level_vertices.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a snapshot, reconstructing the sweep RNG by replay: reseed
+    /// with the stage formula and replay the `next_round` shuffles the
+    /// stage performed before the boundary (each shuffle's draw sequence
+    /// depends only on the list length, so a scratch copy suffices).
+    pub fn decode(bytes: &[u8], run_seed: u64) -> Result<RankSnapshot, WireDecodeError> {
+        let mut buf = bytes;
+        let version = u32::decode_from(&mut buf)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(WireDecodeError {
+                context: "snapshot version",
+            });
+        }
+        let pos = SnapshotPos {
+            stage: u8::decode_from(&mut buf)?,
+            level: u32::decode_from(&mut buf)?,
+            round: u32::decode_from(&mut buf)?,
+        };
+        let st = decode_state(&mut buf)?;
+        let next_round = usize::decode_from(&mut buf)?;
+        let mdl = f64::decode_from(&mut buf)?;
+        let nmod = u64::decode_from(&mut buf)?;
+        let mdl_series = Vec::decode_from(&mut buf)?;
+        let total_moves = u64::decode_from(&mut buf)?;
+        let inner = usize::decode_from(&mut buf)?;
+        let quiet_rounds = usize::decode_from(&mut buf)?;
+        let stalled_syncs = usize::decode_from(&mut buf)?;
+        let mut rng = StdRng::seed_from_u64(stage_rng_seed(run_seed, st.rank));
+        let mut scratch = st.movable.clone();
+        for _ in 0..next_round {
+            scratch.shuffle(&mut rng);
+        }
+        let cursor = StageCursor {
+            next_round,
+            mdl,
+            nmod,
+            mdl_series,
+            total_moves,
+            inner,
+            quiet_rounds,
+            stalled_syncs,
+            rng,
+        };
+        let pairs: Vec<(u32, u64)> = Vec::decode_from(&mut buf)?;
+        let delegate_assign: BTreeMap<u32, u64> = pairs.into_iter().collect();
+        let assign = Vec::decode_from(&mut buf)?;
+        let ntrace = u64::decode_from(&mut buf)? as usize;
+        let mut trace = Vec::with_capacity(ntrace);
+        for _ in 0..ntrace {
+            trace.push(decode_trace(&mut buf)?);
+        }
+        let prev_mdl = f64::decode_from(&mut buf)?;
+        let level_vertices = usize::decode_from(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(WireDecodeError {
+                context: "snapshot trailing bytes",
+            });
+        }
+        Ok(RankSnapshot {
+            pos,
+            st,
+            cursor,
+            delegate_assign,
+            assign,
+            trace,
+            prev_mdl,
+            level_vertices,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// File-backed store
+// ---------------------------------------------------------------------
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in bytes {
+        h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Durable checkpoint store for multi-process runs: one file per rank and
+/// generation under a shared directory, surviving SIGKILLed ranks.
+///
+/// Write protocol: encode + checksum into `<name>.tmp`, then `rename` into
+/// place — readers never observe a torn file. Each rank alternates between
+/// two generation slots (`rank-<r>.g0` / `rank-<r>.g1`), so the previous
+/// boundary survives until the next-but-one commit. That redundancy is
+/// what makes restore after a *real* crash sound: a process killed between
+/// the consensus collective and its own commit leaves the world split
+/// across two boundaries, and [`SnapshotStore::agreed_pos`] picks the
+/// newest boundary every rank still holds.
+pub struct FileCheckpointStore {
+    dir: PathBuf,
+    nranks: usize,
+    /// The run seed, needed to rebuild cursors' RNGs on decode.
+    run_seed: u64,
+    /// Next generation slot per rank.
+    next_gen: Vec<Mutex<u8>>,
+    commits: AtomicU64,
+}
+
+const CKPT_MAGIC: &[u8; 8] = b"DINFCKPT";
+
+impl FileCheckpointStore {
+    /// Open (creating the directory if needed). Existing snapshot files
+    /// are kept — that is the point: a relaunched world resumes from them.
+    /// For each rank, the next commit targets the slot NOT holding the
+    /// newest existing snapshot, so a relaunch keeps overwriting the older
+    /// generation.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        nranks: usize,
+        run_seed: u64,
+    ) -> std::io::Result<FileCheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let store = FileCheckpointStore {
+            dir,
+            nranks,
+            run_seed,
+            next_gen: (0..nranks).map(|_| Mutex::new(0)).collect(),
+            commits: AtomicU64::new(0),
+        };
+        for rank in 0..nranks {
+            if let Some(&(_, newest_gen)) = store.positions_of(rank).first() {
+                *store.next_gen[rank].lock().unwrap() = 1 - newest_gen;
+            }
+        }
+        Ok(store)
+    }
+
+    fn slot_path(&self, rank: usize, gen: u8) -> PathBuf {
+        self.dir.join(format!("rank-{rank}.g{gen}.ckpt"))
+    }
+
+    /// Read one slot file; `None` for missing, unreadable, torn, or
+    /// undecodable files (a half-written or damaged slot is equivalent to
+    /// an absent checkpoint — the other generation still stands).
+    fn read_slot(&self, rank: usize, gen: u8) -> Option<RankSnapshot> {
+        let bytes = std::fs::read(self.slot_path(rank, gen)).ok()?;
+        let payload = unwrap_checked(&bytes)?;
+        RankSnapshot::decode(payload, self.run_seed).ok()
+    }
+
+    /// Every committed position of `rank`, newest first.
+    fn positions_of(&self, rank: usize) -> Vec<(SnapshotPos, u8)> {
+        let mut found = Vec::new();
+        for gen in 0..2u8 {
+            if let Some(snap) = self.read_slot(rank, gen) {
+                found.push((snap.pos, gen));
+            }
+        }
+        found.sort_by_key(|&(pos, _)| std::cmp::Reverse(pos));
+        found
+    }
+
+    /// Remove every snapshot file (fresh-run hygiene).
+    pub fn clear(&self) {
+        for rank in 0..self.nranks {
+            for gen in 0..2u8 {
+                let _ = std::fs::remove_file(self.slot_path(rank, gen));
+            }
+        }
+    }
+}
+
+fn wrap_checked(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(CKPT_MAGIC);
+    (payload.len() as u64).encode_into(&mut out);
+    out.extend_from_slice(payload);
+    fnv1a(payload).encode_into(&mut out);
+    out
+}
+
+fn unwrap_checked(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < 24 || &bytes[..8] != CKPT_MAGIC {
+        return None;
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    if bytes.len() != 24 + len {
+        return None;
+    }
+    let payload = &bytes[16..16 + len];
+    let declared = u64::from_le_bytes(bytes[16 + len..].try_into().unwrap());
+    if fnv1a(payload) != declared {
+        return None;
+    }
+    Some(payload)
+}
+
+impl SnapshotStore for FileCheckpointStore {
+    fn commit(&self, rank: usize, snap: &RankSnapshot) {
+        let mut gen_guard = self.next_gen[rank].lock().unwrap();
+        let gen = *gen_guard;
+        let path = self.slot_path(rank, gen);
+        let tmp = path.with_extension("ckpt.tmp");
+        let bytes = wrap_checked(&snap.encode());
+        // A failed write must not destroy the slot's previous contents:
+        // write the temp file fully, then rename atomically.
+        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            *gen_guard = 1 - gen;
+            self.commits.fetch_add(1, Ordering::SeqCst);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    fn agreed_pos(&self) -> Option<SnapshotPos> {
+        // Candidate positions: rank 0's snapshots, newest first. A position
+        // is agreed when every rank holds it.
+        let candidates = self.positions_of(0);
+        'cand: for &(pos, _) in &candidates {
+            for rank in 1..self.nranks {
+                if !self.positions_of(rank).iter().any(|&(p, _)| p == pos) {
+                    continue 'cand;
+                }
+            }
+            return Some(pos);
+        }
+        None
+    }
+
+    fn restore_agreed(&self, rank: usize) -> Option<RankSnapshot> {
+        let pos = self.agreed_pos()?;
+        let (_, gen) = self
+            .positions_of(rank)
+            .into_iter()
+            .find(|&(p, _)| p == pos)?;
+        self.read_slot(rank, gen)
+    }
+
+    fn checkpoints_committed(&self) -> u64 {
+        self.commits.load(Ordering::SeqCst)
+    }
+}
+
+/// Snapshot files present under `dir` (any rank, any generation) — used by
+/// the launcher to decide whether a relaunch can restore.
+pub fn checkpoint_files_present(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .any(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+        })
+        .unwrap_or(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +734,201 @@ mod tests {
         assert!(store.latest_pos().is_none());
         assert!(store.restore(1).is_none());
         assert_eq!(store.checkpoints_committed(), 0);
+    }
+
+    use crate::state::build_stage1_states;
+    use infomap_graph::generators;
+    use infomap_partition::Partition;
+    use rand::RngCore;
+
+    const TEST_SEED: u64 = 42;
+
+    /// A realistic snapshot: a stage-1 state with populated maps, plus a
+    /// cursor whose RNG has advanced `rounds` shuffles past its seed.
+    fn sample_snapshot(rounds: usize) -> RankSnapshot {
+        let (g, _) = generators::lfr_like(
+            generators::LfrParams {
+                n: 120,
+                ..Default::default()
+            },
+            7,
+        );
+        let part =
+            Partition::delegate(&g, 3, infomap_partition::DelegateThreshold::Auto(4.0), true);
+        let mut st = build_stage1_states(&g, &part).remove(1);
+        st.owned_modules.insert(
+            17,
+            ModuleEntry {
+                flow: 0.25,
+                exit: 0.125,
+                members: 3,
+            },
+        );
+        st.owner_sources.insert((17, 2), (0.1, 0.05, 1));
+        st.owner_subs.insert(17, vec![0, 2]);
+        let mut rng = StdRng::seed_from_u64(stage_rng_seed(TEST_SEED, st.rank));
+        let mut scratch = st.movable.clone();
+        for _ in 0..rounds {
+            scratch.shuffle(&mut rng);
+        }
+        RankSnapshot {
+            pos: SnapshotPos {
+                stage: 1,
+                level: 0,
+                round: rounds as u32,
+            },
+            st,
+            cursor: StageCursor {
+                next_round: rounds,
+                mdl: 5.25,
+                nmod: 40,
+                mdl_series: vec![6.0, 5.5, 5.25],
+                total_moves: 99,
+                inner: rounds,
+                quiet_rounds: 1,
+                stalled_syncs: 0,
+                rng,
+            },
+            delegate_assign: [(3u32, 8u64), (9, 9)].into_iter().collect(),
+            assign: vec![(0, 1), (5, 2)],
+            trace: vec![StageTrace {
+                stage: 1,
+                level: 0,
+                codelength: 5.25,
+                num_modules: 40,
+                vertices_before: 120,
+                vertices_after: 40,
+                inner_iterations: rounds,
+                moves: 99,
+                mdl_series: vec![6.0, 5.25],
+            }],
+            prev_mdl: 6.0,
+            level_vertices: 40,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bit_identically() {
+        let snap = sample_snapshot(4);
+        let bytes = snap.encode();
+        let back = RankSnapshot::decode(&bytes, TEST_SEED).expect("decode");
+        // Re-encoding the decoded snapshot must reproduce the exact bytes
+        // (maps are serialized sorted, floats as bit patterns).
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.pos, snap.pos);
+        assert_eq!(back.assign, snap.assign);
+        assert_eq!(back.delegate_assign, snap.delegate_assign);
+        assert_eq!(back.trace, snap.trace);
+        assert_eq!(back.st.module_of, snap.st.module_of);
+        assert_eq!(back.st.index, snap.st.index);
+        assert_eq!(back.st.module_slot, snap.st.module_slot);
+        assert_eq!(back.st.owned_modules, snap.st.owned_modules);
+        assert_eq!(back.st.owner_sources, snap.st.owner_sources);
+    }
+
+    #[test]
+    fn decoded_rng_continues_the_original_stream() {
+        let snap = sample_snapshot(6);
+        let mut original = snap.cursor.rng.clone();
+        let bytes = snap.encode();
+        let mut back = RankSnapshot::decode(&bytes, TEST_SEED).expect("decode");
+        // The replayed generator must produce the identical continuation.
+        for _ in 0..16 {
+            assert_eq!(back.cursor.rng.next_u64(), original.next_u64());
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_bytes_are_rejected() {
+        let snap = sample_snapshot(2);
+        let bytes = snap.encode();
+        assert!(RankSnapshot::decode(&bytes[..bytes.len() - 3], TEST_SEED).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(RankSnapshot::decode(&extra, TEST_SEED).is_err());
+        let mut wrong_version = bytes;
+        wrong_version[0] ^= 0xff;
+        assert!(RankSnapshot::decode(&wrong_version, TEST_SEED).is_err());
+    }
+
+    fn temp_store_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dinf-ckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn file_store_roundtrips_and_agrees() {
+        let dir = temp_store_dir("roundtrip");
+        let store = FileCheckpointStore::open(&dir, 2, TEST_SEED).unwrap();
+        let snap = sample_snapshot(3);
+        SnapshotStore::commit(&store, 0, &snap);
+        SnapshotStore::commit(&store, 1, &snap);
+        assert_eq!(store.agreed_pos(), Some(snap.pos));
+        let back = store.restore_agreed(1).expect("restore");
+        assert_eq!(back.encode(), snap.encode());
+        assert_eq!(SnapshotStore::checkpoints_committed(&store), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn split_commit_falls_back_to_previous_generation() {
+        let dir = temp_store_dir("split");
+        let store = FileCheckpointStore::open(&dir, 2, TEST_SEED).unwrap();
+        let older = sample_snapshot(2);
+        let newer = sample_snapshot(4);
+        // Both ranks commit boundary A; only rank 0 reaches boundary B
+        // before the (simulated) crash.
+        SnapshotStore::commit(&store, 0, &older);
+        SnapshotStore::commit(&store, 1, &older);
+        SnapshotStore::commit(&store, 0, &newer);
+        // The agreed boundary is the older one — the only one both hold.
+        assert_eq!(store.agreed_pos(), Some(older.pos));
+        let r0 = store.restore_agreed(0).expect("rank 0 fallback");
+        assert_eq!(r0.pos, older.pos);
+        assert_eq!(r0.encode(), older.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_store_resumes_and_overwrites_oldest() {
+        let dir = temp_store_dir("reopen");
+        let a = sample_snapshot(1);
+        let b = sample_snapshot(2);
+        let c = sample_snapshot(3);
+        {
+            let store = FileCheckpointStore::open(&dir, 1, TEST_SEED).unwrap();
+            SnapshotStore::commit(&store, 0, &a);
+            SnapshotStore::commit(&store, 0, &b);
+        }
+        // A fresh process (relaunch) opens the same directory: it must see
+        // the newest boundary, and its next commit must overwrite the
+        // oldest generation, preserving b.
+        let store = FileCheckpointStore::open(&dir, 1, TEST_SEED).unwrap();
+        assert_eq!(store.agreed_pos(), Some(b.pos));
+        SnapshotStore::commit(&store, 0, &c);
+        assert_eq!(store.agreed_pos(), Some(c.pos));
+        let positions: Vec<SnapshotPos> =
+            store.positions_of(0).into_iter().map(|(p, _)| p).collect();
+        assert!(positions.contains(&b.pos), "b was clobbered: {positions:?}");
+        assert!(positions.contains(&c.pos));
+        assert!(checkpoint_files_present(&dir));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_file_reads_as_absent() {
+        let dir = temp_store_dir("torn");
+        let store = FileCheckpointStore::open(&dir, 1, TEST_SEED).unwrap();
+        let snap = sample_snapshot(2);
+        SnapshotStore::commit(&store, 0, &snap);
+        // Truncate the committed file, as a crash mid-write (without the
+        // atomic rename) would.
+        let path = dir.join("rank-0.g0.ckpt");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(store.agreed_pos(), None);
+        assert!(store.restore_agreed(0).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,7 +10,7 @@ use infomap_graph::{Graph, VertexId};
 use infomap_mpisim::{Comm, FaultPlan, RankStats, ReduceOp, World};
 use infomap_partition::{Arc, Partition};
 
-use crate::checkpoint::{CheckpointStore, RankSnapshot, SnapshotPos};
+use crate::checkpoint::{CheckpointStore, RankSnapshot, SnapshotPos, SnapshotStore};
 use crate::codec;
 use crate::config::{CommPath, DistributedConfig};
 use crate::messages::{AssignmentReply, MergedArc, MergedFlow};
@@ -138,18 +138,8 @@ impl DistributedInfomap {
     ) -> Result<DistributedOutput, String> {
         let cfg = self.cfg;
         let p = cfg.nranks;
-        let partition = Partition::delegate(graph, p, cfg.threshold, cfg.rebalance);
-        let states = build_stage1_states(graph, &partition);
-
-        let inv_two_w = 1.0 / (2.0 * graph.total_weight());
-        let node_term: f64 = (0..graph.num_vertices() as VertexId)
-            .map(|v| plogp(graph.strength(v) * inv_two_w))
-            .sum();
-        let one_level = -node_term;
-        let delegates = partition.delegates.clone();
-        let original_n = graph.num_vertices();
+        let program = RankProgram::prepare(cfg, graph);
         let store = CheckpointStore::new(p);
-        let checkpoint_every = cfg.recovery.checkpoint_every;
 
         let with_faults = plan.as_ref().is_some_and(|pl| !pl.is_empty());
         let mut world = World::new(p);
@@ -162,7 +152,145 @@ impl DistributedInfomap {
             1
         };
 
-        let attempt = |comm: &mut Comm| {
+        let attempt = |comm: &mut Comm| program.run_rank(comm, &store);
+
+        let mut stats: Vec<RankStats> = (0..p)
+            .map(|rank| RankStats {
+                rank,
+                ..Default::default()
+            })
+            .collect();
+        let mut recovery = RecoveryReport::default();
+        loop {
+            recovery.attempts += 1;
+            if recovery.attempts > 1 && store.agreed_pos().is_some() {
+                recovery.restores += 1;
+            }
+            let outcome = world.run_with_outcomes(attempt);
+            for (rank, s) in outcome.stats.iter().enumerate() {
+                stats[rank].absorb(s);
+            }
+            if outcome.all_completed() {
+                recovery.checkpoints_committed = SnapshotStore::checkpoints_committed(&store);
+                let mut results = outcome.into_results().expect("all ranks completed");
+                let (modules, trace, codelength) =
+                    results.remove(0).expect("rank 0 must report results");
+                return Ok(program.assemble_output(modules, trace, codelength, stats, recovery));
+            }
+            for (rank, msg) in outcome.failures() {
+                recovery
+                    .failures
+                    .push(format!("attempt {}: rank {rank}: {msg}", recovery.attempts));
+            }
+            if recovery.attempts >= max_attempts {
+                recovery.checkpoints_committed = SnapshotStore::checkpoints_committed(&store);
+                if cfg.recovery.degrade_gracefully {
+                    recovery.degraded = true;
+                    return Ok(degraded_output(
+                        &store,
+                        p,
+                        program.one_level,
+                        program.original_n,
+                        stats,
+                        recovery,
+                    ));
+                }
+                return Err(format!(
+                    "distributed run failed after {} attempts: {}",
+                    recovery.attempts,
+                    recovery.failures.join("; ")
+                ));
+            }
+        }
+    }
+}
+
+/// Everything the per-rank SPMD program needs besides its communicator and
+/// snapshot store: the partitioned input and the shared scalars derived
+/// from the graph. Prepared identically (and deterministically) by every
+/// process of a multi-process run, or once for all ranks of a thread run.
+pub struct RankProgram {
+    pub cfg: DistributedConfig,
+    /// Per-rank initial stage-1 states.
+    pub states: Vec<LocalState>,
+    /// Replicated delegate vertex ids.
+    pub delegates: Vec<u32>,
+    /// Σ plogp(p_v) over all vertices (the MDL's constant node term).
+    pub node_term: f64,
+    /// Codelength of the trivial one-module partition.
+    pub one_level: f64,
+    /// Vertices of the original graph.
+    pub original_n: usize,
+}
+
+impl RankProgram {
+    /// Partition the graph and precompute the shared scalars. Everything
+    /// here is a pure function of `(cfg, graph)`, so independently
+    /// preparing processes agree bit-for-bit.
+    pub fn prepare(cfg: DistributedConfig, graph: &Graph) -> RankProgram {
+        let p = cfg.nranks;
+        let partition = Partition::delegate(graph, p, cfg.threshold, cfg.rebalance);
+        let states = build_stage1_states(graph, &partition);
+        let inv_two_w = 1.0 / (2.0 * graph.total_weight());
+        let node_term: f64 = (0..graph.num_vertices() as VertexId)
+            .map(|v| plogp(graph.strength(v) * inv_two_w))
+            .sum();
+        RankProgram {
+            cfg,
+            delegates: partition.delegates.clone(),
+            states,
+            node_term,
+            one_level: -node_term,
+            original_n: graph.num_vertices(),
+        }
+    }
+
+    /// Model selection + packaging shared by the completed and launcher
+    /// paths: fall back to the one-module partition when the clustered
+    /// code is longer, as in the sequential algorithm.
+    pub fn assemble_output(
+        &self,
+        mut modules: Vec<u32>,
+        trace: Vec<StageTrace>,
+        mut codelength: f64,
+        rank_stats: Vec<RankStats>,
+        recovery: RecoveryReport,
+    ) -> DistributedOutput {
+        if codelength > self.one_level {
+            modules = vec![0; self.original_n];
+            codelength = self.one_level;
+        }
+        DistributedOutput {
+            modules,
+            codelength,
+            one_level_codelength: self.one_level,
+            trace,
+            rank_stats,
+            nranks: self.cfg.nranks,
+            recovery,
+        }
+    }
+
+    /// One rank's complete SPMD program: restore-or-initialize, stage 1
+    /// with delegates, merge, stage-2 levels, final gather. Identical over
+    /// the thread backend and a socket transport — the communicator hides
+    /// the substrate, the snapshot store hides where checkpoints live.
+    ///
+    /// Returns `Some((modules, trace, codelength))` on rank 0, `None`
+    /// elsewhere.
+    pub fn run_rank(
+        &self,
+        comm: &mut Comm,
+        store: &dyn SnapshotStore,
+    ) -> Option<(Vec<u32>, Vec<StageTrace>, f64)> {
+        let cfg = self.cfg;
+        let p = cfg.nranks;
+        let states = &self.states;
+        let delegates = &self.delegates;
+        let node_term = self.node_term;
+        let original_n = self.original_n;
+        let checkpoint_every = cfg.recovery.checkpoint_every;
+        {
             let rank = comm.rank();
             let mut st: LocalState;
             let mut trace: Vec<StageTrace>;
@@ -172,7 +300,7 @@ impl DistributedInfomap {
             let mut level_vertices: usize;
             let mut resume: Option<(SnapshotPos, StageCursor)> = None;
 
-            match store.restore(rank) {
+            match store.restore_agreed(rank) {
                 Some(snap) => {
                     // Every rank must resume the same boundary; the commit
                     // protocol guarantees it, the collective verifies it
@@ -238,7 +366,7 @@ impl DistributedInfomap {
                                 level_vertices,
                             };
                             c.add_checkpoint_bytes(snap.approx_wire_bytes());
-                            store.commit(rank, snap);
+                            store.commit(rank, &snap);
                         },
                     )
                 };
@@ -253,7 +381,7 @@ impl DistributedInfomap {
                         assign.push((v, merge.dense[&st.module_id_of(li)]));
                     }
                 }
-                for &d in &delegates {
+                for &d in delegates {
                     if (d as usize) % p == rank {
                         assign.push((d, merge.dense[&delegate_assign[&d]]));
                     }
@@ -313,7 +441,7 @@ impl DistributedInfomap {
                                 level_vertices,
                             };
                             c.add_checkpoint_bytes(snap.approx_wire_bytes());
-                            store.commit(rank, snap);
+                            store.commit(rank, &snap);
                         },
                     )
                 };
@@ -345,65 +473,6 @@ impl DistributedInfomap {
             } else {
                 None
             }
-        };
-
-        let mut stats: Vec<RankStats> = (0..p)
-            .map(|rank| RankStats {
-                rank,
-                ..Default::default()
-            })
-            .collect();
-        let mut recovery = RecoveryReport::default();
-        loop {
-            recovery.attempts += 1;
-            if recovery.attempts > 1 && store.latest_pos().is_some() {
-                recovery.restores += 1;
-            }
-            let outcome = world.run_with_outcomes(attempt);
-            for (rank, s) in outcome.stats.iter().enumerate() {
-                stats[rank].absorb(s);
-            }
-            if outcome.all_completed() {
-                recovery.checkpoints_committed = store.checkpoints_committed();
-                let mut results = outcome.into_results().expect("all ranks completed");
-                let (mut modules, trace, mut codelength) =
-                    results.remove(0).expect("rank 0 must report results");
-                // Model selection, as in the sequential algorithm: fall
-                // back to the one-module partition when the clustered code
-                // is longer.
-                if codelength > one_level {
-                    modules = vec![0; original_n];
-                    codelength = one_level;
-                }
-                return Ok(DistributedOutput {
-                    modules,
-                    codelength,
-                    one_level_codelength: one_level,
-                    trace,
-                    rank_stats: stats,
-                    nranks: p,
-                    recovery,
-                });
-            }
-            for (rank, msg) in outcome.failures() {
-                recovery
-                    .failures
-                    .push(format!("attempt {}: rank {rank}: {msg}", recovery.attempts));
-            }
-            if recovery.attempts >= max_attempts {
-                recovery.checkpoints_committed = store.checkpoints_committed();
-                if cfg.recovery.degrade_gracefully {
-                    recovery.degraded = true;
-                    return Ok(degraded_output(
-                        &store, p, one_level, original_n, stats, recovery,
-                    ));
-                }
-                return Err(format!(
-                    "distributed run failed after {} attempts: {}",
-                    recovery.attempts,
-                    recovery.failures.join("; ")
-                ));
-            }
         }
     }
 }
@@ -413,19 +482,20 @@ impl DistributedInfomap {
 /// Stage-2 snapshots carry original-vertex assignments directly; stage-1
 /// snapshots are dense-relabeled from the raw module ids. With no
 /// checkpoint at all, the result degrades to the one-module partition.
-fn degraded_output(
-    store: &CheckpointStore,
+/// Shared by the in-process retry loop and the process launcher.
+pub fn degraded_output(
+    store: &dyn SnapshotStore,
     p: usize,
     one_level: f64,
     original_n: usize,
     rank_stats: Vec<RankStats>,
     recovery: RecoveryReport,
 ) -> DistributedOutput {
-    let (mut modules, mut codelength, trace) = match store.latest_pos() {
+    let (mut modules, mut codelength, trace) = match store.agreed_pos() {
         None => (vec![0u32; original_n], one_level, Vec::new()),
         Some(pos) => {
             let snaps: Vec<RankSnapshot> = (0..p)
-                .map(|r| store.restore(r).expect("store is consistent"))
+                .map(|r| store.restore_agreed(r).expect("store is consistent"))
                 .collect();
             let codelength = snaps[0].cursor.mdl;
             let trace = snaps[0].trace.clone();

@@ -61,9 +61,14 @@ pub mod messages;
 pub mod rounds;
 pub mod state;
 
-pub use checkpoint::{CheckpointStore, RankSnapshot, SnapshotPos};
+pub use checkpoint::{
+    checkpoint_files_present, CheckpointStore, FileCheckpointStore, RankSnapshot, SnapshotPos,
+    SnapshotStore,
+};
 pub use config::{CommPath, DistributedConfig, MoveKernel, RecoveryConfig};
-pub use driver::{DistributedInfomap, DistributedOutput, RecoveryReport, StageTrace};
+pub use driver::{
+    degraded_output, DistributedInfomap, DistributedOutput, RankProgram, RecoveryReport, StageTrace,
+};
 pub use rounds::{
     apply_local_move, best_local_move, best_local_move_scan, LocalCandidate, NeighborhoodScratch,
     RoundBuffers,

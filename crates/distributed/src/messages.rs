@@ -113,6 +113,54 @@ pub struct AssignmentReply {
     pub module: u32,
 }
 
+/// Field-wise [`WirePayload`] impls so the message structs can cross a
+/// byte-level transport backend. The encoding is the packed field
+/// sequence in declaration order — the same extent `WIRE_BYTES` meters
+/// (bools travel as one byte).
+macro_rules! wire_payload_fields {
+    ($t:ty { $($field:ident),+ $(,)? }) => {
+        impl infomap_mpisim::WirePayload for $t {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                $(infomap_mpisim::WirePayload::encode_into(&self.$field, out);)+
+            }
+
+            fn decode_from(
+                buf: &mut &[u8],
+            ) -> Result<Self, infomap_mpisim::WireDecodeError> {
+                $(let $field = infomap_mpisim::WirePayload::decode_from(buf)?;)+
+                Ok(Self { $($field),+ })
+            }
+        }
+    };
+}
+
+wire_payload_fields!(ModuleInfoMsg {
+    mod_id,
+    flow,
+    exit,
+    members,
+    is_sent
+});
+wire_payload_fields!(VertexUpdate { vertex, module });
+wire_payload_fields!(DelegateProposal {
+    delegate,
+    to_module,
+    delta,
+    proposer,
+    target_info
+});
+wire_payload_fields!(ModuleContribution {
+    mod_id,
+    flow,
+    exit,
+    members,
+    retract
+});
+wire_payload_fields!(MergedArc { src, dst, weight });
+wire_payload_fields!(MergedFlow { vertex, flow });
+wire_payload_fields!(AssignmentQuery { key });
+wire_payload_fields!(AssignmentReply { key, module });
+
 #[cfg(test)]
 mod tests {
     use super::*;

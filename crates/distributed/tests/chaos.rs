@@ -5,9 +5,13 @@
 //! mid-stream RNG, the recovered run is *bit-identical* to the fault-free
 //! one on the same seed.
 
-use infomap_distributed::{CommPath, DistributedConfig, DistributedInfomap, RecoveryConfig};
+use infomap_distributed::{
+    CommPath, DistributedConfig, DistributedInfomap, FileCheckpointStore, RankProgram,
+    RecoveryConfig, RecoveryReport,
+};
+use infomap_mpisim::{Comm, FaultPlan, RankStats, World};
+
 use infomap_graph::generators::{self, LfrParams};
-use infomap_mpisim::FaultPlan;
 
 fn lfr() -> infomap_graph::Graph {
     generators::lfr_like(
@@ -280,4 +284,55 @@ fn stragglers_slow_but_never_diverge() {
         assert!(out.rank_stats[1].faults.straggler_units > 0);
         assert_eq!(out.rank_stats[0].faults.straggler_units, 0);
     }
+}
+
+/// The launcher's durable path in miniature: the same retry loop as
+/// `run_with_plan`, but snapshots flow through the on-disk
+/// [`FileCheckpointStore`] — binary codec, checked framing, two
+/// generations — instead of live in-memory clones. Recovery must still
+/// be bit-identical; a divergence here isolates the durable codec /
+/// RNG-replay path from the process-management machinery around it.
+#[test]
+fn crash_recovers_bit_identically_through_the_file_store() {
+    let g = lfr();
+    let cfg = chaos_cfg();
+    let clean = DistributedInfomap::new(cfg).run(&g);
+
+    let dir = std::env::temp_dir().join(format!("dinf-filestore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let p = cfg.nranks;
+    let program = RankProgram::prepare(cfg, &g);
+    let store = FileCheckpointStore::open(&dir, p, cfg.seed).expect("open store");
+    let world = World::new(p).fault_plan(FaultPlan::new(7).crash(1, 80));
+    let attempt = |comm: &mut Comm| program.run_rank(comm, &store);
+
+    let mut attempts = 0;
+    let out = loop {
+        attempts += 1;
+        assert!(attempts <= 3, "retry loop failed to converge");
+        let outcome = world.run_with_outcomes(attempt);
+        if !outcome.all_completed() {
+            continue;
+        }
+        let mut results = outcome.into_results().expect("all ranks completed");
+        let (modules, trace, codelength) = results.remove(0).expect("rank 0 result");
+        let stats: Vec<RankStats> = (0..p)
+            .map(|rank| RankStats {
+                rank,
+                ..Default::default()
+            })
+            .collect();
+        break program.assemble_output(
+            modules,
+            trace,
+            codelength,
+            stats,
+            RecoveryReport::default(),
+        );
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(attempts, 2, "the crash must cost exactly one retry");
+    assert_eq!(out.modules, clean.modules, "file-store recovery diverged");
+    assert_eq!(out.codelength.to_bits(), clean.codelength.to_bits());
 }

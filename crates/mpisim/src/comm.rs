@@ -1,5 +1,21 @@
 //! The per-rank communicator: point-to-point messaging, collectives,
 //! and phase-scoped metering.
+//!
+//! A [`Comm`] fronts one of two substrates. The default is the in-process
+//! *thread* backend: typed payloads move through shared memory (crossbeam
+//! mailboxes and a rendezvous cell) without serialization, and collective
+//! folds run once on the last-arriving rank. The alternative is a *byte*
+//! backend behind the [`Transport`] trait: payloads are encoded with
+//! [`WirePayload`], collectives lower onto a blob allgather (or a true
+//! personalized exchange), and every rank folds the decoded contributions
+//! locally **in rank order** — the same order the rendezvous presents them
+//! — so IEEE-deterministic reductions produce bit-identical results on
+//! both backends.
+//!
+//! Metering is computed from the *typed* payload sizes before any
+//! encoding, with identical formulas on both backends, so modeled
+//! makespans are backend-invariant; only wall-clock differs. That is what
+//! lets `BENCH_transport.json` compare modeled time against reality.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -10,8 +26,10 @@ use std::time::Instant;
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::fault::{FaultState, MessageFate};
+use crate::payload::WirePayload;
 use crate::rendezvous::{Rendezvous, ScheduleStamp};
 use crate::stats::RankStats;
+use crate::transport::{Transport, TransportError, TransportFault};
 use crate::wire::WireSized;
 
 /// Reduction operators for the numeric allreduce helpers.
@@ -44,32 +62,87 @@ pub(crate) struct Fabric {
     pub check_schedule: bool,
 }
 
+/// The in-process substrate: crossbeam mailboxes plus the rendezvous cell.
+struct ThreadBackend {
+    fabric: Arc<Fabric>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet matched by a selective `recv`.
+    stash: VecDeque<Envelope>,
+    /// Fault-delayed outgoing messages: `(release_event, dest, envelope)`,
+    /// flushed whenever this rank's event counter passes `release_event`
+    /// (and unconditionally when the rank finishes).
+    delayed: Vec<(u64, usize, Envelope)>,
+}
+
+impl ThreadBackend {
+    /// Push an envelope into `dest`'s mailbox. A send can only fail when
+    /// the destination's receiver is gone, i.e. the destination rank died;
+    /// in that case the world is (or is about to be) poisoned, so unwind
+    /// with the standard poisoned-world diagnostic instead of masking the
+    /// original failure with a send error.
+    fn deliver(&self, dest: usize, env: Envelope) {
+        if self.mailboxes_send(dest, env).is_err() {
+            panic!("world poisoned: another rank panicked");
+        }
+    }
+
+    fn mailboxes_send(&self, dest: usize, env: Envelope) -> Result<(), ()> {
+        self.fabric.mailboxes[dest].send(env).map_err(|_| ())
+    }
+}
+
+/// A byte-moving substrate behind the [`Transport`] trait.
+struct ByteBackend {
+    transport: Box<dyn Transport>,
+    /// Collective sequence number for matching exchange/alltoallv calls
+    /// across ranks (independent of the schedule checker's `sched_seq`,
+    /// which only advances when checking is on).
+    coll_seq: u64,
+}
+
 /// A rank's communicator. One instance per rank; not shareable across ranks.
 ///
 /// All operations are *metered*: bytes, message counts, collective calls and
 /// caller-declared work units accumulate into the currently active phase
 /// (see [`Comm::phase`]) and into the rank total. The final counters are
 /// returned to the caller of [`crate::World::run`] in the
-/// [`crate::WorldReport`].
+/// [`crate::WorldReport`], or taken with [`Comm::finish`] on a
+/// transport-backed communicator.
 pub struct Comm {
     rank: usize,
-    fabric: Arc<Fabric>,
-    inbox: Receiver<Envelope>,
-    /// Messages received but not yet matched by a selective `recv`.
-    stash: VecDeque<Envelope>,
+    nranks: usize,
+    backend: Backend,
     pub(crate) stats: RankStats,
     /// Stack of active phase names; metering charges the innermost.
     phase_stack: Vec<(String, Instant)>,
     /// Compute-inflation factor injected by a straggler fault (1 = none).
     work_scale: u64,
-    /// Fault-delayed outgoing messages: `(release_event, dest, envelope)`,
-    /// flushed whenever this rank's event counter passes `release_event`
-    /// (and unconditionally when the rank finishes).
-    delayed: Vec<(u64, usize, Envelope)>,
     /// Collectives issued so far (the schedule checker's sequence number).
     sched_seq: u64,
     /// Running hash of this rank's `(kind, seq)` collective schedule.
     sched_hash: u64,
+    /// Verify the collective schedule on every collective.
+    check_schedule: bool,
+}
+
+enum Backend {
+    Thread(ThreadBackend),
+    Byte(ByteBackend),
+}
+
+/// Charge a metering closure to the rank total plus the innermost phase.
+/// Free function so backend match arms can charge while the backend is
+/// mutably borrowed.
+fn charge_into(
+    stats: &mut RankStats,
+    phase_stack: &[(String, Instant)],
+    f: impl Fn(&mut crate::PhaseStats),
+) {
+    f(&mut stats.total);
+    if let Some((name, _)) = phase_stack.last() {
+        let entry = stats.phases.entry(name.clone()).or_default();
+        f(entry);
+    }
 }
 
 impl Comm {
@@ -79,18 +152,58 @@ impl Comm {
             .as_ref()
             .map(|f| f.straggler_factor(rank))
             .unwrap_or(1);
+        let check_schedule = fabric.check_schedule;
         Comm {
             rank,
-            fabric,
-            inbox,
-            stash: VecDeque::new(),
+            nranks: fabric.nranks,
+            backend: Backend::Thread(ThreadBackend {
+                fabric,
+                inbox,
+                stash: VecDeque::new(),
+                delayed: Vec::new(),
+            }),
             stats: RankStats::new(rank),
             phase_stack: Vec::new(),
             work_scale,
-            delayed: Vec::new(),
             sched_seq: 0,
             sched_hash: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
+            check_schedule,
         }
+    }
+
+    /// A communicator running over a byte-level [`Transport`] — typically
+    /// one OS process per rank. Fault injection does not apply (failures
+    /// are real here); schedule checking defaults to on in debug builds,
+    /// like the thread world.
+    pub fn over_transport(transport: Box<dyn Transport>) -> Self {
+        let rank = transport.rank();
+        let nranks = transport.size();
+        Comm {
+            rank,
+            nranks,
+            backend: Backend::Byte(ByteBackend {
+                transport,
+                coll_seq: 0,
+            }),
+            stats: RankStats::new(rank),
+            phase_stack: Vec::new(),
+            work_scale: 1,
+            sched_seq: 0,
+            sched_hash: 0xcbf2_9ce4_8422_2325,
+            check_schedule: cfg!(debug_assertions),
+        }
+    }
+
+    /// Toggle collective-schedule verification (builder-style, for
+    /// transport-backed communicators).
+    pub fn with_schedule_check(mut self, on: bool) -> Self {
+        self.check_schedule = on;
+        self
+    }
+
+    /// Tear down a transport-backed communicator and take its counters.
+    pub fn finish(mut self) -> RankStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Take the accumulated counters out (used once, at rank teardown).
@@ -106,22 +219,26 @@ impl Comm {
     /// through here before doing anything else. With no fault plan this is
     /// a single branch. With one, it advances this rank's deterministic
     /// event counter, releases fault-delayed messages that have come due,
-    /// and fires any crash scheduled for this event.
+    /// and fires any crash scheduled for this event. Transport backends
+    /// skip it entirely — their failures are real, not injected.
     fn comm_event(&mut self) {
-        let Some(fault) = self.fabric.fault.clone() else {
+        let Backend::Thread(t) = &mut self.backend else {
+            return;
+        };
+        let Some(fault) = t.fabric.fault.clone() else {
             return;
         };
         let event = fault.next_event(self.rank);
-        if !self.delayed.is_empty() {
+        if !t.delayed.is_empty() {
             let mut keep = Vec::new();
-            for (release, dest, env) in std::mem::take(&mut self.delayed) {
+            for (release, dest, env) in std::mem::take(&mut t.delayed) {
                 if release <= event {
-                    self.deliver(dest, env);
+                    t.deliver(dest, env);
                 } else {
                     keep.push((release, dest, env));
                 }
             }
-            self.delayed = keep;
+            t.delayed = keep;
         }
         if fault.crash_due(self.rank, event) {
             self.stats.faults.crashes += 1;
@@ -132,17 +249,6 @@ impl Comm {
         }
     }
 
-    /// Push an envelope into `dest`'s mailbox. A send can only fail when
-    /// the destination's receiver is gone, i.e. the destination rank died;
-    /// in that case the world is (or is about to be) poisoned, so unwind
-    /// with the standard poisoned-world diagnostic instead of masking the
-    /// original failure with a send error.
-    fn deliver(&self, dest: usize, env: Envelope) {
-        if self.fabric.mailboxes[dest].send(env).is_err() {
-            panic!("world poisoned: another rank panicked");
-        }
-    }
-
     /// This rank's id, `0 <= rank < size`.
     pub fn rank(&self) -> usize {
         self.rank
@@ -150,7 +256,7 @@ impl Comm {
 
     /// Number of ranks in the world.
     pub fn size(&self) -> usize {
-        self.fabric.nranks
+        self.nranks
     }
 
     // ------------------------------------------------------------------
@@ -158,11 +264,7 @@ impl Comm {
     // ------------------------------------------------------------------
 
     fn charge(&mut self, f: impl Fn(&mut crate::PhaseStats)) {
-        f(&mut self.stats.total);
-        if let Some((name, _)) = self.phase_stack.last() {
-            let entry = self.stats.phases.entry(name.clone()).or_default();
-            f(entry);
-        }
+        charge_into(&mut self.stats, &self.phase_stack, f);
     }
 
     /// Record `units` of abstract compute work. Callers meter **logical**
@@ -226,12 +328,17 @@ impl Comm {
     /// `T`'s in-memory representation. For records whose wire form is
     /// smaller than their padded in-memory form, use
     /// [`Comm::send_slice_packed`] with an explicit per-record wire size.
-    pub fn send<T: Clone + Send + 'static>(&mut self, dest: usize, tag: u64, payload: Vec<T>) {
+    pub fn send<T: Clone + Send + WirePayload + 'static>(
+        &mut self,
+        dest: usize,
+        tag: u64,
+        payload: Vec<T>,
+    ) {
         let bytes = (payload.len() * size_of::<T>()) as u64;
         self.send_metered(dest, tag, payload, bytes);
     }
 
-    fn send_metered<T: Clone + Send + 'static>(
+    fn send_metered<T: Clone + Send + WirePayload + 'static>(
         &mut self,
         dest: usize,
         tag: u64,
@@ -244,61 +351,83 @@ impl Comm {
             s.p2p_bytes_sent += bytes;
             s.p2p_msgs_sent += 1;
         });
-        let fate = match &self.fabric.fault {
-            Some(f) => f.message_fate(self.rank, dest),
-            None => MessageFate::Deliver,
-        };
-        match fate {
-            MessageFate::Deliver => {
-                let env = Envelope {
-                    src: self.rank,
-                    tag,
-                    payload: Box::new(payload),
-                    bytes,
+        let me = self.rank;
+        let Comm {
+            backend,
+            stats,
+            phase_stack,
+            ..
+        } = self;
+        match backend {
+            Backend::Thread(t) => {
+                let fate = match &t.fabric.fault {
+                    Some(f) => f.message_fate(me, dest),
+                    None => MessageFate::Deliver,
                 };
-                self.deliver(dest, env);
+                match fate {
+                    MessageFate::Deliver => {
+                        let env = Envelope {
+                            src: me,
+                            tag,
+                            payload: Box::new(payload),
+                            bytes,
+                        };
+                        t.deliver(dest, env);
+                    }
+                    MessageFate::Drop => {
+                        // Metered as sent (the sender cannot tell), never
+                        // delivered.
+                        stats.faults.msgs_dropped += 1;
+                    }
+                    MessageFate::Duplicate => {
+                        // The duplicate is real traffic: meter it too.
+                        stats.faults.msgs_duplicated += 1;
+                        charge_into(stats, phase_stack, |s| {
+                            s.p2p_bytes_sent += bytes;
+                            s.p2p_msgs_sent += 1;
+                        });
+                        let copy = Envelope {
+                            src: me,
+                            tag,
+                            payload: Box::new(payload.clone()),
+                            bytes,
+                        };
+                        let env = Envelope {
+                            src: me,
+                            tag,
+                            payload: Box::new(payload),
+                            bytes,
+                        };
+                        t.deliver(dest, env);
+                        t.deliver(dest, copy);
+                    }
+                    MessageFate::Delay { events } => {
+                        stats.faults.msgs_delayed += 1;
+                        let release = t
+                            .fabric
+                            .fault
+                            .as_ref()
+                            .map(|f| f.current_event(me) + events)
+                            .unwrap_or(0);
+                        let env = Envelope {
+                            src: me,
+                            tag,
+                            payload: Box::new(payload),
+                            bytes,
+                        };
+                        t.delayed.push((release, dest, env));
+                    }
+                }
             }
-            MessageFate::Drop => {
-                // Metered as sent (the sender cannot tell), never delivered.
-                self.stats.faults.msgs_dropped += 1;
-            }
-            MessageFate::Duplicate => {
-                // The duplicate is real traffic: meter it too.
-                self.stats.faults.msgs_duplicated += 1;
-                self.charge(|s| {
-                    s.p2p_bytes_sent += bytes;
-                    s.p2p_msgs_sent += 1;
-                });
-                let copy = Envelope {
-                    src: self.rank,
-                    tag,
-                    payload: Box::new(payload.clone()),
-                    bytes,
-                };
-                let env = Envelope {
-                    src: self.rank,
-                    tag,
-                    payload: Box::new(payload),
-                    bytes,
-                };
-                self.deliver(dest, env);
-                self.deliver(dest, copy);
-            }
-            MessageFate::Delay { events } => {
-                self.stats.faults.msgs_delayed += 1;
-                let release = self
-                    .fabric
-                    .fault
-                    .as_ref()
-                    .map(|f| f.current_event(self.rank) + events)
-                    .unwrap_or(0);
-                let env = Envelope {
-                    src: self.rank,
-                    tag,
-                    payload: Box::new(payload),
-                    bytes,
-                };
-                self.delayed.push((release, dest, env));
+            Backend::Byte(b) => {
+                // Frame layout: metered size (so the receiver charges the
+                // identical amount) followed by the encoded payload.
+                let mut frame = Vec::with_capacity(8 + payload.len() * size_of::<T>());
+                bytes.encode_into(&mut frame);
+                payload.encode_into(&mut frame);
+                if let Err(error) = b.transport.send(dest, tag, frame) {
+                    transport_fail(me, "send", error);
+                }
             }
         }
     }
@@ -307,7 +436,12 @@ impl Comm {
     /// ownership of a copy (as MPI's internal buffering of a non-blocking
     /// send would), while the caller's buffer keeps its capacity for
     /// reuse. Metering is identical to `send`.
-    pub fn send_slice<T: Clone + Send + 'static>(&mut self, dest: usize, tag: u64, payload: &[T]) {
+    pub fn send_slice<T: Clone + Send + WirePayload + 'static>(
+        &mut self,
+        dest: usize,
+        tag: u64,
+        payload: &[T],
+    ) {
         self.send(dest, tag, payload.to_vec());
     }
 
@@ -316,7 +450,7 @@ impl Comm {
     /// interior padding would occupy (e.g. `ModuleInfoMsg`: 29 wire bytes
     /// vs a 32-byte in-memory layout). The matching `recv` is charged the
     /// same total because the envelope carries the metered size.
-    pub fn send_slice_packed<T: Clone + Send + 'static>(
+    pub fn send_slice_packed<T: Clone + Send + WirePayload + 'static>(
         &mut self,
         dest: usize,
         tag: u64,
@@ -332,68 +466,109 @@ impl Comm {
     /// Messages from other (src, tag) pairs that arrive in the meantime are
     /// stashed and delivered to later matching receives, so receive order
     /// between distinct peers does not matter — as with MPI tags.
-    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Vec<T> {
+    pub fn recv<T: Send + WirePayload + 'static>(&mut self, src: usize, tag: u64) -> Vec<T> {
         self.comm_event();
-        // First look in the stash.
-        if let Some(pos) = self.stash.iter().position(|e| e.src == src && e.tag == tag) {
-            let env = self.stash.remove(pos).unwrap();
-            return self.open::<T>(env);
-        }
-        // With a fault plan, a dropped message must not hang the world:
-        // starve out and fail the rank so the driver can retry the round.
-        let starvation = self
-            .fabric
-            .fault
-            .as_ref()
-            .map(|f| std::time::Duration::from_millis(f.plan().hang_timeout_ms));
-        let started = Instant::now();
-        loop {
-            match self
-                .inbox
-                .recv_timeout(std::time::Duration::from_millis(100))
-            {
-                Ok(env) => {
-                    if env.src == src && env.tag == tag {
-                        return self.open::<T>(env);
-                    }
-                    self.stash.push_back(env);
+        let me = self.rank;
+        let Comm {
+            backend,
+            stats,
+            phase_stack,
+            ..
+        } = self;
+        match backend {
+            Backend::Thread(t) => {
+                // First look in the stash.
+                if let Some(pos) = t.stash.iter().position(|e| e.src == src && e.tag == tag) {
+                    let env = t.stash.remove(pos).unwrap();
+                    return open::<T>(stats, phase_stack, env);
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    // A peer that died can never send; fail fast instead of
-                    // blocking the whole world.
-                    if self.fabric.rendezvous.is_poisoned() {
-                        panic!("world poisoned: another rank panicked");
-                    }
-                    if let Some(limit) = starvation {
-                        if started.elapsed() >= limit {
-                            panic!(
-                                "fault injected: rank {} receive starved (src {src}, tag {tag:#x})",
-                                self.rank
-                            );
+                // With a fault plan, a dropped message must not hang the
+                // world: starve out and fail the rank so the driver can
+                // retry the round.
+                let starvation = t
+                    .fabric
+                    .fault
+                    .as_ref()
+                    .map(|f| std::time::Duration::from_millis(f.plan().hang_timeout_ms));
+                let started = Instant::now();
+                loop {
+                    match t.inbox.recv_timeout(std::time::Duration::from_millis(100)) {
+                        Ok(env) => {
+                            if env.src == src && env.tag == tag {
+                                return open::<T>(stats, phase_stack, env);
+                            }
+                            t.stash.push_back(env);
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            // A peer that died can never send; fail fast
+                            // instead of blocking the whole world.
+                            if t.fabric.rendezvous.is_poisoned() {
+                                panic!("world poisoned: another rank panicked");
+                            }
+                            if let Some(limit) = starvation {
+                                if started.elapsed() >= limit {
+                                    panic!(
+                                        "fault injected: rank {me} receive starved (src {src}, tag {tag:#x})",
+                                    );
+                                }
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                            panic!("all senders dropped while a receive was pending");
                         }
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    panic!("all senders dropped while a receive was pending");
-                }
+            }
+            Backend::Byte(b) => {
+                let frame = match b.transport.recv(src, tag) {
+                    Ok(f) => f,
+                    Err(error) => transport_fail(me, "recv", error),
+                };
+                let mut cursor = &frame[..];
+                let (bytes, payload) = match (|| {
+                    let bytes = u64::decode_from(&mut cursor)?;
+                    let payload = Vec::<T>::decode_from(&mut cursor)?;
+                    Ok::<_, crate::payload::WireDecodeError>((bytes, payload))
+                })() {
+                    Ok(v) if cursor.is_empty() => v,
+                    _ => transport_fail(
+                        me,
+                        "recv",
+                        TransportError::FrameCorrupt {
+                            peer: src,
+                            detail: format!("undecodable p2p payload (tag {tag:#x})"),
+                        },
+                    ),
+                };
+                charge_into(stats, phase_stack, |s| s.p2p_bytes_recv += bytes);
+                payload
             }
         }
-    }
-
-    fn open<T: Send + 'static>(&mut self, env: Envelope) -> Vec<T> {
-        let bytes = env.bytes;
-        self.charge(|s| s.p2p_bytes_recv += bytes);
-        *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
-            panic!(
-                "message type mismatch on recv (src {}, tag {})",
-                env.src, env.tag
-            )
-        })
     }
 
     // ------------------------------------------------------------------
     // Collectives
     // ------------------------------------------------------------------
+
+    /// Advance the schedule checker and produce this collective's stamp.
+    fn stamp(
+        &mut self,
+        kind: &'static str,
+        site: &'static std::panic::Location<'static>,
+    ) -> Option<ScheduleStamp> {
+        if !self.check_schedule {
+            return None;
+        }
+        let seq = self.sched_seq;
+        self.sched_seq += 1;
+        self.sched_hash = schedule_mix(self.sched_hash, kind, seq);
+        Some(ScheduleStamp {
+            kind,
+            seq,
+            history: self.sched_hash,
+            site,
+        })
+    }
 
     #[track_caller]
     fn collective<T, R, F>(
@@ -404,7 +579,7 @@ impl Comm {
         combine: F,
     ) -> Arc<R>
     where
-        T: Send + 'static,
+        T: Send + WirePayload + 'static,
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>) -> R,
     {
@@ -416,22 +591,64 @@ impl Comm {
             s.collective_calls += 1;
             s.collective_bytes += bytes;
         });
-        let stamp = if self.fabric.check_schedule {
-            let seq = self.sched_seq;
-            self.sched_seq += 1;
-            self.sched_hash = schedule_mix(self.sched_hash, kind, seq);
-            Some(ScheduleStamp {
-                kind,
-                seq,
-                history: self.sched_hash,
-                site,
-            })
-        } else {
-            None
-        };
-        self.fabric
-            .rendezvous
-            .exchange(self.rank, contribution, stamp, combine)
+        let stamp = self.stamp(kind, site);
+        let me = self.rank;
+        match &mut self.backend {
+            Backend::Thread(t) => t
+                .fabric
+                .rendezvous
+                .exchange(me, contribution, stamp, combine),
+            Backend::Byte(b) => {
+                let seq = b.coll_seq;
+                b.coll_seq += 1;
+                // The frame leads with the schedule history hash (0 when
+                // checking is off) so divergent schedules are caught at
+                // the first collective where they differ, naming both
+                // ranks — the byte-path counterpart of the rendezvous
+                // checker.
+                let history = stamp.as_ref().map(|s| s.history).unwrap_or(0);
+                let mut frame = Vec::new();
+                history.encode_into(&mut frame);
+                contribution.encode_into(&mut frame);
+                let parts = match b.transport.exchange(seq, frame) {
+                    Ok(p) => p,
+                    Err(error) => transport_fail(me, kind, error),
+                };
+                let mut values = Vec::with_capacity(parts.len());
+                for (src, part) in parts.into_iter().enumerate() {
+                    let mut cursor = &part[..];
+                    let theirs = match u64::decode_from(&mut cursor) {
+                        Ok(h) => h,
+                        Err(_) => transport_fail(
+                            me,
+                            kind,
+                            TransportError::FrameCorrupt {
+                                peer: src,
+                                detail: format!("truncated collective header (seq {seq})"),
+                            },
+                        ),
+                    };
+                    if theirs != history {
+                        panic!(
+                            "collective schedule mismatch: rank {me} issued {kind} #{} \
+                             (history {history:#018x}) but rank {src} sent history \
+                             {theirs:#018x} on the same slot — the SPMD ranks have \
+                             diverged (issued at {site})",
+                            seq
+                        );
+                    }
+                    match T::decode_from_exact_one(&mut cursor) {
+                        Ok(v) => values.push(v),
+                        Err(detail) => transport_fail(
+                            me,
+                            kind,
+                            TransportError::FrameCorrupt { peer: src, detail },
+                        ),
+                    }
+                }
+                Arc::new(combine(values))
+            }
+        }
     }
 
     /// Block until every rank has reached the barrier.
@@ -475,7 +692,7 @@ impl Comm {
     #[track_caller]
     pub fn allreduce_with<T, R, F>(&mut self, value: T, fold: F) -> Arc<R>
     where
-        T: Send + 'static,
+        T: Send + WirePayload + 'static,
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>) -> R,
     {
@@ -491,14 +708,17 @@ impl Comm {
     /// to every rank, and the receive side is where that O(total × p)
     /// blow-up lives.
     #[track_caller]
-    pub fn allgatherv<T: Clone + Send + Sync + 'static>(&mut self, local: Vec<T>) -> Arc<Vec<T>> {
+    pub fn allgatherv<T: Clone + Send + Sync + WirePayload + 'static>(
+        &mut self,
+        local: Vec<T>,
+    ) -> Arc<Vec<T>> {
         self.allgatherv_packed(local, size_of::<T>() as u64)
     }
 
     /// [`Comm::allgatherv`] metered at an explicit per-record wire size
     /// (see [`Comm::send_slice_packed`]).
     #[track_caller]
-    pub fn allgatherv_packed<T: Clone + Send + Sync + 'static>(
+    pub fn allgatherv_packed<T: Clone + Send + Sync + WirePayload + 'static>(
         &mut self,
         local: Vec<T>,
         wire_bytes_per_record: u64,
@@ -520,7 +740,7 @@ impl Comm {
     /// Like [`Comm::allgatherv`] but keeps the per-rank structure: everyone
     /// receives `Vec` indexed by source rank. Metering as in `allgatherv`.
     #[track_caller]
-    pub fn allgather_parts<T: Clone + Send + Sync + 'static>(
+    pub fn allgather_parts<T: Clone + Send + Sync + WirePayload + 'static>(
         &mut self,
         local: Vec<T>,
     ) -> Arc<Vec<Vec<T>>> {
@@ -546,7 +766,7 @@ impl Comm {
     /// to `collective_bytes`; incoming buckets from other ranks to
     /// `collective_bytes_recv`.
     #[track_caller]
-    pub fn alltoallv<T: Clone + Send + Sync + 'static>(
+    pub fn alltoallv<T: Clone + Send + Sync + WirePayload + 'static>(
         &mut self,
         outgoing: Vec<Vec<T>>,
     ) -> Vec<Vec<T>> {
@@ -556,7 +776,7 @@ impl Comm {
     /// [`Comm::alltoallv`] metered at an explicit per-record wire size
     /// (see [`Comm::send_slice_packed`]).
     #[track_caller]
-    pub fn alltoallv_packed<T: Clone + Send + Sync + 'static>(
+    pub fn alltoallv_packed<T: Clone + Send + Sync + WirePayload + 'static>(
         &mut self,
         outgoing: Vec<Vec<T>>,
         wire_bytes_per_record: u64,
@@ -571,8 +791,13 @@ impl Comm {
             .map(|b| b.len() as u64 * wire_bytes_per_record)
             .sum();
         let me = self.rank;
-        let matrix = self.collective("alltoallv", bytes, outgoing, |rows| rows);
-        let incoming: Vec<Vec<T>> = matrix.iter().map(|row| row[me].clone()).collect();
+        let incoming: Vec<Vec<T>> = if self.is_thread() {
+            let matrix = self.collective("alltoallv", bytes, outgoing, |rows| rows);
+            matrix.iter().map(|row| row[me].clone()).collect()
+        } else {
+            self.byte_alltoallv("alltoallv", bytes, outgoing, None::<()>)
+                .0
+        };
         let recv: u64 = incoming
             .iter()
             .enumerate()
@@ -602,8 +827,8 @@ impl Comm {
         fold: F,
     ) -> (Vec<Vec<T>>, R)
     where
-        T: Clone + Send + Sync + 'static,
-        U: Send + 'static,
+        T: Clone + Send + Sync + WirePayload + 'static,
+        U: Send + WirePayload + 'static,
         R: Clone + Send + Sync + 'static,
         F: FnOnce(Vec<U>) -> R + Send + 'static,
     {
@@ -618,16 +843,24 @@ impl Comm {
             .sum::<u64>()
             + size_of::<U>() as u64;
         let me = self.rank;
-        let shared = self.collective(
-            "alltoallv_reduce",
-            bytes,
-            (outgoing, partial),
-            move |rows| {
-                let (mats, parts): (Vec<Vec<Vec<T>>>, Vec<U>) = rows.into_iter().unzip();
-                (mats, fold(parts))
-            },
-        );
-        let incoming: Vec<Vec<T>> = shared.0.iter().map(|row| row[me].clone()).collect();
+        let (incoming, folded): (Vec<Vec<T>>, R) = if self.is_thread() {
+            let shared = self.collective(
+                "alltoallv_reduce",
+                bytes,
+                (outgoing, partial),
+                move |rows| {
+                    let (mats, parts): (Vec<Vec<Vec<T>>>, Vec<U>) = rows.into_iter().unzip();
+                    (mats, fold(parts))
+                },
+            );
+            let incoming = shared.0.iter().map(|row| row[me].clone()).collect();
+            (incoming, shared.1.clone())
+        } else {
+            let (incoming, partials) =
+                self.byte_alltoallv("alltoallv_reduce", bytes, outgoing, Some(partial));
+            let parts = partials.expect("byte alltoallv with partial returns partials");
+            (incoming, fold(parts))
+        };
         let recv: u64 = incoming
             .iter()
             .enumerate()
@@ -635,7 +868,99 @@ impl Comm {
             .map(|(_, b)| (b.len() * size_of::<T>()) as u64)
             .sum();
         self.charge(|s| s.collective_bytes_recv += recv);
-        (incoming, shared.1.clone())
+        (incoming, folded)
+    }
+
+    fn is_thread(&self) -> bool {
+        matches!(self.backend, Backend::Thread(_))
+    }
+
+    /// Byte-backend personalized exchange, optionally piggybacking one
+    /// reduce contribution to every destination (the fused
+    /// `alltoallv_reduce`: each rank then holds all p partials and folds
+    /// them locally in rank order). Charges the collective call + bytes;
+    /// the caller charges the receive side with its own formula.
+    #[track_caller]
+    fn byte_alltoallv<T, U>(
+        &mut self,
+        kind: &'static str,
+        bytes: u64,
+        outgoing: Vec<Vec<T>>,
+        partial: Option<U>,
+    ) -> (Vec<Vec<T>>, Option<Vec<U>>)
+    where
+        T: WirePayload,
+        U: WirePayload,
+    {
+        let site = std::panic::Location::caller();
+        self.comm_event();
+        self.charge(|s| {
+            s.collective_calls += 1;
+            s.collective_bytes += bytes;
+        });
+        let stamp = self.stamp(kind, site);
+        let history = stamp.as_ref().map(|s| s.history).unwrap_or(0);
+        let me = self.rank;
+        let Backend::Byte(b) = &mut self.backend else {
+            unreachable!("byte_alltoallv on a thread backend");
+        };
+        let seq = b.coll_seq;
+        b.coll_seq += 1;
+        let frames: Vec<Vec<u8>> = outgoing
+            .iter()
+            .map(|bucket| {
+                let mut frame = Vec::new();
+                history.encode_into(&mut frame);
+                partial.encode_into(&mut frame);
+                bucket.encode_into(&mut frame);
+                frame
+            })
+            .collect();
+        let rows = match b.transport.alltoallv(seq, frames) {
+            Ok(r) => r,
+            Err(error) => transport_fail(me, kind, error),
+        };
+        let mut incoming = Vec::with_capacity(rows.len());
+        let mut partials = partial.as_ref().map(|_| Vec::with_capacity(rows.len()));
+        for (src, row) in rows.into_iter().enumerate() {
+            let mut cursor = &row[..];
+            let decoded = (|| {
+                let theirs = u64::decode_from(&mut cursor)
+                    .map_err(|_| format!("truncated alltoallv header (seq {seq})"))?;
+                if theirs != history {
+                    return Err(format!(
+                        "schedule mismatch: mine {history:#018x} theirs {theirs:#018x}"
+                    ));
+                }
+                let part = Option::<U>::decode_from(&mut cursor)
+                    .map_err(|e| format!("alltoallv partial: {e}"))?;
+                let bucket = Vec::<T>::decode_from(&mut cursor)
+                    .map_err(|e| format!("alltoallv bucket: {e}"))?;
+                if !cursor.is_empty() {
+                    return Err("trailing bytes in alltoallv frame".to_string());
+                }
+                Ok((part, bucket))
+            })();
+            match decoded {
+                Ok((part, bucket)) => {
+                    if let (Some(ps), Some(p)) = (&mut partials, part) {
+                        ps.push(p);
+                    }
+                    incoming.push(bucket);
+                }
+                Err(detail) => {
+                    transport_fail(me, kind, TransportError::FrameCorrupt { peer: src, detail })
+                }
+            }
+        }
+        if let Some(ps) = &partials {
+            assert_eq!(
+                ps.len(),
+                incoming.len(),
+                "fused {kind} lost a reduce contribution (issued at {site})"
+            );
+        }
+        (incoming, partials)
     }
 
     /// Broadcast `value` from `root` to every rank.
@@ -645,7 +970,7 @@ impl Comm {
     /// count their contents — mirroring how [`Comm::allgatherv`] meters
     /// element counts rather than container headers.
     #[track_caller]
-    pub fn broadcast<T: Clone + Send + Sync + WireSized + 'static>(
+    pub fn broadcast<T: Clone + Send + Sync + WireSized + WirePayload + 'static>(
         &mut self,
         root: usize,
         value: Option<T>,
@@ -670,6 +995,47 @@ impl Comm {
     }
 }
 
+/// Decode one message payload from the stash-side charge point.
+fn open<T: Send + 'static>(
+    stats: &mut RankStats,
+    phase_stack: &[(String, Instant)],
+    env: Envelope,
+) -> Vec<T> {
+    let bytes = env.bytes;
+    charge_into(stats, phase_stack, |s| s.p2p_bytes_recv += bytes);
+    *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+        panic!(
+            "message type mismatch on recv (src {}, tag {})",
+            env.src, env.tag
+        )
+    })
+}
+
+/// Unwind with a structured transport failure. The payload is a
+/// [`TransportFault`] so a process-level rank runner can downcast it and
+/// write a diagnostic naming the blocked operation and the peer.
+fn transport_fail(rank: usize, op: &str, error: TransportError) -> ! {
+    std::panic::panic_any(TransportFault {
+        rank,
+        op: op.to_string(),
+        error,
+    });
+}
+
+trait DecodeExactOne: Sized {
+    fn decode_from_exact_one(cursor: &mut &[u8]) -> Result<Self, String>;
+}
+
+impl<T: WirePayload> DecodeExactOne for T {
+    fn decode_from_exact_one(cursor: &mut &[u8]) -> Result<Self, String> {
+        let v = T::decode_from(cursor).map_err(|e| format!("collective payload: {e}"))?;
+        if !cursor.is_empty() {
+            return Err("trailing bytes in collective frame".to_string());
+        }
+        Ok(v)
+    }
+}
+
 /// One FNV-1a-style step folding `(kind, seq)` into the schedule hash.
 fn schedule_mix(mut h: u64, kind: &str, seq: u64) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -687,8 +1053,10 @@ impl Drop for Comm {
         // Flush fault-delayed messages whose release never came: delivery
         // was postponed, not cancelled. Peers may already be gone (rank
         // teardown, panics) — then the message is simply lost.
-        for (_, dest, env) in self.delayed.drain(..) {
-            let _ = self.fabric.mailboxes[dest].send(env);
+        if let Backend::Thread(t) = &mut self.backend {
+            for (_, dest, env) in t.delayed.drain(..) {
+                let _ = t.fabric.mailboxes[dest].send(env);
+            }
         }
     }
 }

@@ -45,14 +45,18 @@
 mod comm;
 mod cost;
 mod fault;
+mod payload;
 mod rendezvous;
 mod stats;
+mod transport;
 mod wire;
 mod world;
 
 pub use comm::{Comm, ReduceOp};
 pub use cost::{CostModel, PhaseBreakdown};
 pub use fault::{CrashSpec, FaultPlan, MessageFaultKind, MessageFaultSpec, StragglerSpec};
+pub use payload::{WireDecodeError, WirePayload};
 pub use stats::{FaultStats, PhaseStats, RankStats};
+pub use transport::{Transport, TransportError, TransportFault};
 pub use wire::WireSized;
 pub use world::{RankOutcome, World, WorldOutcome, WorldReport};

@@ -1,0 +1,307 @@
+//! Byte-level payload codec for transport backends.
+//!
+//! The in-process thread world moves typed values through memory, so it
+//! never serializes anything. A real [`crate::Transport`] moves bytes, so
+//! every payload that crosses a [`crate::Comm`] boundary must be encodable.
+//! [`WirePayload`] is that contract: a fixed little-endian encoding with
+//! bit-exact round-trips (floats travel as their IEEE-754 bit patterns), so
+//! a value folded on the receiving rank is *the same bits* the sender held
+//! and cross-backend runs stay bit-identical.
+//!
+//! The encoding is deliberately simple — this is the payload layer, not the
+//! compact application codec of `infomap_distributed::codec` (which rides
+//! on top as pre-encoded `Vec<u8>` buckets).
+
+use std::mem::size_of;
+
+/// Decode failure: the buffer was shorter than the encoding requires or
+/// carried an invalid discriminant. Transports surface this as
+/// `FrameCorrupt`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireDecodeError {
+    /// What was being decoded when the buffer ran dry.
+    pub context: &'static str,
+}
+
+impl std::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "payload decode failed at {}", self.context)
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
+
+/// A value that can cross a byte-level transport.
+///
+/// Implementations must round-trip exactly: `decode(encode(v)) == v` bit
+/// for bit, and `decode` must consume precisely the bytes `encode`
+/// produced (so values can be concatenated).
+pub trait WirePayload: Sized {
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the front of `buf`, advancing it.
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError>;
+
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a value that must occupy the whole buffer.
+    fn decode_all(mut buf: &[u8]) -> Result<Self, WireDecodeError> {
+        let v = Self::decode_from(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(WireDecodeError {
+                context: "trailing bytes after payload",
+            });
+        }
+        Ok(v)
+    }
+}
+
+fn take<'a>(
+    buf: &mut &'a [u8],
+    n: usize,
+    context: &'static str,
+) -> Result<&'a [u8], WireDecodeError> {
+    if buf.len() < n {
+        return Err(WireDecodeError { context });
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+macro_rules! int_payload {
+    ($($t:ty),* $(,)?) => {$(
+        impl WirePayload for $t {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+                let raw = take(buf, size_of::<$t>(), stringify!($t))?;
+                Ok(<$t>::from_le_bytes(raw.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+int_payload!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+/// `usize` travels as a `u64` so 32- and 64-bit hosts interoperate.
+impl WirePayload for usize {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode_into(out);
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+        Ok(u64::decode_from(buf)? as usize)
+    }
+}
+
+impl WirePayload for f64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+        Ok(f64::from_bits(u64::decode_from(buf)?))
+    }
+}
+
+impl WirePayload for f32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+        Ok(f32::from_bits(u32::decode_from(buf)?))
+    }
+}
+
+impl WirePayload for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+        match u8::decode_from(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireDecodeError { context: "bool" }),
+        }
+    }
+}
+
+impl WirePayload for () {
+    fn encode_into(&self, _out: &mut Vec<u8>) {}
+
+    fn decode_from(_buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+        Ok(())
+    }
+}
+
+impl<T: WirePayload> WirePayload for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_into(out);
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+        let len = u64::decode_from(buf)? as usize;
+        // Guard against a corrupt length claiming more items than the
+        // buffer could possibly hold (each item needs ≥ 1 byte unless
+        // zero-sized).
+        let mut items = Vec::with_capacity(len.min(buf.len().max(64)));
+        for _ in 0..len {
+            items.push(T::decode_from(buf)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: WirePayload> WirePayload for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+        match u8::decode_from(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(buf)?)),
+            _ => Err(WireDecodeError { context: "Option" }),
+        }
+    }
+}
+
+impl WirePayload for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_into(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+        let len = u64::decode_from(buf)? as usize;
+        let raw = take(buf, len, "String")?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireDecodeError {
+            context: "String utf8",
+        })
+    }
+}
+
+impl<T: WirePayload, const N: usize> WirePayload for [T; N] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::decode_from(buf)?);
+        }
+        items
+            .try_into()
+            .map_err(|_| WireDecodeError { context: "array" })
+    }
+}
+
+macro_rules! tuple_payload {
+    ($($name:ident),+) => {
+        impl<$($name: WirePayload),+> WirePayload for ($($name,)+) {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.encode_into(out);)+
+            }
+
+            fn decode_from(buf: &mut &[u8]) -> Result<Self, WireDecodeError> {
+                Ok(($($name::decode_from(buf)?,)+))
+            }
+        }
+    };
+}
+
+tuple_payload!(A);
+tuple_payload!(A, B);
+tuple_payload!(A, B, C);
+tuple_payload!(A, B, C, D);
+tuple_payload!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WirePayload + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode_to_vec();
+        assert_eq!(T::decode_all(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0xdead_beef_u32);
+        roundtrip(u64::MAX);
+        roundtrip(-5_i64);
+        roundtrip(1.5_f64);
+        roundtrip(true);
+        roundtrip(());
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        for v in [f64::NAN, -0.0, f64::INFINITY, f64::MIN_POSITIVE] {
+            let bytes = v.encode_to_vec();
+            let back = f64::decode_all(&bytes).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1_u64, 2, 3]);
+        roundtrip(vec![vec![1_u8], vec![], vec![2, 3]]);
+        roundtrip(Some(7_u32));
+        roundtrip(None::<u32>);
+        roundtrip("héllo".to_string());
+        roundtrip((1_u32, 2.5_f64, vec![3_u64]));
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let bytes = vec![1_u64, 2, 3].encode_to_vec();
+        assert!(Vec::<u64>::decode_all(&bytes[..bytes.len() - 1]).is_err());
+        assert!(u64::decode_all(&[0; 4]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7_u32.encode_to_vec();
+        bytes.push(0);
+        assert!(u32::decode_all(&bytes).is_err());
+    }
+
+    #[test]
+    fn concatenated_values_decode_in_sequence() {
+        let mut bytes = Vec::new();
+        1_u32.encode_into(&mut bytes);
+        (2.5_f64, 3_u64).encode_into(&mut bytes);
+        let mut cursor = &bytes[..];
+        assert_eq!(u32::decode_from(&mut cursor).unwrap(), 1);
+        assert_eq!(
+            <(f64, u64)>::decode_from(&mut cursor).unwrap(),
+            (2.5, 3_u64)
+        );
+        assert!(cursor.is_empty());
+    }
+}

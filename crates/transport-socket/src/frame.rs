@@ -1,0 +1,332 @@
+//! The length-prefixed frame layer.
+//!
+//! Every byte that crosses a socket travels inside a frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  0xD1 0xF0
+//! 2       1     kind   (hello / ready / go / heartbeat / p2p / collective)
+//! 3       1     reserved (0)
+//! 4       4     src    rank of the sender, little-endian u32
+//! 8       8     tag    message tag or collective sequence, LE u64
+//! 16      4     len    payload length in bytes, LE u32
+//! 20      len   payload
+//! 20+len  8     checksum  FNV-1a over bytes [2, 20+len), LE u64
+//! ```
+//!
+//! The decoder is incremental: it consumes a growing byte buffer and
+//! yields `Incomplete` until a whole frame (header + payload + checksum)
+//! has arrived, so torn writes and partial reads are handled by
+//! construction. Any malformed prefix — wrong magic, unknown kind,
+//! oversized length claim, checksum mismatch — is `Corrupt`, and the
+//! connection cannot be resynchronized (stream framing is lost), which the
+//! transport surfaces as `TransportError::FrameCorrupt`.
+
+/// Frame type discriminants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// First frame on every connection: identifies the dialing rank.
+    Hello = 1,
+    /// Bootstrap: "my mesh is complete", sent to rank 0.
+    Ready = 2,
+    /// Bootstrap: rank 0's release broadcast.
+    Go = 3,
+    /// Liveness beacon; carries no payload.
+    Heartbeat = 4,
+    /// Point-to-point message (tag = application tag).
+    P2p = 5,
+    /// Collective contribution (tag = collective sequence number).
+    Coll = 6,
+}
+
+impl FrameKind {
+    pub fn from_u8(v: u8) -> Option<FrameKind> {
+        match v {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Ready),
+            3 => Some(FrameKind::Go),
+            4 => Some(FrameKind::Heartbeat),
+            5 => Some(FrameKind::P2p),
+            6 => Some(FrameKind::Coll),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    pub src: u32,
+    pub tag: u64,
+    pub payload: Vec<u8>,
+}
+
+pub const MAGIC: [u8; 2] = [0xD1, 0xF0];
+pub const HEADER_BYTES: usize = 20;
+pub const CHECKSUM_BYTES: usize = 8;
+
+/// Refuse length claims beyond this (a corrupt length must not make the
+/// decoder wait forever for petabytes that will never come).
+pub const MAX_PAYLOAD: usize = 1 << 30;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in bytes {
+        h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode `frame` into its wire bytes.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + frame.payload.len() + CHECKSUM_BYTES);
+    out.extend_from_slice(&MAGIC);
+    out.push(frame.kind as u8);
+    out.push(0);
+    out.extend_from_slice(&frame.src.to_le_bytes());
+    out.extend_from_slice(&frame.tag.to_le_bytes());
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+    let sum = fnv1a(&out[2..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Result of attempting to decode one frame from the front of a buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Decoded {
+    /// Not enough bytes yet; read more and try again.
+    Incomplete,
+    /// One frame decoded; `consumed` bytes should be drained from the
+    /// buffer front.
+    Frame { frame: Frame, consumed: usize },
+    /// The buffer prefix is not a valid frame; the stream cannot be
+    /// resynchronized.
+    Corrupt(String),
+}
+
+/// Try to decode one frame from the front of `buf`.
+pub fn decode(buf: &[u8]) -> Decoded {
+    if buf.len() < HEADER_BYTES {
+        // Reject a wrong magic as soon as the first bytes are visible —
+        // waiting for a full header would mask garbage as "incomplete".
+        if !buf.is_empty() && buf[0] != MAGIC[0] {
+            return Decoded::Corrupt(format!("bad magic byte {:#04x}", buf[0]));
+        }
+        if buf.len() >= 2 && buf[1] != MAGIC[1] {
+            return Decoded::Corrupt(format!("bad magic byte {:#04x}", buf[1]));
+        }
+        return Decoded::Incomplete;
+    }
+    if buf[0..2] != MAGIC {
+        return Decoded::Corrupt(format!("bad magic {:#04x}{:02x}", buf[0], buf[1]));
+    }
+    let Some(kind) = FrameKind::from_u8(buf[2]) else {
+        return Decoded::Corrupt(format!("unknown frame kind {}", buf[2]));
+    };
+    if buf[3] != 0 {
+        return Decoded::Corrupt(format!("nonzero reserved byte {}", buf[3]));
+    }
+    let src = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let tag = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    let len = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Decoded::Corrupt(format!("length claim {len} exceeds {MAX_PAYLOAD}"));
+    }
+    let total = HEADER_BYTES + len + CHECKSUM_BYTES;
+    if buf.len() < total {
+        return Decoded::Incomplete;
+    }
+    let declared = u64::from_le_bytes(buf[total - CHECKSUM_BYTES..total].try_into().unwrap());
+    let actual = fnv1a(&buf[2..HEADER_BYTES + len]);
+    if declared != actual {
+        return Decoded::Corrupt(format!(
+            "checksum mismatch: declared {declared:#018x}, computed {actual:#018x}"
+        ));
+    }
+    Decoded::Frame {
+        frame: Frame {
+            kind,
+            src,
+            tag,
+            payload: buf[HEADER_BYTES..HEADER_BYTES + len].to_vec(),
+        },
+        consumed: total,
+    }
+}
+
+/// Incremental frame reader: feed bytes as they arrive, drain frames as
+/// they complete.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame, if any. After `Corrupt`, the reader
+    /// is poisoned and keeps returning the same corruption.
+    pub fn next_frame(&mut self) -> Decoded {
+        match decode(&self.buf) {
+            Decoded::Frame { frame, consumed } => {
+                self.buf.drain(..consumed);
+                Decoded::Frame { frame, consumed }
+            }
+            other => other,
+        }
+    }
+
+    /// Bytes buffered but not yet decodable into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Surrender the undecoded remainder (used to hand bytes read past a
+    /// handshake frame over to the connection's long-lived reader).
+    pub fn into_pending(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: FrameKind, payload: Vec<u8>) -> Frame {
+        Frame {
+            kind,
+            src: 3,
+            tag: 0xfeed_beef,
+            payload,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample(FrameKind::P2p, vec![1, 2, 3, 4, 5]);
+        let bytes = encode(&f);
+        match decode(&bytes) {
+            Decoded::Frame { frame, consumed } => {
+                assert_eq!(frame, f);
+                assert_eq!(consumed, bytes.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = sample(FrameKind::Heartbeat, vec![]);
+        let bytes = encode(&f);
+        assert!(matches!(decode(&bytes), Decoded::Frame { .. }));
+    }
+
+    #[test]
+    fn partial_reads_are_incomplete_at_every_split() {
+        let f = sample(FrameKind::Coll, (0..100).collect());
+        let bytes = encode(&f);
+        for cut in 2..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..cut]),
+                Decoded::Incomplete,
+                "cut at {cut} of {}",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn torn_write_completes_once_rest_arrives() {
+        let f = sample(FrameKind::P2p, vec![9; 64]);
+        let bytes = encode(&f);
+        let mut reader = FrameReader::new();
+        reader.push(&bytes[..7]);
+        assert_eq!(reader.next_frame(), Decoded::Incomplete);
+        reader.push(&bytes[7..40]);
+        assert_eq!(reader.next_frame(), Decoded::Incomplete);
+        reader.push(&bytes[40..]);
+        match reader.next_frame() {
+            Decoded::Frame { frame, .. } => assert_eq!(frame, f),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected_immediately() {
+        assert!(matches!(decode(&[0x00]), Decoded::Corrupt(_)));
+        assert!(matches!(decode(&[0xD1, 0x00]), Decoded::Corrupt(_)));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let f = sample(FrameKind::Coll, vec![7; 32]);
+        let mut bytes = encode(&f);
+        bytes[HEADER_BYTES + 5] ^= 0xff;
+        assert!(matches!(decode(&bytes), Decoded::Corrupt(_)));
+    }
+
+    #[test]
+    fn corrupted_header_fails() {
+        let f = sample(FrameKind::P2p, vec![1, 2, 3]);
+        let mut bytes = encode(&f);
+        bytes[9] ^= 0x01; // tag byte — covered by the checksum
+        assert!(matches!(decode(&bytes), Decoded::Corrupt(_)));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let f = sample(FrameKind::P2p, vec![]);
+        let mut bytes = encode(&f);
+        bytes[2] = 99;
+        assert!(matches!(decode(&bytes), Decoded::Corrupt(_)));
+    }
+
+    #[test]
+    fn oversized_length_claim_rejected() {
+        let f = sample(FrameKind::P2p, vec![]);
+        let mut bytes = encode(&f);
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Decoded::Corrupt(_)));
+    }
+
+    #[test]
+    fn trailing_garbage_is_left_for_the_next_decode() {
+        let f = sample(FrameKind::P2p, vec![1, 2]);
+        let mut bytes = encode(&f);
+        bytes.extend_from_slice(&[0xba, 0xad]); // not a valid next frame
+        let mut reader = FrameReader::new();
+        reader.push(&bytes);
+        assert!(matches!(reader.next_frame(), Decoded::Frame { .. }));
+        // The garbage now sits at the buffer front and is rejected.
+        assert!(matches!(reader.next_frame(), Decoded::Corrupt(_)));
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence() {
+        let a = sample(FrameKind::P2p, vec![1]);
+        let b = sample(FrameKind::Coll, vec![2, 3]);
+        let mut stream = encode(&a);
+        stream.extend_from_slice(&encode(&b));
+        let mut reader = FrameReader::new();
+        reader.push(&stream);
+        match reader.next_frame() {
+            Decoded::Frame { frame, .. } => assert_eq!(frame, a),
+            other => panic!("{other:?}"),
+        }
+        match reader.next_frame() {
+            Decoded::Frame { frame, .. } => assert_eq!(frame, b),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(reader.next_frame(), Decoded::Incomplete);
+    }
+}
