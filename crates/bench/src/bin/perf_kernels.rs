@@ -28,6 +28,15 @@
 //!   logical arc relaxations, not kernel instructions — so only
 //!   wall-clock shows the win.
 //!
+//! - **thread sweeps** (the `threads` axis, DESIGN.md §6 note 16): the
+//!   real `find_best_modules` entry point replayed over the same stage-1
+//!   rank states for t ∈ {1, 2, 4, 8} intra-rank slices, asserted
+//!   bit-identical across t, with the exact modeled critical-path speedup
+//!   (total arcs / max slice arcs, summed per round and rank) recorded
+//!   alongside the honest wall numbers. On a single-core host wall time
+//!   cannot show the win (the slices time-share one core); the modeled
+//!   ratio is exact because the per-slice arc counters are.
+//!
 //! Writes `BENCH_kernels.json` at the repo root (override with
 //! `--out PATH`); `--tiny` shrinks the graphs for CI smoke runs.
 
@@ -38,12 +47,14 @@ use std::time::Instant;
 use infomap_bench::{cost_model, env_seed, fmt_secs, Table};
 use infomap_distributed::state::build_stage1_states;
 use infomap_distributed::{
-    apply_local_move, best_local_move, best_local_move_scan, DistributedConfig, DistributedInfomap,
-    DistributedOutput, MoveKernel, NeighborhoodScratch,
+    apply_local_move, best_local_move, best_local_move_scan, find_best_modules, DistributedConfig,
+    DistributedInfomap, DistributedOutput, MoveKernel, NeighborhoodScratch, RoundBuffers,
 };
 use infomap_graph::generators::{chung_lu, power_law_degrees};
 use infomap_graph::Graph;
 use infomap_partition::{DelegateThreshold, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 struct GraphSpec {
     name: &'static str,
@@ -220,6 +231,120 @@ fn kernel_sweep(g: &Graph, part: &Partition) -> SweepMeasure {
     }
 }
 
+/// The intra-rank thread counts the sweep measures.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One thread count of the intra-rank sweep.
+struct ThreadPoint {
+    t: usize,
+    wall_s: f64,
+    /// Total arcs scanned across all (round, rank) sweeps — the serial
+    /// FindBestModule cost in the cost model's arc-relaxation unit.
+    serial_arcs: u64,
+    /// Sum over (round, rank) of the widest slice's arcs — the modeled
+    /// critical path of the slice-parallel sweep.
+    critical_arcs: u64,
+    moves: u64,
+}
+
+impl ThreadPoint {
+    /// Exact modeled FindBestModule speedup at this t: serial cost over
+    /// critical path. Exact because both numbers come from the per-slice
+    /// arc counters of the real sweep, not from a sampling profiler.
+    fn modeled_speedup(&self) -> f64 {
+        self.serial_arcs as f64 / self.critical_arcs.max(1) as f64
+    }
+}
+
+/// Replay the real slice-parallel sweep (`find_best_modules`, the driver's
+/// phase-1 entry point) over real stage-1 rank states for every thread
+/// count, with the driver's own RNG seeding. Under 1D partitioning there
+/// are no delegates, so every candidate applies locally and the replay
+/// needs no communicator. All thread counts are asserted to produce the
+/// identical trajectory — per-round move/arc/proposal counts and final
+/// assignments — which is the §6 note 16 bit-identity contract exercised
+/// on the perf harness's own inputs.
+fn thread_sweep(g: &Graph, part: &Partition, nranks: usize, seed: u64) -> Vec<ThreadPoint> {
+    const ROUNDS: usize = 6;
+    let mut pristine = build_stage1_states(g, part);
+    for st in &mut pristine {
+        st.sum_exit = st.out_flow.iter().sum();
+    }
+    let mut points = Vec::new();
+    let mut fingerprint: Option<Vec<u64>> = None;
+    for &t in &THREAD_COUNTS {
+        let cfg = DistributedConfig {
+            nranks,
+            seed,
+            threads: t,
+            ..Default::default()
+        };
+        let mut states = pristine.clone();
+        // The driver's per-rank stage RNG seeding, verbatim.
+        let mut rngs: Vec<StdRng> = (0..states.len() as u64)
+            .map(|r| StdRng::seed_from_u64(seed ^ r.wrapping_mul(0x9e3779b97f4a7c15)))
+            .collect();
+        let mut bufs: Vec<RoundBuffers> = (0..states.len())
+            .map(|_| RoundBuffers::new(nranks))
+            .collect();
+        let mut serial_arcs = 0u64;
+        let mut critical_arcs = 0u64;
+        let mut moves = 0u64;
+        let mut fp: Vec<u64> = Vec::new();
+        let t0 = Instant::now();
+        for round in 0..ROUNDS {
+            for (r, st) in states.iter_mut().enumerate() {
+                let (owned, arcs, proposals) =
+                    find_best_modules(st, &cfg, &mut rngs[r], &mut bufs[r], round);
+                moves += owned;
+                serial_arcs += arcs;
+                critical_arcs += bufs[r].slice_arcs().max().unwrap_or(0);
+                fp.extend([owned, arcs, proposals.len() as u64]);
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        for st in &states {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for &m in &st.module_of {
+                h = (h ^ m as u64).wrapping_mul(0x100000001b3);
+            }
+            fp.push(h);
+            fp.push(st.sum_exit.to_bits());
+        }
+        match &fingerprint {
+            None => fingerprint = Some(fp),
+            Some(base) => assert_eq!(
+                base, &fp,
+                "thread sweep diverged at t={t}: the slice-parallel sweep must be \
+                 bit-identical for every thread count"
+            ),
+        }
+        points.push(ThreadPoint {
+            t,
+            wall_s,
+            serial_arcs,
+            critical_arcs,
+            moves,
+        });
+    }
+    points
+}
+
+fn json_threads(out: &mut String, indent: &str, points: &[ThreadPoint]) {
+    out.push('[');
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{indent}  {{\n{indent}    \"threads\": {},\n{indent}    \"wall_s\": {:e},\n{indent}    \"serial_arcs\": {},\n{indent}    \"critical_arcs\": {},\n{indent}    \"moves\": {},\n{indent}    \"modeled_speedup\": {:.4}\n{indent}  }}",
+            p.t, p.wall_s, p.serial_arcs, p.critical_arcs, p.moves, p.modeled_speedup()
+        );
+    }
+    let _ = write!(out, "\n{indent}]");
+}
+
 fn json_sweep(out: &mut String, indent: &str, s: &SweepMeasure) {
     let _ = write!(
         out,
@@ -302,12 +427,13 @@ fn main() {
     println!("perf_kernels: stamped vs legacy-scan best-move kernels ({mode}, seed {seed})\n");
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"dinfomap-perf-kernels-v1\",\n");
+    json.push_str("{\n  \"schema\": \"dinfomap-perf-kernels-v2\",\n");
     let _ = write!(json, "  \"mode\": \"{mode}\",\n  \"seed\": {seed},\n");
     json.push_str(
         "  \"regenerate\": \"cargo run --release -p infomap-bench --bin perf_kernels\",\n",
     );
     json.push_str("  \"host_note\": \"absolute wall-clock is machine-dependent (reference numbers recorded on a single-core container); the speedup ratios are the comparable quantity\",\n");
+    json.push_str("  \"threads_note\": \"thread_sweep_1d replays the real find_best_modules over stage-1 rank states for t in {1,2,4,8} intra-rank slices; all t are asserted bit-identical; modeled_speedup = serial_arcs / critical_arcs is the exact critical-path FindBestModule speedup from the per-slice arc counters (wall_s is honest but meaningless on a single-core host, where slices time-share the core)\",\n");
     json.push_str("  \"wall_clock_note\": \"kernel_sweep_* are serial replays of the FindBestModule compute over real stage-1 rank states (no thread-scheduler noise): _1d keeps hub adjacencies whole (the O(deg*k) regime the stamped kernel removes; find_best_module_speedup is its speedup), _delegate caps local degrees near d_high so only constant factors differ; phase_wall_s sums thread wall time over simulated ranks; modeled_s is the cost-model makespan from metered counters and is kernel-invariant by design\",\n");
     json.push_str("  \"graphs\": [");
 
@@ -330,6 +456,7 @@ fn main() {
             "1d stamped",
             "1d speedup",
             "delegate speedup",
+            "t4 modeled",
             "modeled total",
         ]);
         if gi > 0 {
@@ -373,12 +500,32 @@ fn main() {
                 &Partition::delegate(g, p, DelegateThreshold::Auto(4.0), true),
             );
             let speedup = sweep_1d.speedup();
+            // The threads axis (§6 note 16): bit-identity across t is
+            // asserted inside; the modeled t=4 number is the acceptance
+            // headline on hub_heavy.
+            let threads_1d = thread_sweep(g, &Partition::one_d(g, p), p, seed);
+            let t4 = threads_1d
+                .iter()
+                .find(|tp| tp.t == 4)
+                .expect("t=4 in sweep");
+            let t4_modeled = t4.modeled_speedup();
+            // Acceptance bar at the headline world size; at large p each
+            // rank owns too few vertices for 4 slices to stay arc-balanced
+            // (and the win per rank shrinks with the local work anyway).
+            if spec.name == "hub_heavy" && p == 4 {
+                assert!(
+                    t4_modeled >= 2.0,
+                    "hub_heavy 1d p={p}: modeled t=4 FindBestModule speedup {t4_modeled:.2}x \
+                     below the 2x acceptance bar"
+                );
+            }
             table.row(vec![
                 p.to_string(),
                 fmt_secs(sweep_1d.scan_wall_s),
                 fmt_secs(sweep_1d.stamped_wall_s),
                 format!("{speedup:.2}x"),
                 format!("{:.2}x", sweep_del.speedup()),
+                format!("{t4_modeled:.2}x"),
                 fmt_secs(stamped.modeled_total_s),
             ]);
             if pi > 0 {
@@ -395,9 +542,11 @@ fn main() {
             json_sweep(&mut json, "          ", &sweep_1d);
             json.push_str(",\n          \"kernel_sweep_delegate\": ");
             json_sweep(&mut json, "          ", &sweep_del);
+            json.push_str(",\n          \"thread_sweep_1d\": ");
+            json_threads(&mut json, "          ", &threads_1d);
             let _ = write!(
                 json,
-                ",\n          \"find_best_module_speedup\": {speedup:.4},\n          \"bit_identical\": true\n        }}"
+                ",\n          \"thread_t4_modeled_speedup\": {t4_modeled:.4},\n          \"find_best_module_speedup\": {speedup:.4},\n          \"bit_identical\": true\n        }}"
             );
         }
         json.push_str("\n      ]\n    }");

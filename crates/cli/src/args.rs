@@ -19,7 +19,9 @@ USAGE:
 CLUSTER OPTIONS:
   --algorithm seq|relax|dist|gossip   algorithm (default: dist)
   --ranks N                           simulated ranks for dist/gossip (default 8)
-  --threads N                         threads for relax (default 4)
+  --threads N                         worker threads: relax workers, or dist
+                                      intra-rank sweep slices (default 4; dist
+                                      results are bit-identical for every N)
   --seed S                            RNG seed (default 0)
   --output FILE                       write `vertex community` lines
   --quiet                             suppress the run report
@@ -33,6 +35,8 @@ CLUSTER OPTIONS:
 LAUNCH OPTIONS (distributed Infomap over the socket transport,
 one OS process per rank; bit-identical to `cluster --algorithm dist`):
   --procs N                           worker processes (default 4)
+  --threads N                         intra-rank sweep threads per worker
+                                      (default 1; bit-identical for every N)
   --seed S                            RNG seed (default 0)
   --output FILE                       write `vertex community` lines
   --quiet                             suppress the run report
@@ -248,12 +252,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 kill_rank: None,
                 dir: None,
                 comm_path: CommPath::Compact,
+                threads: 1,
             };
             let mut base_port: Option<u16> = None;
             let mut tcp = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--procs" => o.procs = num(&mut it, flag)?,
+                    "--threads" => o.threads = num(&mut it, flag)?,
                     "--seed" => o.seed = num(&mut it, flag)?,
                     "--output" => o.output = Some(next(&mut it, flag)?),
                     "--quiet" => o.quiet = true,
@@ -282,6 +288,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 checkpoint_every: 0,
                 timeout_ms: 5000,
                 comm_path: CommPath::Compact,
+                threads: 1,
                 output: None,
             };
             let mut base_port: Option<u16> = None;
@@ -290,6 +297,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 match flag.as_str() {
                     "--rank" => o.rank = num(&mut it, flag)?,
                     "--procs" => o.procs = num(&mut it, flag)?,
+                    "--threads" => o.threads = num(&mut it, flag)?,
                     "--graph" => o.graph = next(&mut it, flag)?,
                     "--seed" => o.seed = num(&mut it, flag)?,
                     "--dir" => o.dir = next(&mut it, flag)?,
@@ -462,6 +470,27 @@ mod tests {
         assert!(parse(&argv("cluster g.txt --comm-path morse")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_launch_threads() {
+        let cmd = parse(&argv("launch g.txt --procs 2 --threads 4")).unwrap();
+        match cmd {
+            Command::Launch(o) => {
+                assert_eq!(o.procs, 2);
+                assert_eq!(o.threads, 4);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Workers default to 1 and accept the forwarded flag.
+        let cmd = parse(&argv(
+            "_rank --rank 0 --procs 2 --graph g.txt --dir d --threads 4",
+        ))
+        .unwrap();
+        match cmd {
+            Command::RankWorker(o) => assert_eq!(o.threads, 4),
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]

@@ -120,6 +120,7 @@ fn cluster(
                 nranks: ranks,
                 seed,
                 comm_path,
+                threads: threads.max(1),
                 recovery: RecoveryConfig {
                     checkpoint_every,
                     max_retries,

@@ -78,6 +78,9 @@ pub struct LaunchOpts {
     /// Rendezvous directory override (default: a fresh temp dir).
     pub dir: Option<String>,
     pub comm_path: CommPath,
+    /// Intra-rank worker threads per rank process (bit-identical for
+    /// every value; see `DistributedConfig::threads`).
+    pub threads: usize,
 }
 
 /// Parsed hidden `_rank` invocation (one worker process).
@@ -92,6 +95,8 @@ pub struct WorkerOpts {
     pub checkpoint_every: usize,
     pub timeout_ms: u64,
     pub comm_path: CommPath,
+    /// Intra-rank worker threads (forwarded from `launch --threads`).
+    pub threads: usize,
     /// Rank 0 writes `vertex community` lines here on success.
     pub output: Option<String>,
 }
@@ -136,11 +141,13 @@ fn distributed_config(
     seed: u64,
     checkpoint_every: usize,
     comm_path: CommPath,
+    threads: usize,
 ) -> DistributedConfig {
     DistributedConfig {
         nranks: procs,
         seed,
         comm_path,
+        threads: threads.max(1),
         recovery: RecoveryConfig {
             checkpoint_every,
             ..Default::default()
@@ -175,7 +182,7 @@ fn worker_inner(o: &WorkerOpts) -> Result<(), WorkerFailure> {
     let dir = PathBuf::from(&o.dir);
     let loaded = io::read_edge_list_file(&o.graph)
         .map_err(|e| WorkerFailure::Other(format!("cannot read {}: {e}", o.graph)))?;
-    let cfg = distributed_config(o.procs, o.seed, o.checkpoint_every, o.comm_path);
+    let cfg = distributed_config(o.procs, o.seed, o.checkpoint_every, o.comm_path, o.threads);
     let program = RankProgram::prepare(cfg, &loaded.graph);
 
     // Durable checkpoints when enabled, so a relaunched world resumes;
@@ -450,7 +457,8 @@ pub fn run_launch(o: LaunchOpts) -> Result<(), String> {
             // exist: assemble the best agreed clustering in-process.
             let ckpt = ckpt_dir(&dir);
             if o.checkpoint_every > 0 && checkpoint_files_present(&ckpt) {
-                let cfg = distributed_config(o.procs, o.seed, o.checkpoint_every, o.comm_path);
+                let cfg =
+                    distributed_config(o.procs, o.seed, o.checkpoint_every, o.comm_path, o.threads);
                 let program = RankProgram::prepare(cfg, &loaded.graph);
                 let store = FileCheckpointStore::open(&ckpt, o.procs, o.seed)
                     .map_err(|e| format!("checkpoint store: {e}"))?;
@@ -515,7 +523,9 @@ fn run_world_once(
             .arg("--checkpoint-every")
             .arg(o.checkpoint_every.to_string())
             .arg("--timeout-ms")
-            .arg(o.timeout_ms.to_string());
+            .arg(o.timeout_ms.to_string())
+            .arg("--threads")
+            .arg(o.threads.to_string());
         if let TransportKind::Tcp { base_port } = o.transport {
             cmd.arg("--transport").arg("tcp");
             cmd.arg("--base-port").arg(base_port.to_string());

@@ -4,6 +4,11 @@
 //! assignment. The byte backend lowers every collective onto blob
 //! exchanges with per-rank folds in rank order, so IEEE determinism
 //! carries across process/socket boundaries; this test is the contract.
+//!
+//! The matrix also crosses the transport axis with the intra-rank thread
+//! axis (DESIGN.md §6 note 16): a single-threaded thread-world run must
+//! match a socket-backend run sweeping with 4 slices per rank, so neither
+//! axis can hide a determinism leak behind the other.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,11 +38,12 @@ fn fresh_dir() -> std::path::PathBuf {
 /// Run the distributed pipeline with every rank on its own
 /// [`SocketTransport`] over a private UDS mesh (threads stand in for
 /// processes; the byte path is identical either way).
-fn socket_run(g: &Graph, p: usize, seed: u64) -> DistributedOutput {
+fn socket_run(g: &Graph, p: usize, seed: u64, threads: usize) -> DistributedOutput {
     let dir = fresh_dir();
     let cfg = DistributedConfig {
         nranks: p,
         seed,
+        threads,
         ..Default::default()
     };
     let program = Arc::new(RankProgram::prepare(cfg, g));
@@ -70,10 +76,11 @@ fn socket_run(g: &Graph, p: usize, seed: u64) -> DistributedOutput {
     program.assemble_output(modules, trace, codelength, stats, RecoveryReport::default())
 }
 
-fn thread_run(g: &Graph, p: usize, seed: u64) -> DistributedOutput {
+fn thread_run(g: &Graph, p: usize, seed: u64, threads: usize) -> DistributedOutput {
     DistributedInfomap::new(DistributedConfig {
         nranks: p,
         seed,
+        threads,
         ..Default::default()
     })
     .run(g)
@@ -86,29 +93,27 @@ fn mdl_bits(out: &DistributedOutput) -> Vec<u64> {
         .collect()
 }
 
-fn assert_equivalent(g: &Graph, p: usize, seed: u64) {
-    let threaded = thread_run(g, p, seed);
-    let socketed = socket_run(g, p, seed);
+fn assert_equivalent_matrix(g: &Graph, p: usize, seed: u64, t_thread: usize, t_socket: usize) {
+    let threaded = thread_run(g, p, seed, t_thread);
+    let socketed = socket_run(g, p, seed, t_socket);
+    let what = format!("p={p} seed={seed} threads {t_thread}(thread-world) vs {t_socket}(socket)");
     assert_eq!(
         mdl_bits(&threaded),
         mdl_bits(&socketed),
-        "p={p} seed={seed}: MDL series diverged between backends"
+        "{what}: MDL series diverged between backends"
     );
     let moves = |o: &DistributedOutput| o.trace.iter().map(|t| t.moves).sum::<u64>();
-    assert_eq!(
-        moves(&threaded),
-        moves(&socketed),
-        "p={p} seed={seed}: moves"
-    );
+    assert_eq!(moves(&threaded), moves(&socketed), "{what}: moves");
     assert_eq!(
         threaded.codelength.to_bits(),
         socketed.codelength.to_bits(),
-        "p={p} seed={seed}: final codelength bits"
+        "{what}: final codelength bits"
     );
-    assert_eq!(
-        threaded.modules, socketed.modules,
-        "p={p} seed={seed}: assignment"
-    );
+    assert_eq!(threaded.modules, socketed.modules, "{what}: assignment");
+}
+
+fn assert_equivalent(g: &Graph, p: usize, seed: u64) {
+    assert_equivalent_matrix(g, p, seed, 1, 1);
 }
 
 #[test]
@@ -125,6 +130,26 @@ fn socket_backend_is_bit_identical_to_thread_world() {
         for seed in [0u64, 7] {
             assert_equivalent(&g, p, seed);
         }
+    }
+}
+
+#[test]
+fn transport_and_thread_axes_compose_bit_identically() {
+    // The crossed matrix: thread world at t=1 against the socket backend
+    // sweeping with t=4 slices per rank. Bit-equality here means the
+    // slice-parallel sweep cannot be telling the transports apart (and
+    // vice versa). Runs under the same per-collective watchdogs as the
+    // rest of this file (SocketConfig.timeout above).
+    let (g, _) = lfr_like(
+        LfrParams {
+            n: 300,
+            mu: 0.25,
+            ..Default::default()
+        },
+        11,
+    );
+    for seed in [0u64, 7] {
+        assert_equivalent_matrix(&g, 4, seed, 1, 4);
     }
 }
 

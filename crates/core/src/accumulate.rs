@@ -52,6 +52,17 @@ impl<V: Copy + Default> StampedSlotMap<V> {
         }
     }
 
+    /// A map pre-sized to `slots` entries. The slice-parallel sweep builds
+    /// one map per worker slice up front; pre-sizing keeps the first
+    /// `begin` of every slice from paying a resize inside the hot loop.
+    pub fn with_capacity(slots: usize) -> Self {
+        StampedSlotMap {
+            entries: vec![(0, V::default()); slots],
+            epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
     /// Start a new accumulation over a slot space of (at least) `slots`
     /// entries. O(1) amortized: grows the array on demand and bumps the
     /// epoch; only a u32 wraparound (every 2³²−1 begins) pays a full reset.
@@ -165,6 +176,20 @@ mod tests {
             .map(|&s| (s, stamped.get(s)))
             .collect();
         assert_eq!(from_scan, from_stamped);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut a: StampedSlotMap<f64> = StampedSlotMap::with_capacity(8);
+        let mut b: StampedSlotMap<f64> = StampedSlotMap::new();
+        for m in [&mut a, &mut b] {
+            m.begin(8);
+            m.update(5, |v| *v += 1.5);
+            m.update(2, |v| *v += 0.5);
+        }
+        assert_eq!(a.touched(), b.touched());
+        assert_eq!(a.get(5), b.get(5));
+        assert_eq!(a.get(2), b.get(2));
     }
 
     #[test]

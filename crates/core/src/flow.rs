@@ -91,6 +91,17 @@ impl FlowNetwork {
     pub fn out_flow(&self, u: VertexId) -> f64 {
         self.out_arcs(u).map(|(_, f)| f).sum()
     }
+
+    /// All singleton exit flows in one CSR pass — the SoA companion to
+    /// [`FlowNetwork::node_flows`]. Each entry sums that vertex's non-self
+    /// arc flows in arc order, so `out_flows()[u] == out_flow(u)` to the
+    /// bit; batch construction just streams the CSR once instead of
+    /// re-walking per call.
+    pub fn out_flows(&self) -> Vec<f64> {
+        (0..self.num_vertices() as VertexId)
+            .map(|u| self.out_flow(u))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +136,16 @@ mod tests {
         // Exit flow of vertex 0 counts only the 0-1 edge: 1/4.
         assert!((f.out_flow(0) - 0.25).abs() < 1e-12);
         assert_eq!(f.out_arcs(0).count(), 1);
+    }
+
+    #[test]
+    fn batch_out_flows_match_per_vertex_bitwise() {
+        let g = infomap_graph::generators::erdos_renyi(80, 200, 3);
+        let f = FlowNetwork::from_graph(g);
+        let batch = f.out_flows();
+        for u in 0..80u32 {
+            assert_eq!(batch[u as usize].to_bits(), f.out_flow(u).to_bits());
+        }
     }
 
     #[test]

@@ -22,15 +22,302 @@ use infomap_graph::VertexId;
 use crate::flow::FlowNetwork;
 
 /// `x·log₂(x)`, with `plogp(0) = 0`.
+///
+/// The bulk of the flow range runs on a branch-free polynomial `log₂`
+/// ([`log2_dd`]) — table lookup plus a short Taylor tail, no libm call —
+/// so the ten `plogp` evaluations of every δL inline into straight-line
+/// arithmetic the compiler can schedule (and, called over a slice,
+/// vectorize). The *tail* of the range falls back to the exact libm path
+/// ([`plogp_exact`]): subnormal/tiny flows (`x < 2⁻⁶⁴`), the
+/// cancellation-prone neighborhood of 1 (`0.75 < x < 1.5`, where
+/// `log₂ x ≈ 0`), and `x ≥ 2` (beyond any flow sum). Inside the fast
+/// range the polynomial path agrees with the exact path to ≤ 1 ULP — a
+/// property-tested contract (`tests/plogp_props.rs` plus the dense sweep
+/// in this module), so swapping the kernel moves MDL bits by at most the
+/// same margin libm itself is allowed.
 #[inline]
 pub fn plogp(x: f64) -> f64 {
+    if x <= 0.0 {
+        debug_assert!(x > -1e-12, "plogp of negative flow {x}");
+        return 0.0;
+    }
+    if !(FAST_LO..FAST_HI).contains(&x) || (x > NEAR_ONE_LO && x < NEAR_ONE_HI) {
+        return plogp_exact(x);
+    }
+    let (hi, lo) = log2_dd(x);
+    // x·(hi + lo) with one final rounding: Dekker's exact product of
+    // x·hi, then fold the product error and the x·lo term into the tail.
+    // (A software two-product keeps the result independent of whether
+    // the build target has hardware FMA.)
+    let p1 = x * hi;
+    let e = two_product_err(x, hi, p1);
+    p1 + (e + x * lo)
+}
+
+/// The exact-path reference: `x·log₂(x)` straight through libm, the
+/// pre-polynomial kernel. The fallback tail of [`plogp`] *is* this
+/// function; property tests compare the polynomial path against it.
+#[inline]
+pub fn plogp_exact(x: f64) -> f64 {
     if x > 0.0 {
         x * x.log2()
     } else {
-        debug_assert!(x > -1e-12, "plogp of negative flow {x}");
         0.0
     }
 }
+
+/// Fast-path bounds: `[2⁻⁶⁴, 0.75] ∪ [1.5, 2)` runs the polynomial,
+/// everything else the exact tail.
+const FAST_LO: f64 = f64::from_bits(0x3bf0_0000_0000_0000); // 2⁻⁶⁴
+const NEAR_ONE_LO: f64 = 0.75;
+const NEAR_ONE_HI: f64 = 1.5;
+const FAST_HI: f64 = 2.0;
+
+/// High-precision `plogp` reference: libm-free binary digit extraction of
+/// `log₂` in 128-bit fixed point (~2⁻¹¹⁹ accuracy), folded into the result
+/// with the same compensated product as the fast path. Within ~0.5 ULP of
+/// the infinitely-precise value everywhere, so it arbitrates when the
+/// polynomial and libm paths disagree — libm's `log₂`-then-multiply
+/// double rounding can drift past 1 ULP of true, the single-rounding
+/// polynomial path cannot. ~120 integer squarings per call: test/audit
+/// reference only, never on a hot path.
+pub fn plogp_ref(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    // Normalize subnormals with an exact 2¹⁰⁰ scale.
+    let (xn, e_adj) = if x < f64::MIN_POSITIVE {
+        (x * f64::from_bits(0x4630_0000_0000_0000), -100i64)
+    } else {
+        (x, 0)
+    };
+    let bits = xn.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i64 - 1023 + e_adj;
+    let mant = bits & ((1u64 << 52) - 1);
+    // Mantissa in Q2.126: value = m / 2¹²⁶ ∈ [1, 2).
+    let mut m: u128 = ((mant | (1 << 52)) as u128) << 74;
+    // Square-and-compare digit extraction: m ← m²; a carry into [2, 4)
+    // yields the next fraction bit of log₂. Truncation at step i enters
+    // the result at weight 2⁻ⁱ, so the total error stays ~2⁻¹¹⁹
+    // independent of iteration count.
+    let mut acc: u128 = 0;
+    for _ in 0..120 {
+        m = sq_q2_126(m);
+        let bit = m >> 127;
+        acc = (acc << 1) | bit;
+        m >>= bit;
+    }
+    // log₂(x) = e + acc·2⁻¹²⁰, as a double-double.
+    const TWO_NEG53: f64 = f64::from_bits(0x3ca0_0000_0000_0000);
+    const TWO_NEG120: f64 = f64::from_bits(0x3870_0000_0000_0000);
+    let t_hi = ((acc >> 67) as u64) as f64 * TWO_NEG53; // top 53 bits, exact
+    let t_lo = ((acc & ((1u128 << 67) - 1)) as f64) * TWO_NEG120;
+    let ef = e as f64;
+    let s = ef + t_hi; // TwoSum: exact with the compensation below
+    let bb = s - ef;
+    let err = (ef - (s - bb)) + (t_hi - bb);
+    let lo = err + t_lo;
+    let p1 = x * s;
+    let pe = two_product_err(x, s, p1);
+    p1 + (pe + x * lo)
+}
+
+/// `(a² >> 126)` for `a` in Q2.126 with value < 2 — one fixed-point
+/// squaring step of the digit extraction, truncated (never rounded up).
+fn sq_q2_126(a: u128) -> u128 {
+    let h = a >> 64;
+    let l = a & 0xFFFF_FFFF_FFFF_FFFF;
+    // a² = h²·2¹²⁸ + 2hl·2⁶⁴ + l²; shift each term down by 126.
+    ((h * h) << 2) + ((h * l) >> 61) + ((l * l) >> 126)
+}
+
+/// Error of the product `x·y` given its rounded value `p = fl(x·y)`,
+/// via Dekker splitting — exact for the magnitudes used here (no
+/// overflow: `|x| < 2`, `|y| ≤ 64`).
+#[inline]
+fn two_product_err(x: f64, y: f64, p: f64) -> f64 {
+    const SPLIT: f64 = 134_217_729.0; // 2²⁷ + 1
+    let cx = SPLIT * x;
+    let xh = cx - (cx - x);
+    let xl = x - xh;
+    let cy = SPLIT * y;
+    let yh = cy - (cy - y);
+    let yl = y - yh;
+    ((xh * yh - p) + xh * yl + xl * yh) + xl * yl
+}
+
+/// `log₂(x)` as an unevaluated double-double `hi + lo`, for normal `x`
+/// in the fast range. Decompose `x = 2ᵉ·m` with `m ∈ [1, 2)`, pick the
+/// nearest table node `c = 1 + k/128`, and reduce: `log₂(x) = e +
+/// log₂(c) + log₂(1 + r)` with `r = (m − c)/c`, `|r| ≤ 2⁻⁸`.
+/// `m − c` is exact (Sterbenz), `log₂(c)` comes from a prefolded
+/// (hi, lo) table, the `e + hi` sum is compensated exactly (TwoSum), and
+/// the residual `log₂(1+r)` is a degree-7 Taylor polynomial whose
+/// truncation (≤ 2⁻⁵⁹ of the total — the fast range keeps
+/// `|log₂ x| ≥ 0.415`, so there is no catastrophic cancellation) hides
+/// below the double-double tail.
+#[inline]
+fn log2_dd(x: f64) -> (f64, f64) {
+    const MANT_MASK: u64 = (1u64 << 52) - 1;
+    const ONE_BITS: u64 = 1023u64 << 52;
+    let bits = x.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let m = f64::from_bits((bits & MANT_MASK) | ONE_BITS);
+    let k = ((m - 1.0) * 128.0 + 0.5) as usize; // nearest 1/128 node
+    let c = 1.0 + k as f64 * (1.0 / 128.0); // exact
+    let r = (m - c) / c;
+    // log₂(1 + r) = (r − r²/2 + r³/3 − … ± r⁷/7) / ln 2.
+    const C0: f64 = std::f64::consts::LOG2_E; // 1/ln2
+    const C1: f64 = -0.721_347_520_444_481_7; // −1/(2 ln2)
+    const C2: f64 = 0.480_898_346_962_987_8; // 1/(3 ln2)
+    const C3: f64 = -0.360_673_760_222_240_85; // −1/(4 ln2)
+    const C4: f64 = 0.288_539_008_177_792_7; // 1/(5 ln2)
+    const C5: f64 = -0.240_449_173_481_493_9; // −1/(6 ln2)
+    const C6: f64 = 0.206_099_291_555_566_2; // 1/(7 ln2)
+    let p = r * (C0 + r * (C1 + r * (C2 + r * (C3 + r * (C4 + r * (C5 + r * C6))))));
+    let (th, tl) = LOG2_TAB[k];
+    // TwoSum(e, th): s + err == e + th exactly.
+    let ef = e as f64;
+    let s = ef + th;
+    let bb = s - ef;
+    let err = (ef - (s - bb)) + (th - bb);
+    (s, err + tl + p)
+}
+
+/// `log₂(1 + k/128)` for `k = 0..=128`, prefolded as (hi, lo) double
+/// pairs (generated with 70-digit decimal arithmetic; |residual| < 2⁻¹⁰⁰).
+#[allow(clippy::excessive_precision)]
+const LOG2_TAB: [(f64, f64); 129] = [
+    (0.0, 0.0),
+    (0.01122725542325412, 3.3788058441588393e-19),
+    (0.02236781302845451, -1.732867916253915e-18),
+    (0.03342300153745028, -9.824052958439846e-19),
+    (0.044394119358453436, 1.6531019906736094e-18),
+    (0.0552824355011896, 1.2354887401386651e-18),
+    (0.06608919045777244, -7.070722991232182e-18),
+    (0.0768155970508309, -7.76846373866716e-18),
+    (0.0874628412503394, 8.254066010810405e-18),
+    (0.09803208296052672, -4.204348379302223e-18),
+    (0.10852445677816905, 3.747887188110485e-18),
+    (0.11894107272350743, 9.897332231201247e-19),
+    (0.12928301694496647, -1.468771125327878e-17),
+    (0.13955135239879354, 1.362454969817846e-17),
+    (0.14974711950468206, 1.4067467916260257e-18),
+    (0.1598713367783894, 1.6596175700982487e-17),
+    (0.16992500144231237, -7.092522112104367e-18),
+    (0.17990909001493446, 8.590092754117375e-18),
+    (0.18982455888001723, -1.3598283184015853e-19),
+    (0.1996723448363644, -3.662322421588522e-18),
+    (0.20945336562894978, 1.8578041776131755e-18),
+    (0.21916852046216156, 1.1611820442122408e-17),
+    (0.22881869049588088, -2.805622197073403e-18),
+    (0.2384047393250789, 6.542901284470936e-18),
+    (0.2479275134435855, -6.206480577093166e-18),
+    (0.25738784269265175, 2.1161543898706038e-17),
+    (0.2667865406949014, -3.635866763604238e-17),
+    (0.27612440527423754, 1.6676443028664944e-17),
+    (0.28540221886224837, -2.814944840179549e-17),
+    (0.294620748891627, 6.410040728281653e-18),
+    (0.30378074817710293, -5.5727136580588464e-18),
+    (0.31288295528435534, 2.0734516962487904e-17),
+    (0.32192809488736235, -2.1296805705106097e-18),
+    (0.33091687811461695, 2.97361175613945e-17),
+    (0.33985000288462475, -2.4185044224208733e-17),
+    (0.34872815423107756, -7.436219028203798e-18),
+    (0.3575520046180837, -6.834028692477091e-18),
+    (0.3663222142458158, -1.4476578579837002e-17),
+    (0.37503943134692475, 6.359627587421512e-18),
+    (0.38370429247405224, -1.5528679748416123e-17),
+    (0.3923174227787603, -1.1104291738820352e-17),
+    (0.4008794362821843, 2.0793625308513388e-17),
+    (0.4093909361377018, -4.3875614559700205e-17),
+    (0.41785251488589786, -3.2990026891975324e-18),
+    (0.42626475470209796, -2.1115858359531933e-17),
+    (0.43462822763672465, -1.7278610919899886e-17),
+    (0.4429434958487283, 2.1735122685758014e-18),
+    (0.4512111118323288, 3.1826081762106113e-18),
+    (0.45943161863729726, -3.800636953274207e-18),
+    (0.4676055500829974, 4.026114587588022e-17),
+    (0.47573343096639775, 4.964280145740076e-18),
+    (0.4838157772642564, 2.4091643651537374e-17),
+    (0.4918530963296747, 1.0777797317385024e-17),
+    (0.4998458870832054, -3.946643208698984e-17),
+    (0.5077946401986962, 6.783878197148853e-17),
+    (0.5156998382840424, 5.792594116693305e-17),
+    (0.5235619560570128, 7.229414824416267e-17),
+    (0.5313814605163121, 2.9728123607102565e-17),
+    (0.5391588111080314, -9.74013745687663e-18),
+    (0.5468944598876366, 6.44534290575362e-17),
+    (0.5545888516776374, -2.7829189245769354e-17),
+    (0.5622424242210726, 5.180318614907528e-17),
+    (0.5698556083309478, 4.1663838852396223e-17),
+    (0.5774288280357487, -1.0741222254948342e-17),
+    (0.5849625007211562, -1.8546261056052182e-17),
+    (0.5924570372680804, 1.9637304576833127e-17),
+    (0.5999128421871277, -2.01737810711191e-17),
+    (0.6073303137496107, -1.0279128972306099e-17),
+    (0.6147098441152082, 1.488393863446366e-17),
+    (0.6220518194563762, 6.67838014690363e-17),
+    (0.6293566200796096, 1.9106840934621424e-17),
+    (0.6366246205436489, -6.144228559976875e-17),
+    (0.6438561897747247, -4.259361141021219e-18),
+    (0.6510516911789286, 1.4383015952715634e-17),
+    (0.6582114827517948, -6.282834088650969e-17),
+    (0.6653359171851763, -7.183825735814018e-17),
+    (0.6724253419714956, -1.0292195045241779e-17),
+    (0.6794800995054461, -5.89637092629877e-17),
+    (0.6865005271832184, -1.893912718656958e-17),
+    (0.6934869574993252, 3.52016261320583e-17),
+    (0.7004397181410922, -3.960318734574331e-17),
+    (0.7073591320808827, 4.9992882469632625e-17),
+    (0.7142455176661227, -6.323397230933096e-17),
+    (0.7210991887071851, 3.4158912080539886e-17),
+    (0.7279204545631992, -2.0719221981459912e-17),
+    (0.7347096202258382, 4.2860485735573845e-17),
+    (0.7414669864011469, 4.78645981346565e-17),
+    (0.7481928495894603, -1.3245538930042543e-17),
+    (0.7548875021634686, -5.563878316815655e-17),
+    (0.7615512324444793, 1.6248092916407384e-17),
+    (0.7681843247769263, 5.847878680267284e-17),
+    (0.7747870596011734, 1.1317756112107658e-17),
+    (0.7813597135246596, 4.069682476215183e-18),
+    (0.7879025593914316, -3.13491213349329e-17),
+    (0.794415866350106, -3.668845687843901e-17),
+    (0.8008998999203047, 3.3032853262252715e-17),
+    (0.8073549220576041, 7.44196931723183e-18),
+    (0.8137811912170371, -4.135188325312559e-17),
+    (0.8201789624151877, 8.318545115880985e-18),
+    (0.826548487290915, -1.6217911779862923e-17),
+    (0.8328900141647416, 7.524725836685465e-17),
+    (0.839203788096944, -6.129631201678e-17),
+    (0.8454900509443752, 2.016446767365206e-17),
+    (0.8517490414160576, -5.490492869209456e-17),
+    (0.8579809951275721, 2.0719773324627984e-17),
+    (0.8641861446542802, 3.7018455677051e-17),
+    (0.8703647195834046, -7.669570945784768e-17),
+    (0.8765169465649997, 2.0041130183720033e-17),
+    (0.8826430493618412, 5.88074069319324e-17),
+    (0.8887432488982591, 5.88102528588897e-18),
+    (0.8948177633079435, 1.5696035328042236e-17),
+    (0.9008668079807486, -4.165768046974192e-17),
+    (0.9068905956085185, 2.932405837343721e-17),
+    (0.9128893362299616, 1.8983732950182124e-17),
+    (0.9188632372745945, 1.2398726093451586e-17),
+    (0.9248125036057809, 7.268694719739083e-18),
+    (0.9307373375628862, 7.647220222298523e-17),
+    (0.9366379390025705, 6.275425806395306e-17),
+    (0.9425145053392399, -2.5380289748529274e-17),
+    (0.9483672315846776, 5.419033207716353e-17),
+    (0.9541963103868752, 8.806123599175554e-18),
+    (0.9600019320680809, 3.7813366531369326e-17),
+    (0.965784284662087, 4.361095828846817e-17),
+    (0.971543553950772, -9.02302160787703e-18),
+    (0.9772799234999164, 7.034944720512747e-17),
+    (0.9829935746943101, 2.8493511290888465e-17),
+    (0.9886846867721658, 5.32800038923017e-17),
+    (0.9943534368588579, 3.757812438424761e-17),
+    (1.0, 0.0),
+];
 
 /// A module assignment over a [`FlowNetwork`] with incrementally maintained
 /// codelength terms.
@@ -371,6 +658,136 @@ mod tests {
         assert_eq!(plogp(0.0), 0.0);
         assert_eq!(plogp(1.0), 0.0);
         assert!((plogp(0.5) - (-0.5)).abs() < 1e-12);
+    }
+
+    /// Distance in ULPs between two finite f64 of the same sign region.
+    fn ulp_diff(a: f64, b: f64) -> u64 {
+        // Map to a monotone integer line (sign-magnitude → offset binary).
+        fn key(x: f64) -> i64 {
+            let b = x.to_bits() as i64;
+            if b < 0 {
+                i64::MIN ^ b
+            } else {
+                b
+            }
+        }
+        key(a).abs_diff(key(b))
+    }
+
+    #[test]
+    fn plogp_edge_cases_and_exact_path_tail() {
+        // Zero, one, and negatives-within-tolerance: exact zeros.
+        assert_eq!(plogp(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(plogp(1.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(plogp(-1e-13), 0.0);
+        // Subnormals and tiny normals take the exact tail verbatim.
+        for x in [
+            f64::from_bits(1),                           // smallest subnormal
+            f64::from_bits(0xf_ffff),                    // larger subnormal
+            f64::MIN_POSITIVE,                           // smallest normal
+            f64::MIN_POSITIVE * 1.5,                     // normal but far below 2⁻⁶⁴
+            f64::from_bits(0x3bf0_0000_0000_0000) / 2.0, // 2⁻⁶⁵
+        ] {
+            assert_eq!(plogp(x).to_bits(), plogp_exact(x).to_bits(), "x={x:e}");
+        }
+        // The near-1 band and x ≥ 2 are exact-tail too.
+        for x in [
+            0.7500000001,
+            0.9,
+            1.0 - 1e-12,
+            1.0 + 1e-12,
+            1.2,
+            1.4999,
+            2.0,
+            3.7,
+            64.0,
+        ] {
+            assert_eq!(plogp(x).to_bits(), plogp_exact(x).to_bits(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn plogp_fallback_boundaries_are_seamless() {
+        // Straddle each dispatcher boundary: the polynomial side must agree
+        // with the exact side to ≤ 1 ULP, so the dispatch point itself
+        // cannot introduce a jump bigger than libm's own rounding.
+        let boundaries = [
+            f64::from_bits(0x3bf0_0000_0000_0000), // FAST_LO = 2⁻⁶⁴
+            0.75,                                  // NEAR_ONE_LO
+            1.5,                                   // NEAR_ONE_HI
+            2.0,                                   // FAST_HI
+        ];
+        for b in boundaries {
+            for x in [
+                f64::from_bits(b.to_bits() - 2),
+                f64::from_bits(b.to_bits() - 1),
+                b,
+                f64::from_bits(b.to_bits() + 1),
+                f64::from_bits(b.to_bits() + 2),
+            ] {
+                let got = plogp(x);
+                let want = plogp_ref(x);
+                assert!(
+                    ulp_diff(got, want) <= 1,
+                    "boundary {b}: x={x:e} got {got:e} want {want:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plogp_polynomial_agrees_with_exact_within_one_ulp() {
+        // Dense deterministic sweep over the fast range: uniform in the
+        // exponent (2⁻⁶⁴ … 2) via an inline LCG, no external RNG dep.
+        let mut state = 0x243f_6a88_85a3_08d3u64; // pi digits; arbitrary
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state
+        };
+        for _ in 0..200_000 {
+            let r = next();
+            // exponent in [-64, 0], mantissa uniform
+            let e = -((r >> 58) as i64 % 65);
+            let mant = next() & ((1u64 << 52) - 1);
+            let x = f64::from_bits((((e + 1023) as u64) << 52) | mant);
+            if !(FAST_LO..FAST_HI).contains(&x) || (x > NEAR_ONE_LO && x < NEAR_ONE_HI) {
+                continue;
+            }
+            let got = plogp(x);
+            let libm = plogp_exact(x);
+            // Within 1 ULP of the true rounded value, always.
+            let reference = plogp_ref(x);
+            assert!(
+                ulp_diff(got, reference) <= 1,
+                "x={x:e} ({:#x}) got {got:e} ref {reference:e}",
+                x.to_bits()
+            );
+            // Within 1 ULP of the libm path too, except where libm's own
+            // log₂-then-multiply double rounding drifts past 1 ULP of true
+            // — there the reference must side with the polynomial.
+            let d = ulp_diff(got, libm);
+            assert!(
+                d <= 1 || (d <= 2 && ulp_diff(got, reference) <= ulp_diff(libm, reference)),
+                "x={x:e} ({:#x}) got {got:e} libm {libm:e} ref {reference:e} ulp {d}",
+                x.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn plogp_is_exactly_reproducible_at_spot_values() {
+        // Bit-pin a few fast-path values: the polynomial kernel is part of
+        // the cross-build determinism contract, so its exact output bits
+        // for fixed inputs must never drift (e.g. via an fma-gated path).
+        // Exact powers of two hit the r = 0 table node: results are exact.
+        for (x, want) in [(0.5f64, -0.5f64), (0.25, -0.5), (0.125, -0.375)] {
+            assert_eq!(plogp(x).to_bits(), want.to_bits(), "x={x}");
+        }
+        // A general mantissa: within 1 ULP of the libm reference.
+        let want = -0.466_917_186_688_699_3_f64; // 0.5625·log₂(0.5625)
+        assert!(ulp_diff(plogp(0.5625), want) <= 1);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Property tests for the polynomial `plogp` kernel: over the full flow
+//! range the fast path must land within 1 ULP of the correctly-rounded
+//! value (`plogp_ref`, libm-free digit extraction) and within 1 ULP of
+//! the exact libm path — excusing only inputs where libm's own
+//! log₂-then-multiply double rounding drifts past 1 ULP of true, in which
+//! case the reference must side with the polynomial. The exact-tail
+//! regions (subnormals, the neighborhood of 1, x ≥ 2) must be
+//! bit-identical to the libm path. Compiled in networked CI; the offline
+//! harness stubs proptest out (see `.claude/skills/verify`).
+
+use proptest::prelude::*;
+
+use infomap_core::map_equation::{plogp, plogp_exact, plogp_ref};
+
+/// Distance in ULPs between two finite f64 (monotone integer mapping).
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    fn key(x: f64) -> i64 {
+        let b = x.to_bits() as i64;
+        if b < 0 {
+            i64::MIN ^ b
+        } else {
+            b
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// Uniform-in-exponent coverage of the whole positive normal range a
+    /// flow value can take, plus some: 2⁻⁷⁰ … 2⁶. Everything must land
+    /// within 1 ULP of the correctly-rounded value, and within 1 ULP of
+    /// the libm path unless libm itself is the outlier.
+    #[test]
+    fn plogp_within_one_ulp_of_exact_everywhere(
+        e in -70i64..=6,
+        mant in 0u64..(1u64 << 52),
+    ) {
+        let x = f64::from_bits((((e + 1023) as u64) << 52) | mant);
+        let got = plogp(x);
+        let libm = plogp_exact(x);
+        let reference = plogp_ref(x);
+        prop_assert!(
+            ulp_diff(got, reference) <= 1,
+            "x={x:e} ({:#x}): got {got:e} ref {reference:e}",
+            x.to_bits()
+        );
+        let d = ulp_diff(got, libm);
+        prop_assert!(
+            d <= 1 || (d <= 2 && ulp_diff(got, reference) <= ulp_diff(libm, reference)),
+            "x={x:e} ({:#x}): got {got:e} libm {libm:e} ref {reference:e}",
+            x.to_bits()
+        );
+    }
+
+    /// Flow-shaped inputs: uniform in (0, 1], the range δL actually feeds
+    /// the kernel. Same contract.
+    #[test]
+    fn plogp_within_one_ulp_on_unit_interval(x in 0.0f64..=1.0) {
+        let got = plogp(x);
+        let libm = plogp_exact(x);
+        let reference = plogp_ref(x);
+        prop_assert!(ulp_diff(got, reference) <= 1, "x={x:e}: got {got:e} ref {reference:e}");
+        let d = ulp_diff(got, libm);
+        prop_assert!(
+            d <= 1 || (d <= 2 && ulp_diff(got, reference) <= ulp_diff(libm, reference)),
+            "x={x:e}: got {got:e} libm {libm:e} ref {reference:e}"
+        );
+    }
+
+    /// Subnormal inputs take the exact tail verbatim — bit-identical.
+    #[test]
+    fn plogp_is_exact_on_subnormals(bits in 1u64..(1u64 << 52)) {
+        let x = f64::from_bits(bits);
+        prop_assert_eq!(plogp(x).to_bits(), plogp_exact(x).to_bits());
+    }
+
+    /// The near-1 band (0.75, 1.5) and x ≥ 2 are exact-tail: bit-identical
+    /// to the reference, so the cancellation-prone region never sees the
+    /// polynomial at all.
+    #[test]
+    fn plogp_is_exact_near_one_and_above_two(x in prop_oneof![0.7500001f64..1.4999999, 2.0f64..1e6]) {
+        prop_assert_eq!(plogp(x).to_bits(), plogp_exact(x).to_bits());
+    }
+}

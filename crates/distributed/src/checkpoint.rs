@@ -261,9 +261,10 @@ fn encode_state(st: &LocalState, out: &mut Vec<u8>) {
     st.out_flow.encode_into(out);
     st.module_of.encode_into(out);
     st.module_ids.encode_into(out);
-    (st.module_stats.len() as u64).encode_into(out);
-    for e in &st.module_stats {
-        encode_entry(e, out);
+    // Wire format unchanged by the SoA split: entries travel AoS.
+    (st.mod_flow.len() as u64).encode_into(out);
+    for s in 0..st.mod_flow.len() as u32 {
+        encode_entry(&st.module_entry(s), out);
     }
     st.module_present.encode_into(out);
     let mut owned: Vec<(&u64, &ModuleEntry)> = st.owned_modules.iter().collect();
@@ -315,9 +316,14 @@ fn decode_state(buf: &mut &[u8]) -> Result<LocalState, WireDecodeError> {
     let module_of = Vec::decode_from(buf)?;
     let module_ids: Vec<u64> = Vec::decode_from(buf)?;
     let nstats = u64::decode_from(buf)? as usize;
-    let mut module_stats = Vec::with_capacity(nstats);
+    let mut mod_flow = Vec::with_capacity(nstats);
+    let mut mod_exit = Vec::with_capacity(nstats);
+    let mut mod_members = Vec::with_capacity(nstats);
     for _ in 0..nstats {
-        module_stats.push(decode_entry(buf)?);
+        let e = decode_entry(buf)?;
+        mod_flow.push(e.flow);
+        mod_exit.push(e.exit);
+        mod_members.push(e.members);
     }
     let module_present = Vec::decode_from(buf)?;
     let nowned = u64::decode_from(buf)? as usize;
@@ -372,7 +378,9 @@ fn decode_state(buf: &mut &[u8]) -> Result<LocalState, WireDecodeError> {
         module_of,
         module_ids,
         module_slot,
-        module_stats,
+        mod_flow,
+        mod_exit,
+        mod_members,
         module_present,
         owned_modules,
         sum_exit,

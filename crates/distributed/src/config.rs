@@ -88,6 +88,13 @@ pub struct DistributedConfig {
     /// Best-move kernel of the greedy sweep (bit-identical results either
     /// way; see [`MoveKernel`]).
     pub kernel: MoveKernel,
+    /// Intra-rank worker threads for the local sweep (DESIGN.md §6 note
+    /// 16). Each rank's eligible vertices are statically cut into this
+    /// many arc-balanced slices, evaluated slice-parallel against the
+    /// frozen round-start state, and merged in the one global shuffled
+    /// order — so MDL series, moves, and assignments are **bit-identical
+    /// for every value**, including 1. Only wall-clock changes.
+    pub threads: usize,
     /// Communication path (bit-identical trajectories either way; see
     /// [`CommPath`]).
     pub comm_path: CommPath,
@@ -137,6 +144,7 @@ impl Default for DistributedConfig {
             move_fraction_denom: 2,
             sync_interval: 1,
             kernel: MoveKernel::default(),
+            threads: 1,
             comm_path: CommPath::default(),
             recovery: RecoveryConfig::default(),
         }
@@ -156,6 +164,7 @@ mod tests {
         assert!(c.full_module_swap);
         assert_eq!(c.kernel, MoveKernel::Stamped);
         assert_eq!(c.comm_path, CommPath::Compact);
+        assert_eq!(c.threads, 1, "thread parallelism is opt-in");
     }
 
     #[test]

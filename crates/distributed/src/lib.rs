@@ -70,6 +70,6 @@ pub use driver::{
     degraded_output, DistributedInfomap, DistributedOutput, RankProgram, RecoveryReport, StageTrace,
 };
 pub use rounds::{
-    apply_local_move, best_local_move, best_local_move_scan, LocalCandidate, NeighborhoodScratch,
-    RoundBuffers,
+    apply_local_move, best_local_move, best_local_move_scan, find_best_modules, LocalCandidate,
+    NeighborhoodScratch, RoundBuffers,
 };

@@ -29,7 +29,7 @@
 //! The per-rank compute is organized around three ideas:
 //!
 //! * **Module-ID interning** — [`LocalState`] stores module assignments as
-//!   dense slots (`u32` indices into `module_stats`), so every stat lookup
+//!   dense slots (`u32` indices into the SoA stat arrays), so every stat lookup
 //!   in the sweep is array indexing; global `u64` ids appear only on the
 //!   wire (messages are unchanged).
 //! * **Epoch-stamped dense accumulators** — [`best_local_move`] aggregates
@@ -132,6 +132,33 @@ pub struct RoundBuffers {
     queue: Vec<(u64, usize)>,
     /// Sorted owned-module ids, reused by every MDL reduction.
     sorted_ids: Vec<u64>,
+    /// Round-eligible vertices in shuffled order (the subset-gate survivors
+    /// of `order`) — the one sequence every thread count slices identically.
+    eligible: Vec<u32>,
+    /// Arc-balanced slice boundaries over `eligible`: `cuts[s]..cuts[s+1]`
+    /// is worker `s`'s contiguous range.
+    cuts: Vec<usize>,
+    /// Per-worker evaluation scratch, grown on demand to `cfg.threads`.
+    slices: Vec<SliceScratch>,
+}
+
+/// One worker thread's private evaluation scratch: its own stamped
+/// accumulator (and legacy-scan vec), the cache-blocked walk order, and
+/// the slice's results keyed by position so the merge can replay them in
+/// the global shuffled order.
+#[derive(Debug, Default)]
+pub struct SliceScratch {
+    /// Per-slice [`best_local_move`] accumulator.
+    neigh: NeighborhoodScratch,
+    /// Per-slice scratch of the legacy scan kernel.
+    scan: Vec<(u32, f64, bool)>,
+    /// `(local vertex, position-in-slice)` pairs, block-sorted by local
+    /// index so CSR reads stream within each block.
+    walk: Vec<(u32, u32)>,
+    /// Candidate per slice position (`None` = no admissible move).
+    out: Vec<Option<LocalCandidate>>,
+    /// Arcs scanned by this slice (exact counter; summed slice-order).
+    arcs: u64,
 }
 
 impl RoundBuffers {
@@ -154,7 +181,24 @@ impl RoundBuffers {
             forced: Vec::new(),
             queue: Vec::new(),
             sorted_ids: Vec::new(),
+            eligible: Vec::new(),
+            cuts: Vec::new(),
+            slices: Vec::new(),
         }
+    }
+
+    /// Arcs scanned by each slice of the most recent sweep, in slice
+    /// order. Perf-harness introspection: the per-round critical path of
+    /// the slice-parallel sweep is the max of these, the serial cost
+    /// their sum — the modeled thread speedup is their ratio.
+    pub fn slice_arcs(&self) -> impl Iterator<Item = u64> + '_ {
+        // `slices` grows on demand and never shrinks; `cuts` has exactly
+        // t+1 entries from the last sweep, so this never reads a stale
+        // tail from an earlier, wider sweep.
+        self.slices
+            .iter()
+            .take(self.cuts.len().saturating_sub(1))
+            .map(|s| s.arcs)
     }
 }
 
@@ -238,7 +282,7 @@ pub fn best_local_move(
     if scratch.is_empty() {
         return None;
     }
-    let from = st.module_stats[current as usize];
+    let from = st.module_entry(current);
     let current_gid = st.module_ids[current as usize];
     let p_u = st.node_flow[li as usize];
     let out_u = st.out_flow[li as usize];
@@ -250,7 +294,7 @@ pub fn best_local_move(
         if min_label && via_ghost && gid >= current_gid {
             continue; // boundary community: minimum-label rule
         }
-        let to = st.module_stats[m as usize];
+        let to = st.module_entry(m);
         let delta = delta_codelength(
             st.sum_exit,
             &from,
@@ -318,7 +362,7 @@ pub fn best_local_move_scan(
     if scratch.is_empty() {
         return None;
     }
-    let from = st.module_stats[current as usize];
+    let from = st.module_entry(current);
     let current_gid = st.module_ids[current as usize];
     let p_u = st.node_flow[li as usize];
     let out_u = st.out_flow[li as usize];
@@ -329,7 +373,7 @@ pub fn best_local_move_scan(
         if min_label && via_ghost && gid >= current_gid {
             continue; // boundary community: minimum-label rule
         }
-        let to = st.module_stats[m as usize];
+        let to = st.module_entry(m);
         let delta = delta_codelength(
             st.sum_exit,
             &from,
@@ -375,28 +419,93 @@ pub fn apply_local_move(st: &mut LocalState, li: u32, c: &LocalCandidate) {
 
     // Mirrors `entry().or_default()`: touching a module makes it present.
     st.module_present[from_slot] = true;
-    let from = &mut st.module_stats[from_slot];
-    let q_i_old = from.exit;
-    from.exit = (from.exit - out_u + 2.0 * c.flow_to_current).max(0.0);
-    from.flow = (from.flow - p_u).max(0.0);
-    from.members = from.members.saturating_sub(1);
-    let dq_i = from.exit - q_i_old;
+    let q_i_old = st.mod_exit[from_slot];
+    st.mod_exit[from_slot] = (q_i_old - out_u + 2.0 * c.flow_to_current).max(0.0);
+    st.mod_flow[from_slot] = (st.mod_flow[from_slot] - p_u).max(0.0);
+    st.mod_members[from_slot] = st.mod_members[from_slot].saturating_sub(1);
+    let dq_i = st.mod_exit[from_slot] - q_i_old;
 
     st.module_present[to_slot] = true;
-    let to = &mut st.module_stats[to_slot];
-    let q_j_old = to.exit;
-    to.exit = (to.exit + out_u - 2.0 * c.flow_to_target).max(0.0);
-    to.flow += p_u;
-    to.members += 1;
-    let dq_j = to.exit - q_j_old;
+    let q_j_old = st.mod_exit[to_slot];
+    st.mod_exit[to_slot] = (q_j_old + out_u - 2.0 * c.flow_to_target).max(0.0);
+    st.mod_flow[to_slot] += p_u;
+    st.mod_members[to_slot] += 1;
+    let dq_j = st.mod_exit[to_slot] - q_j_old;
 
     st.sum_exit = (st.sum_exit + dq_i + dq_j).max(0.0);
     st.module_of[li as usize] = c.to_slot;
 }
 
+/// Cache-block size (vertices) for the slice walk: one block of CSR spans
+/// fits comfortably in L1/L2, and within a block vertices are visited in
+/// ascending local index so adjacency reads stream instead of hopping with
+/// the shuffle.
+const EVAL_BLOCK: usize = 512;
+
+/// Evaluate one contiguous slice of the eligible order against the frozen
+/// round-start state. Pure reads of `st`; every result lands at the
+/// vertex's *position within the slice*, so the cache-blocked visit order
+/// below never leaks into the merge.
+fn eval_slice(
+    st: &LocalState,
+    cfg: &DistributedConfig,
+    restrict_boundary: bool,
+    slice: &[u32],
+    scratch: &mut SliceScratch,
+) {
+    let SliceScratch {
+        neigh,
+        scan,
+        walk,
+        out,
+        arcs,
+    } = scratch;
+    out.clear();
+    out.resize(slice.len(), None);
+    *arcs = 0;
+    for (b, block) in slice.chunks(EVAL_BLOCK).enumerate() {
+        let base = b * EVAL_BLOCK;
+        walk.clear();
+        walk.extend(
+            block
+                .iter()
+                .enumerate()
+                .map(|(i, &li)| (li, (base + i) as u32)),
+        );
+        // Local indices are unique within a round, so this key is total and
+        // the sort order (hence the f64 accumulation inside each kernel
+        // call) is deterministic despite `sort_unstable`.
+        walk.sort_unstable_by_key(|&(li, _)| li);
+        for &(li, pos) in walk.iter() {
+            *arcs += st.adj_off[li as usize + 1] as u64 - st.adj_off[li as usize] as u64;
+            out[pos as usize] = match cfg.kernel {
+                MoveKernel::Stamped => {
+                    best_local_move(st, li, cfg.min_gain, restrict_boundary, neigh)
+                }
+                MoveKernel::LegacyScan => {
+                    best_local_move_scan(st, li, cfg.min_gain, restrict_boundary, scan)
+                }
+            };
+        }
+    }
+}
+
 /// Phase 1: the greedy sweep. Returns (owned moves, arcs scanned, delegate
 /// proposals).
-fn find_best_modules(
+///
+/// Two-phase, slice-parallel (DESIGN.md §6 note 16): the shuffled eligible
+/// order is cut into `cfg.threads` contiguous arc-balanced slices, every
+/// slice is *evaluated* against the frozen round-start state (pure reads,
+/// one worker per slice), and then the candidates are *merged* — applied
+/// or turned into proposals — sequentially in the one global shuffled
+/// order, which is exactly the concatenation of the slices. The shuffle,
+/// the eligibility gate, and the merge order are all independent of the
+/// thread count, and each eligible vertex appears exactly once per round,
+/// so MDL series, moves, and assignments are bit-identical for every
+/// `threads` value (including 1, which skips the thread scope entirely).
+///
+/// Public (with the kernels) for the `perf_kernels` thread-sweep harness.
+pub fn find_best_modules(
     st: &mut LocalState,
     cfg: &DistributedConfig,
     rng: &mut StdRng,
@@ -416,14 +525,14 @@ fn find_best_modules(
     bufs.order.clear();
     bufs.order.extend_from_slice(&st.movable);
     bufs.order.shuffle(rng);
-    let mut owned_moves = 0u64;
-    let mut arcs_scanned = 0u64;
-    let mut proposals: Vec<DelegateProposal> = Vec::new();
+
+    // Eligibility prefilter, identical for every thread count. Partial
+    // parallelism: only a hashed 1/k subset of the vertices is eligible
+    // per round, which bounds how many simultaneous joiners a module can
+    // receive on stale statistics (over-merging guard).
+    bufs.eligible.clear();
     for idx in 0..bufs.order.len() {
         let li = bufs.order[idx];
-        // Partial parallelism: only a hashed 1/k subset of the vertices is
-        // eligible per round, which bounds how many simultaneous joiners a
-        // module can receive on stale statistics (over-merging guard).
         let v = st.verts[li as usize] as u64;
         if subset > 1
             && !(v.wrapping_mul(0x9e3779b97f4a7c15) >> 32)
@@ -432,37 +541,96 @@ fn find_best_modules(
         {
             continue;
         }
-        arcs_scanned += st.adj_off[li as usize + 1] as u64 - st.adj_off[li as usize] as u64;
-        let cand = match cfg.kernel {
-            MoveKernel::Stamped => {
-                best_local_move(st, li, cfg.min_gain, restrict_boundary, &mut bufs.neigh)
+        bufs.eligible.push(li);
+    }
+
+    // Arc-balanced contiguous cuts: slice s ends at the first prefix where
+    // prefix_arcs·t ≥ (s+1)·total_arcs, so a hub-heavy head doesn't leave
+    // the other workers idle. Cut *placement* varies with t; results don't,
+    // because evaluation is pure and the merge replays the concatenation.
+    let t = cfg.threads.max(1);
+    let span = |li: u32| st.adj_off[li as usize + 1] as u64 - st.adj_off[li as usize] as u64;
+    let total_arcs: u64 = bufs.eligible.iter().map(|&li| span(li)).sum();
+    bufs.cuts.clear();
+    bufs.cuts.push(0);
+    if total_arcs > 0 {
+        let mut prefix = 0u64;
+        let mut s = 1u64;
+        for (i, &li) in bufs.eligible.iter().enumerate() {
+            prefix += span(li);
+            while s < t as u64 && prefix * t as u64 >= s * total_arcs {
+                bufs.cuts.push(i + 1);
+                s += 1;
             }
-            MoveKernel::LegacyScan => {
-                best_local_move_scan(st, li, cfg.min_gain, restrict_boundary, &mut bufs.scan)
+        }
+    }
+    while bufs.cuts.len() < t + 1 {
+        bufs.cuts.push(bufs.eligible.len());
+    }
+    while bufs.slices.len() < t {
+        bufs.slices.push(SliceScratch::default());
+    }
+
+    // Evaluate every slice against the frozen round-start state.
+    let eligible = &bufs.eligible;
+    let cuts = &bufs.cuts;
+    if t == 1 {
+        eval_slice(st, cfg, restrict_boundary, eligible, &mut bufs.slices[0]);
+    } else {
+        let frozen: &LocalState = st;
+        let (head, rest) = bufs.slices.split_first_mut().expect("slices sized above");
+        std::thread::scope(|scope| {
+            for (s, scratch) in rest.iter_mut().enumerate().take(t - 1) {
+                let slice = &eligible[cuts[s + 1]..cuts[s + 2]];
+                scope.spawn(move || eval_slice(frozen, cfg, restrict_boundary, slice, scratch));
             }
-        };
-        let Some(cand) = cand else {
-            continue;
-        };
-        if st.is_delegate(li) {
-            let target = st.module_stats[cand.to_slot as usize];
-            let to_module = st.module_ids[cand.to_slot as usize];
-            proposals.push(DelegateProposal {
-                delegate: st.verts[li as usize],
-                to_module,
-                delta: cand.delta,
-                proposer: st.rank as u32,
-                target_info: ModuleInfoMsg {
-                    mod_id: to_module,
-                    flow: target.flow,
-                    exit: target.exit,
-                    members: target.members,
-                    is_sent: false,
-                },
-            });
-        } else {
-            apply_local_move(st, li, &cand);
-            owned_moves += 1;
+            eval_slice(
+                frozen,
+                cfg,
+                restrict_boundary,
+                &eligible[cuts[0]..cuts[1]],
+                head,
+            );
+        });
+    }
+
+    // Merge in fixed slice order — the concatenation of the slices is the
+    // global shuffled order, so this sequential fold of moves (and of the
+    // arc counters) is the same commutative-safe, rank-order walk for
+    // every t.
+    let mut owned_moves = 0u64;
+    let mut arcs_scanned = 0u64;
+    let mut proposals: Vec<DelegateProposal> = Vec::new();
+    for s in 0..t {
+        arcs_scanned += bufs.slices[s].arcs;
+        for (i, idx) in (bufs.cuts[s]..bufs.cuts[s + 1]).enumerate() {
+            let li = bufs.eligible[idx];
+            let Some(cand) = bufs.slices[s].out[i] else {
+                continue;
+            };
+            if st.is_delegate(li) {
+                // Read the target's statistics at merge time (sequential,
+                // t-invariant), so proposals see earlier owned moves of
+                // this round exactly as the single-threaded walk would.
+                let target = st.module_entry(cand.to_slot);
+                let to_module = st.module_ids[cand.to_slot as usize];
+                proposals.push(DelegateProposal {
+                    delegate: st.verts[li as usize],
+                    to_module,
+                    delta: cand.delta,
+                    proposer: st.rank as u32,
+                    target_info: ModuleInfoMsg {
+                        mod_id: to_module,
+                        flow: target.flow,
+                        exit: target.exit,
+                        members: target.members,
+                        is_sent: false,
+                    },
+                });
+            } else {
+                apply_local_move(st, li, &cand);
+                owned_moves += 1;
+            }
         }
     }
     (owned_moves, arcs_scanned, proposals)
@@ -721,7 +889,7 @@ fn swap_boundary_info(
                 module: gid,
             });
             if full_swap {
-                let entry = st.module_stats[m as usize];
+                let entry = st.module_entry(m);
                 let already = !bufs.sent_to.insert((dest, m));
                 bufs.infos[dest].push(ModuleInfoMsg {
                     mod_id: gid,

@@ -49,8 +49,9 @@ pub struct LocalState {
     /// the arcs stored here.
     pub out_flow: Vec<f64>,
     /// Current module of each local vertex, as an interned **module slot**
-    /// (index into `module_ids` / `module_stats`). Global ids appear only
-    /// at communication boundaries; see [`LocalState::module_gid`].
+    /// (index into `module_ids` / the `mod_*` stat arrays). Global ids
+    /// appear only at communication boundaries; see
+    /// [`LocalState::module_gid`].
     pub module_of: Vec<u32>,
     /// Interned module table: slot → global module id. Append-only within
     /// a clustering stage, so slots stay stable across rounds.
@@ -58,10 +59,18 @@ pub struct LocalState {
     /// Global module id → slot (consulted only when global ids arrive off
     /// the wire or leave for it).
     pub module_slot: HashMap<u64, u32>,
-    /// Local view of module statistics, slot-indexed. Only meaningful for
-    /// slots with `module_present`; absent slots hold `default()` so the
-    /// legacy `get().unwrap_or_default()` reads stay bit-identical.
-    pub module_stats: Vec<ModuleEntry>,
+    /// Local view of module visit flow, slot-indexed (SoA: the move kernel
+    /// touches flow+exit of two slots per candidate, and separate arrays
+    /// keep those reads dense — same layout core's `Partitioning` uses).
+    /// Only meaningful for slots with `module_present`; absent slots hold
+    /// zero so the legacy `get().unwrap_or_default()` reads stay
+    /// bit-identical. Wire and checkpoint formats still speak
+    /// [`ModuleEntry`] via [`LocalState::module_entry`].
+    pub mod_flow: Vec<f64>,
+    /// Local view of module exit flow, slot-indexed (see `mod_flow`).
+    pub mod_exit: Vec<f64>,
+    /// Local view of module member counts, slot-indexed (see `mod_flow`).
+    pub mod_members: Vec<u32>,
     /// Whether this rank currently has a view of the slot's module
     /// (mirrors key-existence in the pre-interning `HashMap`).
     pub module_present: Vec<bool>,
@@ -138,7 +147,9 @@ impl LocalState {
         let s = self.module_ids.len() as u32;
         self.module_ids.push(gid);
         self.module_slot.insert(gid, s);
-        self.module_stats.push(ModuleEntry::default());
+        self.mod_flow.push(0.0);
+        self.mod_exit.push(0.0);
+        self.mod_members.push(0);
         self.module_present.push(false);
         self.last_contrib.push((0.0, 0.0, 0));
         self.last_contrib_active.push(false);
@@ -175,6 +186,27 @@ impl LocalState {
         self.last_contrib_active.iter().filter(|&&p| p).count()
     }
 
+    /// Gather slot `s`'s stats into the AoS view the wire and checkpoint
+    /// formats speak.
+    #[inline]
+    pub fn module_entry(&self, s: u32) -> ModuleEntry {
+        let i = s as usize;
+        ModuleEntry {
+            flow: self.mod_flow[i],
+            exit: self.mod_exit[i],
+            members: self.mod_members[i],
+        }
+    }
+
+    /// Scatter an AoS entry into slot `s`'s stat arrays.
+    #[inline]
+    pub fn set_module_entry(&mut self, s: u32, e: ModuleEntry) {
+        let i = s as usize;
+        self.mod_flow[i] = e.flow;
+        self.mod_exit[i] = e.exit;
+        self.mod_members[i] = e.members;
+    }
+
     /// `modules.entry(gid).or_insert(e)` of the pre-interning table:
     /// intern, and set stats only if the module was absent. Returns the
     /// slot.
@@ -183,7 +215,7 @@ impl LocalState {
         let s = self.intern_module(gid);
         if !self.module_present[s as usize] {
             self.module_present[s as usize] = true;
-            self.module_stats[s as usize] = e;
+            self.set_module_entry(s, e);
         }
         s
     }
@@ -193,7 +225,7 @@ impl LocalState {
     pub fn set_module(&mut self, gid: u64, e: ModuleEntry) -> u32 {
         let s = self.intern_module(gid);
         self.module_present[s as usize] = true;
-        self.module_stats[s as usize] = e;
+        self.set_module_entry(s, e);
         s
     }
 
@@ -202,7 +234,7 @@ impl LocalState {
     pub fn remove_module(&mut self, gid: u64) {
         if let Some(&s) = self.module_slot.get(&gid) {
             self.module_present[s as usize] = false;
-            self.module_stats[s as usize] = ModuleEntry::default();
+            self.set_module_entry(s, ModuleEntry::default());
         }
     }
 }
@@ -347,13 +379,9 @@ fn assemble(
         .enumerate()
         .map(|(s, &gid)| (gid, s as u32))
         .collect();
-    let module_stats: Vec<ModuleEntry> = (0..n)
-        .map(|li| ModuleEntry {
-            flow: node_flow[li],
-            exit: out_flow[li],
-            members: 1,
-        })
-        .collect();
+    let mod_flow = node_flow.clone();
+    let mod_exit = out_flow.clone();
+    let mod_members = vec![1u32; n];
     let module_present = vec![true; n];
     let sum_exit = 0.0; // refreshed by the first sync round
 
@@ -371,7 +399,9 @@ fn assemble(
         module_of,
         module_ids,
         module_slot,
-        module_stats,
+        mod_flow,
+        mod_exit,
+        mod_members,
         module_present,
         owned_modules: HashMap::new(),
         sum_exit,

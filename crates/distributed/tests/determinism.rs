@@ -1,12 +1,14 @@
 //! Determinism regression for the hot-path kernel rewrite (DESIGN.md
-//! §6.12): a seeded 4-rank distributed run must be reproducible to the
-//! bit — across invocations, across best-move kernels (the stamped
-//! accumulator vs the pre-rewrite legacy scan), and against a recorded
-//! golden fingerprint.
+//! §6.12) and the slice-parallel sweep (§6 note 16): a seeded 4-rank
+//! distributed run must be reproducible to the bit — across invocations,
+//! across best-move kernels (the stamped accumulator vs the pre-rewrite
+//! legacy scan), across every intra-rank thread count, and against
+//! recorded golden fingerprints.
 //!
-//! The golden file (`tests/golden_determinism_p4.txt`) is recorded by the
-//! first run in a given environment and compared from then on. It cannot
-//! be pre-committed from an arbitrary machine because the fingerprint
+//! The golden files (`tests/golden_determinism_p4.txt`,
+//! `tests/golden_determinism_threads.txt`) are recorded by the first run
+//! in a given environment and compared from then on. They cannot be
+//! pre-committed from an arbitrary machine because the fingerprint
 //! depends on the `rand` implementation behind `StdRng`; once a run on
 //! the canonical toolchain has produced it, committing the file pins the
 //! trajectory for everyone (any silent tie-break or accumulation-order
@@ -27,34 +29,39 @@ fn test_graph() -> Graph {
 }
 
 /// The full bit-level trajectory of one run: every per-round MDL (as raw
-/// bits) of every stage, the total move count, the final codelength bits,
-/// and the final assignment.
+/// bits) of every stage, the per-stage move log, the final codelength
+/// bits, and the final assignment.
 #[derive(PartialEq, Eq, Debug)]
 struct Fingerprint {
     mdl_bits: Vec<u64>,
-    total_moves: u64,
+    moves_log: Vec<u64>,
     codelength_bits: u64,
     modules: Vec<u32>,
 }
 
-fn run(kernel: MoveKernel) -> Fingerprint {
+fn run_with(graph: &Graph, kernel: MoveKernel, seed: u64, threads: usize) -> Fingerprint {
     let cfg = DistributedConfig {
         nranks: NRANKS,
-        seed: SEED,
+        seed,
         kernel,
+        threads,
         ..Default::default()
     };
-    let out = DistributedInfomap::new(cfg).run(&test_graph());
+    let out = DistributedInfomap::new(cfg).run(graph);
     Fingerprint {
         mdl_bits: out
             .trace
             .iter()
             .flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits()))
             .collect(),
-        total_moves: out.trace.iter().map(|t| t.moves).sum(),
+        moves_log: out.trace.iter().map(|t| t.moves).collect(),
         codelength_bits: out.codelength.to_bits(),
         modules: out.modules,
     }
+}
+
+fn run(kernel: MoveKernel) -> Fingerprint {
+    run_with(&test_graph(), kernel, SEED, 1)
 }
 
 impl Fingerprint {
@@ -66,10 +73,11 @@ impl Fingerprint {
             h = (h ^ m as u64).wrapping_mul(0x100000001b3);
         }
         let mdl_hex: Vec<String> = self.mdl_bits.iter().map(|b| format!("{b:016x}")).collect();
+        let moves: Vec<String> = self.moves_log.iter().map(|m| m.to_string()).collect();
         format!(
-            "mdl_series_bits: {}\ntotal_moves: {}\ncodelength_bits: {:016x}\nassignment_fnv: {:016x}\n",
+            "mdl_series_bits: {}\nmoves_log: {}\ncodelength_bits: {:016x}\nassignment_fnv: {:016x}\n",
             mdl_hex.join(","),
-            self.total_moves,
+            moves.join(","),
             self.codelength_bits,
             h
         )
@@ -93,6 +101,67 @@ fn stamped_and_legacy_scan_kernels_agree_bitwise() {
         stamped, scan,
         "stamped kernel diverged from the legacy scan (tie-break or accumulation-order change?)"
     );
+}
+
+/// The two stand-ins of the thread-invariance matrix: a flat-degree
+/// "1d"-style graph (degrees far below the delegate threshold, so the
+/// sweep is pure owned moves) and the hub-heavy scale-free graph (real
+/// delegates, ghosts, and the min-label rule in play).
+fn thread_standins() -> Vec<(&'static str, Graph)> {
+    let flat = chung_lu(&vec![8usize; 500], 21);
+    vec![("1d-flat", flat), ("delegate-hub", test_graph())]
+}
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const THREAD_SEEDS: [u64; 2] = [3, 11];
+
+#[test]
+fn thread_counts_are_bit_identical() {
+    // The §6 note 16 contract: t is a wall-clock knob, never a results
+    // knob. Every (stand-in, seed) pair must produce byte-identical MDL
+    // series, move logs, and final assignments for t ∈ {1, 2, 4, 8}.
+    for (name, graph) in &thread_standins() {
+        for &seed in &THREAD_SEEDS {
+            let base = run_with(graph, MoveKernel::Stamped, seed, 1);
+            for &t in &THREAD_COUNTS[1..] {
+                let got = run_with(graph, MoveKernel::Stamped, seed, t);
+                assert_eq!(
+                    base.encode(),
+                    got.encode(),
+                    "stand-in {name} seed {seed}: threads={t} diverged from threads=1"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_runs_match_recorded_golden() {
+    // Record-once golden over the full stand-in × seed matrix (at t = 4;
+    // `thread_counts_are_bit_identical` pins the other thread counts to
+    // the same bytes). Re-recording requires deleting the file.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden_determinism_threads.txt"
+    );
+    let mut encoded = String::new();
+    for (name, graph) in &thread_standins() {
+        for &seed in &THREAD_SEEDS {
+            let fp = run_with(graph, MoveKernel::Stamped, seed, 4);
+            encoded.push_str(&format!("[{name} seed={seed}]\n{}", fp.encode()));
+        }
+    }
+    match std::fs::read_to_string(path) {
+        Ok(golden) => assert_eq!(
+            golden, encoded,
+            "threaded run no longer matches the recorded golden at {path}; if the change \
+             in trajectory is intended and reviewed, delete the file to re-record"
+        ),
+        Err(_) => {
+            std::fs::write(path, &encoded).expect("record golden fingerprint");
+            eprintln!("recorded new golden fingerprint at {path}");
+        }
+    }
 }
 
 #[test]

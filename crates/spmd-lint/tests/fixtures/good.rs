@@ -40,6 +40,17 @@ pub fn modular_cost(flows: &BTreeMap<u64, f64>) -> f64 {
     total
 }
 
+// Slice-merge counterpart: per-worker partial sums fold in fixed slice
+// order (Vec index order, the concatenation of the slices), so the merged
+// MDL is the same bits for every worker count.
+pub fn merge_slices_in_order(partials: &[f64]) -> f64 {
+    let mut mdl = 0.0;
+    for s in 0..partials.len() {
+        mdl += partials[s];
+    }
+    mdl
+}
+
 // Order-free access to a hash container is exempt even in scope.
 pub fn lookup(index: &std::collections::HashMap<u32, u64>, key: u32) -> Option<u64> {
     index.get(&key).copied()

@@ -84,6 +84,26 @@ fn r5_flags_float_folds_in_hash_order() {
 }
 
 #[test]
+fn r5_catches_a_shuffled_slice_merge() {
+    // The slice-parallel sweep's merge contract (DESIGN.md §6 note 16):
+    // folding per-worker partials in hash order is the mutant R5 must
+    // catch; the fixed-slice-order fold lives in `good.rs`
+    // (`merge_slices_in_order`) and must stay clean.
+    let diags = lint_fixture(
+        "bad_r5_slice_merge.rs",
+        include_str!("fixtures/bad_r5_slice_merge.rs"),
+    );
+    let r5 = hits(&diags, Rule::FloatAccumulation);
+    assert_eq!(r5.len(), 1, "{diags:#?}");
+    assert_eq!(r5[0].0, 12, "the `mdl += partial` fold line");
+    assert!(r5[0].1.contains("mdl += partial"));
+    // The hash-order loop head itself is the companion R2 finding.
+    let r2 = hits(&diags, Rule::UnorderedIteration);
+    assert_eq!(r2.len(), 1);
+    assert_eq!(r2[0].0, 11);
+}
+
+#[test]
 fn good_fixture_is_clean() {
     let diags = lint_fixture("good.rs", include_str!("fixtures/good.rs"));
     assert!(
