@@ -1,0 +1,342 @@
+//! scale_sweep — out-of-core scale experiment (the fixed-RAM `--scale`
+//! sweep of DESIGN.md §6 note 17): the Figure 9/10 large stand-ins swept
+//! two orders of magnitude up in edge count, generated **streamed**
+//! straight into per-rank binary shards and then traversed through the
+//! demand-paged loader, all under one fixed peak-RSS budget.
+//!
+//! What each sweep point measures, per dataset:
+//!
+//! - **gen wall**: streaming shard generation (per-vertex RNG streams →
+//!   spill files → sorted/merged shards; the global graph never exists
+//!   in memory).
+//! - **load wall**: opening every shard demand-paged, which includes the
+//!   full streaming checksum verification pass.
+//! - **sweep wall**: a full clustering-shaped traversal — every owned
+//!   row's strength plus all its arcs via `GraphStore::arcs_into` — the
+//!   access pattern one stage-1 sweep iteration performs, through a
+//!   4 MiB/shard block cache. Cache hits/misses are reported per point,
+//!   so the transition from cache-resident to genuinely out-of-core is
+//!   visible in the hit rate.
+//!
+//! In-harness acceptance (the run fails loudly if violated):
+//!
+//! - paged and eager stores drive the *full distributed clustering* to
+//!   bit-identical MDL series and final codelength (asserted at the
+//!   smallest point of every dataset);
+//! - peak RSS (`VmHWM` from `/proc/self/status`) stays under the fixed
+//!   budget even though the largest point carries ≥ 100× (full mode;
+//!   ≥ 8× in `--tiny`) the edge count of the smallest;
+//! - the sweep checksum is identical on paged and eager stores.
+//!
+//! Writes `BENCH_scale.json` at the repo root (override with `--out
+//! PATH`); `--tiny` shrinks the sweep for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use infomap_bench::{env_seed, fmt_count, fmt_secs, Table};
+use infomap_distributed::{CheckpointStore, DistributedConfig, RankProgram};
+use infomap_graph::datasets::DatasetId;
+use infomap_graph::snapshot::{
+    owned_row_count, read_header, shard_path, PageCacheConfig, SnapshotStore,
+};
+use infomap_graph::GraphStore;
+use infomap_mpisim::World;
+
+/// Shards per sweep point — also the rank count of the bit-identity
+/// clustering runs.
+const SHARDS: usize = 4;
+
+/// Peak-RSS budget the whole sweep must stay under, MiB. Fixed across
+/// every point by construction: the streamed generator holds one shard's
+/// spill at a time and the paged traversal holds 4 MiB of blocks per
+/// shard, so the footprint is flat while the edge count sweeps 100×.
+const RSS_BUDGET_MIB: f64 = 1536.0;
+const RSS_BUDGET_MIB_TINY: f64 = 768.0;
+
+/// Fixed per-shard cache for the sweep traversal: 64 × 64 KiB = 4 MiB,
+/// regardless of shard size.
+fn sweep_cache() -> PageCacheConfig {
+    PageCacheConfig::default()
+}
+
+/// Peak resident set (VmHWM) in MiB, or 0.0 where /proc is unavailable.
+fn peak_rss_mib() -> f64 {
+    let text = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+struct SweepPoint {
+    scale: f64,
+    vertices: usize,
+    edges: usize,
+    gen_wall_s: f64,
+    load_wall_s: f64,
+    sweep_wall_s: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Running VmHWM after this point, MiB.
+    peak_rss_mib: f64,
+}
+
+/// One clustering-shaped pass over every shard: all owned rows, all
+/// arcs, through the given store mode. Returns (checksum, hits, misses).
+fn sweep_pass(
+    dir: &Path,
+    paged: Option<PageCacheConfig>,
+) -> Result<(f64, u64, u64), Box<dyn std::error::Error>> {
+    let mut checksum = 0.0f64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut arcs = Vec::new();
+    for rank in 0..SHARDS {
+        let path = shard_path(dir, rank);
+        let header = read_header(&path)?;
+        let store = SnapshotStore::open(&path, paged)?;
+        for row in 0..owned_row_count(header.global_vertices, SHARDS, rank) {
+            let v = header.vertex_of_row(row);
+            checksum += store.strength(v);
+            store.arcs_into(v, &mut arcs);
+            for &(t, w) in &arcs {
+                checksum += w * (t as f64 + 1.0);
+            }
+        }
+        if let Some(stats) = store.cache_stats() {
+            hits += stats.hits;
+            misses += stats.misses;
+        }
+    }
+    Ok((checksum, hits, misses))
+}
+
+/// Full distributed clustering from the shards; returns every per-round
+/// MDL value and the final codelength as exact bit patterns.
+fn clustering_bits(dir: &Path, seed: u64, paged: Option<PageCacheConfig>) -> Vec<u64> {
+    let cfg = DistributedConfig {
+        nranks: SHARDS,
+        seed,
+        ..Default::default()
+    };
+    let ckpt = CheckpointStore::new(SHARDS);
+    let result: Mutex<Option<Vec<u64>>> = Mutex::new(None);
+    World::new(SHARDS).run(|comm| {
+        let path = shard_path(dir, comm.rank());
+        let header = read_header(&path).expect("shard header");
+        let store = SnapshotStore::open(&path, paged).expect("shard store");
+        let program = RankProgram::prepare_shard(cfg, &header, &store, comm);
+        if let Some((_, trace, codelength)) = program.run_rank(comm, &ckpt) {
+            let bits: Vec<u64> = trace
+                .iter()
+                .flat_map(|t| t.mdl_series.iter().map(|m| m.to_bits()))
+                .chain(std::iter::once(codelength.to_bits()))
+                .collect();
+            *result.lock().unwrap() = Some(bits);
+        }
+    });
+    result.into_inner().unwrap().expect("rank 0 result")
+}
+
+fn run_dataset(id: DatasetId, scales: &[f64], seed: u64, work_dir: &Path) -> Vec<SweepPoint> {
+    let profile = id.profile();
+    let mut points = Vec::new();
+    for (i, &scale) in scales.iter().enumerate() {
+        let dir = work_dir.join(format!("{}-{i}", profile.name));
+        let started = Instant::now();
+        profile
+            .generate_sharded(scale, seed, SHARDS, &dir)
+            .expect("sharded generation");
+        let gen_wall_s = started.elapsed().as_secs_f64();
+        let header = read_header(&shard_path(&dir, 0)).expect("shard header");
+
+        // Load: open every shard paged — includes the streaming checksum
+        // verify over the whole file.
+        let started = Instant::now();
+        let mut stores = Vec::new();
+        for rank in 0..SHARDS {
+            stores.push(
+                SnapshotStore::open(&shard_path(&dir, rank), Some(sweep_cache()))
+                    .expect("open shard"),
+            );
+        }
+        let load_wall_s = started.elapsed().as_secs_f64();
+        drop(stores);
+
+        let started = Instant::now();
+        let (paged_sum, cache_hits, cache_misses) =
+            sweep_pass(&dir, Some(sweep_cache())).expect("paged sweep");
+        let sweep_wall_s = started.elapsed().as_secs_f64();
+
+        if i == 0 {
+            // Smallest point: the eager store must agree to the bit, on
+            // the raw traversal and on the full clustering trajectory.
+            let (eager_sum, _, _) = sweep_pass(&dir, None).expect("eager sweep");
+            assert_eq!(
+                paged_sum.to_bits(),
+                eager_sum.to_bits(),
+                "{}: paged sweep checksum diverged from eager",
+                profile.name
+            );
+            let paged_bits = clustering_bits(&dir, seed, Some(sweep_cache()));
+            let eager_bits = clustering_bits(&dir, seed, None);
+            assert_eq!(
+                paged_bits, eager_bits,
+                "{}: paged clustering diverged from eager",
+                profile.name
+            );
+        }
+
+        points.push(SweepPoint {
+            scale,
+            vertices: header.global_vertices,
+            edges: header.global_edges,
+            gen_wall_s,
+            load_wall_s,
+            sweep_wall_s,
+            cache_hits,
+            cache_misses,
+            peak_rss_mib: peak_rss_mib(),
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    points
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/../../BENCH_scale.json", env!("CARGO_MANIFEST_DIR")));
+    let seed = env_seed();
+    let mode = if tiny { "tiny" } else { "full" };
+    let rss_budget = if tiny {
+        RSS_BUDGET_MIB_TINY
+    } else {
+        RSS_BUDGET_MIB
+    };
+    // Edge count grows linearly with scale, so the span of `scales` is
+    // (approximately) the span of edge counts: 100× full, ~10× tiny.
+    let scales: &[f64] = if tiny {
+        &[0.02, 0.08, 0.25]
+    } else {
+        &[0.15, 1.5, 15.0]
+    };
+    let datasets = [DatasetId::Friendster, DatasetId::Uk2007];
+    let min_span = if tiny { 8.0 } else { 100.0 };
+
+    let work_dir = std::env::temp_dir().join(format!("dinf-scale-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work_dir);
+    std::fs::create_dir_all(&work_dir).expect("work dir");
+
+    println!("scale_sweep: out-of-core shard sweep ({mode}, seed {seed}, {SHARDS} shards)\n");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"dinfomap-scale-sweep-v1\",\n");
+    let _ = write!(json, "  \"mode\": \"{mode}\",\n  \"seed\": {seed},\n");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"rss_budget_mib\": {rss_budget},");
+    json.push_str(
+        "  \"regenerate\": \"cargo run --release -p infomap-bench --bin scale_sweep\",\n",
+    );
+    json.push_str(
+        "  \"invariants\": \"paged and eager stores produce bit-identical sweep checksums and \
+         clustering MDL series (asserted at the smallest point per dataset); peak RSS (VmHWM) \
+         stays under rss_budget_mib across the whole sweep; the largest point carries >= \
+         edge_span_min x the smallest point's edges\",\n",
+    );
+    let _ = writeln!(json, "  \"edge_span_min\": {min_span},");
+    json.push_str("  \"datasets\": [");
+
+    let mut global_min_edges = usize::MAX;
+    let mut global_max_edges = 0usize;
+    for (di, &id) in datasets.iter().enumerate() {
+        let profile = id.profile();
+        println!("{} (streamed into {SHARDS} shards):", profile.name);
+        let points = run_dataset(id, scales, seed, &work_dir);
+        let mut table = Table::new(&[
+            "scale", "|V|", "|E|", "gen", "load", "sweep", "hit rate", "VmHWM",
+        ]);
+        if di > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\n      \"name\": \"{}\",\n      \"points\": [",
+            profile.name
+        );
+        for (pi, pt) in points.iter().enumerate() {
+            let total = pt.cache_hits + pt.cache_misses;
+            let hit_rate = if total == 0 {
+                0.0
+            } else {
+                pt.cache_hits as f64 / total as f64
+            };
+            table.row(vec![
+                format!("{}", pt.scale),
+                fmt_count(pt.vertices),
+                fmt_count(pt.edges),
+                fmt_secs(pt.gen_wall_s),
+                fmt_secs(pt.load_wall_s),
+                fmt_secs(pt.sweep_wall_s),
+                format!("{:.3}", hit_rate),
+                format!("{:.0} MiB", pt.peak_rss_mib),
+            ]);
+            if pi > 0 {
+                json.push(',');
+            }
+            let _ = write!(json, "\n        {{\n          \"scale\": {},", pt.scale);
+            let _ = write!(json, "\n          \"vertices\": {},", pt.vertices);
+            let _ = write!(json, "\n          \"edges\": {},", pt.edges);
+            let _ = write!(json, "\n          \"gen_wall_s\": {:e},", pt.gen_wall_s);
+            let _ = write!(json, "\n          \"load_wall_s\": {:e},", pt.load_wall_s);
+            let _ = write!(json, "\n          \"sweep_wall_s\": {:e},", pt.sweep_wall_s);
+            let _ = write!(json, "\n          \"cache_hits\": {},", pt.cache_hits);
+            let _ = write!(json, "\n          \"cache_misses\": {},", pt.cache_misses);
+            let _ = write!(json, "\n          \"cache_hit_rate\": {hit_rate:e},");
+            let _ = write!(
+                json,
+                "\n          \"peak_rss_mib\": {:.1}\n        }}",
+                pt.peak_rss_mib
+            );
+            global_min_edges = global_min_edges.min(pt.edges);
+            global_max_edges = global_max_edges.max(pt.edges);
+        }
+        json.push_str("\n      ]\n    }");
+        table.print();
+        println!();
+
+        let span = points.last().unwrap().edges as f64 / points[0].edges.max(1) as f64;
+        assert!(
+            span >= min_span,
+            "{}: edge span {span:.1}x misses the {min_span}x floor",
+            profile.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&work_dir);
+
+    let peak = peak_rss_mib();
+    if peak > 0.0 {
+        assert!(
+            peak <= rss_budget,
+            "peak RSS {peak:.0} MiB blew the {rss_budget:.0} MiB budget"
+        );
+    }
+    let _ = write!(json, "\n  ],\n  \"peak_rss_mib\": {peak:.1}\n}}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
+    println!("peak RSS {peak:.0} MiB (budget {rss_budget:.0} MiB); wrote {out_path}");
+}

@@ -12,8 +12,10 @@ dinfomap — community detection with (distributed) Infomap
 USAGE:
   dinfomap cluster <edges.txt> [options]   detect communities
   dinfomap launch <edges.txt> [options]    detect communities with real OS processes
+  dinfomap launch --graph-shard-dir D ...  same, out-of-core from binary shards
   dinfomap partition <edges.txt> [options] analyze a partitioning
   dinfomap generate <what> [options]       write a synthetic graph
+  dinfomap snapshot <edges.txt> [options]  convert an edge list to binary snapshot(s)
   dinfomap info <edges.txt>                print graph statistics
 
 CLUSTER OPTIONS:
@@ -48,6 +50,18 @@ one OS process per rank; bit-identical to `cluster --algorithm dist`):
   --kill-rank R@MS                    chaos: SIGKILL rank R after MS (first attempt)
   --dir D                             rendezvous directory (default: temp dir)
   --comm-path compact|legacy          wire format and collective layout
+  --graph-shard-dir D                 out-of-core: each rank reads its own
+                                      `shard-R.snap` from D; no edge list needed
+  --paged                             shard mode: demand-page shards over a
+                                      block cache instead of loading eagerly
+  --block-bytes N                     paged: cache block size (default 65536)
+  --cache-blocks N                    paged: cache capacity in blocks (default 64)
+
+SNAPSHOT OPTIONS:
+  --out PATH                          output snapshot file, or the shard
+                                      directory with --shards (required)
+  --shards N                          write N per-rank shards `shard-R.snap`
+                                      into PATH instead of one full snapshot
 
 PARTITION OPTIONS:
   --ranks N                           world size (default 8)
@@ -57,7 +71,9 @@ GENERATE <what>:
   lfr                                 LFR benchmark (use --n, --mu)
   amazon|dblp|ndweb|youtube|livejournal|uk2005|webbase|friendster|uk2007
                                       Table 1 stand-ins (use --scale)
-  --n N --mu F --scale F --seed S --output FILE --truth FILE";
+  --n N --mu F --scale F --seed S --output FILE --truth FILE
+  --shards N --out-dir D              stream straight into N snapshot shards
+                                      under D (bounded memory; no edge list)";
 
 /// A parsed invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -92,6 +108,17 @@ pub enum Command {
         seed: u64,
         output: Option<String>,
         truth: Option<String>,
+        /// Stream into this many snapshot shards (0 = in-memory path).
+        shards: usize,
+        /// Shard directory for `--shards` mode.
+        out_dir: Option<String>,
+    },
+    /// `snapshot`: edge list → binary snapshot file or shard directory.
+    Snapshot {
+        path: String,
+        out: String,
+        /// 0 = one full snapshot file; N ≥ 1 = N per-rank shards.
+        shards: usize,
     },
     Info {
         path: String,
@@ -212,6 +239,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut seed = 0u64;
             let mut output = None;
             let mut truth = None;
+            let mut shards = 0usize;
+            let mut out_dir = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--n" => n = num(&mut it, flag)?,
@@ -220,8 +249,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--seed" => seed = num(&mut it, flag)?,
                     "--output" => output = Some(next(&mut it, flag)?),
                     "--truth" => truth = Some(next(&mut it, flag)?),
+                    "--shards" => shards = num(&mut it, flag)?,
+                    "--out-dir" => out_dir = Some(next(&mut it, flag)?),
                     other => return Err(format!("generate: unknown flag {other:?}")),
                 }
+            }
+            if (shards > 0) != out_dir.is_some() {
+                return Err("generate: --shards and --out-dir go together".into());
             }
             Ok(Command::Generate {
                 what,
@@ -231,14 +265,36 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 seed,
                 output,
                 truth,
+                shards,
+                out_dir,
             })
+        }
+        "snapshot" => {
+            let path = it.next().ok_or("snapshot: missing <edges.txt>")?.clone();
+            let mut out = None;
+            let mut shards = 0usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => out = Some(next(&mut it, flag)?),
+                    "--shards" => shards = num(&mut it, flag)?,
+                    other => return Err(format!("snapshot: unknown flag {other:?}")),
+                }
+            }
+            let out = out.ok_or("snapshot: --out is required")?;
+            Ok(Command::Snapshot { path, out, shards })
         }
         "info" => {
             let path = it.next().ok_or("info: missing <edges.txt>")?.clone();
             Ok(Command::Info { path })
         }
         "launch" => {
-            let path = it.next().ok_or("launch: missing <edges.txt>")?.clone();
+            // The positional edge list is optional in shard mode, where
+            // `--graph-shard-dir` supplies the input instead.
+            let mut it = it.peekable();
+            let path = match it.peek() {
+                Some(first) if !first.starts_with('-') => it.next().unwrap().clone(),
+                _ => String::new(),
+            };
             let mut o = LaunchOpts {
                 path,
                 procs: 4,
@@ -253,6 +309,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 dir: None,
                 comm_path: CommPath::Compact,
                 threads: 1,
+                graph_shard_dir: None,
+                paged: false,
+                block_bytes: 0,
+                cache_blocks: 0,
             };
             let mut base_port: Option<u16> = None;
             let mut tcp = false;
@@ -271,8 +331,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--kill-rank" => o.kill_rank = Some(parse_kill(&next(&mut it, flag)?)?),
                     "--dir" => o.dir = Some(next(&mut it, flag)?),
                     "--comm-path" => o.comm_path = parse_comm_path(&next(&mut it, flag)?)?,
+                    "--graph-shard-dir" => o.graph_shard_dir = Some(next(&mut it, flag)?),
+                    "--paged" => o.paged = true,
+                    "--block-bytes" => o.block_bytes = num(&mut it, flag)?,
+                    "--cache-blocks" => o.cache_blocks = num(&mut it, flag)?,
                     other => return Err(format!("launch: unknown flag {other:?}")),
                 }
+            }
+            if o.path.is_empty() == o.graph_shard_dir.is_none() {
+                return Err("launch: give exactly one of <edges.txt> or --graph-shard-dir".into());
             }
             o.transport = resolve_transport(tcp, base_port)?;
             Ok(Command::Launch(o))
@@ -290,6 +357,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 comm_path: CommPath::Compact,
                 threads: 1,
                 output: None,
+                graph_shard_dir: None,
+                paged: false,
+                block_bytes: 0,
+                cache_blocks: 0,
             };
             let mut base_port: Option<u16> = None;
             let mut tcp = false;
@@ -307,11 +378,21 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--timeout-ms" => o.timeout_ms = num(&mut it, flag)?,
                     "--comm-path" => o.comm_path = parse_comm_path(&next(&mut it, flag)?)?,
                     "--output" => o.output = Some(next(&mut it, flag)?),
+                    "--graph-shard-dir" => o.graph_shard_dir = Some(next(&mut it, flag)?),
+                    "--paged" => o.paged = true,
+                    "--block-bytes" => o.block_bytes = num(&mut it, flag)?,
+                    "--cache-blocks" => o.cache_blocks = num(&mut it, flag)?,
                     other => return Err(format!("_rank: unknown flag {other:?}")),
                 }
             }
-            if o.rank == usize::MAX || o.procs == 0 || o.graph.is_empty() || o.dir.is_empty() {
-                return Err("_rank: --rank, --procs, --graph and --dir are required".into());
+            if o.rank == usize::MAX
+                || o.procs == 0
+                || o.dir.is_empty()
+                || o.graph.is_empty() == o.graph_shard_dir.is_none()
+            {
+                return Err("_rank: --rank, --procs, --dir and exactly one of \
+                            --graph/--graph-shard-dir are required"
+                    .into());
             }
             o.transport = resolve_transport(tcp, base_port)?;
             Ok(Command::RankWorker(o))
@@ -359,14 +440,14 @@ fn parse_kill(raw: &str) -> Result<(usize, u64), String> {
     ))
 }
 
-fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+fn next<'a, I: Iterator<Item = &'a String>>(it: &mut I, flag: &str) -> Result<String, String> {
     it.next()
         .cloned()
         .ok_or_else(|| format!("{flag} needs a value"))
 }
 
-fn num<T: std::str::FromStr>(
-    it: &mut std::slice::Iter<'_, String>,
+fn num<'a, T: std::str::FromStr, I: Iterator<Item = &'a String>>(
+    it: &mut I,
     flag: &str,
 ) -> Result<T, String> {
     let raw = next(it, flag)?;
@@ -491,6 +572,72 @@ mod tests {
             Command::RankWorker(o) => assert_eq!(o.threads, 4),
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_shard_mode_launch() {
+        let cmd = parse(&argv(
+            "launch --graph-shard-dir shards --procs 3 --paged --block-bytes 4096 --cache-blocks 16",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Launch(o) => {
+                assert!(o.path.is_empty());
+                assert_eq!(o.graph_shard_dir.as_deref(), Some("shards"));
+                assert_eq!(o.procs, 3);
+                assert!(o.paged);
+                assert_eq!(o.block_bytes, 4096);
+                assert_eq!(o.cache_blocks, 16);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Exactly one input: neither and both are errors.
+        assert!(parse(&argv("launch --procs 2")).is_err());
+        assert!(parse(&argv("launch g.txt --graph-shard-dir shards")).is_err());
+        // Workers accept the forwarded shard flags in place of --graph.
+        let cmd = parse(&argv(
+            "_rank --rank 1 --procs 2 --dir d --graph-shard-dir shards --paged",
+        ))
+        .unwrap();
+        match cmd {
+            Command::RankWorker(o) => {
+                assert_eq!(o.graph_shard_dir.as_deref(), Some("shards"));
+                assert!(o.paged);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("_rank --rank 1 --procs 2 --dir d")).is_err());
+    }
+
+    #[test]
+    fn parses_snapshot_and_sharded_generate() {
+        let cmd = parse(&argv("snapshot g.txt --out g.snap")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Snapshot {
+                path: "g.txt".into(),
+                out: "g.snap".into(),
+                shards: 0,
+            }
+        );
+        let cmd = parse(&argv("snapshot g.txt --out shards --shards 4")).unwrap();
+        match cmd {
+            Command::Snapshot { shards, .. } => assert_eq!(shards, 4),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("snapshot g.txt")).is_err(), "--out is required");
+        let cmd = parse(&argv("generate uk2007 --scale 2 --shards 8 --out-dir d")).unwrap();
+        match cmd {
+            Command::Generate {
+                shards, out_dir, ..
+            } => {
+                assert_eq!(shards, 8);
+                assert_eq!(out_dir.as_deref(), Some("d"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("generate lfr --shards 2")).is_err());
+        assert!(parse(&argv("generate lfr --out-dir d")).is_err());
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Command implementations.
 
 use std::io::Write;
+use std::path::Path;
 
 use infomap_baselines::{gossip_map, GossipConfig, RelaxMap, RelaxMapConfig};
 use infomap_core::sequential::{Infomap, InfomapConfig};
 use infomap_distributed::{CommPath, DistributedConfig, DistributedInfomap, RecoveryConfig};
 use infomap_graph::datasets::DatasetId;
-use infomap_graph::generators::{lfr_like, LfrParams};
+use infomap_graph::generators::{lfr_like, streaming_lfr_edges, LfrParams};
+use infomap_graph::snapshot::{read_header, write_shards, write_snapshot, ShardSink};
 use infomap_graph::{io, Graph};
 use infomap_metrics::modularity;
 use infomap_mpisim::{CostModel, FaultPlan};
@@ -54,15 +56,24 @@ pub fn run(cmd: Command) -> Result<(), String> {
             seed,
             output,
             truth,
-        } => generate(
-            &what,
-            n,
-            mu,
-            scale,
-            seed,
-            output.as_deref(),
-            truth.as_deref(),
-        ),
+            shards,
+            out_dir,
+        } => {
+            if shards > 0 {
+                generate_shards(&what, n, mu, scale, seed, shards, &out_dir.unwrap())
+            } else {
+                generate(
+                    &what,
+                    n,
+                    mu,
+                    scale,
+                    seed,
+                    output.as_deref(),
+                    truth.as_deref(),
+                )
+            }
+        }
+        Command::Snapshot { path, out, shards } => snapshot(&path, &out, shards),
         Command::Info { path } => info(&path),
         Command::Launch(opts) => crate::launch::run_launch(opts),
         Command::RankWorker(_) => unreachable!("handled in main for exit-code control"),
@@ -239,21 +250,7 @@ fn generate(
             },
             seed,
         ),
-        name => {
-            let id = match name {
-                "amazon" => DatasetId::Amazon,
-                "dblp" => DatasetId::Dblp,
-                "ndweb" => DatasetId::NdWeb,
-                "youtube" => DatasetId::YouTube,
-                "livejournal" => DatasetId::LiveJournal,
-                "uk2005" => DatasetId::Uk2005,
-                "webbase" => DatasetId::WebBase2001,
-                "friendster" => DatasetId::Friendster,
-                "uk2007" => DatasetId::Uk2007,
-                other => return Err(format!("unknown generator {other:?}")),
-            };
-            id.profile().generate_scaled(scale, seed)
-        }
+        name => dataset_id(name)?.profile().generate_scaled(scale, seed),
     };
     println!(
         "generated {what}: {} vertices, {} edges, max degree {}",
@@ -272,6 +269,86 @@ fn generate(
             writeln!(w, "{v} {c}").map_err(|e| e.to_string())?;
         }
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn dataset_id(name: &str) -> Result<DatasetId, String> {
+    Ok(match name {
+        "amazon" => DatasetId::Amazon,
+        "dblp" => DatasetId::Dblp,
+        "ndweb" => DatasetId::NdWeb,
+        "youtube" => DatasetId::YouTube,
+        "livejournal" => DatasetId::LiveJournal,
+        "uk2005" => DatasetId::Uk2005,
+        "webbase" => DatasetId::WebBase2001,
+        "friendster" => DatasetId::Friendster,
+        "uk2007" => DatasetId::Uk2007,
+        other => return Err(format!("unknown generator {other:?}")),
+    })
+}
+
+/// `generate ... --shards N --out-dir D`: stream the generator straight
+/// into per-rank snapshot shards without ever materializing the graph.
+fn generate_shards(
+    what: &str,
+    n: usize,
+    mu: f64,
+    scale: f64,
+    seed: u64,
+    shards: usize,
+    out_dir: &str,
+) -> Result<(), String> {
+    let dir = Path::new(out_dir);
+    let paths = match what {
+        "lfr" => {
+            let params = LfrParams {
+                n,
+                mu,
+                ..Default::default()
+            };
+            let mut sink = ShardSink::create(dir, shards, params.n).map_err(|e| e.to_string())?;
+            streaming_lfr_edges(params, seed, |u, v, w| sink.edge(u, v, w))
+                .map_err(|e| e.to_string())?;
+            sink.finalize().map_err(|e| e.to_string())?
+        }
+        name => dataset_id(name)?
+            .profile()
+            .generate_sharded(scale, seed, shards, dir)
+            .map_err(|e| e.to_string())?,
+    };
+    let h = read_header(&paths[0]).map_err(|e| e.to_string())?;
+    println!(
+        "generated {what} into {} shard(s) under {}: {} vertices, {} edges",
+        paths.len(),
+        dir.display(),
+        h.global_vertices,
+        h.global_edges
+    );
+    Ok(())
+}
+
+/// `snapshot <edges.txt> --out PATH [--shards N]`: convert an edge list
+/// to the binary format `launch --graph-shard-dir` and the paged loader
+/// consume.
+fn snapshot(path: &str, out: &str, shards: usize) -> Result<(), String> {
+    let loaded = load(path)?;
+    let g = &loaded.graph;
+    if shards == 0 {
+        write_snapshot(g, Path::new(out)).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {out}: {} vertices, {} edges",
+            g.num_vertices(),
+            g.num_edges()
+        );
+    } else {
+        let paths = write_shards(g, shards, Path::new(out)).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} shard(s) under {out}: {} vertices, {} edges",
+            paths.len(),
+            g.num_vertices(),
+            g.num_edges()
+        );
     }
     Ok(())
 }
@@ -455,6 +532,8 @@ mod tests {
             seed: 2,
             output: Some(g_path.clone()),
             truth: Some(t_path.clone()),
+            shards: 0,
+            out_dir: None,
         })
         .unwrap();
         assert!(std::fs::metadata(&g_path).unwrap().len() > 100);
@@ -472,8 +551,51 @@ mod tests {
             seed: 0,
             output: None,
             truth: None,
+            shards: 0,
+            out_dir: None,
         });
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn snapshot_and_sharded_generate_roundtrip() {
+        let dir = tmpdir("snap");
+        let path = write_test_graph(&dir);
+        let snap = dir.join("g.snap").to_string_lossy().into_owned();
+        run(Command::Snapshot {
+            path: path.clone(),
+            out: snap.clone(),
+            shards: 0,
+        })
+        .unwrap();
+        assert!(std::fs::metadata(&snap).unwrap().len() > 72);
+        let shard_dir = dir.join("shards").to_string_lossy().into_owned();
+        run(Command::Snapshot {
+            path,
+            out: shard_dir.clone(),
+            shards: 3,
+        })
+        .unwrap();
+        for r in 0..3 {
+            assert!(dir.join("shards").join(format!("shard-{r}.snap")).exists());
+        }
+        let gen_dir = dir.join("gen").to_string_lossy().into_owned();
+        run(Command::Generate {
+            what: "lfr".into(),
+            n: 300,
+            mu: 0.2,
+            scale: 1.0,
+            seed: 7,
+            output: None,
+            truth: None,
+            shards: 2,
+            out_dir: Some(gen_dir),
+        })
+        .unwrap();
+        let h = read_header(&dir.join("gen").join("shard-0.snap")).unwrap();
+        assert_eq!(h.global_vertices, 300);
+        assert!(h.global_edges > 300);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

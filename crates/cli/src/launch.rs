@@ -43,6 +43,9 @@ use infomap_distributed::{
     SnapshotStore,
 };
 use infomap_graph::io;
+use infomap_graph::snapshot::{
+    read_header, shard_path, PageCacheConfig, SnapshotHeader, SnapshotStore as GraphSnapshotStore,
+};
 use infomap_mpisim::{Comm, CostModel, TransportFault};
 use infomap_transport_socket::{SocketConfig, SocketTransport};
 
@@ -81,6 +84,18 @@ pub struct LaunchOpts {
     /// Intra-rank worker threads per rank process (bit-identical for
     /// every value; see `DistributedConfig::threads`).
     pub threads: usize,
+    /// Out-of-core mode: read per-rank binary shards `shard-R.snap` from
+    /// this directory instead of parsing the `path` edge list. Each
+    /// worker touches only its own shard, so the global graph is never
+    /// materialized in any single process.
+    pub graph_shard_dir: Option<String>,
+    /// Shard mode: open the shard demand-paged over a block cache
+    /// instead of loading it eagerly (bit-identical either way).
+    pub paged: bool,
+    /// Paged mode: cache block size in bytes (0 = library default).
+    pub block_bytes: usize,
+    /// Paged mode: cache capacity in blocks (0 = library default).
+    pub cache_blocks: usize,
 }
 
 /// Parsed hidden `_rank` invocation (one worker process).
@@ -99,6 +114,29 @@ pub struct WorkerOpts {
     pub threads: usize,
     /// Rank 0 writes `vertex community` lines here on success.
     pub output: Option<String>,
+    /// Forwarded from `launch --graph-shard-dir` (replaces `graph`).
+    pub graph_shard_dir: Option<String>,
+    /// Forwarded from `launch --paged`.
+    pub paged: bool,
+    /// Forwarded from `launch --block-bytes`.
+    pub block_bytes: usize,
+    /// Forwarded from `launch --cache-blocks`.
+    pub cache_blocks: usize,
+}
+
+/// The `--paged`/`--block-bytes`/`--cache-blocks` triple as a cache
+/// config (`None` = eager load).
+fn page_cache(paged: bool, block_bytes: usize, cache_blocks: usize) -> Option<PageCacheConfig> {
+    paged.then(|| {
+        let mut c = PageCacheConfig::default();
+        if block_bytes > 0 {
+            c.block_bytes = block_bytes;
+        }
+        if cache_blocks > 0 {
+            c.capacity_blocks = cache_blocks;
+        }
+        c
+    })
 }
 
 fn sock_dir(dir: &Path) -> PathBuf {
@@ -178,12 +216,36 @@ enum WorkerFailure {
     Other(String),
 }
 
+/// What one worker clusters: the shared edge list, or its own binary
+/// shard (eager or demand-paged).
+enum WorkerGraph {
+    Edges(io::LoadedGraph),
+    Shard {
+        header: SnapshotHeader,
+        store: GraphSnapshotStore,
+    },
+}
+
 fn worker_inner(o: &WorkerOpts) -> Result<(), WorkerFailure> {
     let dir = PathBuf::from(&o.dir);
-    let loaded = io::read_edge_list_file(&o.graph)
-        .map_err(|e| WorkerFailure::Other(format!("cannot read {}: {e}", o.graph)))?;
+    let graph = match &o.graph_shard_dir {
+        Some(d) => {
+            let path = shard_path(Path::new(d), o.rank);
+            let header = read_header(&path).map_err(|e| {
+                WorkerFailure::Other(format!("cannot read {}: {e}", path.display()))
+            })?;
+            let cache = page_cache(o.paged, o.block_bytes, o.cache_blocks);
+            let store = GraphSnapshotStore::open(&path, cache).map_err(|e| {
+                WorkerFailure::Other(format!("cannot open {}: {e}", path.display()))
+            })?;
+            WorkerGraph::Shard { header, store }
+        }
+        None => WorkerGraph::Edges(
+            io::read_edge_list_file(&o.graph)
+                .map_err(|e| WorkerFailure::Other(format!("cannot read {}: {e}", o.graph)))?,
+        ),
+    };
     let cfg = distributed_config(o.procs, o.seed, o.checkpoint_every, o.comm_path, o.threads);
-    let program = RankProgram::prepare(cfg, &loaded.graph);
 
     // Durable checkpoints when enabled, so a relaunched world resumes;
     // the in-memory store otherwise (no files, bit-identical fast path).
@@ -215,11 +277,21 @@ fn worker_inner(o: &WorkerOpts) -> Result<(), WorkerFailure> {
     }));
 
     let started = Instant::now();
+    // Shard preparation is itself collective (degrees, rebalance, and
+    // ghost discovery all cross ranks), so it runs inside the fault
+    // boundary; monolithic preparation is pure and rides along.
     let run = catch_unwind(AssertUnwindSafe(|| {
-        program.run_rank(&mut comm, store.as_ref())
+        let program = match &graph {
+            WorkerGraph::Edges(loaded) => RankProgram::prepare(cfg, &loaded.graph),
+            WorkerGraph::Shard { header, store: g } => {
+                RankProgram::prepare_shard(cfg, header, g, &mut comm)
+            }
+        };
+        let done = program.run_rank(&mut comm, store.as_ref());
+        (program, done)
     }));
     match run {
-        Ok(done) => {
+        Ok((program, done)) => {
             let wall = started.elapsed();
             let stats = comm.finish();
             if let Some((modules, trace, codelength)) = done {
@@ -235,8 +307,19 @@ fn worker_inner(o: &WorkerOpts) -> Result<(), WorkerFailure> {
                 write_result(&dir, o, &out, wall)
                     .map_err(|e| WorkerFailure::Other(format!("write result: {e}")))?;
                 if let Some(out_path) = &o.output {
-                    write_assignments(out_path, &out.modules, &loaded.original_ids)
-                        .map_err(WorkerFailure::Other)?;
+                    match &graph {
+                        WorkerGraph::Edges(loaded) => {
+                            write_assignments(out_path, &out.modules, &loaded.original_ids)
+                                .map_err(WorkerFailure::Other)?;
+                        }
+                        // Snapshot rows are already keyed by global
+                        // vertex id, so the id map is the identity.
+                        WorkerGraph::Shard { header, .. } => {
+                            let ids: Vec<u64> = (0..header.global_vertices as u64).collect();
+                            write_assignments(out_path, &out.modules, &ids)
+                                .map_err(WorkerFailure::Other)?;
+                        }
+                    }
                 }
             }
             Ok(())
@@ -295,15 +378,15 @@ fn write_result(
     let total_moves: u64 = out.trace.iter().map(|t| t.moves).sum();
     let mut j = String::new();
     j.push_str("{\n  \"schema\": \"dinfomap-launch-result-v1\",\n");
-    let _ = write!(j, "  \"procs\": {},\n  \"seed\": {},\n", o.procs, o.seed);
-    let _ = write!(j, "  \"codelength\": {:e},\n", out.codelength);
-    let _ = write!(
+    let _ = writeln!(j, "  \"procs\": {},\n  \"seed\": {},", o.procs, o.seed);
+    let _ = writeln!(j, "  \"codelength\": {:e},", out.codelength);
+    let _ = writeln!(
         j,
-        "  \"codelength_bits\": \"{:016x}\",\n",
+        "  \"codelength_bits\": \"{:016x}\",",
         out.codelength.to_bits()
     );
-    let _ = write!(j, "  \"num_modules\": {},\n", out.num_modules());
-    let _ = write!(j, "  \"total_moves\": {total_moves},\n");
+    let _ = writeln!(j, "  \"num_modules\": {},", out.num_modules());
+    let _ = writeln!(j, "  \"total_moves\": {total_moves},");
     j.push_str("  \"mdl_series_bits\": [");
     for (i, b) in mdl_bits.iter().enumerate() {
         if i > 0 {
@@ -312,15 +395,15 @@ fn write_result(
         let _ = write!(j, "\"{b:016x}\"");
     }
     j.push_str("],\n");
-    let _ = write!(j, "  \"degraded\": {},\n", out.recovery.degraded);
-    let _ = write!(j, "  \"restored\": {},\n", out.recovery.restores > 0);
-    let _ = write!(
+    let _ = writeln!(j, "  \"degraded\": {},", out.recovery.degraded);
+    let _ = writeln!(j, "  \"restored\": {},", out.recovery.restores > 0);
+    let _ = writeln!(
         j,
-        "  \"checkpoints_committed\": {},\n",
+        "  \"checkpoints_committed\": {},",
         out.recovery.checkpoints_committed
     );
-    let _ = write!(j, "  \"wall_ms\": {:.3},\n", wall.as_secs_f64() * 1e3);
-    let _ = write!(j, "  \"modeled_ms\": {:.6},\n", modeled * 1e3);
+    let _ = writeln!(j, "  \"wall_ms\": {:.3},", wall.as_secs_f64() * 1e3);
+    let _ = writeln!(j, "  \"modeled_ms\": {:.6},", modeled * 1e3);
     j.push_str("  \"modules\": [");
     for (i, m) in out.modules.iter().enumerate() {
         if i > 0 {
@@ -335,8 +418,8 @@ fn write_result(
 fn write_diag(dir: &Path, rank: usize, op: &str, detail: &str) {
     let mut j = String::new();
     j.push_str("{\n  \"schema\": \"dinfomap-launch-diag-v1\",\n");
-    let _ = write!(j, "  \"rank\": {rank},\n");
-    let _ = write!(j, "  \"op\": {},\n", json_string(op));
+    let _ = writeln!(j, "  \"rank\": {rank},");
+    let _ = writeln!(j, "  \"op\": {},", json_string(op));
     let _ = write!(j, "  \"detail\": {}\n}}\n", json_string(detail));
     let _ = write_atomic(&diag_path(dir, rank), &j);
 }
@@ -363,17 +446,68 @@ fn json_string(s: &str) -> String {
 // Launcher (`dinfomap launch ...`)
 // ---------------------------------------------------------------------
 
+/// Validated launch input: the shared edge list (kept loaded for
+/// reporting and degraded assembly) or a directory of per-rank shards
+/// (only their headers are read launcher-side).
+enum LaunchSource {
+    Edges {
+        abs: String,
+        loaded: io::LoadedGraph,
+    },
+    Shards {
+        abs: String,
+        vertices: usize,
+        edges: usize,
+    },
+}
+
+fn resolve_source(o: &LaunchOpts) -> Result<LaunchSource, String> {
+    if let Some(d) = &o.graph_shard_dir {
+        let abs = std::fs::canonicalize(d)
+            .map_err(|e| format!("cannot resolve {d}: {e}"))?
+            .to_string_lossy()
+            .into_owned();
+        // Every rank's shard must exist and agree on the world shape
+        // before any process is forked.
+        let mut vertices = 0usize;
+        let mut edges = 0usize;
+        for rank in 0..o.procs {
+            let path = shard_path(Path::new(&abs), rank);
+            let h =
+                read_header(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            if h.nranks != o.procs || h.rank != rank {
+                return Err(format!(
+                    "{}: sharded for rank {}/{} but launching {} procs",
+                    path.display(),
+                    h.rank,
+                    h.nranks,
+                    o.procs
+                ));
+            }
+            vertices = h.global_vertices;
+            edges = h.global_edges;
+        }
+        Ok(LaunchSource::Shards {
+            abs,
+            vertices,
+            edges,
+        })
+    } else {
+        let loaded =
+            io::read_edge_list_file(&o.path).map_err(|e| format!("cannot read {}: {e}", o.path))?;
+        let abs = std::fs::canonicalize(&o.path)
+            .map_err(|e| format!("cannot resolve {}: {e}", o.path))?
+            .to_string_lossy()
+            .into_owned();
+        Ok(LaunchSource::Edges { abs, loaded })
+    }
+}
+
 pub fn run_launch(o: LaunchOpts) -> Result<(), String> {
     if o.procs == 0 {
         return Err("launch: --procs must be >= 1".into());
     }
-    // Validate the input up front (and keep it for degraded assembly).
-    let loaded =
-        io::read_edge_list_file(&o.path).map_err(|e| format!("cannot read {}: {e}", o.path))?;
-    let graph_abs = std::fs::canonicalize(&o.path)
-        .map_err(|e| format!("cannot resolve {}: {e}", o.path))?
-        .to_string_lossy()
-        .into_owned();
+    let source = resolve_source(&o)?;
 
     let (dir, ephemeral) = match &o.dir {
         Some(d) => (PathBuf::from(d), false),
@@ -401,7 +535,7 @@ pub fn run_launch(o: LaunchOpts) -> Result<(), String> {
             let _ = std::fs::remove_file(diag_path(&dir, r));
         }
         let kill = if attempt == 0 { o.kill_rank } else { None };
-        match run_world_once(&o, &dir, &graph_abs, kill) {
+        match run_world_once(&o, &dir, &source, kill) {
             Ok(()) => {
                 outcome = Ok(());
                 break;
@@ -428,15 +562,21 @@ pub fn run_launch(o: LaunchOpts) -> Result<(), String> {
         Ok(()) => {
             if !o.quiet {
                 let report = read_result_summary(&result_path(&dir))?;
+                let (vertices, edges) = match &source {
+                    LaunchSource::Edges { loaded, .. } => {
+                        (loaded.graph.num_vertices(), loaded.graph.num_edges())
+                    }
+                    LaunchSource::Shards {
+                        vertices, edges, ..
+                    } => (*vertices, *edges),
+                };
                 println!(
-                    "distributed Infomap over {} OS processes ({}): {} vertices, {} edges",
+                    "distributed Infomap over {} OS processes ({}): {vertices} vertices, {edges} edges",
                     o.procs,
                     match o.transport {
                         TransportKind::Uds => "unix sockets".to_string(),
                         TransportKind::Tcp { base_port } => format!("tcp 127.0.0.1:{base_port}+"),
                     },
-                    loaded.graph.num_vertices(),
-                    loaded.graph.num_edges()
                 );
                 println!("  modules:    {}", report.num_modules);
                 println!("  codelength: {:.6} bits", report.codelength);
@@ -455,7 +595,15 @@ pub fn run_launch(o: LaunchOpts) -> Result<(), String> {
         Err(last) => {
             // Retries exhausted. Degrade gracefully when checkpoints
             // exist: assemble the best agreed clustering in-process.
+            // Degraded assembly re-prepares from the whole graph, which
+            // only the edge-list mode has in one place.
             let ckpt = ckpt_dir(&dir);
+            let LaunchSource::Edges { loaded, .. } = &source else {
+                return finish(Err(format!(
+                    "launch failed after {attempts} attempt(s): {last} \
+                     (degraded assembly needs edge-list input, not --graph-shard-dir)"
+                )));
+            };
             if o.checkpoint_every > 0 && checkpoint_files_present(&ckpt) {
                 let cfg =
                     distributed_config(o.procs, o.seed, o.checkpoint_every, o.comm_path, o.threads);
@@ -502,7 +650,7 @@ pub fn run_launch(o: LaunchOpts) -> Result<(), String> {
 fn run_world_once(
     o: &LaunchOpts,
     dir: &Path,
-    graph_abs: &str,
+    source: &LaunchSource,
     kill: Option<(usize, u64)>,
 ) -> Result<(), String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
@@ -513,10 +661,25 @@ fn run_world_once(
             .arg("--rank")
             .arg(rank.to_string())
             .arg("--procs")
-            .arg(o.procs.to_string())
-            .arg("--graph")
-            .arg(graph_abs)
-            .arg("--seed")
+            .arg(o.procs.to_string());
+        match source {
+            LaunchSource::Edges { abs, .. } => {
+                cmd.arg("--graph").arg(abs);
+            }
+            LaunchSource::Shards { abs, .. } => {
+                cmd.arg("--graph-shard-dir").arg(abs);
+                if o.paged {
+                    cmd.arg("--paged");
+                    if o.block_bytes > 0 {
+                        cmd.arg("--block-bytes").arg(o.block_bytes.to_string());
+                    }
+                    if o.cache_blocks > 0 {
+                        cmd.arg("--cache-blocks").arg(o.cache_blocks.to_string());
+                    }
+                }
+            }
+        }
+        cmd.arg("--seed")
             .arg(o.seed.to_string())
             .arg("--dir")
             .arg(dir.as_os_str())
@@ -646,9 +809,7 @@ fn json_field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":");
     let at = text.find(&needle)? + needle.len();
     let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c| c == ',' || c == '\n' || c == '}')
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
     Some(rest[..end].trim().trim_matches('"'))
 }
 

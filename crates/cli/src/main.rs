@@ -6,6 +6,7 @@
 //!                              [--output communities.txt] [--quiet]
 //! dinfomap partition <edges.txt> --ranks N [--strategy 1d|block|delegate]
 //! dinfomap generate <dataset|lfr> [--scale F] [--seed S] [--output g.txt]
+//! dinfomap snapshot <edges.txt> --out g.snap [--shards N]
 //! dinfomap info <edges.txt>
 //! ```
 //!

@@ -18,6 +18,9 @@ use infomap_distributed::{
     RecoveryReport,
 };
 use infomap_graph::generators::{lfr_like, LfrParams};
+use infomap_graph::snapshot::{
+    read_header, shard_path, write_shards, PageCacheConfig, SnapshotStore as ShardStore,
+};
 use infomap_graph::Graph;
 use infomap_mpisim::Comm;
 use infomap_transport_socket::{SocketConfig, SocketTransport};
@@ -73,6 +76,58 @@ fn socket_run(g: &Graph, p: usize, seed: u64, threads: usize) -> DistributedOutp
     }
     let _ = std::fs::remove_dir_all(&dir);
     let (modules, trace, codelength) = rank0.expect("rank 0 result");
+    program.assemble_output(modules, trace, codelength, stats, RecoveryReport::default())
+}
+
+/// Out-of-core variant of [`socket_run`]: the graph is split into
+/// per-rank binary shards first, and every rank rebuilds its state from
+/// its own shard with [`RankProgram::prepare_shard`] — so the prepare
+/// collectives themselves cross the byte transport. Even ranks load
+/// their shard eagerly, odd ranks demand-page it through a deliberately
+/// tiny block cache; the store must not be observable in the results.
+fn shard_socket_run(g: &Graph, p: usize, seed: u64) -> DistributedOutput {
+    let dir = fresh_dir();
+    let shard_dir = dir.join("shards");
+    write_shards(g, p, &shard_dir).expect("write shards");
+    let cfg = DistributedConfig {
+        nranks: p,
+        seed,
+        ..Default::default()
+    };
+    let store = Arc::new(CheckpointStore::new(p));
+    let mut scfg = SocketConfig::uds(&dir);
+    scfg.timeout = std::time::Duration::from_secs(30);
+    let mut handles = Vec::new();
+    for rank in 0..p {
+        let store = Arc::clone(&store);
+        let scfg = scfg.clone();
+        let shard_dir = shard_dir.clone();
+        handles.push(std::thread::spawn(move || {
+            let t = SocketTransport::connect(rank, p, scfg).expect("connect");
+            let mut comm = Comm::over_transport(Box::new(t));
+            let path = shard_path(&shard_dir, rank);
+            let header = read_header(&path).expect("shard header");
+            let paged = (rank % 2 == 1).then(|| PageCacheConfig {
+                block_bytes: 128,
+                capacity_blocks: 8,
+            });
+            let gstore = ShardStore::open(&path, paged).expect("shard store");
+            let program = RankProgram::prepare_shard(cfg, &header, &gstore, &mut comm);
+            let done = program.run_rank(&mut comm, store.as_ref());
+            (program, done, comm.finish())
+        }));
+    }
+    let mut rank0 = None;
+    let mut stats = Vec::new();
+    for h in handles {
+        let (program, done, st) = h.join().expect("rank thread");
+        stats.push(st);
+        if let Some(result) = done {
+            rank0 = Some((program, result));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let (program, (modules, trace, codelength)) = rank0.expect("rank 0 result");
     program.assemble_output(modules, trace, codelength, stats, RecoveryReport::default())
 }
 
@@ -150,6 +205,33 @@ fn transport_and_thread_axes_compose_bit_identically() {
     );
     for seed in [0u64, 7] {
         assert_equivalent_matrix(&g, 4, seed, 1, 4);
+    }
+}
+
+#[test]
+fn shard_mode_over_sockets_is_bit_identical_to_thread_world() {
+    // The full out-of-core path: binary shards on disk, mixed
+    // eager/paged stores, shard-mode preparation over real sockets —
+    // against the monolithic in-memory thread world.
+    let (g, _) = lfr_like(
+        LfrParams {
+            n: 300,
+            mu: 0.25,
+            ..Default::default()
+        },
+        11,
+    );
+    for seed in [0u64, 7] {
+        let threaded = thread_run(&g, 4, seed, 1);
+        let sharded = shard_socket_run(&g, 4, seed);
+        let what = format!("seed={seed} shard-mode vs thread world");
+        assert_eq!(mdl_bits(&threaded), mdl_bits(&sharded), "{what}: MDL");
+        assert_eq!(
+            threaded.codelength.to_bits(),
+            sharded.codelength.to_bits(),
+            "{what}: codelength bits"
+        );
+        assert_eq!(threaded.modules, sharded.modules, "{what}: assignment");
     }
 }
 

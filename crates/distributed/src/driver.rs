@@ -3,19 +3,20 @@
 //! (§3.5), and repeated stage-2 clustering without delegates until the MDL
 //! stops improving.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use infomap_core::plogp;
-use infomap_graph::{Graph, VertexId};
+use infomap_graph::snapshot::{owned_row_count, SnapshotHeader, SnapshotKind};
+use infomap_graph::{GraphStore, VertexId};
 use infomap_mpisim::{Comm, FaultPlan, RankStats, ReduceOp, World};
-use infomap_partition::{Arc, Partition};
+use infomap_partition::{delegates_from_degrees, plan_rebalance, shard_rank_arcs, Arc, Partition};
 
 use crate::checkpoint::{CheckpointStore, RankSnapshot, SnapshotPos, SnapshotStore};
 use crate::codec;
 use crate::config::{CommPath, DistributedConfig};
 use crate::messages::{AssignmentReply, MergedArc, MergedFlow};
 use crate::rounds::{cluster_stage_recoverable, StageCursor, StageOutcome};
-use crate::state::{build_1d_state, build_stage1_states, LocalState, VertexKind};
+use crate::state::{assemble, build_1d_state, build_stage1_states, LocalState, VertexKind};
 
 /// Trace entry for one clustering stage at one merge level.
 #[derive(Clone, Debug, PartialEq)]
@@ -115,8 +116,10 @@ impl DistributedInfomap {
         DistributedInfomap { cfg }
     }
 
-    /// Run the full algorithm on `graph` over the simulated cluster.
-    pub fn run(&self, graph: &Graph) -> DistributedOutput {
+    /// Run the full algorithm on `graph` over the simulated cluster. The
+    /// input is any [`GraphStore`] — the in-memory CSR or a (paged)
+    /// snapshot — and the trajectory is bit-identical across stores.
+    pub fn run<G: GraphStore + ?Sized>(&self, graph: &G) -> DistributedOutput {
         self.run_with_plan(graph, None)
             .expect("a fault-free distributed run cannot fail")
     }
@@ -131,9 +134,9 @@ impl DistributedInfomap {
     /// retries are exhausted, the result is either the best checkpointed
     /// clustering (`cfg.recovery.degrade_gracefully`) or an error listing
     /// every root-cause failure.
-    pub fn run_with_plan(
+    pub fn run_with_plan<G: GraphStore + ?Sized>(
         &self,
-        graph: &Graph,
+        graph: &G,
         plan: Option<FaultPlan>,
     ) -> Result<DistributedOutput, String> {
         let cfg = self.cfg;
@@ -211,8 +214,13 @@ impl DistributedInfomap {
 /// process of a multi-process run, or once for all ranks of a thread run.
 pub struct RankProgram {
     pub cfg: DistributedConfig,
-    /// Per-rank initial stage-1 states.
+    /// Initial stage-1 states for ranks `states_from ..
+    /// states_from + states.len()`. The monolithic [`RankProgram::prepare`]
+    /// builds all ranks (`states_from == 0`); the shard-mode
+    /// [`RankProgram::prepare_shard`] builds only the calling rank's.
     pub states: Vec<LocalState>,
+    /// Rank of `states[0]` (see `states`).
+    pub states_from: usize,
     /// Replicated delegate vertex ids.
     pub delegates: Vec<u32>,
     /// Σ plogp(p_v) over all vertices (the MDL's constant node term).
@@ -227,7 +235,7 @@ impl RankProgram {
     /// Partition the graph and precompute the shared scalars. Everything
     /// here is a pure function of `(cfg, graph)`, so independently
     /// preparing processes agree bit-for-bit.
-    pub fn prepare(cfg: DistributedConfig, graph: &Graph) -> RankProgram {
+    pub fn prepare<G: GraphStore + ?Sized>(cfg: DistributedConfig, graph: &G) -> RankProgram {
         let p = cfg.nranks;
         let partition = Partition::delegate(graph, p, cfg.threshold, cfg.rebalance);
         let states = build_stage1_states(graph, &partition);
@@ -239,10 +247,170 @@ impl RankProgram {
             cfg,
             delegates: partition.delegates.clone(),
             states,
+            states_from: 0,
             node_term,
             one_level: -node_term,
             original_n: graph.num_vertices(),
         }
+    }
+
+    /// Shard-mode preparation: rebuild the calling rank's stage-1 state
+    /// from its snapshot shard alone, using collectives for every global
+    /// fact the monolithic [`RankProgram::prepare`] reads off the whole
+    /// graph. Each step reproduces its monolithic counterpart bit for bit:
+    ///
+    /// 1. **Delegates** — allgatherv the per-rank owned degree counters,
+    ///    scatter back to vertex order, and run the same
+    ///    [`delegates_from_degrees`] rule every rank now agrees on.
+    /// 2. **Arcs** — [`shard_rank_arcs`] rebuilds this rank's
+    ///    delegate-partition arc list (and movable set) from owned rows.
+    /// 3. **Rebalance** — allgatherv `(load, movable)` summaries, replay
+    ///    the pure [`plan_rebalance`], ship surplus arcs with one
+    ///    alltoallv, and append received buckets in source-rank order —
+    ///    the global pool order the monolithic pass uses.
+    /// 4. **Ghosts** — alltoallv observed foreign low-degree endpoints to
+    ///    their owners; subscriber lists build rank-ascending, matching
+    ///    the monolithic presence map.
+    /// 5. **Flows** — allgatherv owned strengths and fold the node term in
+    ///    global vertex order, the exact summation order `prepare` uses.
+    ///
+    /// The store only ever answers queries for this rank's own rows, so a
+    /// demand-paged shard never touches remote data.
+    pub fn prepare_shard<G: GraphStore + ?Sized>(
+        cfg: DistributedConfig,
+        header: &SnapshotHeader,
+        store: &G,
+        comm: &mut Comm,
+    ) -> RankProgram {
+        let p = cfg.nranks;
+        let rank = comm.rank();
+        assert_eq!(
+            header.nranks, p,
+            "shard written for {} ranks, run configured for {p}",
+            header.nranks
+        );
+        assert!(
+            header.kind == SnapshotKind::Shard || p == 1,
+            "full snapshots shard only a 1-rank world"
+        );
+        assert_eq!(header.rank, rank, "rank {rank} opened the wrong shard");
+        let n = header.global_vertices;
+
+        comm.phase("Prepare", |c| {
+            // 1. Delegate election from the global degree array.
+            let my_degrees: Vec<u32> = (0..header.rows)
+                .map(|i| store.degree(header.vertex_of_row(i)) as u32)
+                .collect();
+            let gathered = c.allgatherv(my_degrees);
+            let mut degrees = vec![0u32; n];
+            let mut base = 0usize;
+            for r in 0..p {
+                let rows = owned_row_count(n, p, r);
+                for i in 0..rows {
+                    degrees[r + i * p] = gathered[base + i];
+                }
+                base += rows;
+            }
+            let (delegates, is_delegate) = delegates_from_degrees(&degrees, p, cfg.threshold);
+
+            // 2. This rank's delegate-partition arc list.
+            let (mut arcs, mut movable) = shard_rank_arcs(store, rank, p, &is_delegate);
+
+            // 3. Load rebalancing, replayed from the shared plan.
+            if cfg.rebalance {
+                let summaries = c.allgatherv(vec![(arcs.len() as u64, movable.len() as u64)]);
+                let loads: Vec<usize> = summaries.iter().map(|&(l, _)| l as usize).collect();
+                let counts: Vec<usize> = summaries.iter().map(|&(_, m)| m as usize).collect();
+                let plan = plan_rebalance(&loads, &counts, p);
+                let pool_base = plan.pool_base(rank);
+                let mut ship: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); p];
+                for k in 0..plan.surplus[rank] {
+                    let idx = movable.pop().expect("surplus is capped by movable count");
+                    let a = arcs.remove(idx);
+                    ship[plan.dest[pool_base + k]].push((a.src, a.dst, a.weight));
+                }
+                let received = c.alltoallv(ship);
+                for bucket in received {
+                    for (src, dst, weight) in bucket {
+                        arcs.push(Arc { src, dst, weight });
+                    }
+                }
+            }
+
+            // 4. Ghost discovery: tell each owner which of its low-degree
+            //    vertices this rank's arcs observe.
+            let owned: Vec<u32> = (rank..n)
+                .step_by(p)
+                .filter(|&v| !is_delegate[v])
+                .map(|v| v as u32)
+                .collect();
+            let mut observed: Vec<HashSet<u32>> = vec![HashSet::new(); p];
+            for a in &arcs {
+                for v in [a.src, a.dst] {
+                    if !is_delegate[v as usize] && (v as usize) % p != rank {
+                        observed[(v as usize) % p].insert(v);
+                    }
+                }
+            }
+            let mut providers: Vec<usize> = (0..p).filter(|&r| !observed[r].is_empty()).collect();
+            providers.sort_unstable();
+            let notify: Vec<Vec<u32>> = observed
+                .into_iter()
+                .map(|s| {
+                    let mut v: Vec<u32> = s.into_iter().collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            let notified = c.alltoallv(notify);
+            let mut subs_of: HashMap<u32, Vec<usize>> = HashMap::new();
+            for (r, bucket) in notified.into_iter().enumerate() {
+                for v in bucket {
+                    subs_of.entry(v).or_default().push(r);
+                }
+            }
+            let mut subscribers: Vec<(u32, Vec<usize>)> = subs_of.into_iter().collect();
+            subscribers.sort_by_key(|(v, _)| *v);
+
+            // 5. Flows and the MDL node term, folded in global vertex order.
+            let my_strengths: Vec<f64> = (0..header.rows)
+                .map(|i| store.strength(header.vertex_of_row(i)))
+                .collect();
+            let gathered = c.allgatherv(my_strengths);
+            let mut strengths = vec![0.0f64; n];
+            let mut base = 0usize;
+            for r in 0..p {
+                let rows = owned_row_count(n, p, r);
+                for i in 0..rows {
+                    strengths[r + i * p] = gathered[base + i];
+                }
+                base += rows;
+            }
+            let inv_two_w = 1.0 / (2.0 * header.global_weight);
+            let node_term: f64 = strengths.iter().map(|&s| plogp(s * inv_two_w)).sum();
+
+            let delegate_set: HashSet<u32> = delegates.iter().copied().collect();
+            let st = assemble(
+                rank,
+                p,
+                &arcs,
+                &delegate_set,
+                &owned,
+                &|v| strengths[v as usize] * inv_two_w,
+                inv_two_w,
+                subscribers,
+                providers,
+            );
+            RankProgram {
+                cfg,
+                delegates,
+                states: vec![st],
+                states_from: rank,
+                node_term,
+                one_level: -node_term,
+                original_n: n,
+            }
+        })
     }
 
     /// Model selection + packaging shared by the completed and launcher
@@ -322,7 +490,7 @@ impl RankProgram {
                     resume = Some((snap.pos, snap.cursor));
                 }
                 None => {
-                    st = states[rank].clone();
+                    st = states[rank - self.states_from].clone();
                     trace = Vec::new();
                     assign = Vec::new();
                     delegate_assign = delegates.iter().map(|&d| (d, d as u64)).collect();

@@ -4,7 +4,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use infomap_graph::{Graph, VertexId};
+use infomap_graph::{GraphStore, VertexId};
 use infomap_partition::{owner, Arc, Partition};
 
 /// Role of a vertex within one rank's subgraph.
@@ -29,7 +29,7 @@ pub struct ModuleEntry {
 }
 
 /// The complete local state of one rank for one clustering stage.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LocalState {
     pub rank: usize,
     pub nranks: usize,
@@ -246,8 +246,12 @@ impl LocalState {
 /// * `full_flow(v)` — the full visit rate of an owned vertex;
 /// * `subscribers` / `providers` — boundary topology (precomputed
 ///   globally for stage 1; derivable locally for 1D stage 2).
+///
+/// Public so the shard-mode prepare path (which reconstructs the same
+/// inputs collectively from per-rank snapshot shards) can assemble a
+/// bit-identical state without the monolithic [`Partition`].
 #[allow(clippy::too_many_arguments)]
-fn assemble(
+pub fn assemble(
     rank: usize,
     nranks: usize,
     arcs: &[Arc],
@@ -422,7 +426,10 @@ fn assemble(
 /// original graph. The boundary topology (who tracks whose ghosts) is
 /// derived from the partition, mirroring the ghost discovery a real MPI
 /// preprocessing step performs with an all-to-all of vertex ids.
-pub fn build_stage1_states(graph: &Graph, partition: &Partition) -> Vec<LocalState> {
+pub fn build_stage1_states<G: GraphStore + ?Sized>(
+    graph: &G,
+    partition: &Partition,
+) -> Vec<LocalState> {
     let p = partition.nranks;
     let inv_two_w = 1.0 / (2.0 * graph.total_weight());
     let delegate_set: HashSet<u32> = partition.delegates.iter().copied().collect();
@@ -556,7 +563,7 @@ pub fn build_1d_state(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use infomap_graph::generators;
+    use infomap_graph::{generators, Graph};
     use infomap_partition::DelegateThreshold;
 
     fn states_for(p: usize) -> (Graph, Vec<LocalState>) {

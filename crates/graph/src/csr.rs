@@ -148,25 +148,61 @@ impl Graph {
     }
 
     /// Induced subgraph on `keep` (ids relabeled to 0..keep.len() in the
-    /// order given). Returns the subgraph and the old→new id map.
-    pub fn subgraph(&self, keep: &[VertexId]) -> (Graph, HashMap<VertexId, VertexId>) {
-        let remap: HashMap<VertexId, VertexId> = keep
+    /// order given). Returns the subgraph and the old→new id map as a
+    /// `Vec` sorted by old id, so callers that iterate the remap see a
+    /// canonical order (R2 hygiene — a `HashMap` return would hand them
+    /// nondeterministic iteration for free).
+    pub fn subgraph(&self, keep: &[VertexId]) -> (Graph, Vec<(VertexId, VertexId)>) {
+        let lookup: HashMap<VertexId, VertexId> = keep
             .iter()
             .enumerate()
             .map(|(new, &old)| (old, new as VertexId))
             .collect();
         let mut b = GraphBuilder::new(keep.len());
         for &old_u in keep {
-            let new_u = remap[&old_u];
+            let new_u = lookup[&old_u];
             for (old_v, w) in self.arcs(old_u) {
-                if let Some(&new_v) = remap.get(&old_v) {
+                if let Some(&new_v) = lookup.get(&old_v) {
                     if new_u <= new_v {
                         b.add_edge(new_u, new_v, w);
                     }
                 }
             }
         }
+        let mut remap: Vec<(VertexId, VertexId)> = lookup.into_iter().collect();
+        remap.sort_unstable_by_key(|&(old, _)| old);
         (b.build(), remap)
+    }
+
+    /// Reassemble a graph from raw CSR arrays, used by the snapshot
+    /// loader. Callers guarantee the arrays came from a valid CSR (the
+    /// snapshot codec checksums reject torn files before this runs);
+    /// structural invariants are still asserted.
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Vec<f64>,
+        num_edges: usize,
+        total_weight: f64,
+        strengths: Vec<f64>,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "offsets must hold n+1 entries");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "offsets must end at the arc count"
+        );
+        assert_eq!(targets.len(), weights.len());
+        assert_eq!(strengths.len(), offsets.len() - 1);
+        Graph {
+            offsets,
+            targets,
+            weights,
+            num_edges,
+            total_weight,
+            strengths,
+        }
     }
 }
 
@@ -183,6 +219,15 @@ impl GraphBuilder {
         GraphBuilder {
             num_vertices,
             edges: HashMap::new(),
+        }
+    }
+
+    /// Grow the vertex count to at least `n`. Lets streaming loaders add
+    /// edges as vertex ids are discovered instead of materializing the
+    /// whole edge list first to count vertices.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.num_vertices {
+            self.num_vertices = n;
         }
     }
 
@@ -341,8 +386,8 @@ mod tests {
         let (sub, remap) = g.subgraph(&[1, 2, 3]);
         assert_eq!(sub.num_vertices(), 3);
         assert_eq!(sub.num_edges(), 2); // 1-2, 2-3 survive
-        assert_eq!(remap[&1], 0);
-        assert_eq!(remap[&3], 2);
+                                        // Remap is sorted by old id.
+        assert_eq!(remap, vec![(1, 0), (2, 1), (3, 2)]);
     }
 
     #[test]

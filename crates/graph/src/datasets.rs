@@ -15,8 +15,11 @@
 //! Every profile records the real |V|, |E| of Table 1 next to the generated
 //! scale, and the Table 1 harness prints both.
 
+use std::path::{Path, PathBuf};
+
 use crate::csr::Graph;
-use crate::generators::{lfr_like, LfrParams};
+use crate::generators::{lfr_like, streaming_lfr_edges, LfrParams};
+use crate::snapshot::{ShardSink, SnapshotError};
 
 /// Which Table 1 dataset a profile stands in for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -107,9 +110,15 @@ impl DatasetProfile {
     /// Degrees are chosen so the realized edge/vertex ratio approximates the
     /// real dataset's.
     pub fn generate_scaled(&self, scale: f64, seed: u64) -> (Graph, Vec<u32>) {
+        lfr_like(self.scaled_params(scale), seed ^ fnv(self.name))
+    }
+
+    /// The LFR parameters of this stand-in at `scale` × the default vertex
+    /// count — shared by the in-memory and streaming generation paths so
+    /// both describe the same family.
+    pub fn scaled_params(&self, scale: f64) -> LfrParams {
         assert!(scale > 0.0);
         let n = ((self.gen_vertices as f64 * scale) as usize).max(64);
-        let target_mean_degree = 2.0 * self.real_density();
         // For a truncated power law with exponent γ the mean is driven by
         // k_min; pick k_min so the sampled mean lands near the target, then
         // let the tail supply the hubs.
@@ -117,7 +126,7 @@ impl DatasetProfile {
         let k_max = ((n as f64 * self.hub_fraction) as usize).clamp(k_min + 1, n - 1);
         let c_min = (n / 200).clamp(8, 64);
         let c_max = (n / 10).clamp(c_min + 1, n);
-        let params = LfrParams {
+        LfrParams {
             n,
             degree_exponent: self.degree_exponent,
             k_min,
@@ -129,9 +138,33 @@ impl DatasetProfile {
             // Real crawls and dumps are id-ordered by site/user, so ids
             // carry community locality; the stand-ins preserve that.
             shuffle_ids: false,
-        };
-        let _ = target_mean_degree; // k_min per profile already encodes density
-        lfr_like(params, seed ^ fnv(self.name))
+        }
+    }
+
+    /// Stream the stand-in at `scale` straight into `nranks` snapshot
+    /// shards under `dir`, never materializing the graph: edges go from
+    /// the per-vertex RNG streams of
+    /// [`crate::generators::streaming_lfr_edges`] through a
+    /// [`ShardSink`]'s spill files. Peak memory is `O(largest shard)`, so
+    /// stand-ins 2–3 orders of magnitude beyond what
+    /// [`DatasetProfile::generate_scaled`] can hold become writable on a
+    /// fixed RAM budget. Returns the shard paths in rank order.
+    ///
+    /// The streamed family is deliberately *not* edge-identical to the
+    /// in-memory [`lfr_like`] (global stub shuffles cannot stream); it
+    /// preserves the same knobs — degree tail, community-size law, μ —
+    /// which is what the scale experiments exercise.
+    pub fn generate_sharded(
+        &self,
+        scale: f64,
+        seed: u64,
+        nranks: usize,
+        dir: &Path,
+    ) -> Result<Vec<PathBuf>, SnapshotError> {
+        let params = self.scaled_params(scale);
+        let mut sink = ShardSink::create(dir, nranks, params.n)?;
+        streaming_lfr_edges(params, seed ^ fnv(self.name), |u, v, w| sink.edge(u, v, w))?;
+        sink.finalize()
     }
 }
 

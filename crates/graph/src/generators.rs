@@ -302,6 +302,157 @@ pub fn lfr_like(params: LfrParams, seed: u64) -> (Graph, Vec<u32>) {
     (b.build(), community)
 }
 
+// ---------------------------------------------------------------------
+// Streaming generation: per-vertex RNG streams, O(#communities) memory
+// ---------------------------------------------------------------------
+
+/// One step of SplitMix64 — the streaming generators' only RNG. It is
+/// self-contained (no `rand` dependency) and seedable per vertex, so edge
+/// emission is a pure function of `(params, seed, v)`: any vertex's edges
+/// can be regenerated independently, in any order, on any machine.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// High 53 bits of a SplitMix64 output as a uniform f64 in `[0, 1)`.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Seed of vertex `v`'s private SplitMix64 stream.
+fn vertex_stream(seed: u64, v: u64) -> u64 {
+    let mut s = seed ^ v.wrapping_mul(0xa24b_aed4_963e_e407);
+    splitmix64(&mut s);
+    s
+}
+
+/// Contiguous community layout of the streaming LFR stand-in: community
+/// `c` owns vertex ids `starts[c] .. starts[c+1]`. `O(#communities)`
+/// memory — the only global state streaming generation keeps.
+struct CommunityLayout {
+    starts: Vec<u32>,
+}
+
+/// Stream tag separating the community-size RNG from per-vertex streams.
+const COMMUNITY_STREAM: u64 = 0xc033_7713;
+
+impl CommunityLayout {
+    /// Sample power-law community sizes covering `n` (the same truncated
+    /// Pareto inversion [`lfr_like`] uses), from a dedicated RNG stream.
+    fn sample(n: usize, exponent: f64, c_min: usize, c_max: usize, seed: u64) -> CommunityLayout {
+        let mut state = vertex_stream(seed, COMMUNITY_STREAM);
+        let a = exponent.max(1.001) - 1.0;
+        let lo = (c_min as f64).powf(-a);
+        let hi = (c_max as f64 + 1.0).powf(-a);
+        let mut starts = vec![0u32];
+        let mut covered = 0usize;
+        while covered < n {
+            let u = unit_f64(splitmix64(&mut state));
+            let s = ((lo + u * (hi - lo)).powf(-1.0 / a).floor() as usize).clamp(c_min, c_max);
+            let s = s.min(n - covered).max(1);
+            covered += s;
+            starts.push(covered as u32);
+        }
+        CommunityLayout { starts }
+    }
+
+    /// `(start, end)` of the community containing `v`.
+    fn bounds_of(&self, v: u32) -> (u32, u32) {
+        let c = self.starts.partition_point(|&s| s <= v) - 1;
+        (self.starts[c], self.starts[c + 1])
+    }
+}
+
+/// Stream the edges of an LFR-like stand-in without building the graph:
+/// every vertex `v` draws its degree and its initiated edges from a
+/// private [`vertex_stream`], so the emitted edge multiset is a pure
+/// function of `(params, seed)` — independent of shard count, emission
+/// order, and machine. `params.shuffle_ids` is ignored (streamed
+/// stand-ins are crawl-ordered: contiguous ids share a community, like
+/// the paper's large datasets).
+///
+/// Construction: `v` initiates `ceil(k_v / 2)` edges (realized degrees
+/// then average `k_v` once received edges are counted), splitting them
+/// `μ : 1-μ` into external targets (uniform over other communities,
+/// bounded rejection) and internal targets (uniform over the community
+/// minus `v`). Self-loops never emit. Communities are returned per call
+/// via [`streaming_lfr_community_of`] instead of a materialized vector.
+///
+/// The sink returns a result so IO-backed sinks (spill files) can fail;
+/// emission stops at the first error.
+pub fn streaming_lfr_edges<E>(
+    params: LfrParams,
+    seed: u64,
+    mut sink: impl FnMut(VertexId, VertexId, f64) -> Result<(), E>,
+) -> Result<(), E> {
+    let LfrParams {
+        n,
+        degree_exponent,
+        k_min,
+        k_max,
+        community_exponent,
+        c_min,
+        c_max,
+        mu,
+        shuffle_ids: _,
+    } = params;
+    assert!((0.0..=1.0).contains(&mu));
+    assert!(k_min >= 1 && k_max >= k_min && n >= 2);
+    let layout = CommunityLayout::sample(n, community_exponent, c_min, c_max, seed);
+
+    let a = degree_exponent - 1.0;
+    let lo = (k_min as f64).powf(-a);
+    let hi = (k_max as f64 + 1.0).powf(-a);
+    for v in 0..n as u32 {
+        let mut state = vertex_stream(seed, v as u64);
+        let u = unit_f64(splitmix64(&mut state));
+        let k = ((lo + u * (hi - lo)).powf(-1.0 / a).floor() as usize).clamp(k_min, k_max);
+        let (cs, ce) = layout.bounds_of(v);
+        let size = (ce - cs) as usize;
+
+        let initiated = k.div_ceil(2);
+        let mut external = ((mu * initiated as f64).round() as usize).min(initiated);
+        let mut internal = initiated - external;
+        if size <= 1 {
+            external += internal;
+            internal = 0;
+        }
+        for _ in 0..internal {
+            // Uniform over the community minus v: skip v's own slot.
+            let r = (splitmix64(&mut state) % (size as u64 - 1)) as u32;
+            let t = cs + if r >= v - cs { r + 1 } else { r };
+            sink(v, t, 1.0)?;
+        }
+        for _ in 0..external {
+            for _ in 0..8 {
+                let t = (splitmix64(&mut state) % n as u64) as u32;
+                if t < cs || t >= ce {
+                    sink(v, t, 1.0)?;
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Planted community of vertex `v` under [`streaming_lfr_edges`] with the
+/// same `(params, seed)` — `O(#communities)` setup, `O(log)` per query.
+pub fn streaming_lfr_community_of(params: LfrParams, seed: u64) -> impl Fn(VertexId) -> u32 {
+    let layout = CommunityLayout::sample(
+        params.n,
+        params.community_exponent,
+        params.c_min,
+        params.c_max,
+        seed,
+    );
+    move |v| (layout.starts.partition_point(|&s| s <= v) - 1) as u32
+}
+
 /// `k` cliques of size `s`, joined into a ring by single edges — the classic
 /// "obvious communities" graph; Infomap must recover the cliques.
 pub fn ring_of_cliques(k: usize, s: usize, seed: u64) -> (Graph, Vec<u32>) {

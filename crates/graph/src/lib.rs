@@ -12,7 +12,12 @@
 //!   datasets of the paper's Table 1 (Amazon … UK-2007), matching each
 //!   dataset's edge/vertex ratio, degree-tail exponent, and community
 //!   mixing (see DESIGN.md for the substitution argument);
-//! * [`io`]: whitespace edge-list reading and writing.
+//! * [`io`]: whitespace edge-list reading and writing;
+//! * [`snapshot`]: a binary CSR snapshot format (versioned, checksummed)
+//!   with eager and demand-paged loaders plus per-rank shards for
+//!   out-of-core runs;
+//! * [`store`]: the [`GraphStore`] trait the partitioner and driver use,
+//!   implemented by both the in-memory CSR and the paged snapshots.
 
 #![forbid(unsafe_code)]
 
@@ -20,5 +25,8 @@ pub mod csr;
 pub mod datasets;
 pub mod generators;
 pub mod io;
+pub mod snapshot;
+pub mod store;
 
 pub use csr::{Graph, GraphBuilder, VertexId};
+pub use store::GraphStore;

@@ -1,0 +1,1525 @@
+//! Binary CSR snapshots: an on-disk graph format with eager and
+//! demand-paged loaders, plus per-rank shards for out-of-core runs.
+//!
+//! ## Format (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic            b"DINFSNAP"                      8 bytes
+//! version          u32                              = 1
+//! kind             u32                              0 = full, 1 = shard
+//! rank             u64                              owning rank (0 for full)
+//! nranks           u64                              world size (1 for full)
+//! global_vertices  u64
+//! rows             u64   local row count (== global_vertices when full)
+//! arcs             u64   stored arc count
+//! global_edges     u64   global undirected edge count
+//! global_weight    u64   IEEE-754 bits of the global total weight W
+//! offsets          (rows+1) × u64   CSR row offsets into the arc arrays
+//! targets          arcs × u32       global target vertex ids
+//! weights          arcs × u64       IEEE-754 bits per arc
+//! strengths        rows × u64       IEEE-754 bits per row
+//! checksum         u64   FNV-1a over every preceding byte
+//! ```
+//!
+//! The framing discipline mirrors the checkpoint store (DESIGN.md §6.11):
+//! magic + version gate, length-exact sections, a trailing checksum that
+//! rejects torn or bit-flipped files with named errors, and atomic
+//! tmp+rename writes. Floats travel as bit patterns so a loaded graph is
+//! *the same bits* the writer held — the paged and eager loaders are
+//! bit-identical by construction, which the clustering equivalence gates
+//! then assert end to end.
+//!
+//! A *shard* for rank `r` of `p` holds the adjacency rows of the
+//! round-robin-owned vertices `{v : v mod p == r}` in ascending order
+//! (row `i` is global vertex `r + i·p`), with targets kept as global ids
+//! and the global totals baked into every shard header. Rank `r` can
+//! therefore partition and cluster from its shard alone plus collectives
+//! over scalar summaries (degrees, strengths) — it never needs the global
+//! graph in memory.
+//!
+//! [`PagedGraph`] reads fixed-size blocks through a seek+read LRU cache —
+//! no mmap, so `#![forbid(unsafe_code)]` stays intact. Blocks are
+//! addressed per section and the block size must be a multiple of 8, so a
+//! typed element never straddles two blocks.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::csr::{Graph, VertexId};
+use crate::store::GraphStore;
+
+/// File magic: "DINF" + snapshot discriminator.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DINFSNAP";
+
+/// Current format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Fixed byte length of the header (magic through `global_weight`).
+pub const HEADER_BYTES: u64 = 72;
+
+/// Checksum trailer length.
+pub const CHECKSUM_BYTES: u64 = 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// What a snapshot file claims to hold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// The whole graph (one shard of a world of 1).
+    Full,
+    /// One rank's rows of a sharded graph.
+    Shard,
+}
+
+/// Decoded snapshot header.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotHeader {
+    pub kind: SnapshotKind,
+    /// Owning rank (0 for full snapshots).
+    pub rank: usize,
+    /// World size the shard was written for (1 for full snapshots).
+    pub nranks: usize,
+    /// Global vertex count.
+    pub global_vertices: usize,
+    /// Local row count: vertices stored in this file.
+    pub rows: usize,
+    /// Stored arc count.
+    pub arcs: usize,
+    /// Global undirected edge count (self-loops once).
+    pub global_edges: usize,
+    /// Global total undirected edge weight `W` (self-loops once).
+    pub global_weight: f64,
+}
+
+impl SnapshotHeader {
+    /// Global vertex id of local row `i`.
+    pub fn vertex_of_row(&self, row: usize) -> VertexId {
+        (self.rank + row * self.nranks) as VertexId
+    }
+
+    /// Local row of global vertex `v`. Panics if `v` is not local.
+    pub fn row_of_vertex(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        assert_eq!(
+            v % self.nranks,
+            self.rank,
+            "vertex {v} is not local to shard rank {} of {}",
+            self.rank,
+            self.nranks
+        );
+        (v - self.rank) / self.nranks
+    }
+
+    fn encode(&self) -> [u8; HEADER_BYTES as usize] {
+        let mut out = [0u8; HEADER_BYTES as usize];
+        out[0..8].copy_from_slice(&SNAPSHOT_MAGIC);
+        out[8..12].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        let kind: u32 = match self.kind {
+            SnapshotKind::Full => 0,
+            SnapshotKind::Shard => 1,
+        };
+        out[12..16].copy_from_slice(&kind.to_le_bytes());
+        out[16..24].copy_from_slice(&(self.rank as u64).to_le_bytes());
+        out[24..32].copy_from_slice(&(self.nranks as u64).to_le_bytes());
+        out[32..40].copy_from_slice(&(self.global_vertices as u64).to_le_bytes());
+        out[40..48].copy_from_slice(&(self.rows as u64).to_le_bytes());
+        out[48..56].copy_from_slice(&(self.arcs as u64).to_le_bytes());
+        out[56..64].copy_from_slice(&(self.global_edges as u64).to_le_bytes());
+        out[64..72].copy_from_slice(&self.global_weight.to_bits().to_le_bytes());
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, SnapshotError> {
+        if buf.len() < HEADER_BYTES as usize {
+            return Err(SnapshotError::Truncated { context: "header" });
+        }
+        if buf[0..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+        let u64_at = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion { found: version });
+        }
+        let kind = match u32_at(12) {
+            0 => SnapshotKind::Full,
+            1 => SnapshotKind::Shard,
+            _ => {
+                return Err(SnapshotError::Malformed {
+                    context: "unknown snapshot kind",
+                })
+            }
+        };
+        let header = SnapshotHeader {
+            kind,
+            rank: u64_at(16) as usize,
+            nranks: u64_at(24) as usize,
+            global_vertices: u64_at(32) as usize,
+            rows: u64_at(40) as usize,
+            arcs: u64_at(48) as usize,
+            global_edges: u64_at(56) as usize,
+            global_weight: f64::from_bits(u64_at(64)),
+        };
+        if header.nranks == 0 || header.rank >= header.nranks {
+            return Err(SnapshotError::Malformed {
+                context: "rank outside world",
+            });
+        }
+        if header.kind == SnapshotKind::Full
+            && (header.nranks != 1 || header.rows != header.global_vertices)
+        {
+            return Err(SnapshotError::Malformed {
+                context: "full snapshot must hold every row",
+            });
+        }
+        if header.rows != owned_row_count(header.global_vertices, header.nranks, header.rank) {
+            return Err(SnapshotError::Malformed {
+                context: "row count disagrees with round-robin ownership",
+            });
+        }
+        Ok(header)
+    }
+
+    /// Byte length of each section, in file order.
+    fn section_bytes(&self) -> [u64; 4] {
+        [
+            (self.rows as u64 + 1) * 8,
+            self.arcs as u64 * 4,
+            self.arcs as u64 * 8,
+            self.rows as u64 * 8,
+        ]
+    }
+
+    /// Total file length implied by the header.
+    fn file_bytes(&self) -> u64 {
+        HEADER_BYTES + self.section_bytes().iter().sum::<u64>() + CHECKSUM_BYTES
+    }
+}
+
+/// Number of round-robin-owned vertices of rank `r` in a world of `p`.
+pub fn owned_row_count(global_vertices: usize, nranks: usize, rank: usize) -> usize {
+    if rank >= global_vertices {
+        return 0;
+    }
+    (global_vertices - rank).div_ceil(nranks)
+}
+
+/// Everything that can go wrong reading or writing a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// Unknown format version.
+    BadVersion { found: u32 },
+    /// The file ends before the named region is complete.
+    Truncated { context: &'static str },
+    /// The trailing FNV-1a checksum disagrees with the content.
+    ChecksumMismatch,
+    /// Structurally invalid content (bad kind, inconsistent counts,
+    /// out-of-range offsets…).
+    Malformed { context: &'static str },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated at {context}")
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Malformed { context } => write!(f, "malformed snapshot: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// `Write` adapter that folds everything written into an FNV-1a hash.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Identity and global totals of a shard file about to be written.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSpec {
+    pub rank: usize,
+    pub nranks: usize,
+    pub global_vertices: usize,
+    pub global_edges: usize,
+    pub global_weight: f64,
+}
+
+/// Conventional file name of rank `rank`'s shard inside a shard dir.
+pub fn shard_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("shard-{rank}.snap"))
+}
+
+/// Write one shard (or, with `nranks == 1`, a full snapshot) from raw row
+/// arrays. `offsets` has `rows + 1` entries; `targets`/`weights` hold the
+/// arcs of row `i` at `offsets[i]..offsets[i+1]` in CSR order; targets
+/// are global ids. Atomic: written to a tmp file and renamed into place.
+pub fn write_shard_parts(
+    path: &Path,
+    spec: &ShardSpec,
+    offsets: &[u64],
+    targets: &[VertexId],
+    weights: &[f64],
+    strengths: &[f64],
+) -> Result<(), SnapshotError> {
+    assert!(spec.nranks > 0 && spec.rank < spec.nranks, "rank in world");
+    assert!(
+        spec.global_vertices <= u32::MAX as usize,
+        "snapshot vertex ids are u32"
+    );
+    let rows = strengths.len();
+    assert_eq!(offsets.len(), rows + 1, "offsets hold rows+1 entries");
+    assert_eq!(targets.len(), weights.len());
+    assert_eq!(*offsets.last().unwrap_or(&0) as usize, targets.len());
+    let header = SnapshotHeader {
+        kind: if spec.nranks == 1 {
+            SnapshotKind::Full
+        } else {
+            SnapshotKind::Shard
+        },
+        rank: spec.rank,
+        nranks: spec.nranks,
+        global_vertices: spec.global_vertices,
+        rows,
+        arcs: targets.len(),
+        global_edges: spec.global_edges,
+        global_weight: spec.global_weight,
+    };
+
+    let tmp = path.with_extension("snap.tmp");
+    {
+        let file = File::create(&tmp)?;
+        let mut w = HashingWriter::new(BufWriter::new(file));
+        w.write_all(&header.encode())?;
+        for &off in offsets {
+            w.write_all(&off.to_le_bytes())?;
+        }
+        for &t in targets {
+            w.write_all(&t.to_le_bytes())?;
+        }
+        for &wt in weights {
+            w.write_all(&wt.to_bits().to_le_bytes())?;
+        }
+        for &s in strengths {
+            w.write_all(&s.to_bits().to_le_bytes())?;
+        }
+        let checksum = w.hash;
+        w.write_all(&checksum.to_le_bytes())?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// The four CSR section arrays of one shard: row offsets, arc targets,
+/// arc weights, per-row strengths.
+type ShardRows = (Vec<u64>, Vec<VertexId>, Vec<f64>, Vec<f64>);
+
+/// Row arrays of rank `rank`'s shard of an in-memory graph.
+fn shard_rows_of_graph(graph: &Graph, nranks: usize, rank: usize) -> ShardRows {
+    let n = graph.num_vertices();
+    let rows = owned_row_count(n, nranks, rank);
+    let mut offsets = Vec::with_capacity(rows + 1);
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    let mut strengths = Vec::with_capacity(rows);
+    offsets.push(0u64);
+    let mut v = rank;
+    while v < n {
+        let u = v as VertexId;
+        for (t, w) in graph.arcs(u) {
+            targets.push(t);
+            weights.push(w);
+        }
+        offsets.push(targets.len() as u64);
+        strengths.push(graph.strength(u));
+        v += nranks;
+    }
+    (offsets, targets, weights, strengths)
+}
+
+/// Write the whole graph as one full snapshot file.
+pub fn write_snapshot(graph: &Graph, path: &Path) -> Result<(), SnapshotError> {
+    let (offsets, targets, weights, strengths) = shard_rows_of_graph(graph, 1, 0);
+    write_shard_parts(
+        path,
+        &ShardSpec {
+            rank: 0,
+            nranks: 1,
+            global_vertices: graph.num_vertices(),
+            global_edges: graph.num_edges(),
+            global_weight: graph.total_weight(),
+        },
+        &offsets,
+        &targets,
+        &weights,
+        &strengths,
+    )
+}
+
+/// Shard an in-memory graph into `nranks` per-rank snapshot files under
+/// `dir` (created if missing). Returns the shard paths in rank order.
+pub fn write_shards(
+    graph: &Graph,
+    nranks: usize,
+    dir: &Path,
+) -> Result<Vec<PathBuf>, SnapshotError> {
+    assert!(nranks > 0, "need at least one shard");
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(nranks);
+    for rank in 0..nranks {
+        let (offsets, targets, weights, strengths) = shard_rows_of_graph(graph, nranks, rank);
+        let path = shard_path(dir, rank);
+        write_shard_parts(
+            &path,
+            &ShardSpec {
+                rank,
+                nranks,
+                global_vertices: graph.num_vertices(),
+                global_edges: graph.num_edges(),
+                global_weight: graph.total_weight(),
+            },
+            &offsets,
+            &targets,
+            &weights,
+            &strengths,
+        )?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// A bounded-memory edge sink that turns a *stream* of undirected edges
+/// into per-rank snapshot shards without ever materializing the global
+/// graph.
+///
+/// [`ShardSink::edge`] appends each edge's two directed arc records to the
+/// owning ranks' spill files through fixed-size write buffers, so the
+/// resident footprint during emission is `O(nranks)` buffers regardless of
+/// edge count. [`ShardSink::finalize`] then processes one shard at a time:
+/// sort its spill records by `(src, dst)`, merge parallel arcs by summing
+/// weights (the exact [`crate::csr::GraphBuilder`] convention, so a
+/// 1-shard sink reproduces the builder's CSR bit for bit), and write the
+/// shard file. Peak finalize memory is the largest single shard — the
+/// whole point of sharded generation.
+///
+/// Global totals need the merged arc counts of *every* shard before any
+/// header can be written, so finalize makes two sweeps over the spill
+/// files: a counting sweep for `(global_edges, global_weight)`, then the
+/// writing sweep. Spill files are deleted on success.
+pub struct ShardSink {
+    dir: PathBuf,
+    nranks: usize,
+    global_vertices: usize,
+    spills: Vec<BufWriter<File>>,
+    emitted_weight: f64,
+}
+
+/// Spill record layout: `src u32 | dst u32 | weight-bits u64`, LE.
+const SPILL_RECORD_BYTES: usize = 16;
+
+impl ShardSink {
+    /// Create a sink writing `nranks` shards for a graph of
+    /// `global_vertices` vertices under `dir` (created if missing).
+    pub fn create(
+        dir: &Path,
+        nranks: usize,
+        global_vertices: usize,
+    ) -> Result<Self, SnapshotError> {
+        assert!(nranks > 0, "need at least one shard");
+        assert!(
+            global_vertices <= u32::MAX as usize,
+            "snapshot vertex ids are u32"
+        );
+        std::fs::create_dir_all(dir)?;
+        let spills = (0..nranks)
+            .map(|r| Ok(BufWriter::new(File::create(Self::spill_path(dir, r))?)))
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        Ok(ShardSink {
+            dir: dir.to_path_buf(),
+            nranks,
+            global_vertices,
+            spills,
+            emitted_weight: 0.0,
+        })
+    }
+
+    fn spill_path(dir: &Path, rank: usize) -> PathBuf {
+        dir.join(format!("shard-{rank}.spill"))
+    }
+
+    /// Record the undirected edge `{u, v}` with weight `w`. Parallel
+    /// emissions merge at finalize by summing weights; a self-loop is
+    /// stored once, like the in-memory builder.
+    pub fn edge(&mut self, u: VertexId, v: VertexId, w: f64) -> Result<(), SnapshotError> {
+        debug_assert!((u as usize) < self.global_vertices);
+        debug_assert!((v as usize) < self.global_vertices);
+        self.emitted_weight += w;
+        self.write_arc(u, v, w)?;
+        if u != v {
+            self.write_arc(v, u, w)?;
+        }
+        Ok(())
+    }
+
+    fn write_arc(&mut self, src: VertexId, dst: VertexId, w: f64) -> Result<(), SnapshotError> {
+        let spill = &mut self.spills[src as usize % self.nranks];
+        spill.write_all(&src.to_le_bytes())?;
+        spill.write_all(&dst.to_le_bytes())?;
+        spill.write_all(&w.to_bits().to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Load one spill file and merge it into sorted per-row CSR parts.
+    fn merged_shard(&self, rank: usize) -> Result<ShardRows, SnapshotError> {
+        let bytes = std::fs::read(Self::spill_path(&self.dir, rank))?;
+        if bytes.len() % SPILL_RECORD_BYTES != 0 {
+            return Err(SnapshotError::Malformed {
+                context: "torn spill record",
+            });
+        }
+        let mut records: Vec<(VertexId, VertexId, f64)> = bytes
+            .chunks_exact(SPILL_RECORD_BYTES)
+            .map(|c| {
+                (
+                    u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                    u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                    f64::from_bits(u64::from_le_bytes(c[8..16].try_into().unwrap())),
+                )
+            })
+            .collect();
+        drop(bytes);
+        records.sort_unstable_by_key(|&(s, d, _)| (s, d));
+
+        let n = self.global_vertices;
+        let rows = owned_row_count(n, self.nranks, rank);
+        let mut offsets = Vec::with_capacity(rows + 1);
+        let mut targets: Vec<VertexId> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut strengths = Vec::with_capacity(rows);
+        offsets.push(0u64);
+        let mut it = records.into_iter().peekable();
+        for row in 0..rows {
+            let v = (rank + row * self.nranks) as VertexId;
+            let mut strength = 0.0;
+            while let Some(&(s, d, _)) = it.peek() {
+                if s != v {
+                    break;
+                }
+                let mut w = 0.0;
+                while let Some(&(s2, d2, w2)) = it.peek() {
+                    if s2 != s || d2 != d {
+                        break;
+                    }
+                    w += w2;
+                    it.next();
+                }
+                targets.push(d);
+                weights.push(w);
+                strength += if d == v { 2.0 * w } else { w };
+            }
+            offsets.push(targets.len() as u64);
+            strengths.push(strength);
+        }
+        assert!(it.peek().is_none(), "spill record for a foreign row");
+        Ok((offsets, targets, weights, strengths))
+    }
+
+    /// Merge every spill file and write the shard set. Returns the shard
+    /// paths in rank order.
+    pub fn finalize(mut self) -> Result<Vec<PathBuf>, SnapshotError> {
+        for spill in &mut self.spills {
+            spill.flush()?;
+        }
+        self.spills.clear();
+
+        // Counting sweep: the headers need the *merged* global arc totals,
+        // which exist only after every shard's dedup — so shards merge
+        // twice, trading CPU for the bounded-memory guarantee.
+        let mut counted_arcs = 0usize;
+        let mut counted_self = 0usize;
+        for rank in 0..self.nranks {
+            let (offsets, targets, _, strengths) = self.merged_shard(rank)?;
+            counted_arcs += targets.len();
+            for row in 0..strengths.len() {
+                let v = (rank + row * self.nranks) as VertexId;
+                counted_self += targets[offsets[row] as usize..offsets[row + 1] as usize]
+                    .iter()
+                    .filter(|&&t| t == v)
+                    .count();
+            }
+        }
+        let global_edges = (counted_arcs - counted_self) / 2 + counted_self;
+
+        // Writing sweep.
+        let mut paths = Vec::with_capacity(self.nranks);
+        for rank in 0..self.nranks {
+            let (offsets, targets, weights, strengths) = self.merged_shard(rank)?;
+            let path = shard_path(&self.dir, rank);
+            write_shard_parts(
+                &path,
+                &ShardSpec {
+                    rank,
+                    nranks: self.nranks,
+                    global_vertices: self.global_vertices,
+                    global_edges,
+                    global_weight: self.emitted_weight,
+                },
+                &offsets,
+                &targets,
+                &weights,
+                &strengths,
+            )?;
+            paths.push(path);
+        }
+        for rank in 0..self.nranks {
+            let _ = std::fs::remove_file(Self::spill_path(&self.dir, rank));
+        }
+        Ok(paths)
+    }
+}
+
+/// Read and validate only the header of a snapshot file (magic, version,
+/// structural sanity, and that the file length matches the header's
+/// claim). Cheap — used by the launcher to validate a shard dir without
+/// streaming every byte on the supervisor.
+pub fn read_header(path: &Path) -> Result<SnapshotHeader, SnapshotError> {
+    let mut file = File::open(path)?;
+    let mut buf = [0u8; HEADER_BYTES as usize];
+    let mut got = 0;
+    while got < buf.len() {
+        let n = file.read(&mut buf[got..])?;
+        if n == 0 {
+            return Err(SnapshotError::Truncated { context: "header" });
+        }
+        got += n;
+    }
+    let header = SnapshotHeader::decode(&buf)?;
+    let len = file.metadata()?.len();
+    if len < header.file_bytes() {
+        return Err(SnapshotError::Truncated {
+            context: "sections",
+        });
+    }
+    if len > header.file_bytes() {
+        return Err(SnapshotError::Malformed {
+            context: "trailing bytes after checksum",
+        });
+    }
+    Ok(header)
+}
+
+/// An eagerly loaded snapshot: all sections in memory, checksum verified.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EagerSnapshot {
+    header: SnapshotHeader,
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Vec<f64>,
+    strengths: Vec<f64>,
+}
+
+impl EagerSnapshot {
+    /// Load and fully verify a snapshot or shard file.
+    pub fn read(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < (HEADER_BYTES + CHECKSUM_BYTES) as usize {
+            return Err(SnapshotError::Truncated { context: "header" });
+        }
+        let header = SnapshotHeader::decode(&bytes)?;
+        let expect = header.file_bytes();
+        if (bytes.len() as u64) < expect {
+            return Err(SnapshotError::Truncated {
+                context: "sections",
+            });
+        }
+        if bytes.len() as u64 > expect {
+            return Err(SnapshotError::Malformed {
+                context: "trailing bytes after checksum",
+            });
+        }
+        let body = &bytes[..bytes.len() - CHECKSUM_BYTES as usize];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if fnv1a(FNV_OFFSET, body) != stored {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+
+        let mut at = HEADER_BYTES as usize;
+        let mut take_u64s = |count: usize| {
+            let s = &bytes[at..at + count * 8];
+            at += count * 8;
+            s.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect::<Vec<u64>>()
+        };
+        let offsets = take_u64s(header.rows + 1);
+        let targets: Vec<VertexId> = {
+            let s = &bytes[at..at + header.arcs * 4];
+            at += header.arcs * 4;
+            s.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        };
+        let mut take_f64s = |count: usize| {
+            let s = &bytes[at..at + count * 8];
+            at += count * 8;
+            s.chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                .collect::<Vec<f64>>()
+        };
+        let weights = take_f64s(header.arcs);
+        let strengths = take_f64s(header.rows);
+
+        validate_csr(&header, &offsets, &targets)?;
+        Ok(EagerSnapshot {
+            header,
+            offsets,
+            targets,
+            weights,
+            strengths,
+        })
+    }
+
+    pub fn header(&self) -> &SnapshotHeader {
+        &self.header
+    }
+
+    /// Convert a full snapshot into an in-memory [`Graph`] (bit-identical
+    /// to the graph that was written). Errors on shard files.
+    pub fn into_graph(self) -> Result<Graph, SnapshotError> {
+        if self.header.nranks != 1 {
+            return Err(SnapshotError::Malformed {
+                context: "cannot build a full graph from one shard",
+            });
+        }
+        let offsets: Vec<usize> = self.offsets.iter().map(|&o| o as usize).collect();
+        Ok(Graph::from_csr_parts(
+            offsets,
+            self.targets,
+            self.weights,
+            self.header.global_edges,
+            self.header.global_weight,
+            self.strengths,
+        ))
+    }
+
+    fn row_range(&self, u: VertexId) -> std::ops::Range<usize> {
+        let row = self.header.row_of_vertex(u);
+        self.offsets[row] as usize..self.offsets[row + 1] as usize
+    }
+}
+
+fn validate_csr(
+    header: &SnapshotHeader,
+    offsets: &[u64],
+    targets: &[VertexId],
+) -> Result<(), SnapshotError> {
+    if offsets.first() != Some(&0) || *offsets.last().unwrap() as usize != header.arcs {
+        return Err(SnapshotError::Malformed {
+            context: "offsets must run 0..=arcs",
+        });
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Malformed {
+            context: "offsets must be non-decreasing",
+        });
+    }
+    if targets
+        .iter()
+        .any(|&t| (t as usize) >= header.global_vertices)
+    {
+        return Err(SnapshotError::Malformed {
+            context: "arc target out of range",
+        });
+    }
+    Ok(())
+}
+
+impl GraphStore for EagerSnapshot {
+    fn num_vertices(&self) -> usize {
+        self.header.global_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.header.global_edges
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.header.global_weight
+    }
+
+    fn degree(&self, u: VertexId) -> usize {
+        self.row_range(u).len()
+    }
+
+    fn strength(&self, u: VertexId) -> f64 {
+        self.strengths[self.header.row_of_vertex(u)]
+    }
+
+    fn arcs_into(&self, u: VertexId, out: &mut Vec<(VertexId, f64)>) {
+        out.clear();
+        let r = self.row_range(u);
+        out.extend(
+            self.targets[r.clone()]
+                .iter()
+                .copied()
+                .zip(self.weights[r].iter().copied()),
+        );
+    }
+}
+
+/// Block-cache tuning for [`PagedGraph`].
+#[derive(Clone, Copy, Debug)]
+pub struct PageCacheConfig {
+    /// Bytes per cached block. Must be a positive multiple of 8 so typed
+    /// elements never straddle a block boundary.
+    pub block_bytes: usize,
+    /// Maximum resident blocks (LRU eviction beyond this).
+    pub capacity_blocks: usize,
+}
+
+impl Default for PageCacheConfig {
+    fn default() -> Self {
+        // 64 KiB × 64 = 4 MiB resident regardless of graph size.
+        PageCacheConfig {
+            block_bytes: 64 * 1024,
+            capacity_blocks: 64,
+        }
+    }
+}
+
+/// Cache effectiveness counters of a [`PagedGraph`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of block lookups served from cache (1.0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// File sections, in on-disk order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Section {
+    Offsets = 0,
+    Targets = 1,
+    Weights = 2,
+    Strengths = 3,
+}
+
+struct CacheSlot {
+    key: (Section, u64),
+    bytes: Vec<u8>,
+    last_used: u64,
+}
+
+struct PagedInner {
+    file: File,
+    /// Fixed-capacity slot table; eviction scans it in index order for
+    /// the minimum `last_used` tick (ticks are unique, so the victim is
+    /// deterministic and no hash-order ever matters).
+    slots: Vec<CacheSlot>,
+    index: HashMap<(Section, u64), usize>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A snapshot (full or shard) read on demand through a fixed-size block
+/// cache: `File::seek` + `read_exact` per block miss, bounded resident
+/// memory, no mmap. Interior mutability makes the [`GraphStore`] reads
+/// `&self`; the type is intentionally `!Sync` (one pager per rank).
+pub struct PagedGraph {
+    header: SnapshotHeader,
+    cfg: PageCacheConfig,
+    section_base: [u64; 4],
+    section_len: [u64; 4],
+    inner: RefCell<PagedInner>,
+}
+
+impl PagedGraph {
+    /// Open a snapshot for demand paging. The whole file is streamed once
+    /// through a fixed 64 KiB buffer to verify the trailing checksum —
+    /// bit flips are rejected up front, exactly as the eager loader does —
+    /// after which reads touch only the blocks they need.
+    pub fn open(path: &Path, cfg: PageCacheConfig) -> Result<Self, SnapshotError> {
+        assert!(
+            cfg.block_bytes >= 8 && cfg.block_bytes.is_multiple_of(8),
+            "block_bytes must be a positive multiple of 8"
+        );
+        assert!(cfg.capacity_blocks >= 2, "need at least two cache blocks");
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < HEADER_BYTES + CHECKSUM_BYTES {
+            return Err(SnapshotError::Truncated { context: "header" });
+        }
+
+        // Single streaming pass: hash everything before the trailer while
+        // capturing the header bytes.
+        let mut head = [0u8; HEADER_BYTES as usize];
+        let mut hash = FNV_OFFSET;
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut seen: u64 = 0;
+        let body_len = len - CHECKSUM_BYTES;
+        let mut trailer = [0u8; CHECKSUM_BYTES as usize];
+        loop {
+            let n = file.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            let chunk = &buf[..n];
+            // Header capture.
+            if seen < HEADER_BYTES {
+                let take = ((HEADER_BYTES - seen) as usize).min(n);
+                head[seen as usize..seen as usize + take].copy_from_slice(&chunk[..take]);
+            }
+            // Hash the part of this chunk that lies before the trailer and
+            // capture the part that overlaps it.
+            let start = seen;
+            let end = seen + n as u64;
+            if start < body_len {
+                let upto = ((body_len - start) as usize).min(n);
+                hash = fnv1a(hash, &chunk[..upto]);
+            }
+            if end > body_len {
+                let tail_from = (body_len.max(start) - start) as usize;
+                let tail_at = (body_len.max(start) - body_len) as usize;
+                trailer[tail_at..tail_at + (n - tail_from)].copy_from_slice(&chunk[tail_from..]);
+            }
+            seen = end;
+        }
+        if seen != len {
+            return Err(SnapshotError::Truncated {
+                context: "sections",
+            });
+        }
+        let header = SnapshotHeader::decode(&head)?;
+        if len < header.file_bytes() {
+            return Err(SnapshotError::Truncated {
+                context: "sections",
+            });
+        }
+        if len > header.file_bytes() {
+            return Err(SnapshotError::Malformed {
+                context: "trailing bytes after checksum",
+            });
+        }
+        if hash != u64::from_le_bytes(trailer) {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+
+        let section_len = header.section_bytes();
+        let mut section_base = [0u64; 4];
+        let mut at = HEADER_BYTES;
+        for (base, len) in section_base.iter_mut().zip(section_len.iter()) {
+            *base = at;
+            at += len;
+        }
+        file.seek(SeekFrom::Start(0))?;
+        Ok(PagedGraph {
+            header,
+            cfg,
+            section_base,
+            section_len,
+            inner: RefCell::new(PagedInner {
+                file,
+                slots: Vec::with_capacity(cfg.capacity_blocks),
+                index: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+        })
+    }
+
+    pub fn header(&self) -> &SnapshotHeader {
+        &self.header
+    }
+
+    /// Block cache hit/miss counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.borrow().stats
+    }
+
+    /// Run `f` over the cached bytes of `block` of `sec`, loading (and
+    /// possibly evicting) on miss.
+    fn with_block<R>(
+        &self,
+        sec: Section,
+        block: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, SnapshotError> {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key = (sec, block);
+        if let Some(&slot) = inner.index.get(&key) {
+            inner.stats.hits += 1;
+            inner.slots[slot].last_used = tick;
+            return Ok(f(&inner.slots[slot].bytes));
+        }
+        inner.stats.misses += 1;
+        let sec_len = self.section_len[sec as usize];
+        let start = block * self.cfg.block_bytes as u64;
+        debug_assert!(start < sec_len, "block past end of section");
+        let len = (sec_len - start).min(self.cfg.block_bytes as u64) as usize;
+        let mut bytes = vec![0u8; len];
+        inner
+            .file
+            .seek(SeekFrom::Start(self.section_base[sec as usize] + start))?;
+        inner.file.read_exact(&mut bytes)?;
+        let slot = if inner.slots.len() < self.cfg.capacity_blocks {
+            inner.slots.push(CacheSlot {
+                key,
+                bytes,
+                last_used: tick,
+            });
+            inner.slots.len() - 1
+        } else {
+            // Deterministic LRU: unique ticks, scan in slot order.
+            let victim = inner
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .unwrap();
+            let old_key = inner.slots[victim].key;
+            inner.index.remove(&old_key);
+            inner.slots[victim] = CacheSlot {
+                key,
+                bytes,
+                last_used: tick,
+            };
+            victim
+        };
+        inner.index.insert(key, slot);
+        Ok(f(&inner.slots[slot].bytes))
+    }
+
+    /// Visit the bytes of elements `start..end` of `sec` (element size
+    /// `elem` bytes), block by block, in order.
+    fn walk(
+        &self,
+        sec: Section,
+        elem: u64,
+        start: u64,
+        end: u64,
+        mut f: impl FnMut(&[u8]),
+    ) -> Result<(), SnapshotError> {
+        if start >= end {
+            return Ok(());
+        }
+        let bb = self.cfg.block_bytes as u64;
+        let first = start * elem / bb;
+        let last = (end * elem - 1) / bb;
+        for block in first..=last {
+            let block_start = block * bb;
+            let lo = (start * elem).max(block_start) - block_start;
+            let hi = (end * elem).min(block_start + bb) - block_start;
+            self.with_block(sec, block, |bytes| f(&bytes[lo as usize..hi as usize]))?;
+        }
+        Ok(())
+    }
+
+    fn read_u64_elem(&self, sec: Section, idx: u64) -> u64 {
+        let mut out = 0u64;
+        self.walk(sec, 8, idx, idx + 1, |bytes| {
+            out = u64::from_le_bytes(bytes.try_into().unwrap());
+        })
+        .unwrap_or_else(|e| panic!("paged read failed: {e}"));
+        out
+    }
+
+    fn row_bounds(&self, u: VertexId) -> (u64, u64) {
+        let row = self.header.row_of_vertex(u) as u64;
+        let mut bounds = [0u64; 2];
+        let mut i = 0;
+        self.walk(Section::Offsets, 8, row, row + 2, |bytes| {
+            for c in bytes.chunks_exact(8) {
+                bounds[i] = u64::from_le_bytes(c.try_into().unwrap());
+                i += 1;
+            }
+        })
+        .unwrap_or_else(|e| panic!("paged read failed: {e}"));
+        debug_assert_eq!(i, 2);
+        (bounds[0], bounds[1])
+    }
+}
+
+impl GraphStore for PagedGraph {
+    fn num_vertices(&self) -> usize {
+        self.header.global_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.header.global_edges
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.header.global_weight
+    }
+
+    fn degree(&self, u: VertexId) -> usize {
+        let (a, b) = self.row_bounds(u);
+        (b - a) as usize
+    }
+
+    fn strength(&self, u: VertexId) -> f64 {
+        let row = self.header.row_of_vertex(u) as u64;
+        f64::from_bits(self.read_u64_elem(Section::Strengths, row))
+    }
+
+    fn arcs_into(&self, u: VertexId, out: &mut Vec<(VertexId, f64)>) {
+        let (a, b) = self.row_bounds(u);
+        out.clear();
+        out.reserve((b - a) as usize);
+        self.walk(Section::Targets, 4, a, b, |bytes| {
+            for c in bytes.chunks_exact(4) {
+                out.push((u32::from_le_bytes(c.try_into().unwrap()), 0.0));
+            }
+        })
+        .unwrap_or_else(|e| panic!("paged read failed: {e}"));
+        let mut i = 0;
+        self.walk(Section::Weights, 8, a, b, |bytes| {
+            for c in bytes.chunks_exact(8) {
+                out[i].1 = f64::from_bits(u64::from_le_bytes(c.try_into().unwrap()));
+                i += 1;
+            }
+        })
+        .unwrap_or_else(|e| panic!("paged read failed: {e}"));
+        debug_assert_eq!(i, out.len());
+    }
+}
+
+/// A snapshot-backed store, eager or paged — what `dinfomap _rank` loads
+/// behind `--graph-shard-dir`.
+pub enum SnapshotStore {
+    Eager(EagerSnapshot),
+    Paged(PagedGraph),
+}
+
+impl SnapshotStore {
+    /// Open `path` with the requested residency.
+    pub fn open(path: &Path, paged: Option<PageCacheConfig>) -> Result<Self, SnapshotError> {
+        Ok(match paged {
+            None => SnapshotStore::Eager(EagerSnapshot::read(path)?),
+            Some(cfg) => SnapshotStore::Paged(PagedGraph::open(path, cfg)?),
+        })
+    }
+
+    pub fn header(&self) -> &SnapshotHeader {
+        match self {
+            SnapshotStore::Eager(s) => s.header(),
+            SnapshotStore::Paged(p) => p.header(),
+        }
+    }
+
+    /// Cache counters (paged stores only).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match self {
+            SnapshotStore::Eager(_) => None,
+            SnapshotStore::Paged(p) => Some(p.cache_stats()),
+        }
+    }
+}
+
+impl GraphStore for SnapshotStore {
+    fn num_vertices(&self) -> usize {
+        match self {
+            SnapshotStore::Eager(s) => s.num_vertices(),
+            SnapshotStore::Paged(p) => p.num_vertices(),
+        }
+    }
+
+    fn num_edges(&self) -> usize {
+        match self {
+            SnapshotStore::Eager(s) => s.num_edges(),
+            SnapshotStore::Paged(p) => p.num_edges(),
+        }
+    }
+
+    fn total_weight(&self) -> f64 {
+        match self {
+            SnapshotStore::Eager(s) => s.total_weight(),
+            SnapshotStore::Paged(p) => p.total_weight(),
+        }
+    }
+
+    fn degree(&self, u: VertexId) -> usize {
+        match self {
+            SnapshotStore::Eager(s) => s.degree(u),
+            SnapshotStore::Paged(p) => p.degree(u),
+        }
+    }
+
+    fn strength(&self, u: VertexId) -> f64 {
+        match self {
+            SnapshotStore::Eager(s) => s.strength(u),
+            SnapshotStore::Paged(p) => p.strength(u),
+        }
+    }
+
+    fn arcs_into(&self, u: VertexId, out: &mut Vec<(VertexId, f64)>) {
+        match self {
+            SnapshotStore::Eager(s) => s.arcs_into(u, out),
+            SnapshotStore::Paged(p) => p.arcs_into(u, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dinfomap-snap-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_graph() -> Graph {
+        Graph::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.5),
+                (1, 2, 0.125),
+                (2, 2, 3.0), // self-loop
+                (3, 4, 1.0),
+                (4, 5, 7.0),
+                (5, 0, 0.5),
+            ],
+        )
+    }
+
+    fn assert_store_matches_graph(store: &dyn GraphStore, g: &Graph) {
+        assert_eq!(store.num_vertices(), g.num_vertices());
+        assert_eq!(store.num_edges(), g.num_edges());
+        assert_eq!(store.total_weight().to_bits(), g.total_weight().to_bits());
+        let mut arcs = Vec::new();
+        for u in 0..g.num_vertices() as VertexId {
+            assert_eq!(store.degree(u), g.degree(u));
+            assert_eq!(store.strength(u).to_bits(), g.strength(u).to_bits());
+            store.arcs_into(u, &mut arcs);
+            let want: Vec<(VertexId, f64)> = g.arcs(u).collect();
+            assert_eq!(arcs.len(), want.len());
+            for (got, want) in arcs.iter().zip(&want) {
+                assert_eq!(got.0, want.0);
+                assert_eq!(got.1.to_bits(), want.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn full_snapshot_roundtrips_eager_and_paged() {
+        let g = sample_graph();
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("g.snap");
+        write_snapshot(&g, &path).unwrap();
+
+        let eager = EagerSnapshot::read(&path).unwrap();
+        assert_eq!(eager.header().kind, SnapshotKind::Full);
+        assert_store_matches_graph(&eager, &g);
+        let back = eager.into_graph().unwrap();
+        assert_eq!(back, g);
+
+        // Tiny blocks force heavy paging and eviction.
+        let paged = PagedGraph::open(
+            &path,
+            PageCacheConfig {
+                block_bytes: 8,
+                capacity_blocks: 2,
+            },
+        )
+        .unwrap();
+        assert_store_matches_graph(&paged, &g);
+        let stats = paged.cache_stats();
+        assert!(stats.misses > 0, "tiny cache must miss");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shards_cover_owned_rows_bit_exactly() {
+        let g = generators::lfr_like(
+            generators::LfrParams {
+                n: 120,
+                degree_exponent: 2.5,
+                k_min: 2,
+                k_max: 20,
+                community_exponent: 1.5,
+                c_min: 8,
+                c_max: 40,
+                mu: 0.2,
+                shuffle_ids: false,
+            },
+            7,
+        )
+        .0;
+        let dir = tmp_dir("shards");
+        let p = 3;
+        let paths = write_shards(&g, p, &dir).unwrap();
+        assert_eq!(paths.len(), p);
+        let mut arcs = Vec::new();
+        for (rank, path) in paths.iter().enumerate() {
+            let shard = EagerSnapshot::read(path).unwrap();
+            let h = *shard.header();
+            assert_eq!(h.kind, SnapshotKind::Shard);
+            assert_eq!(h.rank, rank);
+            assert_eq!(h.nranks, p);
+            assert_eq!(h.global_vertices, g.num_vertices());
+            assert_eq!(h.global_edges, g.num_edges());
+            assert_eq!(h.global_weight.to_bits(), g.total_weight().to_bits());
+            assert_eq!(h.rows, owned_row_count(g.num_vertices(), p, rank));
+            for row in 0..h.rows {
+                let v = h.vertex_of_row(row);
+                assert_eq!(shard.degree(v), g.degree(v));
+                assert_eq!(shard.strength(v).to_bits(), g.strength(v).to_bits());
+                shard.arcs_into(v, &mut arcs);
+                let want: Vec<(VertexId, f64)> = g.arcs(v).collect();
+                assert_eq!(arcs, want);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_rejected_with_named_errors() {
+        let g = sample_graph();
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("g.snap");
+        write_snapshot(&g, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            EagerSnapshot::read(&path),
+            Err(SnapshotError::BadMagic)
+        ));
+
+        // Unknown version.
+        let mut bad = good.clone();
+        bad[8] = 0x7f;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            EagerSnapshot::read(&path),
+            Err(SnapshotError::BadVersion { found: 0x7f })
+        ));
+
+        // Truncation at every interesting boundary.
+        for cut in [
+            4usize,
+            HEADER_BYTES as usize,
+            good.len() - 9,
+            good.len() - 1,
+        ] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(
+                matches!(
+                    EagerSnapshot::read(&path),
+                    Err(SnapshotError::Truncated { .. })
+                ),
+                "cut at {cut} must read as truncated"
+            );
+            assert!(
+                matches!(
+                    PagedGraph::open(&path, PageCacheConfig::default()),
+                    Err(SnapshotError::Truncated { .. })
+                ),
+                "paged cut at {cut} must read as truncated"
+            );
+        }
+
+        // A flipped bit anywhere in the body fails the checksum for both
+        // loaders.
+        for at in [HEADER_BYTES as usize + 3, good.len() / 2, good.len() - 12] {
+            let mut bad = good.clone();
+            bad[at] ^= 0x10;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(matches!(
+                EagerSnapshot::read(&path),
+                Err(SnapshotError::ChecksumMismatch)
+            ));
+            assert!(matches!(
+                PagedGraph::open(&path, PageCacheConfig::default()),
+                Err(SnapshotError::ChecksumMismatch)
+            ));
+        }
+
+        // Trailing garbage is named, not silently ignored.
+        let mut bad = good.clone();
+        bad.extend_from_slice(b"junk");
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            EagerSnapshot::read(&path),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_probe_validates_cheaply() {
+        let g = sample_graph();
+        let dir = tmp_dir("probe");
+        let path = dir.join("g.snap");
+        write_snapshot(&g, &path).unwrap();
+        let h = read_header(&path).unwrap();
+        assert_eq!(h.global_vertices, 6);
+        assert_eq!(h.global_edges, g.num_edges());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Streaming a graph's edge list through a [`ShardSink`] must produce
+    /// byte-identical files to sharding the in-memory graph, for any world
+    /// size — the sink's sort+merge is the builder's convention.
+    #[test]
+    fn shard_sink_matches_in_memory_sharding() {
+        let (g, _) = generators::lfr_like(
+            generators::LfrParams {
+                n: 150,
+                ..Default::default()
+            },
+            21,
+        );
+        for p in [1usize, 3] {
+            let mem_dir = tmp_dir(&format!("sink-mem-{p}"));
+            let sink_dir = tmp_dir(&format!("sink-stream-{p}"));
+            let mem_paths = write_shards(&g, p, &mem_dir).unwrap();
+            let mut sink = ShardSink::create(&sink_dir, p, g.num_vertices()).unwrap();
+            for (u, v, w) in g.edges() {
+                sink.edge(u, v, w).unwrap();
+            }
+            let sink_paths = sink.finalize().unwrap();
+            assert_eq!(mem_paths.len(), sink_paths.len());
+            for (a, b) in mem_paths.iter().zip(&sink_paths) {
+                let ba = std::fs::read(a).unwrap();
+                let bb = std::fs::read(b).unwrap();
+                assert_eq!(ba, bb, "p={p}: sink shard diverged from in-memory shard");
+            }
+            // Spill files are cleaned up.
+            assert!(!ShardSink::spill_path(&sink_dir, 0).exists());
+            std::fs::remove_dir_all(&mem_dir).ok();
+            std::fs::remove_dir_all(&sink_dir).ok();
+        }
+    }
+
+    /// Parallel emissions and self-loops merge exactly like the builder.
+    #[test]
+    fn shard_sink_merges_parallel_edges_and_self_loops() {
+        let mut b = crate::csr::GraphBuilder::new(4);
+        let emissions = [(0u32, 1u32, 1.0f64), (1, 0, 0.5), (2, 2, 2.0), (0, 3, 1.0)];
+        for &(u, v, w) in &emissions {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build();
+        let dir = tmp_dir("sink-merge");
+        let mut sink = ShardSink::create(&dir, 1, 4).unwrap();
+        for &(u, v, w) in &emissions {
+            sink.edge(u, v, w).unwrap();
+        }
+        let paths = sink.finalize().unwrap();
+        let loaded = EagerSnapshot::read(&paths[0])
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        assert_eq!(loaded, g);
+    }
+
+    /// Streamed sharded generation is deterministic and shard-count
+    /// invariant: the same `(params, seed)` written as 1 shard or as p
+    /// shards describes the same global graph.
+    #[test]
+    fn streamed_generation_is_shard_count_invariant() {
+        let params = generators::LfrParams {
+            n: 200,
+            shuffle_ids: false,
+            ..Default::default()
+        };
+        let full_dir = tmp_dir("gen-full");
+        let shard_dir = tmp_dir("gen-shards");
+        let mut full_sink = ShardSink::create(&full_dir, 1, params.n).unwrap();
+        generators::streaming_lfr_edges(params, 5, |u, v, w| full_sink.edge(u, v, w)).unwrap();
+        let full = full_sink.finalize().unwrap();
+        let g = EagerSnapshot::read(&full[0]).unwrap().into_graph().unwrap();
+        assert!(g.num_edges() > params.n / 2, "streamed stand-in too sparse");
+
+        let mut sink = ShardSink::create(&shard_dir, 3, params.n).unwrap();
+        generators::streaming_lfr_edges(params, 5, |u, v, w| sink.edge(u, v, w)).unwrap();
+        let shard_paths = sink.finalize().unwrap();
+        let mem_paths = write_shards(&g, 3, &tmp_dir("gen-mem")).unwrap();
+        for (a, b) in shard_paths.iter().zip(&mem_paths) {
+            assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "streamed shard != shard of the reassembled graph"
+            );
+        }
+        std::fs::remove_dir_all(&full_dir).ok();
+        std::fs::remove_dir_all(&shard_dir).ok();
+    }
+}

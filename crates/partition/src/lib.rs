@@ -25,7 +25,7 @@
 
 use std::collections::HashSet;
 
-use infomap_graph::{Graph, VertexId};
+use infomap_graph::{GraphStore, VertexId};
 
 /// A directed arc with the weight of its undirected parent edge.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -96,30 +96,32 @@ pub fn block_owner(v: VertexId, n: usize, p: usize) -> usize {
 
 impl Partition {
     /// Plain 1D partitioning: arc `u→v` goes to `owner(u)` (round-robin).
-    pub fn one_d(graph: &Graph, nranks: usize) -> Partition {
+    pub fn one_d<G: GraphStore + ?Sized>(graph: &G, nranks: usize) -> Partition {
         Self::one_d_with(graph, nranks, |u, _n, p| owner(u, p))
     }
 
     /// Block 1D partitioning: arc `u→v` goes to `block_owner(u)` — the
     /// contiguous-range assignment of the prior-work baselines the paper
     /// compares against in Figures 6–7.
-    pub fn one_d_block(graph: &Graph, nranks: usize) -> Partition {
+    pub fn one_d_block<G: GraphStore + ?Sized>(graph: &G, nranks: usize) -> Partition {
         let mut part = Self::one_d_with(graph, nranks, block_owner);
         part.block_owned = true;
         part
     }
 
-    fn one_d_with(
-        graph: &Graph,
+    fn one_d_with<G: GraphStore + ?Sized>(
+        graph: &G,
         nranks: usize,
         assign: impl Fn(VertexId, usize, usize) -> usize,
     ) -> Partition {
         assert!(nranks > 0);
         let n = graph.num_vertices();
         let mut arcs: Vec<Vec<Arc>> = vec![Vec::new(); nranks];
+        let mut adj = Vec::new();
         for u in 0..n as VertexId {
             let r = assign(u, n, nranks);
-            for (v, w) in graph.arcs(u) {
+            graph.arcs_into(u, &mut adj);
+            for &(v, w) in &adj {
                 if v == u {
                     arcs[r].push(Arc {
                         src: u,
@@ -154,32 +156,25 @@ impl Partition {
     /// 3. If `rebalance`, delegate-source arcs are greedily reassigned from
     ///    ranks above the ideal load `total_arcs / p` to ranks below it —
     ///    legal because the delegate source lives everywhere.
-    pub fn delegate(
-        graph: &Graph,
+    pub fn delegate<G: GraphStore + ?Sized>(
+        graph: &G,
         nranks: usize,
         threshold: DelegateThreshold,
         rebalance: bool,
     ) -> Partition {
         assert!(nranks > 0);
         let n = graph.num_vertices();
-        let total_arcs: usize = (0..n as VertexId).map(|u| graph.degree(u)).sum();
-        let mean_degree = total_arcs as f64 / n.max(1) as f64;
-        let d_high = threshold.resolve(nranks, mean_degree).max(1);
-        let mut is_delegate = vec![false; n];
-        let mut delegates = Vec::new();
-        for u in 0..n as VertexId {
-            if graph.degree(u) > d_high {
-                is_delegate[u as usize] = true;
-                delegates.push(u);
-            }
-        }
+        let degrees: Vec<u32> = (0..n as VertexId).map(|u| graph.degree(u) as u32).collect();
+        let (delegates, is_delegate) = delegates_from_degrees(&degrees, nranks, threshold);
 
         let mut arcs: Vec<Vec<Arc>> = vec![Vec::new(); nranks];
         // Delegate-source arcs, tracked for the rebalancing pass:
         // (rank, index within that rank's list).
         let mut movable: Vec<(usize, usize)> = Vec::new();
+        let mut adj = Vec::new();
         for u in 0..n as VertexId {
-            for (v, w) in graph.arcs(u) {
+            graph.arcs_into(u, &mut adj);
+            for &(v, w) in &adj {
                 let arc = Arc {
                     src: u,
                     dst: v,
@@ -263,17 +258,175 @@ impl Partition {
     }
 }
 
+/// Resolve the delegate set from a global degree array (paper §3.3
+/// step 1). Pure: the monolithic partitioner derives the array from the
+/// graph, shard-mode ranks from an allgatherv of per-shard degree
+/// counters — both then take the identical branch per vertex, so the
+/// delegate sets (and everything downstream) agree bit for bit.
+pub fn delegates_from_degrees(
+    degrees: &[u32],
+    nranks: usize,
+    threshold: DelegateThreshold,
+) -> (Vec<VertexId>, Vec<bool>) {
+    let n = degrees.len();
+    let total_arcs: u64 = degrees.iter().map(|&d| d as u64).sum();
+    let mean_degree = total_arcs as f64 / n.max(1) as f64;
+    let d_high = threshold.resolve(nranks, mean_degree).max(1);
+    let mut is_delegate = vec![false; n];
+    let mut delegates = Vec::new();
+    for (v, &d) in degrees.iter().enumerate() {
+        if d as usize > d_high {
+            is_delegate[v] = true;
+            delegates.push(v as VertexId);
+        }
+    }
+    (delegates, is_delegate)
+}
+
+/// Rank `rank`'s pre-rebalance delegate-partition arc list, rebuilt from
+/// that rank's shard alone (the round-robin-owned rows plus the global
+/// delegate set).
+///
+/// Why this matches [`Partition::delegate`]: the monolithic pass assigns
+/// arc `u→v` to `owner(u)` when `u` is low-degree and to `owner(v)` when
+/// `u` is a delegate. Every arc rank `r` receives therefore has an
+/// endpoint owned by `r` — the source (direct case) or the target
+/// (delegate case) — and the symmetric CSR stores the reverse of each
+/// delegate arc in the *target's* adjacency. So rank `r` recovers its
+/// full list from owned rows only: owned low-degree rows contribute their
+/// arcs as stored, and every owned arc `u→v` with a delegate target
+/// synthesizes the reverse `v→u` (this covers delegate self-loops exactly
+/// once, since `u == v` fires the synthesis rule and not the direct one).
+/// The monolithic list is ordered by source ascending with CSR
+/// (target-ascending) order within a source, i.e. by `(src, dst)` — and
+/// `(src, dst)` keys are unique in a merged CSR — so one sort reproduces
+/// the exact order. Returns the arcs plus the (ascending) indices of
+/// delegate-source arcs, matching the monolithic `movable` bookkeeping.
+pub fn shard_rank_arcs<G: GraphStore + ?Sized>(
+    store: &G,
+    rank: usize,
+    nranks: usize,
+    is_delegate: &[bool],
+) -> (Vec<Arc>, Vec<usize>) {
+    let n = store.num_vertices();
+    let mut arcs: Vec<Arc> = Vec::new();
+    let mut adj = Vec::new();
+    let mut u = rank;
+    while u < n {
+        let uu = u as VertexId;
+        store.arcs_into(uu, &mut adj);
+        let u_low = !is_delegate[u];
+        for &(v, w) in &adj {
+            if u_low {
+                arcs.push(Arc {
+                    src: uu,
+                    dst: v,
+                    weight: w,
+                });
+            }
+            if is_delegate[v as usize] {
+                arcs.push(Arc {
+                    src: v,
+                    dst: uu,
+                    weight: w,
+                });
+            }
+        }
+        u += nranks;
+    }
+    arcs.sort_unstable_by_key(|a| (a.src, a.dst));
+    let movable = arcs
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| is_delegate[a.src as usize])
+        .map(|(i, _)| i)
+        .collect();
+    (arcs, movable)
+}
+
+/// The outcome of the delegate-arc rebalancing pass, computed purely from
+/// per-rank (load, movable-count) summaries — every rank derives the
+/// identical plan from one allgather, then plays only its own part.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RebalancePlan {
+    /// Target per-rank load, `total_arcs / p`.
+    pub ideal: usize,
+    /// How many movable arcs each rank surrenders. Rank `r` pops its
+    /// movable indices from the highest down, `surplus[r]` times; the
+    /// global pool is those arcs in rank order, pop order within a rank.
+    pub surplus: Vec<usize>,
+    /// Destination rank of each pool entry, in pool order.
+    pub dest: Vec<usize>,
+}
+
+impl RebalancePlan {
+    /// Pool index at which rank `r`'s contribution starts.
+    pub fn pool_base(&self, r: usize) -> usize {
+        self.surplus[..r].iter().sum()
+    }
+}
+
+/// Compute the rebalancing plan (paper §3.3 step 4): take each
+/// overloaded rank's surplus of movable (delegate-source) arcs, deal the
+/// pool to the most under-loaded ranks first, spill any remainder
+/// round-robin. Pure in the per-rank summaries, so the monolithic
+/// partitioner and the distributed shard path replay the same plan.
+pub fn plan_rebalance(loads: &[usize], movable_counts: &[usize], nranks: usize) -> RebalancePlan {
+    assert_eq!(loads.len(), nranks);
+    assert_eq!(movable_counts.len(), nranks);
+    let total: usize = loads.iter().sum();
+    let ideal = total / nranks;
+    let mut loads = loads.to_vec();
+
+    let mut surplus = vec![0usize; nranks];
+    for r in 0..nranks {
+        while loads[r] > ideal && surplus[r] < movable_counts[r] {
+            surplus[r] += 1;
+            loads[r] -= 1;
+        }
+    }
+    let pool_len: usize = surplus.iter().sum();
+
+    // Deal the pool to the most under-loaded ranks first.
+    let mut order: Vec<usize> = (0..nranks).collect();
+    order.sort_by_key(|&r| loads[r]);
+    let mut dest = Vec::with_capacity(pool_len);
+    'deal: loop {
+        let mut placed = false;
+        for &r in &order {
+            if dest.len() >= pool_len {
+                break 'deal;
+            }
+            if loads[r] < ideal + 1 {
+                dest.push(r);
+                loads[r] += 1;
+                placed = true;
+            }
+        }
+        if !placed {
+            // Everyone at ideal: spill the remainder round-robin.
+            for j in 0..pool_len - dest.len() {
+                dest.push(j % nranks);
+            }
+            break;
+        }
+    }
+    RebalancePlan {
+        ideal,
+        surplus,
+        dest,
+    }
+}
+
 /// Rebalance: move delegate-source arcs from ranks above the ideal
 /// per-rank load to ranks below it (paper §3.3 step 4). Delegate sources
-/// are replicated everywhere, so their arcs may live on any rank; the
-/// pass removes each overloaded rank's surplus of delegate arcs and deals
-/// it to under-loaded ranks, moving the minimum number of arcs.
+/// are replicated everywhere, so their arcs may live on any rank. The
+/// decision lives in [`plan_rebalance`]; this applies it to all ranks'
+/// lists at once.
 fn rebalance_delegate_arcs(arcs: &mut [Vec<Arc>], movable: Vec<(usize, usize)>, nranks: usize) {
-    let total: usize = arcs.iter().map(Vec::len).sum();
-    let ideal = total / nranks;
-    let mut loads: Vec<usize> = arcs.iter().map(Vec::len).collect();
+    let loads: Vec<usize> = arcs.iter().map(Vec::len).collect();
 
-    // Movable arc indices per rank, ascending: `pop` then yields the
+    // Movable arc indices per rank, ascending: popping then yields the
     // highest remaining index, so each `remove` leaves all still-recorded
     // (lower) indices valid.
     let mut movable_by_rank: Vec<Vec<usize>> = vec![Vec::new(); nranks];
@@ -283,46 +436,18 @@ fn rebalance_delegate_arcs(arcs: &mut [Vec<Arc>], movable: Vec<(usize, usize)>, 
     for list in &mut movable_by_rank {
         list.sort_unstable();
     }
+    let counts: Vec<usize> = movable_by_rank.iter().map(Vec::len).collect();
+    let plan = plan_rebalance(&loads, &counts, nranks);
 
-    // Collect every surplus delegate arc into a pool.
     let mut pool: Vec<Arc> = Vec::new();
     for r in 0..nranks {
-        while loads[r] > ideal {
-            let Some(idx) = movable_by_rank[r].pop() else {
-                break;
-            };
-            // Indices were recorded against the original list; removals go
-            // from the highest index down, so `idx` is still in range and
-            // still points at the same (delegate-source) arc.
+        for _ in 0..plan.surplus[r] {
+            let idx = movable_by_rank[r].pop().expect("surplus within movable");
             pool.push(arcs[r].remove(idx));
-            loads[r] -= 1;
         }
     }
-
-    // Deal the pool to the most under-loaded ranks first.
-    let mut order: Vec<usize> = (0..nranks).collect();
-    order.sort_by_key(|&r| loads[r]);
-    let mut i = 0;
-    'deal: loop {
-        let mut placed = false;
-        for &r in &order {
-            if i >= pool.len() {
-                break 'deal;
-            }
-            if loads[r] < ideal + 1 {
-                arcs[r].push(pool[i]);
-                loads[r] += 1;
-                i += 1;
-                placed = true;
-            }
-        }
-        if !placed {
-            // Everyone at ideal: spill the remainder round-robin.
-            for (j, arc) in pool[i..].iter().enumerate() {
-                arcs[j % nranks].push(*arc);
-            }
-            break;
-        }
+    for (arc, &r) in pool.into_iter().zip(&plan.dest) {
+        arcs[r].push(arc);
     }
 }
 
@@ -366,7 +491,7 @@ impl BalanceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use infomap_graph::generators;
+    use infomap_graph::{generators, Graph};
 
     fn hub_graph() -> Graph {
         // Star with 40 leaves plus a sparse ring among the leaves.
@@ -503,6 +628,65 @@ mod tests {
             // Arc conservation under rebalancing.
             let expect: usize = (0..g.num_vertices() as VertexId).map(|u| g.degree(u)).sum();
             assert_eq!(part.total_arcs(), expect, "p={p}");
+        }
+    }
+
+    #[test]
+    fn shard_rank_arcs_match_monolithic_delegate_partition() {
+        // The per-shard reconstruction (owned rows + synthesized reverse
+        // delegate arcs + one sort) must reproduce each rank's monolithic
+        // arc list exactly — order included — with and without the
+        // rebalancing pass replayed from the pure plan.
+        let degs = generators::power_law_degrees(800, 2.1, 2, 200, 12);
+        let g = generators::chung_lu(&degs, 4);
+        let n = g.num_vertices();
+        let degrees: Vec<u32> = (0..n as VertexId).map(|u| g.degree(u) as u32).collect();
+        for p in [1usize, 2, 3, 5, 8] {
+            let threshold = DelegateThreshold::Fixed(25);
+            let (_, is_delegate) = delegates_from_degrees(&degrees, p, threshold);
+
+            // Without rebalance: direct comparison per rank.
+            let mono = Partition::delegate(&g, p, threshold, false);
+            let per_rank: Vec<(Vec<Arc>, Vec<usize>)> = (0..p)
+                .map(|r| shard_rank_arcs(&g, r, p, &is_delegate))
+                .collect();
+            for (r, (arcs, movable)) in per_rank.iter().enumerate() {
+                assert_eq!(arcs, &mono.arcs[r], "p={p} rank {r} pre-rebalance arcs");
+                for &i in movable {
+                    assert!(is_delegate[arcs[i].src as usize]);
+                }
+            }
+
+            // With rebalance: replay the plan the way the distributed path
+            // does — extract surplus locally, exchange, append bucket-wise
+            // in source-rank order — and compare against the monolithic
+            // result.
+            let mono_rb = Partition::delegate(&g, p, threshold, true);
+            let loads: Vec<usize> = per_rank.iter().map(|(a, _)| a.len()).collect();
+            let counts: Vec<usize> = per_rank.iter().map(|(_, m)| m.len()).collect();
+            let plan = plan_rebalance(&loads, &counts, p);
+            let mut shard_arcs: Vec<Vec<Arc>> = per_rank.iter().map(|(a, _)| a.clone()).collect();
+            let mut buckets: Vec<Vec<Vec<Arc>>> = vec![vec![Vec::new(); p]; p]; // [src][dst]
+            for r in 0..p {
+                let mut movable = per_rank[r].1.clone();
+                let base = plan.pool_base(r);
+                for k in 0..plan.surplus[r] {
+                    let idx = movable.pop().expect("surplus within movable");
+                    let arc = shard_arcs[r].remove(idx);
+                    buckets[r][plan.dest[base + k]].push(arc);
+                }
+            }
+            for dst in 0..p {
+                for src in 0..p {
+                    shard_arcs[dst].extend(buckets[src][dst].iter().copied());
+                }
+            }
+            for r in 0..p {
+                assert_eq!(
+                    shard_arcs[r], mono_rb.arcs[r],
+                    "p={p} rank {r} rebalanced arcs"
+                );
+            }
         }
     }
 
