@@ -2,6 +2,7 @@
 //! explicit state machine over `--flag value` pairs.
 
 use infomap_distributed::CommPath;
+use infomap_transport_socket::CollectiveAlgo;
 
 use crate::launch::{LaunchOpts, TransportKind, WorkerOpts};
 
@@ -44,6 +45,9 @@ one OS process per rank; bit-identical to `cluster --algorithm dist`):
   --quiet                             suppress the run report
   --transport uds|tcp                 socket family (default uds)
   --base-port P                       tcp only: listen on 127.0.0.1:P+rank
+  --collective-algo flat|logp         collective routing: flat full mesh or
+                                      log-round Bruck allgather (default logp;
+                                      bit-identical results either way)
   --checkpoint-every N                durable checkpoints every N rounds (0 = off)
   --max-retries N                     world relaunches after a failure (default 3)
   --timeout-ms MS                     per-collective deadline (default 5000)
@@ -313,6 +317,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 paged: false,
                 block_bytes: 0,
                 cache_blocks: 0,
+                collective_algo: CollectiveAlgo::default(),
             };
             let mut base_port: Option<u16> = None;
             let mut tcp = false;
@@ -331,6 +336,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--kill-rank" => o.kill_rank = Some(parse_kill(&next(&mut it, flag)?)?),
                     "--dir" => o.dir = Some(next(&mut it, flag)?),
                     "--comm-path" => o.comm_path = parse_comm_path(&next(&mut it, flag)?)?,
+                    "--collective-algo" => {
+                        o.collective_algo = parse_collective_algo(&next(&mut it, flag)?)?
+                    }
                     "--graph-shard-dir" => o.graph_shard_dir = Some(next(&mut it, flag)?),
                     "--paged" => o.paged = true,
                     "--block-bytes" => o.block_bytes = num(&mut it, flag)?,
@@ -361,6 +369,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 paged: false,
                 block_bytes: 0,
                 cache_blocks: 0,
+                collective_algo: CollectiveAlgo::default(),
             };
             let mut base_port: Option<u16> = None;
             let mut tcp = false;
@@ -377,6 +386,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--checkpoint-every" => o.checkpoint_every = num(&mut it, flag)?,
                     "--timeout-ms" => o.timeout_ms = num(&mut it, flag)?,
                     "--comm-path" => o.comm_path = parse_comm_path(&next(&mut it, flag)?)?,
+                    "--collective-algo" => {
+                        o.collective_algo = parse_collective_algo(&next(&mut it, flag)?)?
+                    }
                     "--output" => o.output = Some(next(&mut it, flag)?),
                     "--graph-shard-dir" => o.graph_shard_dir = Some(next(&mut it, flag)?),
                     "--paged" => o.paged = true,
@@ -399,6 +411,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+fn parse_collective_algo(raw: &str) -> Result<CollectiveAlgo, String> {
+    CollectiveAlgo::parse(raw).ok_or_else(|| format!("unknown collective algo {raw:?}"))
 }
 
 fn parse_comm_path(raw: &str) -> Result<CommPath, String> {

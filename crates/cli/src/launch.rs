@@ -47,7 +47,7 @@ use infomap_graph::snapshot::{
     read_header, shard_path, PageCacheConfig, SnapshotHeader, SnapshotStore as GraphSnapshotStore,
 };
 use infomap_mpisim::{Comm, CostModel, TransportFault};
-use infomap_transport_socket::{SocketConfig, SocketTransport};
+use infomap_transport_socket::{CollectiveAlgo, SocketConfig, SocketTransport};
 
 /// Worker exit code for a structured transport failure (diagnostic JSON
 /// written). Anything else nonzero is an ordinary error.
@@ -96,6 +96,10 @@ pub struct LaunchOpts {
     pub block_bytes: usize,
     /// Paged mode: cache capacity in blocks (0 = library default).
     pub cache_blocks: usize,
+    /// Collective routing inside the socket transport (`--collective-algo`);
+    /// flat is the verification baseline, logp the default fast path.
+    /// Bit-identical either way — only the routing differs.
+    pub collective_algo: CollectiveAlgo,
 }
 
 /// Parsed hidden `_rank` invocation (one worker process).
@@ -122,6 +126,8 @@ pub struct WorkerOpts {
     pub block_bytes: usize,
     /// Forwarded from `launch --cache-blocks`.
     pub cache_blocks: usize,
+    /// Forwarded from `launch --collective-algo`.
+    pub collective_algo: CollectiveAlgo,
 }
 
 /// The `--paged`/`--block-bytes`/`--cache-blocks` triple as a cache
@@ -155,7 +161,12 @@ fn diag_path(dir: &Path, rank: usize) -> PathBuf {
     dir.join(format!("rank-{rank}.diag.json"))
 }
 
-fn socket_config(o_transport: TransportKind, dir: &Path, timeout_ms: u64) -> SocketConfig {
+fn socket_config(
+    o_transport: TransportKind,
+    dir: &Path,
+    timeout_ms: u64,
+    collective_algo: CollectiveAlgo,
+) -> SocketConfig {
     let mut cfg = match o_transport {
         TransportKind::Uds => SocketConfig::uds(sock_dir(dir)),
         TransportKind::Tcp { base_port } => SocketConfig::tcp(base_port),
@@ -164,6 +175,7 @@ fn socket_config(o_transport: TransportKind, dir: &Path, timeout_ms: u64) -> Soc
     // Keep the liveness window responsive relative to the deadline.
     cfg.heartbeat = Duration::from_millis((timeout_ms / 8).clamp(25, 250));
     cfg.setup_timeout = setup_window(timeout_ms);
+    cfg.collective_algo = collective_algo;
     cfg
 }
 
@@ -259,7 +271,7 @@ fn worker_inner(o: &WorkerOpts) -> Result<(), WorkerFailure> {
     };
     let restored = store.agreed_pos().is_some();
 
-    let scfg = socket_config(o.transport, &dir, o.timeout_ms);
+    let scfg = socket_config(o.transport, &dir, o.timeout_ms, o.collective_algo);
     let transport = SocketTransport::connect(o.rank, o.procs, scfg).map_err(|e| {
         write_diag(&dir, o.rank, "connect", &format!("{e}"));
         WorkerFailure::Transport
@@ -695,6 +707,9 @@ fn run_world_once(
         }
         if o.comm_path == CommPath::Legacy {
             cmd.arg("--comm-path").arg("legacy");
+        }
+        if o.collective_algo != CollectiveAlgo::default() {
+            cmd.arg("--collective-algo").arg(o.collective_algo.name());
         }
         if rank == 0 {
             if let Some(out) = &o.output {

@@ -90,7 +90,7 @@ fn calibrated_kill_ms(graph_path: &str, dir: &std::path::Path) -> u64 {
     let started = Instant::now();
     let (ok, _stdout, stderr) = run_guarded(&[
         "launch",
-        &graph_path,
+        graph_path,
         "--procs",
         "4",
         "--seed",
@@ -183,8 +183,10 @@ fn sigkill_without_checkpoints_names_the_dead_peer() {
         "0",
         "--timeout-ms",
         "1500",
+        // @0: fire before the first supervision sleep — a positive delay
+        // races the end of the run at the launcher's 10ms poll granularity.
         "--kill-rank",
-        "2@30",
+        "2@0",
         "--quiet",
     ]);
     assert!(!ok, "launch must fail when the world cannot be relaunched");
@@ -243,8 +245,14 @@ fn exhausted_retries_degrade_to_the_best_checkpoint() {
         "0",
         "--timeout-ms",
         "1500",
+        // The kill must land before the world finishes, and the log-round
+        // transport finishes a 300-vertex p=3 run within the launcher's
+        // own 10ms poll granularity — any positive delay races the end.
+        // @0 fires on the first supervision iteration, before the ranks
+        // can possibly have bootstrapped; the pre-seeded checkpoints are
+        // exactly what makes such an early kill exercise the degradation.
         "--kill-rank",
-        "1@40",
+        "1@0",
         "--dir",
         rendezvous.to_str().unwrap(),
         "--output",

@@ -194,6 +194,16 @@ impl Comm {
         }
     }
 
+    /// Measured-time counters from the underlying byte transport, if this
+    /// communicator runs over one that meters itself. `None` for the
+    /// thread world — it moves no bytes, so there is nothing to measure.
+    pub fn transport_metrics(&self) -> Option<crate::TransportMetrics> {
+        match &self.backend {
+            Backend::Byte(b) => b.transport.metrics(),
+            Backend::Thread(_) => None,
+        }
+    }
+
     /// Toggle collective-schedule verification (builder-style, for
     /// transport-backed communicators).
     pub fn with_schedule_check(mut self, on: bool) -> Self {

@@ -53,10 +53,13 @@ mod wire;
 mod world;
 
 pub use comm::{Comm, ReduceOp};
-pub use cost::{CostModel, PhaseBreakdown};
+pub use cost::{
+    fit_latency_bandwidth, CalibrationFit, CalibrationSample, CostModel, PhaseBreakdown,
+    ResidualReport,
+};
 pub use fault::{CrashSpec, FaultPlan, MessageFaultKind, MessageFaultSpec, StragglerSpec};
 pub use payload::{WireDecodeError, WirePayload};
 pub use stats::{FaultStats, PhaseStats, RankStats};
-pub use transport::{Transport, TransportError, TransportFault};
+pub use transport::{OpMetrics, Transport, TransportError, TransportFault, TransportMetrics};
 pub use wire::WireSized;
 pub use world::{RankOutcome, World, WorldOutcome, WorldReport};

@@ -156,6 +156,58 @@ pub trait Transport: Send {
 
     /// Human-readable backend name for diagnostics (`"uds"`, `"tcp"`).
     fn describe(&self) -> String;
+
+    /// Measured-time counters accumulated so far, if this backend meters
+    /// its operations. The default (`None`) keeps trivial backends — and
+    /// the in-process thread world, which moves no bytes — honest instead
+    /// of reporting zeros that look like measurements.
+    fn metrics(&self) -> Option<TransportMetrics> {
+        None
+    }
+}
+
+/// Wall-clock and wire-volume counters for one operation kind
+/// (`"exchange_logp"`, `"p2p_send"`, …). Byte counts are *wire* bytes —
+/// payload plus frame header and checksum — so a cost-model fit against
+/// them prices what actually crossed the socket.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpMetrics {
+    /// Completed operations of this kind.
+    pub calls: u64,
+    /// Frames this rank wrote for the operation.
+    pub frames_sent: u64,
+    /// Wire bytes written (header + payload + checksum per frame).
+    pub bytes_sent: u64,
+    /// Frames consumed to complete the operation.
+    pub frames_recv: u64,
+    /// Wire bytes consumed.
+    pub bytes_recv: u64,
+    /// Wall-clock time from operation start to completion, summed over
+    /// calls. For collectives this includes the wait for peers, which is
+    /// exactly what a makespan model must price.
+    pub wall: Duration,
+}
+
+/// Per-operation-kind [`OpMetrics`], keyed by a stable snake_case name.
+/// A `BTreeMap` so serialized output is deterministically ordered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransportMetrics {
+    pub ops: std::collections::BTreeMap<String, OpMetrics>,
+}
+
+impl TransportMetrics {
+    /// Merge `other` into `self` (used to aggregate ranks of a world).
+    pub fn absorb(&mut self, other: &TransportMetrics) {
+        for (key, m) in &other.ops {
+            let slot = self.ops.entry(key.clone()).or_default();
+            slot.calls += m.calls;
+            slot.frames_sent += m.frames_sent;
+            slot.bytes_sent += m.bytes_sent;
+            slot.frames_recv += m.frames_recv;
+            slot.bytes_recv += m.bytes_recv;
+            slot.wall += m.wall;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,10 @@ pub enum FrameKind {
     P2p = 5,
     /// Collective contribution (tag = collective sequence number).
     Coll = 6,
+    /// One round of a log-round collective (tag = collective sequence
+    /// number; the round index and relayed blocks travel in the payload,
+    /// see [`crate::collectives`]).
+    CollRound = 7,
 }
 
 impl FrameKind {
@@ -49,6 +53,7 @@ impl FrameKind {
             4 => Some(FrameKind::Heartbeat),
             5 => Some(FrameKind::P2p),
             6 => Some(FrameKind::Coll),
+            7 => Some(FrameKind::CollRound),
             _ => None,
         }
     }
@@ -71,27 +76,57 @@ pub const CHECKSUM_BYTES: usize = 8;
 /// decoder wait forever for petabytes that will never come).
 pub const MAX_PAYLOAD: usize = 1 << 30;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+/// FNV-1a offset basis — the seed for [`fnv1a_update`].
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One incremental FNV-1a step: fold `bytes` into a running hash. The
+/// frame checksum is `fnv1a_update(fnv1a_update(FNV_OFFSET, &header[2..]),
+/// payload)`, which lets the send path checksum a borrowed payload without
+/// first copying it into a contiguous frame.
+pub fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for b in bytes {
         h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
 }
 
+fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// Build the fixed-size wire header for a frame with `len` payload bytes.
+pub fn header(kind: FrameKind, src: u32, tag: u64, len: usize) -> [u8; HEADER_BYTES] {
+    let mut h = [0u8; HEADER_BYTES];
+    h[0..2].copy_from_slice(&MAGIC);
+    h[2] = kind as u8;
+    h[3] = 0;
+    h[4..8].copy_from_slice(&src.to_le_bytes());
+    h[8..16].copy_from_slice(&tag.to_le_bytes());
+    h[16..20].copy_from_slice(&(len as u32).to_le_bytes());
+    h
+}
+
+/// Total wire bytes of a frame carrying `payload_len` payload bytes.
+pub fn wire_bytes(payload_len: usize) -> u64 {
+    (HEADER_BYTES + payload_len + CHECKSUM_BYTES) as u64
+}
+
 /// Encode `frame` into its wire bytes.
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_BYTES + frame.payload.len() + CHECKSUM_BYTES);
-    out.extend_from_slice(&MAGIC);
-    out.push(frame.kind as u8);
-    out.push(0);
-    out.extend_from_slice(&frame.src.to_le_bytes());
-    out.extend_from_slice(&frame.tag.to_le_bytes());
-    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&frame.payload);
-    let sum = fnv1a(&out[2..]);
-    out.extend_from_slice(&sum.to_le_bytes());
+    encode_into(frame.kind, frame.src, frame.tag, &frame.payload, &mut out);
     out
+}
+
+/// Encode a frame from a borrowed payload into a reusable buffer
+/// (appended; the caller clears). One payload copy, no fresh allocation
+/// once the buffer has warmed up.
+pub fn encode_into(kind: FrameKind, src: u32, tag: u64, payload: &[u8], out: &mut Vec<u8>) {
+    let hdr = header(kind, src, tag, payload.len());
+    out.extend_from_slice(&hdr);
+    out.extend_from_slice(payload);
+    let sum = fnv1a_update(fnv1a_update(FNV_OFFSET, &hdr[2..]), payload);
+    out.extend_from_slice(&sum.to_le_bytes());
 }
 
 /// Result of attempting to decode one frame from the front of a buffer.
@@ -309,6 +344,30 @@ mod tests {
         assert!(matches!(reader.next_frame(), Decoded::Frame { .. }));
         // The garbage now sits at the buffer front and is rejected.
         assert!(matches!(reader.next_frame(), Decoded::Corrupt(_)));
+    }
+
+    #[test]
+    fn coll_round_kind_roundtrips() {
+        let f = sample(FrameKind::CollRound, vec![0, 1, 2, 3]);
+        let bytes = encode(&f);
+        match decode(&bytes) {
+            Decoded::Frame { frame, .. } => assert_eq!(frame.kind, FrameKind::CollRound),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_checksum_matches_contiguous_encode() {
+        // The zero-copy send path checksums header and payload in two
+        // steps; it must produce the exact bytes of the one-shot encoder.
+        let f = sample(FrameKind::Coll, (0..200).map(|i| (i * 7) as u8).collect());
+        let whole = encode(&f);
+        let hdr = header(f.kind, f.src, f.tag, f.payload.len());
+        let sum = fnv1a_update(fnv1a_update(FNV_OFFSET, &hdr[2..]), &f.payload);
+        let mut split = hdr.to_vec();
+        split.extend_from_slice(&f.payload);
+        split.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(whole, split);
     }
 
     #[test]

@@ -33,10 +33,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod collectives;
 pub mod frame;
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -46,7 +47,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use frame::{Decoded, Frame, FrameKind, FrameReader};
-use infomap_mpisim::{Transport, TransportError};
+use infomap_mpisim::{Transport, TransportError, TransportMetrics};
 
 /// Where the mesh lives.
 #[derive(Clone, Debug)]
@@ -63,6 +64,39 @@ impl Endpoint {
         match self {
             Endpoint::Uds { dir } => format!("uds:{}", dir.display()),
             Endpoint::Tcp { base_port } => format!("tcp:127.0.0.1:{base_port}+r"),
+        }
+    }
+}
+
+/// How symmetric collectives route their contributions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CollectiveAlgo {
+    /// Full mesh: every rank sends its whole contribution to every other
+    /// rank — p−1 frames out per rank, a p-way incast in. Kept selectable
+    /// as the verification baseline (the `CommPath::Legacy` precedent).
+    Flat,
+    /// Bruck/dissemination allgather: ⌈log₂ p⌉ rounds, one send and one
+    /// receive per rank per round, any p (see [`collectives`]). Every rank
+    /// still ends with all p blobs indexed by source rank, so the local
+    /// rank-order folds above are untouched and bit-identity holds by
+    /// construction. All ranks of a world must agree on the algorithm.
+    #[default]
+    LogP,
+}
+
+impl CollectiveAlgo {
+    pub fn parse(s: &str) -> Option<CollectiveAlgo> {
+        match s {
+            "flat" => Some(CollectiveAlgo::Flat),
+            "logp" => Some(CollectiveAlgo::LogP),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveAlgo::Flat => "flat",
+            CollectiveAlgo::LogP => "logp",
         }
     }
 }
@@ -86,6 +120,9 @@ pub struct SocketConfig {
     /// Extra allowance for the whole bootstrap handshake (process spawn +
     /// mesh dial + Ready/Go), on top of `timeout`.
     pub setup_timeout: Duration,
+    /// Routing of symmetric collectives; must agree across all ranks of a
+    /// world (the launcher forwards one value to every worker).
+    pub collective_algo: CollectiveAlgo,
 }
 
 impl SocketConfig {
@@ -97,6 +134,7 @@ impl SocketConfig {
             connect_retries: 6,
             connect_backoff: Duration::from_millis(20),
             setup_timeout: Duration::from_millis(10_000),
+            collective_algo: CollectiveAlgo::default(),
         }
     }
 
@@ -163,6 +201,16 @@ impl Write for Stream {
             Stream::Tcp(s) => s.flush(),
         }
     }
+
+    /// Forward to the sockets' real vectored write (the `Write` default
+    /// would silently write only the first buffer) so the zero-copy frame
+    /// path issues header + payload + checksum in one syscall.
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.write_vectored(bufs),
+            Stream::Tcp(s) => s.write_vectored(bufs),
+        }
+    }
 }
 
 enum Listener {
@@ -181,7 +229,13 @@ impl Listener {
     fn accept(&self) -> std::io::Result<Stream> {
         match self {
             Listener::Uds(l) => l.accept().map(|(s, _)| Stream::Uds(s)),
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Small scalar collectives must not sit behind Nagle /
+                // delayed-ACK interactions; frames are already batched at
+                // the sender, so coalescing buys nothing here.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
         }
     }
 }
@@ -214,11 +268,69 @@ pub struct SocketTransport {
     p2p_stash: HashMap<(usize, u64), VecDeque<Vec<u8>>>,
     /// Collective contributions by sequence number, then source rank.
     coll_stash: HashMap<u64, Vec<Option<Vec<u8>>>>,
+    /// Log-round collective payloads by `(sequence, source)`. One slot per
+    /// pair suffices: within one exchange every round's frame arrives from
+    /// a distinct peer (see `collectives::tests::senders_are_distinct…`),
+    /// and a fast peer can be at most one exchange ahead under a *new*
+    /// sequence number.
+    round_stash: HashMap<(u64, usize), Vec<u8>>,
     /// Bootstrap control frames (Ready/Go) in arrival order.
     ctrl_queue: VecDeque<(usize, FrameKind)>,
     stop: Arc<AtomicBool>,
     /// Own listener socket path (UDS), unlinked on drop.
     own_path: Option<PathBuf>,
+    /// Reusable staging buffer for small frames: header + payload +
+    /// checksum coalesce into one buffered write (no per-frame allocation
+    /// once warm).
+    send_buf: Vec<u8>,
+    /// Measured per-operation counters (wall-clock, frames, wire bytes),
+    /// surfaced through [`Transport::metrics`] for cost-model calibration.
+    metrics: TransportMetrics,
+}
+
+/// Frames with payloads up to this size are staged and written in one
+/// contiguous buffered write; larger payloads go through a vectored write
+/// directly from the caller's buffer (zero copy).
+const SMALL_FRAME: usize = 4096;
+
+/// Write one frame from a borrowed payload. Small payloads are coalesced
+/// into `staging` (reused across calls) so header, payload and checksum
+/// leave in a single write; large payloads are written vectored —
+/// `[header | payload | checksum]` — straight from the caller's buffer,
+/// never copied into a fresh `Vec` as `frame::encode` would.
+fn write_frame_parts(
+    stream: &mut Stream,
+    staging: &mut Vec<u8>,
+    kind: FrameKind,
+    src: u32,
+    tag: u64,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    if payload.len() <= SMALL_FRAME {
+        staging.clear();
+        frame::encode_into(kind, src, tag, payload, staging);
+        return stream.write_all(staging);
+    }
+    let hdr = frame::header(kind, src, tag, payload.len());
+    let sum = frame::fnv1a_update(frame::fnv1a_update(frame::FNV_OFFSET, &hdr[2..]), payload);
+    let trailer = sum.to_le_bytes();
+    let mut slices = [
+        IoSlice::new(&hdr),
+        IoSlice::new(payload),
+        IoSlice::new(&trailer),
+    ];
+    let mut bufs: &mut [IoSlice<'_>] = &mut slices;
+    while !bufs.is_empty() {
+        let n = stream.write_vectored(bufs)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "vectored frame write made no progress",
+            ));
+        }
+        IoSlice::advance_slices(&mut bufs, n);
+    }
+    Ok(())
 }
 
 fn dial(endpoint: &Endpoint, dest: usize) -> std::io::Result<Stream> {
@@ -227,7 +339,11 @@ fn dial(endpoint: &Endpoint, dest: usize) -> std::io::Result<Stream> {
             UnixStream::connect(dir.join(format!("rank-{dest}.sock"))).map(Stream::Uds)
         }
         Endpoint::Tcp { base_port } => {
-            TcpStream::connect(("127.0.0.1", base_port + dest as u16)).map(Stream::Tcp)
+            TcpStream::connect(("127.0.0.1", base_port + dest as u16)).map(|s| {
+                // See Listener::accept: disable Nagle on the dial side too.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            })
         }
     }
 }
@@ -564,9 +680,12 @@ impl SocketTransport {
             corrupt: vec![None; size],
             p2p_stash: HashMap::new(),
             coll_stash: HashMap::new(),
+            round_stash: HashMap::new(),
             ctrl_queue: VecDeque::new(),
             stop,
             own_path,
+            send_buf: Vec::new(),
+            metrics: TransportMetrics::default(),
         };
         transport.bootstrap_barrier(setup_deadline)?;
         Ok(transport)
@@ -594,26 +713,10 @@ impl SocketTransport {
                 }
             }
             for dest in 1..self.size {
-                self.send_raw(
-                    dest,
-                    &Frame {
-                        kind: FrameKind::Go,
-                        src: 0,
-                        tag: 0,
-                        payload: vec![],
-                    },
-                )?;
+                self.send_frame(dest, FrameKind::Go, 0, &[])?;
             }
         } else {
-            self.send_raw(
-                0,
-                &Frame {
-                    kind: FrameKind::Ready,
-                    src: self.rank as u32,
-                    tag: 0,
-                    payload: vec![],
-                },
-            )?;
+            self.send_frame(0, FrameKind::Ready, 0, &[])?;
             match self.next_ctrl(deadline, "bootstrap go from rank 0")? {
                 (0, FrameKind::Go) => {}
                 (src, kind) => {
@@ -645,7 +748,7 @@ impl SocketTransport {
                     detail: format!("{what} timed out"),
                 });
             }
-            self.block_for_event(Duration::from_millis(20));
+            self.wait_for_event_until(deadline);
         }
     }
 
@@ -677,12 +780,29 @@ impl SocketTransport {
         }
     }
 
-    /// Block briefly for one event (then drain the rest without blocking).
+    /// Block for one event (then drain the rest without blocking). The
+    /// event channel wakes immediately on any frame arrival, peer death or
+    /// corruption — the common cases are event-driven, not polled.
     fn block_for_event(&mut self, wait: Duration) {
         if let Ok(ev) = self.events.recv_timeout(wait) {
             self.absorb(ev);
             self.drain_events();
         }
+    }
+
+    /// Event-driven wait bounded by the caller's real deadline. The only
+    /// reason not to sleep until the deadline outright is heartbeat-lapse
+    /// detection: readers stamp `last_seen` without posting an event (a
+    /// frozen peer posts nothing at all), so the wait is additionally
+    /// capped at the heartbeat interval — the granularity at which a lapse
+    /// can become observable. Small-message latency is *not* quantized by
+    /// this cap: an arriving frame wakes the channel immediately.
+    fn wait_for_event_until(&mut self, deadline: Instant) {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let wait = remaining
+            .min(self.cfg.heartbeat)
+            .max(Duration::from_millis(1));
+        self.block_for_event(wait);
     }
 
     fn absorb(&mut self, ev: Event) {
@@ -699,6 +819,20 @@ impl SocketTransport {
                         .entry(f.tag)
                         .or_insert_with(|| vec![None; self.size]);
                     slots[src] = Some(f.payload);
+                }
+                FrameKind::CollRound => {
+                    if self.round_stash.insert((f.tag, src), f.payload).is_some() {
+                        // Two round frames from the same peer within one
+                        // collective violate the Bruck schedule — the
+                        // stream can no longer be trusted.
+                        let detail = format!("duplicate collective round frame (seq {})", f.tag);
+                        if self.corrupt[src].is_none() {
+                            self.corrupt[src] = Some(detail.clone());
+                        }
+                        if self.dead[src].is_none() {
+                            self.dead[src] = Some(format!("framing lost: {detail}"));
+                        }
+                    }
                 }
                 FrameKind::Ready | FrameKind::Go => {
                     self.ctrl_queue.push_back((src, f.kind));
@@ -740,23 +874,33 @@ impl SocketTransport {
         None
     }
 
-    /// Write one frame to `dest`, with bounded reconnect on failure:
+    /// Write one frame to `dest` from a borrowed payload (zero-copy path,
+    /// see [`write_frame_parts`]), with bounded reconnect on failure:
     /// retry the write after redialing with exponential backoff, up to
     /// `connect_retries` attempts, then declare the peer dead.
-    fn send_raw(&mut self, dest: usize, f: &Frame) -> Result<(), TransportError> {
+    fn send_frame(
+        &mut self,
+        dest: usize,
+        kind: FrameKind,
+        tag: u64,
+        payload: &[u8],
+    ) -> Result<(), TransportError> {
         if let Some(detail) = &self.corrupt[dest] {
             return Err(TransportError::FrameCorrupt {
                 peer: dest,
                 detail: detail.clone(),
             });
         }
-        let bytes = frame::encode(f);
+        let src = self.rank as u32;
         let mut attempt = 0u32;
         loop {
             let write_result = {
                 let mut guard = self.peers[dest].lock().unwrap();
                 match guard.as_mut() {
-                    Some(stream) => stream.write_all(&bytes).map_err(|e| e.to_string()),
+                    Some(stream) => {
+                        write_frame_parts(stream, &mut self.send_buf, kind, src, tag, payload)
+                            .map_err(|e| e.to_string())
+                    }
                     None => Err("no connection".to_string()),
                 }
             };
@@ -812,8 +956,8 @@ impl SocketTransport {
     }
 
     /// Gather one `Coll` contribution per rank for collective `seq`.
-    /// `mine` fills our own slot. Deadline-bounded; a missing peer is
-    /// named either dead or late.
+    /// `mine` fills our own slot (moved, not cloned). Deadline-bounded; a
+    /// missing peer is named either dead or late.
     fn gather_collective(
         &mut self,
         seq: u64,
@@ -822,6 +966,7 @@ impl SocketTransport {
     ) -> Result<Vec<Vec<u8>>, TransportError> {
         let deadline = Instant::now() + self.cfg.timeout;
         let started = Instant::now();
+        let mut mine = Some(mine);
         loop {
             self.drain_events();
             let complete = {
@@ -839,7 +984,7 @@ impl SocketTransport {
                 let mut out = Vec::with_capacity(self.size);
                 for (src, slot) in slots.iter_mut().enumerate() {
                     if src == self.rank {
-                        out.push(mine.clone());
+                        out.push(mine.take().expect("own contribution consumed once"));
                     } else {
                         out.push(slot.take().unwrap());
                     }
@@ -865,9 +1010,192 @@ impl SocketTransport {
                     elapsed: started.elapsed(),
                 });
             }
-            self.block_for_event(Duration::from_millis(20));
+            self.wait_for_event_until(deadline);
         }
     }
+
+    /// Flat full-mesh exchange: broadcast `mine` to every peer, then
+    /// gather. The verification baseline for [`CollectiveAlgo::LogP`].
+    fn exchange_flat(&mut self, seq: u64, mine: Vec<u8>) -> Result<Vec<Vec<u8>>, TransportError> {
+        let started = Instant::now();
+        let mut frames_sent = 0u64;
+        let mut bytes_sent = 0u64;
+        for dest in 0..self.size {
+            if dest != self.rank {
+                self.send_frame(dest, FrameKind::Coll, seq, &mine)?;
+                frames_sent += 1;
+                bytes_sent += frame::wire_bytes(mine.len());
+            }
+        }
+        let out = self.gather_collective(seq, "exchange", mine)?;
+        let (frames_recv, bytes_recv) = recv_side(&out, self.rank);
+        self.op_done(
+            "exchange_flat",
+            started,
+            [frames_sent, bytes_sent, frames_recv, bytes_recv],
+        );
+        Ok(out)
+    }
+
+    /// Bruck log-round exchange: ⌈log₂ p⌉ rounds, one send and one receive
+    /// per round (see [`collectives`]). Returns all p blobs indexed by
+    /// source rank — the exact contract of [`Self::exchange_flat`].
+    fn exchange_logp(&mut self, seq: u64, mine: Vec<u8>) -> Result<Vec<Vec<u8>>, TransportError> {
+        let started = Instant::now();
+        let p = self.size;
+        if p == 1 {
+            self.op_done("exchange_logp", started, [0, 0, 0, 0]);
+            return Ok(vec![mine]);
+        }
+        let deadline = started + self.cfg.timeout;
+        let mut frames_sent = 0u64;
+        let mut bytes_sent = 0u64;
+        let mut frames_recv = 0u64;
+        let mut bytes_recv = 0u64;
+        // Virtual-order buffer: slot v holds the blob of rank (rank+v)%p.
+        let mut have: Vec<Option<Vec<u8>>> = vec![None; p];
+        have[0] = Some(mine);
+        let plans = collectives::bruck_rounds(self.rank, p);
+        for step in 0..plans.len() {
+            let plan = plans[step];
+            let body = collectives::encode_round(
+                plan.round,
+                (0..plan.send_blocks).map(|v| {
+                    (
+                        (self.rank + v) % p,
+                        have[v].as_deref().expect("bruck invariant: prefix held"),
+                    )
+                }),
+            );
+            self.send_frame(plan.send_to, FrameKind::CollRound, seq, &body)?;
+            frames_sent += 1;
+            bytes_sent += frame::wire_bytes(body.len());
+            let payload = self.await_round(seq, &plans[step..], deadline, started)?;
+            frames_recv += 1;
+            bytes_recv += frame::wire_bytes(payload.len());
+            let (round, blocks) = match collectives::decode_round(&payload) {
+                Ok(d) => d,
+                Err(detail) => return Err(self.round_corrupt(plan.recv_from, detail)),
+            };
+            if round != plan.round {
+                return Err(self.round_corrupt(
+                    plan.recv_from,
+                    format!("round {round} frame arrived in round {}", plan.round),
+                ));
+            }
+            if blocks.len() != plan.send_blocks {
+                return Err(self.round_corrupt(
+                    plan.recv_from,
+                    format!(
+                        "round {round} carried {} blocks, schedule says {}",
+                        blocks.len(),
+                        plan.send_blocks
+                    ),
+                ));
+            }
+            for (i, (gsrc, blob)) in blocks.into_iter().enumerate() {
+                let expected = (plan.recv_from + i) % p;
+                if gsrc != expected {
+                    return Err(self.round_corrupt(
+                        plan.recv_from,
+                        format!(
+                            "round {round} block {i} claims source {gsrc}, expected {expected}"
+                        ),
+                    ));
+                }
+                let v = plan.recv_at + i;
+                debug_assert!(have[v].is_none(), "bruck slot filled twice");
+                have[v] = Some(blob);
+            }
+        }
+        self.op_done(
+            "exchange_logp",
+            started,
+            [frames_sent, bytes_sent, frames_recv, bytes_recv],
+        );
+        Ok(collectives::reindex(self.rank, have))
+    }
+
+    /// Wait for the `CollRound` frame of `remaining[0]`. Fails fast on any
+    /// dead *remaining upstream* (current or future round) that never
+    /// delivered its round frame — under log-round routing those frames
+    /// can never be replaced, so the exchange is doomed the moment such a
+    /// peer dies, and naming it now beats a timeout naming an innocent
+    /// relay. A peer that finished the exchange and exited is never
+    /// misnamed: its frames precede EOF on the connection and the event
+    /// queue is FIFO, so by the time its death is visible its round frame
+    /// is already stashed.
+    fn await_round(
+        &mut self,
+        seq: u64,
+        remaining: &[collectives::RoundPlan],
+        deadline: Instant,
+        started: Instant,
+    ) -> Result<Vec<u8>, TransportError> {
+        let plan = remaining[0];
+        loop {
+            self.drain_events();
+            if let Some(payload) = self.round_stash.remove(&(seq, plan.recv_from)) {
+                return Ok(payload);
+            }
+            for later in remaining {
+                if !self.round_stash.contains_key(&(seq, later.recv_from)) {
+                    if let Some(err) = self.liveness_verdict(later.recv_from) {
+                        return Err(err);
+                    }
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(TransportError::Timeout {
+                    op: format!("exchange seq={seq} round={}", plan.round),
+                    waiting_on: vec![plan.recv_from],
+                    elapsed: started.elapsed(),
+                });
+            }
+            self.wait_for_event_until(deadline);
+        }
+    }
+
+    /// Mark `peer`'s stream untrustworthy after an undecodable relayed
+    /// round payload and produce the named error. The per-hop frame
+    /// checksum was valid, so this is corruption (or a protocol bug)
+    /// upstream of the relay — framing can't be resynchronized either way.
+    fn round_corrupt(&mut self, peer: usize, detail: String) -> TransportError {
+        let detail = format!("collective round payload: {detail}");
+        if self.corrupt[peer].is_none() {
+            self.corrupt[peer] = Some(detail.clone());
+        }
+        if self.dead[peer].is_none() {
+            self.dead[peer] = Some(format!("framing lost: {detail}"));
+        }
+        TransportError::FrameCorrupt { peer, detail }
+    }
+
+    /// Fold one finished operation into the measured-time metrics.
+    /// `fsfr` is `[frames_sent, bytes_sent, frames_recv, bytes_recv]`.
+    fn op_done(&mut self, key: &'static str, started: Instant, fsfr: [u64; 4]) {
+        let m = self.metrics.ops.entry(key.to_string()).or_default();
+        m.calls += 1;
+        m.frames_sent += fsfr[0];
+        m.bytes_sent += fsfr[1];
+        m.frames_recv += fsfr[2];
+        m.bytes_recv += fsfr[3];
+        m.wall += started.elapsed();
+    }
+}
+
+/// Receive-side frame/byte counts of a gathered exchange: one frame per
+/// non-own slot, wire-priced.
+fn recv_side(out: &[Vec<u8>], rank: usize) -> (u64, u64) {
+    let mut frames = 0u64;
+    let mut bytes = 0u64;
+    for (src, blob) in out.iter().enumerate() {
+        if src != rank {
+            frames += 1;
+            bytes += frame::wire_bytes(blob.len());
+        }
+    }
+    (frames, bytes)
 }
 
 /// Read the identifying `Hello` frame off a freshly accepted connection.
@@ -932,15 +1260,11 @@ impl Transport for SocketTransport {
 
     fn send(&mut self, dest: usize, tag: u64, payload: Vec<u8>) -> Result<(), TransportError> {
         assert!(dest < self.size, "send to rank {dest} out of range");
-        self.send_raw(
-            dest,
-            &Frame {
-                kind: FrameKind::P2p,
-                src: self.rank as u32,
-                tag,
-                payload,
-            },
-        )
+        let started = Instant::now();
+        let wire = frame::wire_bytes(payload.len());
+        self.send_frame(dest, FrameKind::P2p, tag, &payload)?;
+        self.op_done("p2p_send", started, [1, wire, 0, 0]);
+        Ok(())
     }
 
     fn recv(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, TransportError> {
@@ -950,6 +1274,8 @@ impl Transport for SocketTransport {
             self.drain_events();
             if let Some(queue) = self.p2p_stash.get_mut(&(src, tag)) {
                 if let Some(payload) = queue.pop_front() {
+                    let wire = frame::wire_bytes(payload.len());
+                    self.op_done("p2p_recv", started, [0, 0, 1, wire]);
                     return Ok(payload);
                 }
             }
@@ -963,25 +1289,15 @@ impl Transport for SocketTransport {
                     elapsed: started.elapsed(),
                 });
             }
-            self.block_for_event(Duration::from_millis(20));
+            self.wait_for_event_until(deadline);
         }
     }
 
     fn exchange(&mut self, seq: u64, mine: Vec<u8>) -> Result<Vec<Vec<u8>>, TransportError> {
-        for dest in 0..self.size {
-            if dest != self.rank {
-                self.send_raw(
-                    dest,
-                    &Frame {
-                        kind: FrameKind::Coll,
-                        src: self.rank as u32,
-                        tag: seq,
-                        payload: mine.clone(),
-                    },
-                )?;
-            }
+        match self.cfg.collective_algo {
+            CollectiveAlgo::Flat => self.exchange_flat(seq, mine),
+            CollectiveAlgo::LogP => self.exchange_logp(seq, mine),
         }
-        self.gather_collective(seq, "exchange", mine)
     }
 
     fn alltoallv(
@@ -994,27 +1310,39 @@ impl Transport for SocketTransport {
             self.size,
             "alltoallv needs a bucket per rank"
         );
+        let started = Instant::now();
+        let mut frames_sent = 0u64;
+        let mut bytes_sent = 0u64;
         let mut own = None;
         for (dest, bucket) in outgoing.into_iter().enumerate() {
             if dest == self.rank {
                 own = Some(bucket);
             } else {
-                self.send_raw(
-                    dest,
-                    &Frame {
-                        kind: FrameKind::Coll,
-                        src: self.rank as u32,
-                        tag: seq,
-                        payload: bucket,
-                    },
-                )?;
+                self.send_frame(dest, FrameKind::Coll, seq, &bucket)?;
+                frames_sent += 1;
+                bytes_sent += frame::wire_bytes(bucket.len());
             }
         }
-        self.gather_collective(seq, "alltoallv", own.unwrap_or_default())
+        let out = self.gather_collective(seq, "alltoallv", own.unwrap_or_default())?;
+        let (frames_recv, bytes_recv) = recv_side(&out, self.rank);
+        self.op_done(
+            "alltoallv",
+            started,
+            [frames_sent, bytes_sent, frames_recv, bytes_recv],
+        );
+        Ok(out)
     }
 
     fn describe(&self) -> String {
-        self.cfg.endpoint.describe()
+        format!(
+            "{} [{}]",
+            self.cfg.endpoint.describe(),
+            self.cfg.collective_algo.name()
+        )
+    }
+
+    fn metrics(&self) -> Option<TransportMetrics> {
+        Some(self.metrics.clone())
     }
 }
 
@@ -1209,5 +1537,135 @@ mod tests {
         });
         assert_eq!(out[0], vec![vec![40], vec![41]]);
         assert_eq!(out[1], vec![vec![40], vec![41]]);
+    }
+
+    /// Per-rank contribution mix designed to stress the exchange: an empty
+    /// blob, a blob crossing the `SMALL_FRAME` vectored-write threshold,
+    /// and odd sizes in between.
+    fn stress_blob(rank: usize, seq: u64) -> Vec<u8> {
+        let len = match rank % 4 {
+            0 => 0,
+            1 => SMALL_FRAME + 777, // forces the vectored large-frame path
+            2 => 1,
+            _ => 93 + rank,
+        };
+        (0..len)
+            .map(|i| (rank as u8) ^ (seq as u8) ^ (i as u8))
+            .collect()
+    }
+
+    #[test]
+    fn logp_exchange_matches_flat_for_many_world_sizes() {
+        for p in [2usize, 3, 5, 8] {
+            let run = |algo: CollectiveAlgo| {
+                let mut cfg = test_cfg(&format!("eq{p}{}", algo.name()));
+                cfg.collective_algo = algo;
+                mesh(p, cfg, |mut t| {
+                    let mut outs = Vec::new();
+                    for seq in 0..3u64 {
+                        outs.push(t.exchange(seq, stress_blob(t.rank(), seq)).unwrap());
+                    }
+                    outs
+                })
+            };
+            let flat = run(CollectiveAlgo::Flat);
+            let logp = run(CollectiveAlgo::LogP);
+            assert_eq!(flat, logp, "flat and logp disagree at p={p}");
+            for (rank, outs) in logp.iter().enumerate() {
+                for (seq, all) in outs.iter().enumerate() {
+                    for (src, blob) in all.iter().enumerate() {
+                        assert_eq!(
+                            blob,
+                            &stress_blob(src, seq as u64),
+                            "p={p} rank={rank} seq={seq} slot={src}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_frame_counts_match_the_collective_algo() {
+        let p = 5;
+        let exchanges = 3u64;
+        for algo in [CollectiveAlgo::Flat, CollectiveAlgo::LogP] {
+            let mut cfg = test_cfg(&format!("budget{}", algo.name()));
+            cfg.collective_algo = algo;
+            let metrics = mesh(p, cfg, move |mut t| {
+                for seq in 0..exchanges {
+                    t.exchange(seq, vec![t.rank() as u8; 16]).unwrap();
+                }
+                t.metrics().expect("socket transport meters itself")
+            });
+            let per_exchange = match algo {
+                CollectiveAlgo::Flat => (p - 1) as u64,
+                CollectiveAlgo::LogP => collectives::ceil_log2(p) as u64,
+            };
+            for (rank, m) in metrics.iter().enumerate() {
+                let op = &m.ops[match algo {
+                    CollectiveAlgo::Flat => "exchange_flat",
+                    CollectiveAlgo::LogP => "exchange_logp",
+                }];
+                assert_eq!(op.calls, exchanges, "rank {rank} calls");
+                assert_eq!(
+                    op.frames_sent,
+                    exchanges * per_exchange,
+                    "rank {rank} frames under {}",
+                    algo.name()
+                );
+                assert_eq!(op.frames_recv, exchanges * per_exchange, "rank {rank} recv");
+                assert!(op.bytes_sent > 0 && op.wall > Duration::ZERO, "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_relayed_round_frame_is_named() {
+        // Rank 1 speaks the frame protocol correctly (valid header and
+        // checksum) but the CollRound *payload* it relays is garbage — as
+        // if a block was mangled before its hop re-framed it. Rank 0 must
+        // fail its exchange with FrameCorrupt naming rank 1, not hang and
+        // not deliver garbage.
+        let out: Vec<Result<(), TransportError>> = mesh(2, test_cfg("mangled"), |mut t| {
+            if t.rank() == 1 {
+                t.send_frame(0, FrameKind::CollRound, 0, &[0xde, 0xad, 0xbe])?;
+                std::thread::sleep(Duration::from_millis(400));
+                return Ok(());
+            }
+            t.exchange(0, vec![7]).map(|_| ())
+        });
+        match &out[0] {
+            Err(TransportError::FrameCorrupt { peer: 1, detail }) => {
+                assert!(
+                    detail.contains("collective round payload"),
+                    "detail was {detail}"
+                );
+            }
+            other => panic!("expected FrameCorrupt{{peer: 1}}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_frame_claiming_wrong_source_is_named() {
+        // A well-formed round body whose block claims the wrong global
+        // source rank: schedule validation must reject it by name.
+        let out: Vec<Result<(), TransportError>> = mesh(2, test_cfg("wrongsrc"), |mut t| {
+            if t.rank() == 1 {
+                // Round 0 from rank 1 must carry rank 1's own blob; claim
+                // rank 0's identity instead.
+                let body = collectives::encode_round(0, [(0usize, &[9u8][..])].into_iter());
+                t.send_frame(0, FrameKind::CollRound, 0, &body)?;
+                std::thread::sleep(Duration::from_millis(400));
+                return Ok(());
+            }
+            t.exchange(0, vec![7]).map(|_| ())
+        });
+        match &out[0] {
+            Err(TransportError::FrameCorrupt { peer: 1, detail }) => {
+                assert!(detail.contains("claims source"), "detail was {detail}");
+            }
+            other => panic!("expected FrameCorrupt{{peer: 1}}, got {other:?}"),
+        }
     }
 }

@@ -18,6 +18,7 @@ fn arb_kind() -> impl Strategy<Value = FrameKind> {
         Just(FrameKind::Heartbeat),
         Just(FrameKind::P2p),
         Just(FrameKind::Coll),
+        Just(FrameKind::CollRound),
     ]
 }
 
