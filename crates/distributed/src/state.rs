@@ -2,7 +2,7 @@
 //! vertex roles (owned / delegate copy / ghost), flows, module assignments
 //! and the rank's local view of module statistics.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use infomap_graph::{GraphStore, VertexId};
 use infomap_partition::{owner, Arc, Partition};
@@ -275,25 +275,23 @@ pub fn assemble(
     for &v in owned {
         push(v, &mut verts, &mut index);
     }
-    let mut seen_delegates: Vec<u32> = arcs
+    let seen_delegates: Vec<u32> = arcs
         .iter()
         .flat_map(|a| [a.src, a.dst])
         .filter(|v| delegate_set.contains(v))
-        .collect::<HashSet<_>>()
+        .collect::<BTreeSet<_>>()
         .into_iter()
         .collect();
-    seen_delegates.sort_unstable();
     for v in seen_delegates {
         push(v, &mut verts, &mut index);
     }
-    let mut ghosts: Vec<u32> = arcs
+    let ghosts: Vec<u32> = arcs
         .iter()
         .flat_map(|a| [a.src, a.dst])
         .filter(|v| !index.contains_key(v))
-        .collect::<HashSet<_>>()
+        .collect::<BTreeSet<_>>()
         .into_iter()
         .collect();
-    ghosts.sort_unstable();
     for v in ghosts {
         push(v, &mut verts, &mut index);
     }
@@ -364,13 +362,12 @@ pub fn assemble(
         .filter(|&li| kind[li as usize] != VertexKind::Ghost)
         .collect();
 
-    let mut send_targets: Vec<usize> = subscribers
+    let send_targets: Vec<usize> = subscribers
         .iter()
         .flat_map(|(_, rs)| rs.iter().copied())
-        .collect::<HashSet<_>>()
+        .collect::<BTreeSet<_>>()
         .into_iter()
         .collect();
-    send_targets.sort_unstable();
 
     // Singleton initialization: every vertex its own module, interned at
     // slot == local index. Stats here are local approximations; the first
@@ -471,7 +468,7 @@ pub fn build_stage1_states<G: GraphStore + ?Sized>(
             subscribers.sort_by_key(|(v, _)| *v);
 
             // Providers: owners of this rank's ghosts.
-            let mut providers: HashSet<usize> = HashSet::new();
+            let mut providers: BTreeSet<usize> = BTreeSet::new();
             for a in &partition.arcs[rank] {
                 for v in [a.src, a.dst] {
                     if !delegate_set.contains(&v) && owner(v as VertexId, p) != rank {
@@ -479,8 +476,7 @@ pub fn build_stage1_states<G: GraphStore + ?Sized>(
                     }
                 }
             }
-            let mut providers: Vec<usize> = providers.into_iter().collect();
-            providers.sort_unstable();
+            let providers: Vec<usize> = providers.into_iter().collect();
 
             assemble(
                 rank,
@@ -508,25 +504,23 @@ pub fn build_1d_state(
     flows: &HashMap<u32, f64>,
     inv_two_w: f64,
 ) -> LocalState {
-    let mut owned: Vec<u32> = arcs
+    let mut owned_set: BTreeSet<u32> = arcs
         .iter()
         .map(|a| a.src)
         .filter(|&v| owner(v, nranks) == rank)
-        .collect::<HashSet<_>>()
-        .into_iter()
         .collect();
     // Owned vertices with flow but no arcs (isolated modules) still exist.
     for (&v, _) in flows.iter() {
-        if owner(v, nranks) == rank && !owned.contains(&v) {
-            owned.push(v);
+        if owner(v, nranks) == rank {
+            owned_set.insert(v);
         }
     }
-    owned.sort_unstable();
+    let owned: Vec<u32> = owned_set.into_iter().collect();
 
     // Subscribers: for owned vertex v, every rank owning one of v's
     // neighbors holds v as a ghost.
-    let mut neighbor_ranks: HashMap<u32, HashSet<usize>> = HashMap::new();
-    let mut providers: HashSet<usize> = HashSet::new();
+    let mut neighbor_ranks: BTreeMap<u32, BTreeSet<usize>> = BTreeMap::new();
+    let mut providers: BTreeSet<usize> = BTreeSet::new();
     for a in &arcs {
         let dst_owner = owner(a.dst, nranks);
         if dst_owner != rank {
@@ -534,17 +528,11 @@ pub fn build_1d_state(
             providers.insert(dst_owner);
         }
     }
-    let mut subscribers: Vec<(u32, Vec<usize>)> = neighbor_ranks
+    let subscribers: Vec<(u32, Vec<usize>)> = neighbor_ranks
         .into_iter()
-        .map(|(v, s)| {
-            let mut s: Vec<usize> = s.into_iter().collect();
-            s.sort_unstable();
-            (v, s)
-        })
+        .map(|(v, s)| (v, s.into_iter().collect()))
         .collect();
-    subscribers.sort_by_key(|(v, _)| *v);
-    let mut providers: Vec<usize> = providers.into_iter().collect();
-    providers.sort_unstable();
+    let providers: Vec<usize> = providers.into_iter().collect();
 
     let empty = HashSet::new();
     assemble(

@@ -13,6 +13,9 @@ use infomap_graph::snapshot::{
 };
 use infomap_mpisim::World;
 
+/// Assignments, codelength, and per-stage codelength trajectory.
+type RunOutput = (Vec<u32>, f64, Vec<f64>);
+
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir =
         std::env::temp_dir().join(format!("dinfomap-shard-prep-{tag}-{}", std::process::id()));
@@ -49,7 +52,7 @@ fn shard_prepare_matches_monolithic_prepare() {
             let path = shard_path(&dir, comm.rank());
             let header = read_header(&path).unwrap();
             // Eager on even ranks, paged on odd: the store must not matter.
-            let paged = (comm.rank() % 2 == 1).then(|| PageCacheConfig {
+            let paged = (comm.rank() % 2 == 1).then_some(PageCacheConfig {
                 block_bytes: 64,
                 capacity_blocks: 4,
             });
@@ -94,7 +97,7 @@ fn shard_run_matches_monolithic_run() {
     let dir = tmp_dir("run");
     write_shards(&g, p, &dir).unwrap();
     let ckpt = CheckpointStore::new(p);
-    let result: Mutex<Option<(Vec<u32>, f64, Vec<f64>)>> = Mutex::new(None);
+    let result: Mutex<Option<RunOutput>> = Mutex::new(None);
     World::new(p).run(|comm| {
         let path = shard_path(&dir, comm.rank());
         let header = read_header(&path).unwrap();

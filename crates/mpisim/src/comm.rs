@@ -123,6 +123,13 @@ pub struct Comm {
     sched_hash: u64,
     /// Verify the collective schedule on every collective.
     check_schedule: bool,
+    /// When enabled, every stamped collective kind is appended — the
+    /// observed word the static schedule automaton is checked against.
+    sched_trace: Option<Vec<&'static str>>,
+    /// Live conformance: a matcher over the `--emit-schedule` automaton,
+    /// stepped on every collective; a dead-end panics at the divergent
+    /// stamp instead of at trace-compare time.
+    sched_matcher: Option<crate::schedule::Matcher>,
 }
 
 enum Backend {
@@ -168,6 +175,8 @@ impl Comm {
             sched_seq: 0,
             sched_hash: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
             check_schedule,
+            sched_trace: None,
+            sched_matcher: None,
         }
     }
 
@@ -191,6 +200,8 @@ impl Comm {
             sched_seq: 0,
             sched_hash: 0xcbf2_9ce4_8422_2325,
             check_schedule: cfg!(debug_assertions),
+            sched_trace: None,
+            sched_matcher: None,
         }
     }
 
@@ -209,6 +220,35 @@ impl Comm {
     pub fn with_schedule_check(mut self, on: bool) -> Self {
         self.check_schedule = on;
         self
+    }
+
+    /// Start recording this rank's collective-kind trace — the observed
+    /// word checked against the static schedule automaton
+    /// ([`crate::schedule::Matcher::accepts`]). Callable from inside a
+    /// rank closure; recording is independent of `check_schedule`.
+    pub fn enable_schedule_trace(&mut self) {
+        if self.sched_trace.is_none() {
+            self.sched_trace = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded trace (`None` if recording was never enabled).
+    pub fn take_schedule_trace(&mut self) -> Option<Vec<&'static str>> {
+        self.sched_trace.take()
+    }
+
+    /// Install a live static-schedule conformance matcher: every
+    /// subsequent collective steps the automaton, and a collective the
+    /// static schedule cannot explain panics at its call site rather
+    /// than at trace-compare time.
+    pub fn install_schedule_matcher(&mut self, m: crate::schedule::Matcher) {
+        self.sched_matcher = Some(m);
+    }
+
+    /// Remove the live matcher, returning it so the caller can check
+    /// end-of-schedule acceptance.
+    pub fn take_schedule_matcher(&mut self) -> Option<crate::schedule::Matcher> {
+        self.sched_matcher.take()
     }
 
     /// Tear down a transport-backed communicator and take its counters.
@@ -566,6 +606,20 @@ impl Comm {
         kind: &'static str,
         site: &'static std::panic::Location<'static>,
     ) -> Option<ScheduleStamp> {
+        if let Some(trace) = &mut self.sched_trace {
+            trace.push(kind);
+        }
+        if let Some(m) = &mut self.sched_matcher {
+            if !m.step(kind) {
+                panic!(
+                    "schedule conformance: rank {} issued {kind} as collective #{} \
+                     but no path of the static schedule automaton explains it \
+                     (issued at {site})",
+                    self.rank,
+                    m.consumed() - 1,
+                );
+            }
+        }
         if !self.check_schedule {
             return None;
         }

@@ -47,6 +47,7 @@ mod cost;
 mod fault;
 mod payload;
 mod rendezvous;
+pub mod schedule;
 mod stats;
 mod transport;
 mod wire;
@@ -59,6 +60,7 @@ pub use cost::{
 };
 pub use fault::{CrashSpec, FaultPlan, MessageFaultKind, MessageFaultSpec, StragglerSpec};
 pub use payload::{WireDecodeError, WirePayload};
+pub use schedule::{Matcher, ScheduleAutomaton, ScheduleSet};
 pub use stats::{FaultStats, PhaseStats, RankStats};
 pub use transport::{OpMetrics, Transport, TransportError, TransportFault, TransportMetrics};
 pub use wire::WireSized;

@@ -1,11 +1,13 @@
-//! The checked-in allowlist (`spmd-lint.toml`) and its minimal TOML-subset
+//! The checked-in config (`spmd-lint.toml`) and its minimal TOML-subset
 //! reader.
 //!
-//! Only the shapes the allowlist needs are supported: `[[allow]]` array
-//! tables, `key = "string"` and `key = integer` pairs, and `#` comments.
-//! Every entry must carry a non-empty `justification` — an allowlist entry
-//! is a reviewed claim that the flagged site provably cannot break
-//! determinism, and the claim has to be written down.
+//! Three table kinds are supported: `[[allow]]` (justified rule
+//! suppressions), `[[entry]]` (SPMD entry points the static schedule is
+//! emitted for), and `[[checkpoint]]` (struct ↔ serializer pairs checked
+//! by R7). Values are `key = "string"` or `key = integer`; `#` starts a
+//! comment. Every allow entry must carry a non-empty `justification` —
+//! an allowlist entry is a reviewed claim that the flagged site provably
+//! cannot break determinism, and the claim has to be written down.
 
 use std::cell::Cell;
 use std::path::Path;
@@ -17,72 +19,147 @@ pub struct AllowEntry {
     pub rule: Rule,
     /// Matched as a suffix of the diagnostic's (workspace-relative) path.
     pub path: String,
-    /// Optional substring the flagged source line must contain. Strongly
-    /// preferred over `line`: it survives unrelated edits above the site.
+    /// Optional substring the flagged source line must contain. Survives
+    /// unrelated edits above the site.
     pub contains: Option<String>,
-    /// Optional exact line pin (brittle; use only when `contains` cannot
-    /// disambiguate).
+    /// Optional function-scope anchor (`fn = "run_rank"` or
+    /// `fn = "RankProgram::run_rank"`): the diagnostic must sit inside
+    /// that function. Preferred over `line` — it survives any edit that
+    /// does not move the site out of the function.
+    pub fn_name: Option<String>,
+    /// Optional exact line pin (brittle; use only when neither `contains`
+    /// nor `fn` can disambiguate).
     pub line: Option<u32>,
     pub justification: String,
     /// Audit trail: set when a diagnostic matched this entry.
     used: Cell<bool>,
 }
 
+/// One `[[entry]]`: an SPMD entry point for schedule emission.
+#[derive(Debug, Clone)]
+pub struct EntrySpec {
+    /// Bare or impl-qualified function name.
+    pub fn_name: String,
+    /// Optional crate restriction (package name, e.g.
+    /// `infomap-distributed`).
+    pub crate_name: Option<String>,
+}
+
+/// One `[[checkpoint]]`: a struct whose fields must all be covered by its
+/// serializer (R7).
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    pub struct_name: String,
+    /// Bare or impl-qualified serializer function name.
+    pub encoder: String,
+}
+
+/// The parsed `spmd-lint.toml`: allowlist + analysis configuration.
 #[derive(Debug, Default)]
 pub struct Allowlist {
     pub entries: Vec<AllowEntry>,
+    pub entry_points: Vec<EntrySpec>,
+    pub checkpoints: Vec<CheckpointSpec>,
+}
+
+/// Which table a `key = value` line belongs to.
+enum Table {
+    Allow {
+        rule: Option<Rule>,
+        path: Option<String>,
+        contains: Option<String>,
+        fn_name: Option<String>,
+        line: Option<u32>,
+        justification: Option<String>,
+    },
+    Entry {
+        fn_name: Option<String>,
+        crate_name: Option<String>,
+    },
+    Checkpoint {
+        struct_name: Option<String>,
+        encoder: Option<String>,
+    },
 }
 
 impl Allowlist {
     pub fn empty() -> Self {
-        Allowlist {
-            entries: Vec::new(),
-        }
+        Allowlist::default()
     }
 
     /// Parse `spmd-lint.toml` content. Returns `Err` with a line-numbered
     /// message on malformed input or a missing justification.
     pub fn parse(src: &str) -> Result<Allowlist, String> {
-        let mut entries: Vec<AllowEntry> = Vec::new();
-        // Fields of the entry currently being assembled.
-        #[derive(Default)]
-        struct Partial {
-            rule: Option<Rule>,
-            path: Option<String>,
-            contains: Option<String>,
-            line: Option<u32>,
-            justification: Option<String>,
-        }
-        let mut cur: Option<Partial> = None;
+        let mut out = Allowlist::default();
+        let mut cur: Option<Table> = None;
 
         fn flush(
-            cur: &mut Option<Partial>,
-            entries: &mut Vec<AllowEntry>,
+            cur: &mut Option<Table>,
+            out: &mut Allowlist,
             at_line: usize,
         ) -> Result<(), String> {
-            if let Some(p) = cur.take() {
-                let rule = p.rule.ok_or(format!(
-                    "allow entry before line {at_line} is missing `rule`"
-                ))?;
-                let path = p.path.ok_or(format!(
-                    "allow entry before line {at_line} is missing `path`"
-                ))?;
-                let justification =
-                    p.justification
-                        .filter(|j| !j.trim().is_empty())
-                        .ok_or(format!(
-                        "allow entry before line {at_line} is missing a non-empty `justification`"
-                    ))?;
-                entries.push(AllowEntry {
+            match cur.take() {
+                None => Ok(()),
+                Some(Table::Allow {
                     rule,
                     path,
-                    contains: p.contains,
-                    line: p.line,
+                    contains,
+                    fn_name,
+                    line,
                     justification,
-                    used: Cell::new(false),
-                });
+                }) => {
+                    let rule = rule.ok_or(format!(
+                        "allow entry before line {at_line} is missing `rule`"
+                    ))?;
+                    let path = path.ok_or(format!(
+                        "allow entry before line {at_line} is missing `path`"
+                    ))?;
+                    let justification =
+                        justification
+                            .filter(|j| !j.trim().is_empty())
+                            .ok_or(format!(
+                        "allow entry before line {at_line} is missing a non-empty `justification`"
+                    ))?;
+                    out.entries.push(AllowEntry {
+                        rule,
+                        path,
+                        contains,
+                        fn_name,
+                        line,
+                        justification,
+                        used: Cell::new(false),
+                    });
+                    Ok(())
+                }
+                Some(Table::Entry {
+                    fn_name,
+                    crate_name,
+                }) => {
+                    let fn_name = fn_name
+                        .ok_or(format!("[[entry]] before line {at_line} is missing `fn`"))?;
+                    out.entry_points.push(EntrySpec {
+                        fn_name,
+                        crate_name,
+                    });
+                    Ok(())
+                }
+                Some(Table::Checkpoint {
+                    struct_name,
+                    encoder,
+                }) => {
+                    let struct_name = struct_name.ok_or(format!(
+                        "[[checkpoint]] before line {at_line} is missing `struct`"
+                    ))?;
+                    let encoder = encoder.ok_or(format!(
+                        "[[checkpoint]] before line {at_line} is missing `encoder`"
+                    ))?;
+                    out.checkpoints.push(CheckpointSpec {
+                        struct_name,
+                        encoder,
+                    });
+                    Ok(())
+                }
             }
-            Ok(())
         }
 
         for (idx, raw) in src.lines().enumerate() {
@@ -91,10 +168,36 @@ impl Allowlist {
             if line.is_empty() {
                 continue;
             }
-            if line == "[[allow]]" {
-                flush(&mut cur, &mut entries, lineno)?;
-                cur = Some(Partial::default());
-                continue;
+            match line.as_str() {
+                "[[allow]]" => {
+                    flush(&mut cur, &mut out, lineno)?;
+                    cur = Some(Table::Allow {
+                        rule: None,
+                        path: None,
+                        contains: None,
+                        fn_name: None,
+                        line: None,
+                        justification: None,
+                    });
+                    continue;
+                }
+                "[[entry]]" => {
+                    flush(&mut cur, &mut out, lineno)?;
+                    cur = Some(Table::Entry {
+                        fn_name: None,
+                        crate_name: None,
+                    });
+                    continue;
+                }
+                "[[checkpoint]]" => {
+                    flush(&mut cur, &mut out, lineno)?;
+                    cur = Some(Table::Checkpoint {
+                        struct_name: None,
+                        encoder: None,
+                    });
+                    continue;
+                }
+                _ => {}
             }
             if line.starts_with('[') {
                 return Err(format!("line {lineno}: unsupported table `{line}`"));
@@ -106,29 +209,62 @@ impl Allowlist {
             let value = value.trim();
             let slot = cur
                 .as_mut()
-                .ok_or(format!("line {lineno}: `{key}` outside an [[allow]] entry"))?;
-            match key {
-                "rule" => {
-                    let s = parse_string(value, lineno)?;
-                    slot.rule = Some(
-                        Rule::from_code(&s).ok_or(format!("line {lineno}: unknown rule `{s}`"))?,
-                    );
-                }
-                "path" => slot.path = Some(parse_string(value, lineno)?),
-                "contains" => slot.contains = Some(parse_string(value, lineno)?),
-                "line" => {
-                    slot.line = Some(
-                        value
-                            .parse::<u32>()
-                            .map_err(|_| format!("line {lineno}: `line` must be an integer"))?,
-                    )
-                }
-                "justification" => slot.justification = Some(parse_string(value, lineno)?),
-                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+                .ok_or(format!("line {lineno}: `{key}` outside a table entry"))?;
+            match slot {
+                Table::Allow {
+                    rule,
+                    path,
+                    contains,
+                    fn_name,
+                    line: line_pin,
+                    justification,
+                } => match key {
+                    "rule" => {
+                        let s = parse_string(value, lineno)?;
+                        *rule = Some(
+                            Rule::from_code(&s)
+                                .ok_or(format!("line {lineno}: unknown rule `{s}`"))?,
+                        );
+                    }
+                    "path" => *path = Some(parse_string(value, lineno)?),
+                    "contains" => *contains = Some(parse_string(value, lineno)?),
+                    "fn" => *fn_name = Some(parse_string(value, lineno)?),
+                    "line" => {
+                        *line_pin = Some(
+                            value
+                                .parse::<u32>()
+                                .map_err(|_| format!("line {lineno}: `line` must be an integer"))?,
+                        )
+                    }
+                    "justification" => *justification = Some(parse_string(value, lineno)?),
+                    other => return Err(format!("line {lineno}: unknown key `{other}`")),
+                },
+                Table::Entry {
+                    fn_name,
+                    crate_name,
+                } => match key {
+                    "fn" => *fn_name = Some(parse_string(value, lineno)?),
+                    "crate" => *crate_name = Some(parse_string(value, lineno)?),
+                    other => {
+                        return Err(format!("line {lineno}: unknown key `{other}` in [[entry]]"))
+                    }
+                },
+                Table::Checkpoint {
+                    struct_name,
+                    encoder,
+                } => match key {
+                    "struct" => *struct_name = Some(parse_string(value, lineno)?),
+                    "encoder" => *encoder = Some(parse_string(value, lineno)?),
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: unknown key `{other}` in [[checkpoint]]"
+                        ))
+                    }
+                },
             }
         }
-        flush(&mut cur, &mut entries, src.lines().count() + 1)?;
-        Ok(Allowlist { entries })
+        flush(&mut cur, &mut out, src.lines().count() + 1)?;
+        Ok(out)
     }
 
     pub fn load(path: &Path) -> Result<Allowlist, String> {
@@ -146,6 +282,17 @@ impl Allowlist {
             }
             if let Some(c) = &e.contains {
                 if !d.snippet.contains(c.as_str()) {
+                    continue;
+                }
+            }
+            if let Some(f) = &e.fn_name {
+                // `fn = "run_rank"` matches both the bare and the
+                // impl-qualified diagnostic attribution.
+                let hit = match &d.fn_name {
+                    Some(df) => df == f || df.ends_with(&format!("::{f}")),
+                    None => false,
+                };
+                if !hit {
                     continue;
                 }
             }
@@ -216,6 +363,17 @@ mod tests {
     use super::*;
     use std::path::PathBuf;
 
+    fn diag(rule: Rule, path: &str, line: u32, fn_name: Option<&str>, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: PathBuf::from(path),
+            line,
+            fn_name: fn_name.map(|s| s.to_string()),
+            message: String::new(),
+            snippet: snippet.into(),
+        }
+    }
+
     #[test]
     fn parses_entries_and_matches_suffix_and_contains() {
         let toml = r#"
@@ -228,15 +386,74 @@ justification = "phase wall-clock is informational"
 "#;
         let al = Allowlist::parse(toml).unwrap();
         assert_eq!(al.entries.len(), 1);
-        let d = Diagnostic {
-            rule: Rule::NondeterministicSource,
-            path: PathBuf::from("crates/mpisim/src/comm.rs"),
-            line: 188,
-            message: String::new(),
-            snippet: "self.phase_stack.push((name.to_string(), Instant::now()));".into(),
-        };
+        let d = diag(
+            Rule::NondeterministicSource,
+            "crates/mpisim/src/comm.rs",
+            188,
+            Some("Comm::phase"),
+            "self.phase_stack.push((name.to_string(), Instant::now()));",
+        );
         assert!(al.covers(&d));
         assert!(al.unused().is_empty());
+    }
+
+    #[test]
+    fn fn_anchor_matches_bare_and_qualified() {
+        let toml = r#"
+[[allow]]
+rule = "R1"
+path = "driver.rs"
+fn = "run_rank"
+justification = "j"
+"#;
+        let al = Allowlist::parse(toml).unwrap();
+        let inside = diag(
+            Rule::DivergentCollective,
+            "crates/distributed/src/driver.rs",
+            470,
+            Some("RankProgram::run_rank"),
+            "c.allreduce_u64(word, ReduceOp::Min)",
+        );
+        assert!(al.covers(&inside));
+        let elsewhere = diag(
+            Rule::DivergentCollective,
+            "crates/distributed/src/driver.rs",
+            90,
+            Some("RankProgram::prepare"),
+            "c.allreduce_u64(word, ReduceOp::Min)",
+        );
+        assert!(!al.covers(&elsewhere));
+        let unattributed = diag(
+            Rule::DivergentCollective,
+            "crates/distributed/src/driver.rs",
+            470,
+            None,
+            "c.allreduce_u64(word, ReduceOp::Min)",
+        );
+        assert!(!al.covers(&unattributed));
+    }
+
+    #[test]
+    fn entry_and_checkpoint_tables_parse() {
+        let toml = r#"
+[[entry]]
+fn = "RankProgram::run_rank"
+crate = "infomap-distributed"
+
+[[checkpoint]]
+struct = "LocalState"
+encoder = "encode_state"
+"#;
+        let al = Allowlist::parse(toml).unwrap();
+        assert_eq!(al.entry_points.len(), 1);
+        assert_eq!(al.entry_points[0].fn_name, "RankProgram::run_rank");
+        assert_eq!(
+            al.entry_points[0].crate_name.as_deref(),
+            Some("infomap-distributed")
+        );
+        assert_eq!(al.checkpoints.len(), 1);
+        assert_eq!(al.checkpoints[0].struct_name, "LocalState");
+        assert_eq!(al.checkpoints[0].encoder, "encode_state");
     }
 
     #[test]
@@ -246,16 +463,21 @@ justification = "phase wall-clock is informational"
     }
 
     #[test]
+    fn missing_entry_fn_is_an_error() {
+        assert!(Allowlist::parse("[[entry]]\ncrate = \"c\"\n").is_err());
+    }
+
+    #[test]
     fn wrong_rule_or_snippet_does_not_match() {
         let toml = "[[allow]]\nrule = \"R2\"\npath = \"a.rs\"\ncontains = \"zzz\"\njustification = \"j\"\n";
         let al = Allowlist::parse(toml).unwrap();
-        let d = Diagnostic {
-            rule: Rule::UnorderedIteration,
-            path: PathBuf::from("crates/x/src/a.rs"),
-            line: 1,
-            message: String::new(),
-            snippet: "for k in map.keys() {".into(),
-        };
+        let d = diag(
+            Rule::UnorderedIteration,
+            "crates/x/src/a.rs",
+            1,
+            None,
+            "for k in map.keys() {",
+        );
         assert!(!al.covers(&d));
         assert_eq!(al.unused().len(), 1);
     }

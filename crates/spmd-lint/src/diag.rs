@@ -3,11 +3,13 @@
 use std::fmt;
 use std::path::PathBuf;
 
-/// The five SPMD determinism rule classes (see DESIGN.md note 14).
+/// The seven SPMD determinism rule classes (see DESIGN.md notes 14, 19).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: collective call reachable inside a conditional keyed on
     /// rank-local state — ranks can disagree on the collective schedule.
+    /// Since v2 this is path-sensitive: a rank-keyed branch is clean when
+    /// every arm emits the same collective shape.
     DivergentCollective,
     /// R2: iteration over `HashMap`/`HashSet` where order can leak into
     /// wire bytes, election order, or f64 accumulation.
@@ -22,6 +24,15 @@ pub enum Rule {
     /// R5: `+=` f64 fold inside an unordered-container loop, bypassing
     /// the canonical deterministic reductions.
     FloatAccumulation,
+    /// R6: a call under a rank-keyed branch/loop whose callee
+    /// *transitively* performs a collective while the branch arms disagree
+    /// on the collective shape — the interprocedural counterpart of R1
+    /// that a per-line scanner cannot see.
+    DivergentCollectiveTransitive,
+    /// R7: a field of a checkpointed struct (declared via `[[checkpoint]]`
+    /// in `spmd-lint.toml`) that is never mentioned by its serializer —
+    /// the silent-recovery-corruption class.
+    CheckpointCompleteness,
 }
 
 impl Rule {
@@ -32,6 +43,8 @@ impl Rule {
             Rule::NondeterministicSource => "R3",
             Rule::UnmeteredSend => "R4",
             Rule::FloatAccumulation => "R5",
+            Rule::DivergentCollectiveTransitive => "R6",
+            Rule::CheckpointCompleteness => "R7",
         }
     }
 
@@ -42,6 +55,8 @@ impl Rule {
             Rule::NondeterministicSource => "nondeterministic-source",
             Rule::UnmeteredSend => "unmetered-send",
             Rule::FloatAccumulation => "float-accumulation",
+            Rule::DivergentCollectiveTransitive => "divergent-collective-transitive",
+            Rule::CheckpointCompleteness => "checkpoint-completeness",
         }
     }
 
@@ -61,6 +76,10 @@ impl Rule {
             "R3" | "nondeterministic-source" => Some(Rule::NondeterministicSource),
             "R4" | "unmetered-send" => Some(Rule::UnmeteredSend),
             "R5" | "float-accumulation" => Some(Rule::FloatAccumulation),
+            "R6" | "divergent-collective-transitive" => {
+                Some(Rule::DivergentCollectiveTransitive)
+            }
+            "R7" | "checkpoint-completeness" => Some(Rule::CheckpointCompleteness),
             _ => None,
         }
     }
@@ -80,6 +99,10 @@ pub struct Diagnostic {
     pub path: PathBuf,
     /// 1-based line of the offending token.
     pub line: u32,
+    /// Innermost enclosing function, qualified with the impl type when
+    /// there is one (`RankProgram::run_rank`). `None` for items outside
+    /// any function body (e.g. R7 struct fields).
+    pub fn_name: Option<String>,
     pub message: String,
     /// Trimmed source line, for context in the report and for allowlist
     /// `contains` matching.
@@ -99,7 +122,15 @@ impl fmt::Display for Diagnostic {
             self.rule.name(),
             self.message
         )?;
-        writeln!(f, "  --> {}:{}", self.path.display(), self.line)?;
+        match &self.fn_name {
+            Some(func) => writeln!(
+                f,
+                "  --> {}:{} (in `{func}`)",
+                self.path.display(),
+                self.line
+            )?,
+            None => writeln!(f, "  --> {}:{}", self.path.display(), self.line)?,
+        }
         write!(f, "   | {}", self.snippet)
     }
 }

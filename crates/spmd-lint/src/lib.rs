@@ -26,13 +26,17 @@
 
 pub mod config;
 pub mod diag;
+pub mod effects;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod schedule;
 
 use std::path::{Path, PathBuf};
 
-pub use config::Allowlist;
+pub use config::{Allowlist, CheckpointSpec, EntrySpec};
 pub use diag::{Diagnostic, Rule, Severity};
+pub use effects::Analysis;
 
 /// One crate's worth of sources, as discovered by [`workspace_crates`].
 #[derive(Debug)]
@@ -149,22 +153,42 @@ fn collect_rs_files(root: &Path, dir: &Path) -> Result<Vec<(PathBuf, String)>, S
     Ok(files)
 }
 
-/// Lint every workspace crate under `root`, filtering through `allow`.
+/// Build the interprocedural analysis over every workspace crate.
+pub fn workspace_analysis(crates: &[CrateSources]) -> Analysis {
+    Analysis::build(crates.iter().map(|c| (c.name.as_str(), c.files.as_slice())))
+}
+
+/// Lint every workspace crate under `root`, filtering through `allow`:
+/// the token-scan rules (R2–R5) plus the interprocedural R1/R6 divergence
+/// check and the R7 checkpoint-completeness check.
 pub fn lint_workspace(root: &Path, allow: &Allowlist) -> Result<LintReport, String> {
     let crates = workspace_crates(root)?;
-    let mut report = LintReport::default();
+    let mut diags = Vec::new();
     for c in &crates {
         let files: Vec<(&Path, &str)> = c
             .files
             .iter()
             .map(|(p, s)| (p.as_path(), s.as_str()))
             .collect();
-        for d in rules::lint_crate(&c.name, &files) {
-            if allow.covers(&d) {
-                report.allowed.push(d);
-            } else {
-                report.findings.push(d);
-            }
+        diags.extend(rules::lint_crate(&c.name, &files, false));
+    }
+    let mut analysis = workspace_analysis(&crates);
+    diags.extend(analysis.check_divergence());
+    diags.extend(analysis.check_checkpoints(&allow.checkpoints)?);
+    // Attribute every diagnostic to its enclosing function so fn-anchored
+    // allowlist entries can match.
+    for d in &mut diags {
+        if d.fn_name.is_none() {
+            d.fn_name = analysis.fn_name_at(&d.path, d.line);
+        }
+    }
+
+    let mut report = LintReport::default();
+    for d in diags {
+        if allow.covers(&d) {
+            report.allowed.push(d);
+        } else {
+            report.findings.push(d);
         }
     }
     report
@@ -176,10 +200,55 @@ pub fn lint_workspace(root: &Path, allow: &Allowlist) -> Result<LintReport, Stri
     Ok(report)
 }
 
-/// Lint a single source text as if it belonged to `crate_name` — the entry
-/// point the fixture tests use.
+/// Emit the static schedule JSON for `root`'s workspace. Entries come
+/// from the config's `[[entry]]` tables plus `extra_entries`.
+pub fn emit_workspace_schedule(
+    root: &Path,
+    allow: &Allowlist,
+    extra_entries: &[EntrySpec],
+) -> Result<String, String> {
+    let crates = workspace_crates(root)?;
+    let mut analysis = workspace_analysis(&crates);
+    let mut entries: Vec<EntrySpec> = allow.entry_points.clone();
+    entries.extend(extra_entries.iter().cloned());
+    schedule::emit_schedule(&mut analysis, &entries)
+}
+
+/// Lint a single source text as if it belonged to `crate_name` with the
+/// full v2 pipeline — the entry point the fixture tests use. Optional
+/// `checkpoints` drive R7.
+pub fn lint_source_with(
+    crate_name: &str,
+    path: &Path,
+    source: &str,
+    checkpoints: &[CheckpointSpec],
+) -> Vec<Diagnostic> {
+    let mut diags = rules::lint_crate(crate_name, &[(path, source)], false);
+    let files = vec![(path.to_path_buf(), source.to_string())];
+    let mut analysis = Analysis::build([(crate_name, files.as_slice())]);
+    diags.extend(analysis.check_divergence());
+    if let Ok(cp) = analysis.check_checkpoints(checkpoints) {
+        diags.extend(cp);
+    }
+    for d in &mut diags {
+        if d.fn_name.is_none() {
+            d.fn_name = analysis.fn_name_at(&d.path, d.line);
+        }
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    diags
+}
+
+/// Single-file lint with the default (v2) pipeline and no R7 config.
 pub fn lint_source(crate_name: &str, path: &Path, source: &str) -> Vec<Diagnostic> {
-    rules::lint_crate(crate_name, &[(path, source)])
+    lint_source_with(crate_name, path, source, &[])
+}
+
+/// Single-file lint in v1-compat mode: the PR 4 per-line frame-stack
+/// scanner, with R1 as a local (non-interprocedural) frame check. Exists
+/// so regression tests can encode exactly what v1 misses.
+pub fn lint_source_v1(crate_name: &str, path: &Path, source: &str) -> Vec<Diagnostic> {
+    rules::lint_crate(crate_name, &[(path, source)], true)
 }
 
 /// Walk up from `start` to the first directory whose `Cargo.toml` declares

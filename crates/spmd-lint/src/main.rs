@@ -2,28 +2,43 @@
 //!
 //! Exit status: 0 when clean (allowlisted findings are clean); 1 when any
 //! error-severity finding survives the allowlist, or — under `--deny` —
-//! when *any* finding survives; 2 on usage/config errors.
+//! when *any* finding survives, or — under `--deny-unused` — when any
+//! allowlist entry is stale; 2 on usage/config errors.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spmd_lint::{find_workspace_root, lint_workspace, Allowlist};
+use spmd_lint::schedule::Json;
+use spmd_lint::{
+    emit_workspace_schedule, find_workspace_root, lint_workspace, Allowlist, EntrySpec, Severity,
+};
 
-const USAGE: &str =
-    "usage: spmd-lint [--workspace] [--deny] [--root DIR] [--allowlist FILE] [--quiet]
+const USAGE: &str = "usage: spmd-lint [--workspace] [--deny] [--deny-unused] [--root DIR]
+                 [--allowlist FILE] [--format text|json] [--quiet]
+                 [--emit-schedule [--schedule-out FILE] [--entry FN]...]
 
   --workspace        lint every workspace crate (default; flag kept for clarity)
   --deny             fail on warnings too, not just errors
+  --deny-unused      fail when any allowlist entry never matched (stale pin)
   --root DIR         workspace root (default: walk up from cwd to [workspace])
-  --allowlist FILE   allowlist path (default: <root>/spmd-lint.toml)
+  --allowlist FILE   config path (default: <root>/spmd-lint.toml)
+  --format FMT       diagnostic output: text (default) or json
   --quiet            print only the summary line
+  --emit-schedule    print the static collective-schedule JSON and exit
+  --schedule-out F   write the schedule JSON to F instead of stdout
+  --entry FN         add a schedule entry point (bare or Type::fn name)
 ";
 
 fn main() -> ExitCode {
     let mut deny = false;
+    let mut deny_unused = false;
     let mut quiet = false;
+    let mut json_format = false;
+    let mut emit_schedule = false;
+    let mut schedule_out: Option<PathBuf> = None;
+    let mut extra_entries: Vec<EntrySpec> = Vec::new();
     let mut root: Option<PathBuf> = None;
     let mut allowlist_path: Option<PathBuf> = None;
 
@@ -32,7 +47,28 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--workspace" => {}
             "--deny" => deny = true,
+            "--deny-unused" => deny_unused = true,
             "--quiet" => quiet = true,
+            "--emit-schedule" => emit_schedule = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => json_format = false,
+                Some("json") => json_format = true,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (text|json)"))
+                }
+                None => return usage_error("--format needs a value"),
+            },
+            "--schedule-out" => match args.next() {
+                Some(v) => schedule_out = Some(PathBuf::from(v)),
+                None => return usage_error("--schedule-out needs a value"),
+            },
+            "--entry" => match args.next() {
+                Some(v) => extra_entries.push(EntrySpec {
+                    fn_name: v,
+                    crate_name: None,
+                }),
+                None => return usage_error("--entry needs a value"),
+            },
             "--root" => match args.next() {
                 Some(v) => root = Some(PathBuf::from(v)),
                 None => return usage_error("--root needs a value"),
@@ -71,6 +107,30 @@ fn main() -> ExitCode {
         Allowlist::empty()
     };
 
+    if emit_schedule {
+        return match emit_workspace_schedule(&root, &allow, &extra_entries) {
+            Ok(json) => {
+                match schedule_out {
+                    Some(path) => {
+                        if let Err(e) = std::fs::write(&path, json + "\n") {
+                            eprintln!("spmd-lint: cannot write {}: {e}", path.display());
+                            return ExitCode::from(2);
+                        }
+                        if !quiet {
+                            eprintln!("spmd-lint: schedule written to {}", path.display());
+                        }
+                    }
+                    None => println!("{json}"),
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("spmd-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let report = match lint_workspace(&root, &allow) {
         Ok(r) => r,
         Err(e) => {
@@ -79,18 +139,60 @@ fn main() -> ExitCode {
         }
     };
 
-    if !quiet {
+    if json_format {
+        // Stable machine-readable schema: rule, severity, file, line, fn,
+        // message (sorted by file/line already).
+        let arr = Json::Arr(
+            report
+                .findings
+                .iter()
+                .map(|d| {
+                    Json::Obj(vec![
+                        ("rule", Json::Str(d.rule.code().to_string())),
+                        (
+                            "severity",
+                            Json::Str(
+                                match d.rule.severity() {
+                                    Severity::Error => "error",
+                                    Severity::Warning => "warning",
+                                }
+                                .to_string(),
+                            ),
+                        ),
+                        (
+                            "file",
+                            Json::Str(d.path.to_string_lossy().replace('\\', "/")),
+                        ),
+                        ("line", Json::Num(d.line as i64)),
+                        (
+                            "fn",
+                            d.fn_name
+                                .clone()
+                                .map(Json::Str)
+                                .unwrap_or(Json::Str(String::new())),
+                        ),
+                        ("message", Json::Str(d.message.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        println!("{arr}");
+    } else if !quiet {
         for d in &report.findings {
             println!("{d}\n");
         }
         for e in allow.unused() {
             println!(
-                "warning[allowlist] unused entry: rule {} path `{}`{} — prune it or fix the pin",
+                "warning[allowlist] unused entry: rule {} path `{}`{}{} — prune it or fix the pin",
                 e.rule.code(),
                 e.path,
                 e.contains
                     .as_deref()
                     .map(|c| format!(" contains `{c}`"))
+                    .unwrap_or_default(),
+                e.fn_name
+                    .as_deref()
+                    .map(|f| format!(" fn `{f}`"))
                     .unwrap_or_default()
             );
         }
@@ -98,14 +200,18 @@ fn main() -> ExitCode {
 
     let errors = report.error_count();
     let warnings = report.warning_count();
-    println!(
-        "spmd-lint: {errors} error(s), {warnings} warning(s), {} allowlisted ({} allowlist entr{} unused)",
-        report.allowed.len(),
-        allow.unused().len(),
-        if allow.unused().len() == 1 { "y" } else { "ies" },
-    );
+    if !json_format {
+        println!(
+            "spmd-lint: {errors} error(s), {warnings} warning(s), {} allowlisted ({} allowlist entr{} unused)",
+            report.allowed.len(),
+            allow.unused().len(),
+            if allow.unused().len() == 1 { "y" } else { "ies" },
+        );
+    }
 
-    let fail = errors > 0 || (deny && !report.findings.is_empty());
+    let fail = errors > 0
+        || (deny && !report.findings.is_empty())
+        || (deny_unused && !allow.unused().is_empty());
     if fail {
         ExitCode::FAILURE
     } else {

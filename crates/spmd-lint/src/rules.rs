@@ -14,23 +14,8 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 use crate::diag::{Diagnostic, Rule};
+use crate::effects::{COLLECTIVES, RANK_MARKERS};
 use crate::lexer::{is_float_literal, lex, Tok, TokKind};
-
-/// Collective methods on `Comm` (R1). Kept in sync with
-/// `crates/mpisim/src/comm.rs`.
-const COLLECTIVES: &[&str] = &[
-    "barrier",
-    "allreduce_f64",
-    "allreduce_u64",
-    "allreduce_with",
-    "allgatherv",
-    "allgatherv_packed",
-    "allgather_parts",
-    "alltoallv",
-    "alltoallv_packed",
-    "alltoallv_reduce",
-    "broadcast",
-];
 
 /// Order-sensitive iteration methods (R2).
 const ITER_METHODS: &[&str] = &[
@@ -57,9 +42,6 @@ const ORDER_FREE_METHODS: &[&str] = &[
     "capacity",
     "entry",
 ];
-
-/// Identifiers that mark a condition as rank-local (R1).
-const RANK_MARKERS: &[&str] = &["rank", "my_rank", "myrank"];
 
 /// Crates where unordered iteration order can reach wire bytes, election
 /// order, or MDL accumulation (R2/R5 scope, per the issue).
@@ -186,6 +168,11 @@ pub struct FileLint<'a> {
     lines: Vec<&'a str>,
     toks: Vec<Tok>,
     names: &'a TypedNames,
+    /// v1-compat mode: run the frame-stack R1 check. The default pipeline
+    /// leaves R1 to the interprocedural analysis (`effects`), which is
+    /// path-sensitive; this flag exists so the regression tests can prove
+    /// what the per-line scanner misses.
+    legacy_r1: bool,
     diags: Vec<Diagnostic>,
     /// Dedup per (rule, line): a `for` head can trip both the head check
     /// and the method-chain check.
@@ -197,6 +184,7 @@ pub fn lint_file(
     path: &Path,
     source: &str,
     names: &TypedNames,
+    legacy_r1: bool,
 ) -> Vec<Diagnostic> {
     let mut fl = FileLint {
         crate_name,
@@ -204,6 +192,7 @@ pub fn lint_file(
         lines: source.lines().collect(),
         toks: lex(source),
         names,
+        legacy_r1,
         diags: Vec::new(),
         seen: BTreeSet::new(),
     };
@@ -225,6 +214,7 @@ impl<'a> FileLint<'a> {
             rule,
             path: self.path.to_path_buf(),
             line,
+            fn_name: None,
             message,
             snippet,
         });
@@ -489,8 +479,10 @@ impl<'a> FileLint<'a> {
                     let m = &toks[i + 1];
                     if m.kind == TokKind::Ident {
                         let name = m.text.as_str();
-                        // R1: collective inside a rank-keyed construct.
-                        if COLLECTIVES.contains(&name) {
+                        // R1 (legacy frame-stack mode only): collective
+                        // inside a rank-keyed construct, regardless of
+                        // whether the branch arms agree.
+                        if self.legacy_r1 && COLLECTIVES.contains(&name) {
                             let divergent = stack.iter().any(|f| {
                                 matches!(
                                     f.kind,
@@ -642,12 +634,14 @@ impl<'a> FileLint<'a> {
     }
 }
 
-/// Lint one crate: collect crate-wide typed names, then scan every file.
-pub fn lint_crate(crate_name: &str, files: &[(&Path, &str)]) -> Vec<Diagnostic> {
+/// Lint one crate with the token-scan rules (R2–R5; plus the legacy R1
+/// frame check when `legacy_r1`): collect crate-wide typed names, then
+/// scan every file.
+pub fn lint_crate(crate_name: &str, files: &[(&Path, &str)], legacy_r1: bool) -> Vec<Diagnostic> {
     let names = collect_typed_names(files);
     let mut diags = Vec::new();
     for (path, src) in files {
-        diags.extend(lint_file(crate_name, path, src, &names));
+        diags.extend(lint_file(crate_name, path, src, &names, legacy_r1));
     }
     diags
 }

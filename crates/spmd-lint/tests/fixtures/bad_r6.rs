@@ -1,0 +1,20 @@
+//! Transitive divergence: the rank-keyed branch contains no collective
+//! token of its own — its arms call helpers whose collective shapes
+//! differ. Invisible to the v1 per-line scanner; R6 for the
+//! interprocedural analysis.
+
+fn sync_all(c: &mut Comm) {
+    c.barrier();
+}
+
+fn publish(c: &mut Comm, x: &[u64]) {
+    c.allgatherv(x);
+}
+
+fn step(c: &mut Comm, x: &[u64]) {
+    if c.rank() == 0 {
+        sync_all(c);
+    } else {
+        publish(c, x);
+    }
+}

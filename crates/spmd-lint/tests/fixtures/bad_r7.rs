@@ -1,0 +1,14 @@
+//! Checkpoint completeness: `stale` is a field of the checkpointed
+//! struct but never appears in its encoder, so a restore would silently
+//! lose state — R7.
+
+pub struct Snap {
+    pub a: u64,
+    pub b: f64,
+    pub stale: u32,
+}
+
+fn encode_snap(s: &Snap, out: &mut Vec<u8>) {
+    s.a.encode_into(out);
+    s.b.encode_into(out);
+}

@@ -1,0 +1,20 @@
+//! Symmetric transitive collectives: both arms of the rank-keyed branch
+//! reach the same collective shape (one barrier), so the schedule cannot
+//! diverge — the path-sensitive analysis must stay silent where the v1
+//! token scanner would have cried wolf.
+
+fn drain_then_sync(c: &mut Comm) {
+    c.barrier();
+}
+
+fn sync_only(c: &mut Comm) {
+    c.barrier();
+}
+
+fn step(c: &mut Comm) {
+    if c.rank() == 0 {
+        drain_then_sync(c);
+    } else {
+        sync_only(c);
+    }
+}

@@ -5,7 +5,10 @@
 
 use std::path::Path;
 
-use spmd_lint::{lint_source, Allowlist, Diagnostic, Rule, Severity};
+use spmd_lint::{
+    lint_source, lint_source_v1, lint_source_with, Allowlist, CheckpointSpec, Diagnostic, Rule,
+    Severity,
+};
 
 /// Lint a fixture as if it lived in `infomap-distributed` (in scope for
 /// every rule).
@@ -104,6 +107,147 @@ fn r5_catches_a_shuffled_slice_merge() {
 }
 
 #[test]
+fn r6_flags_transitive_divergence_with_a_witness_chain() {
+    let diags = lint_fixture("bad_r6.rs", include_str!("fixtures/bad_r6.rs"));
+    let r6 = hits(&diags, Rule::DivergentCollectiveTransitive);
+    assert_eq!(
+        r6.len(),
+        2,
+        "both arm calls contribute to the divergence: {diags:#?}"
+    );
+    assert_eq!(r6[0].0, 16, "the sync_all(c) call in the rank-keyed if");
+    assert_eq!(r6[1].0, 18, "the publish(c, x) call in the else arm");
+    let d = diags
+        .iter()
+        .find(|d| d.rule == Rule::DivergentCollectiveTransitive)
+        .unwrap();
+    assert!(
+        d.message.contains("sync_all") && d.message.contains("barrier"),
+        "message must carry the call chain witness: {}",
+        d.message
+    );
+    assert_eq!(
+        d.fn_name.as_deref(),
+        Some("step"),
+        "diagnostic must be attributed to the enclosing fn"
+    );
+    assert_eq!(
+        Rule::DivergentCollectiveTransitive.severity(),
+        Severity::Error
+    );
+}
+
+#[test]
+fn r6_symmetric_transitive_arms_are_clean() {
+    let diags = lint_fixture("good_r6.rs", include_str!("fixtures/good_r6.rs"));
+    assert!(
+        diags.is_empty(),
+        "arms with identical collective shapes must not fire: {diags:#?}"
+    );
+}
+
+/// The PR's regression contract: the v1 per-line scanner is provably
+/// blind to transitive divergence (its R1 sees no collective token inside
+/// the branch), while the v2 interprocedural analysis flags it.
+#[test]
+fn v1_scanner_misses_the_transitive_mutant_v2_catches() {
+    let src = include_str!("fixtures/bad_r6.rs");
+    let v1 = lint_source_v1("infomap-distributed", Path::new("bad_r6.rs"), src);
+    assert!(
+        v1.is_empty(),
+        "v1 mode must be clean on the transitive mutant: {v1:#?}"
+    );
+    let v2 = lint_fixture("bad_r6.rs", src);
+    assert!(
+        !hits(&v2, Rule::DivergentCollectiveTransitive).is_empty(),
+        "v2 must flag the same mutant as R6: {v2:#?}"
+    );
+}
+
+#[test]
+fn r6_is_suppressible_by_a_fn_anchored_allow_entry() {
+    let toml = r#"
+[[allow]]
+rule = "R6"
+path = "bad_r6.rs"
+fn = "step"
+justification = "fixture: both arms are claimed equivalent by review"
+"#;
+    let allow = Allowlist::parse(toml).unwrap();
+    let diags = lint_fixture("bad_r6.rs", include_str!("fixtures/bad_r6.rs"));
+    for d in diags
+        .iter()
+        .filter(|d| d.rule == Rule::DivergentCollectiveTransitive)
+    {
+        assert!(allow.covers(d), "fn-anchored entry must cover {d}");
+    }
+    assert!(allow.unused().is_empty());
+}
+
+#[test]
+fn r7_flags_the_field_the_encoder_forgot() {
+    let specs = [CheckpointSpec {
+        struct_name: "Snap".into(),
+        encoder: "encode_snap".into(),
+    }];
+    let diags = lint_source_with(
+        "infomap-distributed",
+        Path::new("bad_r7.rs"),
+        include_str!("fixtures/bad_r7.rs"),
+        &specs,
+    );
+    let r7 = hits(&diags, Rule::CheckpointCompleteness);
+    assert_eq!(r7.len(), 1, "exactly the `stale` field: {diags:#?}");
+    assert_eq!(r7[0].0, 8, "flagged at the field declaration");
+    assert!(r7[0].1.contains("stale"));
+    assert_eq!(Rule::CheckpointCompleteness.severity(), Severity::Error);
+
+    // The same pair with full coverage is clean.
+    let full = r#"
+pub struct Snap {
+    pub a: u64,
+    pub b: f64,
+}
+fn encode_snap(s: &Snap, out: &mut Vec<u8>) {
+    s.a.encode_into(out);
+    s.b.encode_into(out);
+}
+"#;
+    let diags = lint_source_with("infomap-distributed", Path::new("good_r7.rs"), full, &specs);
+    assert!(
+        hits(&diags, Rule::CheckpointCompleteness).is_empty(),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn r7_is_suppressible_by_a_contains_anchored_allow_entry() {
+    let toml = r#"
+[[allow]]
+rule = "R7"
+path = "bad_r7.rs"
+contains = "pub stale: u32"
+justification = "fixture: field is rebuilt on decode"
+"#;
+    let allow = Allowlist::parse(toml).unwrap();
+    let specs = [CheckpointSpec {
+        struct_name: "Snap".into(),
+        encoder: "encode_snap".into(),
+    }];
+    let diags = lint_source_with(
+        "infomap-distributed",
+        Path::new("bad_r7.rs"),
+        include_str!("fixtures/bad_r7.rs"),
+        &specs,
+    );
+    let d = diags
+        .iter()
+        .find(|d| d.rule == Rule::CheckpointCompleteness)
+        .expect("R7 fires");
+    assert!(allow.covers(d));
+}
+
+#[test]
 fn good_fixture_is_clean() {
     let diags = lint_fixture("good.rs", include_str!("fixtures/good.rs"));
     assert!(
@@ -154,6 +298,29 @@ mod tests {
     assert!(
         diags.is_empty(),
         "rules must be silent inside #[cfg(test)]: {diags:#?}"
+    );
+}
+
+/// The checked-in golden schedule is what `--emit-schedule` produces for
+/// the driver entry point today. A mismatch means the driver's collective
+/// structure (or the analyzer) changed — regenerate with
+/// `cargo run -p spmd-lint -- --emit-schedule > crates/spmd-lint/tests/golden/driver_schedule.json`
+/// after reviewing the diff, and let the conformance test revalidate it
+/// against a real run.
+#[test]
+fn emitted_schedule_matches_the_golden_artifact() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let allow = Allowlist::load(&root.join("spmd-lint.toml")).expect("allowlist parses");
+    let json = spmd_lint::emit_workspace_schedule(&root, &allow, &[]).expect("schedule emits");
+    let golden = include_str!("golden/driver_schedule.json");
+    assert_eq!(
+        json.trim(),
+        golden.trim(),
+        "driver schedule drifted from the golden artifact — review and regenerate"
     );
 }
 
